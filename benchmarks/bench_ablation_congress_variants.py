@@ -1,0 +1,105 @@
+"""Ablation: exact per-group sizes vs. Eq. 8 per-tuple probabilities.
+
+Section 4.6 gives two definitions of a congressional sample: draw *exactly*
+SampleSize(g) tuples per group, or select each tuple independently with the
+Eq. 8 probability ("In practice, the difference between these approaches is
+negligible").  We verify that claim: both variants' per-group sizes and
+Q_g2 errors must be statistically indistinguishable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Congress, allocate_from_table
+from repro.engine import Catalog, execute
+from repro.experiments import format_mapping_table
+from repro.maintenance import construct_one_pass
+from repro.metrics import groupby_error
+from repro.rewrite import Integrated
+from repro.sampling import StratifiedSample
+from repro.synthetic import LineitemConfig, generate_lineitem, qg2
+
+BUDGET = 3000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_lineitem(
+        LineitemConfig(table_size=60_000, num_groups=125, group_skew=1.0, seed=6)
+    )
+
+
+def test_congress_variants(benchmark, table, save_result):
+    grouping = ["l_returnflag", "l_linestatus", "l_shipdate"]
+    catalog = Catalog()
+    catalog.register("lineitem", table)
+    query = qg2()
+    exact = execute(query.query, catalog)
+    rng = np.random.default_rng(2)
+
+    allocation = allocate_from_table(Congress(), table, grouping, BUDGET)
+
+    def build_exact_variant():
+        return StratifiedSample.build(
+            table, grouping, allocation.rounded(), rng=rng
+        )
+
+    exact_variant = benchmark(build_exact_variant)
+    eq8_variant = construct_one_pass(
+        "congress", table, table.schema, grouping, BUDGET, rng
+    )
+    from repro.maintenance import construct_congress_topup
+
+    topup_variant = construct_congress_topup(table, grouping, BUDGET, rng)
+
+    def error_of(sample, base_name, base_table):
+        catalog.register(base_name, base_table, replace=True)
+        rewrite = Integrated()
+        synopsis = rewrite.install(sample, base_name, catalog, replace=True)
+        approx = rewrite.plan(
+            query.query.with_from(base_name), synopsis
+        ).execute(catalog)
+        return groupby_error(
+            exact, approx, list(query.query.group_by), "sum_qty"
+        )
+
+    err_exact = error_of(exact_variant, "lineitem", table)
+    err_eq8 = error_of(eq8_variant, "lineitem_p", eq8_variant.base_table)
+    err_topup = error_of(topup_variant, "lineitem", table)
+
+    rows = {
+        "exact_sizes": {
+            "sample_size": exact_variant.total_sample_size,
+            "eps_l1": err_exact.eps_l1,
+        },
+        "eq8_probabilistic": {
+            "sample_size": eq8_variant.total_sample_size,
+            "eps_l1": err_eq8.eps_l1,
+        },
+        "topup_pseudocode": {
+            "sample_size": topup_variant.total_sample_size,
+            "eps_l1": err_topup.eps_l1,
+        },
+    }
+    save_result(
+        "ablation_congress_variants",
+        format_mapping_table(
+            "variant", rows,
+            title="Ablation: Congress variants (Section 4.6), Qg2 error",
+        ),
+    )
+
+    # "In practice, the difference between these approaches is negligible":
+    # all three answer all groups with comparable error.
+    assert not err_exact.missing_groups
+    assert not err_eq8.missing_groups
+    assert not err_topup.missing_groups
+    assert err_eq8.eps_l1 < 3 * err_exact.eps_l1 + 3
+    assert err_topup.eps_l1 < 3 * err_exact.eps_l1 + 3
+
+    # Per-group sizes agree in shape (correlation over groups).
+    keys = sorted(exact_variant.sample_sizes())
+    a = np.array([exact_variant.sample_sizes()[k] for k in keys], dtype=float)
+    b = np.array([eq8_variant.sample_sizes().get(k, 0) for k in keys], dtype=float)
+    correlation = np.corrcoef(a, b)[0, 1]
+    assert correlation > 0.8

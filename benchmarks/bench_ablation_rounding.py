@@ -1,0 +1,94 @@
+"""Ablation: integer rounding of fractional allocations.
+
+DESIGN.md design-decision #1.  The allocation formulas produce fractional
+sizes; we compare largest-remainder (default), floor, and randomized
+rounding on (a) budget utilization and (b) Q_g2 accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Congress, allocate_from_table
+from repro.engine import Catalog, execute
+from repro.experiments import default_table_size, format_mapping_table
+from repro.metrics import groupby_error
+from repro.rewrite import Integrated
+from repro.sampling import (
+    StratifiedSample,
+    floor_round,
+    largest_remainder_round,
+    randomized_round,
+)
+from repro.synthetic import LineitemConfig, generate_lineitem, qg2
+
+BUDGET = 3000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_lineitem(
+        LineitemConfig(
+            table_size=min(default_table_size(), 100_000),
+            num_groups=1000,
+            group_skew=1.2,
+            seed=4,
+        )
+    )
+
+
+def _rounders(allocation):
+    caps = allocation.populations
+    capped = {
+        key: min(value, float(caps[key]))
+        for key, value in allocation.fractional.items()
+    }
+    rng = np.random.default_rng(0)
+    return {
+        "largest_remainder": largest_remainder_round(
+            capped, total=BUDGET, caps=caps
+        ),
+        "floor": floor_round(capped, caps=caps),
+        "randomized": randomized_round(capped, rng, caps=caps),
+    }
+
+
+def test_rounding_ablation(benchmark, table, save_result):
+    grouping = ["l_returnflag", "l_linestatus", "l_shipdate"]
+    allocation = allocate_from_table(Congress(), table, grouping, BUDGET)
+    rounded = benchmark(lambda: _rounders(allocation))
+
+    catalog = Catalog()
+    catalog.register("lineitem", table)
+    query = qg2()
+    exact = execute(query.query, catalog)
+    rng = np.random.default_rng(1)
+
+    rows = {}
+    for name, sizes in rounded.items():
+        sample = StratifiedSample.build(table, grouping, sizes, rng=rng)
+        rewrite = Integrated()
+        synopsis = rewrite.install(sample, "lineitem", catalog, replace=True)
+        approx = rewrite.plan(query.query, synopsis).execute(catalog)
+        error = groupby_error(
+            exact, approx, list(query.query.group_by), "sum_qty"
+        )
+        rows[name] = {
+            "sample_size": sample.total_sample_size,
+            "eps_l1": error.eps_l1,
+        }
+
+    save_result(
+        "ablation_rounding",
+        format_mapping_table(
+            "rounding", rows,
+            title=f"Ablation: rounding schemes, budget={BUDGET}",
+        ),
+    )
+
+    # Largest remainder uses the budget exactly; floor always under-uses
+    # when any allocation is fractional.
+    assert rows["largest_remainder"]["sample_size"] == BUDGET
+    assert rows["floor"]["sample_size"] <= BUDGET
+    # All three should produce broadly comparable accuracy.
+    errors = [row["eps_l1"] for row in rows.values()]
+    assert max(errors) < 5 * min(errors) + 5

@@ -1,0 +1,96 @@
+"""Experiment 1 (Figures 14, 15, 16): accuracy per query class.
+
+One benchmark per figure.  Each measures the approximate-query execution on
+the Congress sample and regenerates the per-strategy error column for its
+query class; the combined table is saved once.
+
+Paper shapes asserted:
+* Figure 14 (Qg0): Senate worst, House best-or-near-best.
+* Figure 15 (Qg3): House worst, Senate best.
+* Figure 16 (Qg2): Congress best-or-near-best.
+* Everywhere: Congress never the worst scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Testbed, default_table_size, format_mapping_table
+from repro.synthetic import LineitemConfig, qg0_set, qg2, qg3
+
+SAMPLE_FRACTION = 0.07
+GROUP_SKEW = 1.5
+NUM_GROUPS = 1000
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    config = LineitemConfig(
+        table_size=default_table_size(),
+        num_groups=NUM_GROUPS,
+        group_skew=GROUP_SKEW,
+        seed=0,
+    )
+    return Testbed.create(config, SAMPLE_FRACTION)
+
+
+_ERRORS = {}  # accumulated across the three benches for the saved table
+
+
+def _record(save_result, query_label, errors):
+    _ERRORS[query_label] = errors
+    if len(_ERRORS) == 3:
+        table = format_mapping_table(
+            "query",
+            {k: _ERRORS[k] for k in ("Qg0", "Qg2", "Qg3")},
+            title=(
+                "Expt 1 (Figures 14-16): avg % error, "
+                f"SP={SAMPLE_FRACTION:.0%}, z={GROUP_SKEW}"
+            ),
+        )
+        save_result("expt1_accuracy", table)
+
+
+def test_fig14_qg0(benchmark, testbed, save_result):
+    rng = np.random.default_rng(17)
+    queries = qg0_set(
+        testbed.table.num_rows, num_queries=20, selectivity=0.07, rng=rng
+    )
+    benchmark(lambda: testbed.approximate("congress", queries[0]))
+    errors = {
+        strategy: float(
+            np.mean([testbed.query_error(strategy, q) for q in queries])
+        )
+        for strategy in testbed.samples
+    }
+    _record(save_result, "Qg0", errors)
+    # Figure 14 shape: Senate is the worst scheme for no-group-by queries.
+    assert errors["senate"] == max(errors.values())
+    assert errors["house"] <= errors["senate"]
+    assert errors["congress"] < errors["senate"]
+
+
+def test_fig16_qg2(benchmark, testbed, save_result):
+    query = qg2()
+    benchmark(lambda: testbed.approximate("congress", query))
+    errors = {
+        strategy: testbed.query_error(strategy, query)
+        for strategy in testbed.samples
+    }
+    _record(save_result, "Qg2", errors)
+    # Figure 16 shape: Congress wins (or is within noise of the winner).
+    assert errors["congress"] <= 1.25 * min(errors.values())
+    assert errors["congress"] < errors["house"]
+
+
+def test_fig15_qg3(benchmark, testbed, save_result):
+    query = qg3()
+    benchmark(lambda: testbed.approximate("congress", query))
+    errors = {
+        strategy: testbed.query_error(strategy, query)
+        for strategy in testbed.samples
+    }
+    _record(save_result, "Qg3", errors)
+    # Figure 15 shape: House worst, Senate best.
+    assert errors["house"] == max(errors.values())
+    assert errors["senate"] == min(errors.values())
+    assert errors["congress"] < errors["house"]

@@ -1,0 +1,61 @@
+"""Experiment 2 (Figure 17): sample size vs. accuracy on Q_g2.
+
+Fix z = 0.86 and sweep the sample percentage; errors must fall with sample
+size for every scheme, and Congress must improve markedly while House
+flattens (its extra space goes to already-easy big groups).
+"""
+
+import pytest
+
+from repro.experiments import Testbed, default_table_size, format_mapping_table
+from repro.synthetic import LineitemConfig, qg2
+
+SAMPLE_FRACTIONS = (0.01, 0.03, 0.07, 0.15, 0.30, 0.50, 0.75)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = LineitemConfig(
+        table_size=default_table_size(),
+        num_groups=1000,
+        group_skew=0.86,
+        seed=0,
+    )
+    query = qg2()
+    errors = {}
+    for fraction in SAMPLE_FRACTIONS:
+        bed = Testbed.create(config, fraction)
+        errors[f"SP={fraction:.0%}"] = {
+            strategy: bed.query_error(strategy, query)
+            for strategy in bed.samples
+        }
+    return errors
+
+
+def test_fig17_sample_size_sweep(benchmark, sweep, save_result):
+    config = LineitemConfig(
+        table_size=default_table_size(), num_groups=1000,
+        group_skew=0.86, seed=0,
+    )
+    # Benchmark the smallest-sample query path (construction + answer).
+    bed = Testbed.create(config, 0.07)
+    benchmark(lambda: bed.approximate("congress", qg2()))
+
+    table = format_mapping_table(
+        "sample", sweep,
+        title="Expt 2 (Figure 17): Qg2 avg % error vs sample size, z=0.86",
+    )
+    save_result("expt2_sample_size", table)
+
+    labels = [f"SP={f:.0%}" for f in SAMPLE_FRACTIONS]
+    for strategy in ("house", "senate", "basic_congress", "congress"):
+        first = sweep[labels[0]][strategy]
+        last = sweep[labels[-1]][strategy]
+        # Errors fall from the 1% to the 75% sample for every scheme.
+        assert last < first, f"{strategy}: {first} -> {last}"
+
+    # Congress improves by a large factor across the sweep (Figure 17's
+    # "errors drop rapidly with increasing sample space").
+    congress_first = sweep[labels[0]]["congress"]
+    congress_last = sweep[labels[-1]]["congress"]
+    assert congress_last < congress_first / 3

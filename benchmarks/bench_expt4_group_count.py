@@ -1,0 +1,86 @@
+"""Experiment 4 (Figure 18): rewrite execution time vs. number of groups.
+
+SP = 7%, NG swept over orders of magnitude.  Paper shape: the Integrated
+family is fastest and relatively flat in the group count; the Normalized
+family pays for the join; Nested-integrated beats Integrated at low group
+counts but loses ground as the per-group overhead grows toward the right
+edge of the figure.
+"""
+
+import pytest
+
+from repro.core import Congress
+from repro.experiments import (
+    Testbed,
+    default_table_size,
+    format_mapping_table,
+    time_plan,
+)
+from repro.rewrite import ALL_STRATEGIES
+from repro.synthetic import LineitemConfig, qg2
+
+GROUP_COUNTS = (10, 100, 1000, 8000, 27000)
+
+
+@pytest.fixture(scope="module")
+def timings():
+    table_size = default_table_size()
+    query = qg2()
+    seconds = {cls.name: {} for cls in ALL_STRATEGIES}
+    for num_groups in GROUP_COUNTS:
+        if num_groups > table_size // 4:
+            continue
+        config = LineitemConfig(
+            table_size=table_size, num_groups=num_groups,
+            group_skew=0.86, seed=0,
+        )
+        bed = Testbed.create(config, 0.07, strategies={"congress": Congress()})
+        label = f"NG={num_groups}"
+        for cls in ALL_STRATEGIES:
+            rewrite = cls()
+            synopsis = bed.install("congress", rewrite)
+            plan = rewrite.plan(query.query, synopsis)
+            seconds[cls.name][label] = time_plan(
+                lambda: plan.execute(bed.catalog), repeats=5
+            )
+    return seconds
+
+
+def test_fig18_group_count_sweep(benchmark, timings, save_result):
+    seconds = timings
+    labels = list(next(iter(seconds.values())))
+
+    config = LineitemConfig(
+        table_size=default_table_size(), num_groups=1000,
+        group_skew=0.86, seed=0,
+    )
+    bed = Testbed.create(config, 0.07, strategies={"congress": Congress()})
+    from repro.rewrite import Integrated
+
+    rewrite = Integrated()
+    synopsis = bed.install("congress", rewrite)
+    plan = rewrite.plan(qg2().query, synopsis)
+    benchmark(lambda: plan.execute(bed.catalog))
+
+    table = format_mapping_table(
+        "technique", seconds, precision=4,
+        title="Expt 4 (Figure 18): Qg2 execution seconds vs group count, SP=7%",
+    )
+    save_result("expt4_group_count", table)
+
+    # Integrated beats Normalized at every group count (the join penalty).
+    for label in labels:
+        assert seconds["integrated"][label] < seconds["normalized"][label], (
+            f"{label}: {seconds}"
+        )
+
+    # Integrated's time is nearly flat across the sweep ("their times are
+    # almost independent of the number of groups").
+    integrated = [seconds["integrated"][label] for label in labels]
+    assert max(integrated) < 5 * min(integrated)
+
+    # Figure 18's right-edge effect: Nested-integrated's per-group overhead
+    # grows with the group count, degrading it relative to Integrated.
+    nested = [seconds["nested_integrated"][label] for label in labels]
+    assert nested[-1] / integrated[-1] > nested[0] / integrated[0] * 0.9
+    assert nested[-1] > nested[0]

@@ -1,0 +1,24 @@
+"""Figure 5: the worked allocation example (golden numbers).
+
+Benchmarks the allocation computation itself and regenerates the paper's
+table of expected sample sizes; asserts the published values.
+"""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_allocation(benchmark, save_result):
+    result = benchmark(run_fig5)
+    save_result("fig5_allocation", result.format())
+
+    congress = result.columns["congress"]
+    assert congress[("a1", "b1")] == pytest.approx(23.5, abs=0.05)
+    assert congress[("a1", "b2")] == pytest.approx(23.5, abs=0.05)
+    assert congress[("a1", "b3")] == pytest.approx(17.6, abs=0.1)
+    assert congress[("a2", "b3")] == pytest.approx(35.3, abs=0.05)
+
+    basic = result.columns["basic"]
+    assert basic[("a1", "b1")] == pytest.approx(27.3, abs=0.05)
+    assert basic[("a1", "b3")] == pytest.approx(22.7, abs=0.05)

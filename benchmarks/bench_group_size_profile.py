@@ -1,0 +1,47 @@
+"""Group-size error profile: the paper's Section 1.1 motivation, measured.
+
+Buckets the finest groups of the skewed testbed by population and reports
+mean Qg3 per-group error per bucket for each allocation scheme.  Asserts
+the motivating claim: House's error explodes as groups shrink, while
+Senate and Congress stay roughly flat.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import run_group_size_profile
+
+
+def test_group_size_profile(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_group_size_profile(num_groups=1000, group_skew=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("group_size_profile", result.format())
+
+    labels = list(result.errors)  # smallest bucket first
+    smallest, largest = labels[0], labels[-1]
+
+    house_small = result.errors[smallest]["house"]
+    house_large = result.errors[largest]["house"]
+    # House: errors blow up for small groups (>= 2x the large-group error).
+    assert house_small > 2 * house_large
+
+    # Congress: no small-group blow-up -- its error in the smallest bucket
+    # is no worse than its large-bucket error plus noise, and its worst
+    # bucket stays far below House's small-group disaster.
+    congress_values = [
+        result.errors[label]["congress"]
+        for label in labels
+        if not math.isnan(result.errors[label]["congress"])
+    ]
+    congress_small = result.errors[smallest]["congress"]
+    congress_large = result.errors[largest]["congress"]
+    assert congress_small < congress_large + 5.0
+    assert max(congress_values) < house_small / 4
+
+    # In the smallest bucket, every biased scheme beats House handily.
+    for strategy in ("senate", "basic_congress", "congress"):
+        assert result.errors[smallest][strategy] < house_small / 2

@@ -1,0 +1,81 @@
+"""The congressional guarantee, quantified (Section 4 / DESIGN.md).
+
+Not a paper figure, but the paper's central *claim* made measurable: for
+each allocation strategy we compute the worst-case-predicate guarantee
+ratio at every grouping (see ``repro.core.analysis``) on the skewed
+lineitem testbed.  Congress must (a) hit its scale-down factor ``f`` at
+every grouping, and (b) have the best overall worst ratio of the four.
+"""
+
+import pytest
+
+from repro.core import (
+    BasicCongress,
+    Congress,
+    House,
+    Senate,
+    allocate_from_table,
+    guarantee_report,
+)
+from repro.experiments import format_mapping_table
+from repro.synthetic import GROUPING_COLUMNS, LineitemConfig, generate_lineitem
+
+BUDGET = 5000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_lineitem(
+        LineitemConfig(table_size=100_000, num_groups=216, group_skew=1.5, seed=8)
+    )
+
+
+def test_guarantee_ratios(benchmark, table, save_result):
+    def run():
+        out = {}
+        for strategy in (House(), Senate(), BasicCongress(), Congress()):
+            allocation = allocate_from_table(
+                strategy, table, list(GROUPING_COLUMNS), BUDGET
+            )
+            report = guarantee_report(allocation)
+            out[strategy.name] = (allocation, report)
+        return out
+
+    reports = benchmark(run)
+
+    rows = {}
+    for name, (allocation, report) in reports.items():
+        row = {
+            ",".join(g.grouping) or "(none)": g.worst_ratio
+            for g in report.per_grouping
+            if len(g.grouping) != 2  # keep the table narrow: 0, 1, 3 cols
+        }
+        row["overall"] = report.worst_ratio
+        row["f"] = allocation.scale_down_factor
+        rows[name] = row
+    save_result(
+        "guarantee_ratios",
+        format_mapping_table(
+            "strategy", rows, precision=3,
+            title=(
+                "Worst-case-predicate guarantee ratio per grouping "
+                f"(z=1.5, X={BUDGET})"
+            ),
+        ),
+    )
+
+    congress_alloc, congress_report = reports["congress"]
+    f = congress_alloc.scale_down_factor
+    # (a) Congress achieves >= f at every grouping.
+    for guarantee in congress_report.per_grouping:
+        assert guarantee.worst_ratio >= f - 1e-6
+    # (b) Congress has the best overall guarantee.
+    overall = {name: r.worst_ratio for name, (__, r) in reports.items()}
+    assert max(overall, key=overall.get) == "congress"
+    # House's fine-grouping collapse and Senate's coarse-grouping collapse.
+    house = {g.grouping: g.worst_ratio
+             for g in reports["house"][1].per_grouping}
+    senate = {g.grouping: g.worst_ratio
+              for g in reports["senate"][1].per_grouping}
+    assert house[tuple(GROUPING_COLUMNS)] < 0.2
+    assert senate[()] < 0.5

@@ -1,0 +1,36 @@
+"""Section 4.6 analysis: the scale-down factor's range (1 down to 2^-|G|).
+
+Regenerates the pathological-distribution sweep and asserts the paper's
+closed-form bound at every configuration.
+"""
+
+import pytest
+
+from repro.core import (
+    pathological_factor_bound,
+    scale_down_lower_bound,
+)
+from repro.experiments import run_scaledown
+
+
+def test_scaledown_factor_sweep(benchmark, save_result):
+    result = benchmark(run_scaledown)
+    save_result("scaledown", result.format())
+
+    for n, m, measured, bound, lower in result.rows:
+        assert lower < measured < bound + 1e-9
+        assert bound == pytest.approx(pathological_factor_bound(n, m))
+        assert lower == pytest.approx(scale_down_lower_bound(n))
+
+    # Uniform cross-product data needs no scaling at all.
+    for factor in result.uniform_factors.values():
+        assert factor == pytest.approx(1.0)
+
+    # f approaches 2^-n as m grows (same n, larger m -> smaller gap).
+    by_n = {}
+    for n, m, measured, __, lower in result.rows:
+        by_n.setdefault(n, []).append((m, measured - lower))
+    for gaps in by_n.values():
+        gaps.sort()
+        deltas = [gap for __, gap in gaps]
+        assert deltas == sorted(deltas, reverse=True)

@@ -1,0 +1,32 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index), prints the paper-style text table, and
+saves it under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+latest run.
+
+Scale: benches run at ``REPRO_SCALE`` x 1M tuples (default 0.2).  Set
+``REPRO_SCALE=1.0`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered experiment table to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,87 @@
+"""Calibrating the synopsis space budget (the administrator's workflow).
+
+Figure 1 of the paper: the warehouse administrator gives Aqua "the space
+available for synopses".  How much is enough?  This script plays the
+calibration session: for a ladder of budgets, run a few representative
+queries through ``AquaSystem.compare`` and read the error/speedup
+trade-off -- then pick the knee.
+
+It also shows ``recommend_strategy`` (the Section 7.3.3 rule) and
+``explain`` (the Figure 2 rewritten-query view).
+
+Run:  python examples/budget_calibration.py
+"""
+
+import numpy as np
+
+from repro import (
+    AquaSystem,
+    LineitemConfig,
+    generate_lineitem,
+    recommend_strategy,
+)
+
+
+QUERIES = [
+    (
+        "flag x status rollup",
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS qty "
+        "FROM lineitem GROUP BY l_returnflag, l_linestatus",
+    ),
+    (
+        "revenue by ship date",
+        "SELECT l_shipdate, sum(l_extendedprice) AS rev "
+        "FROM lineitem GROUP BY l_shipdate",
+    ),
+    (
+        "whole-table average",
+        "SELECT avg(l_extendedprice) AS avg_rev FROM lineitem",
+    ),
+]
+
+BUDGET_LADDER = (1_000, 5_000, 20_000)
+
+
+def main() -> None:
+    lineitem = generate_lineitem(
+        LineitemConfig(table_size=200_000, num_groups=512, group_skew=1.2, seed=13)
+    )
+    # Few updates, ~512 groups: the Section 7.3.3 rule picks a strategy.
+    rewrite = recommend_strategy(updates_per_query=0.1, num_groups_hint=512)
+    print(f"recommended rewrite strategy: {rewrite.name}\n")
+
+    print(f"{'budget':>8s}  {'%rows':>6s}  {'worst err':>10s}  "
+          f"{'mean err':>9s}  {'speedup':>8s}")
+    for budget in BUDGET_LADDER:
+        aqua = AquaSystem(
+            space_budget=budget,
+            rewrite_strategy=rewrite,
+            rng=np.random.default_rng(1),
+        )
+        aqua.register_table("lineitem", lineitem)
+        worst = mean = 0.0
+        speedups = []
+        for __, sql in QUERIES:
+            report = aqua.compare(sql)
+            for error in report.errors.values():
+                worst = max(worst, error.eps_inf)
+                mean = max(mean, error.eps_l1)
+            speedups.append(report.speedup)
+        fraction = 100 * budget / lineitem.num_rows
+        print(
+            f"{budget:>8d}  {fraction:>5.1f}%  {worst:>9.2f}%  "
+            f"{mean:>8.2f}%  {np.mean(speedups):>7.1f}x"
+        )
+
+    print("\nThe Figure 2 view of the first query at the chosen budget:")
+    aqua = AquaSystem(
+        space_budget=BUDGET_LADDER[1],
+        rewrite_strategy=rewrite,
+        rng=np.random.default_rng(1),
+    )
+    aqua.register_table("lineitem", lineitem)
+    print(aqua.explain(QUERIES[0][1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""OLAP exploration: roll-up/drill-down from one congressional sample.
+
+The paper's whole premise is that an analyst explores interactively --
+grouping coarser and finer over the same columns -- and a single
+congressional sample must serve *every* step well.  This script walks such
+a session with :class:`CubeExplorer`, then mines the session's query log
+into Section 4.7 preference weights and rebuilds a workload-tuned sample.
+
+Run:  python examples/olap_drilldown.py
+"""
+
+from repro import (
+    AquaSystem,
+    CubeExplorer,
+    LineitemConfig,
+    Measure,
+    QueryLog,
+    WorkloadCongress,
+    allocate_from_table,
+    generate_lineitem,
+)
+
+
+def main() -> None:
+    lineitem = generate_lineitem(
+        LineitemConfig(table_size=150_000, num_groups=216, group_skew=1.2, seed=9)
+    )
+    aqua = AquaSystem(space_budget=6_000)
+    aqua.register_table("lineitem", lineitem)
+    print(aqua.synopsis("lineitem").describe(), "\n")
+
+    log = QueryLog(
+        base_table="lineitem",
+        grouping_columns=("l_returnflag", "l_linestatus", "l_shipdate"),
+    )
+    cube = CubeExplorer(
+        aqua,
+        "lineitem",
+        measures=[
+            Measure("sum", "l_quantity", "qty"),
+            Measure("avg", "l_extendedprice", "avg_price"),
+        ],
+    )
+
+    def step(description: str) -> None:
+        answer = cube.view()
+        log.record(cube.to_sql())
+        rows = answer.result.num_rows
+        first = answer.result.to_dicts()[0] if rows else {}
+        preview = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in list(first.items())[:4]
+        )
+        print(f"{description:42s} -> {rows:4d} groups   [{preview}]")
+
+    step("whole table")
+    cube.drilldown("l_returnflag")
+    step("by return flag")
+    cube.drilldown("l_linestatus")
+    step("by flag x status")
+    flag = cube.view().result.column("l_returnflag")[0]
+    cube.slice("l_returnflag", int(flag))
+    step(f"sliced to flag={flag}")
+    cube.drilldown("l_shipdate")
+    step("...by ship date too")
+    cube.rollup("l_linestatus")
+    step("rolled status back up")
+
+    print("\nsession history:", " -> ".join(cube.history()))
+
+    # Mine the session into allocation preferences (Section 4.7).
+    preferences = log.to_preferences()
+    tuned = allocate_from_table(
+        WorkloadCongress(preferences),
+        lineitem,
+        ["l_returnflag", "l_linestatus", "l_shipdate"],
+        6_000,
+    )
+    top = sorted(
+        log.grouping_frequencies().items(), key=lambda kv: -kv[1]
+    )[:3]
+    print("\nmost-used groupings this session:")
+    for grouping, fraction in top:
+        label = ",".join(grouping) or "(none)"
+        print(f"  {label:45s} {fraction:.0%} of queries")
+    print(
+        f"\nworkload-tuned allocation ready: {tuned.total_fractional:.0f} "
+        f"tuples across {len(tuned.fractional)} strata "
+        f"(scale-down factor {tuned.scale_down_factor:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

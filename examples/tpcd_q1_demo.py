@@ -1,0 +1,127 @@
+"""The paper's Figures 2-4: Aqua rewriting of (a simplified) TPC-D Query 1.
+
+The original query aggregates lineitem quantities per
+(l_returnflag, l_linestatus).  Aqua rewrites it to run on a 1% sample
+relation, scaling the SUM and attaching an error column.  The paper uses
+this example to show a *limitation* of uniform samples: the smallest group
+("N, F" in TPC-D -- a factor of 35+ smaller than the others) gets a visibly
+worse estimate.  We reproduce that, then fix it with a congressional sample.
+
+Run:  python examples/tpcd_q1_demo.py
+"""
+
+import numpy as np
+
+from repro import (
+    AquaSystem,
+    Congress,
+    House,
+    LineitemConfig,
+    generate_lineitem,
+    groupby_error,
+)
+from repro.engine import Column, ColumnType, Schema, Table
+
+
+def tpcd_like_lineitem(num_rows: int = 300_000, seed: int = 7) -> Table:
+    """A lineitem with TPC-D Q1's group structure.
+
+    Four (returnflag, linestatus) groups; one of them ("N,F") is ~40x
+    smaller than the others, like the real TPC-D data the paper shows.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Column("l_id", ColumnType.INT, "key"),
+            Column("l_returnflag", ColumnType.STR, "grouping"),
+            Column("l_linestatus", ColumnType.STR, "grouping"),
+            Column("l_shipdate", ColumnType.INT, "grouping"),
+            Column("l_quantity", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    groups = [("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")]
+    weights = np.array([0.33, 0.008, 0.33, 0.332])
+    weights = weights / weights.sum()
+    picks = rng.choice(len(groups), size=num_rows, p=weights)
+    flags = np.array([g[0] for g in groups])[picks]
+    statuses = np.array([g[1] for g in groups])[picks]
+    return Table.from_columns(
+        schema,
+        l_id=np.arange(1, num_rows + 1),
+        l_returnflag=flags,
+        l_linestatus=statuses,
+        l_shipdate=rng.integers(0, 2192, size=num_rows),
+        l_quantity=rng.integers(1, 51, size=num_rows).astype(float),
+    )
+
+
+QUERY = (
+    "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty "
+    "FROM lineitem "
+    "WHERE l_shipdate <= 2000 "
+    "GROUP BY l_returnflag, l_linestatus "
+    "ORDER BY l_returnflag, l_linestatus"
+)
+
+
+def show(label: str, table, error_column: bool = True) -> None:
+    print(label)
+    for row in table.to_dicts():
+        line = (
+            f"  {row['l_returnflag']}  {row['l_linestatus']}  "
+            f"sum_qty={row['sum_qty']:>12.4g}"
+        )
+        if error_column and "sum_qty_error" in row:
+            line += f"  +/- {row['sum_qty_error']:.3g}"
+        print(line)
+    print()
+
+
+def main() -> None:
+    lineitem = tpcd_like_lineitem()
+    budget = lineitem.num_rows // 100  # the paper's 1% sample
+
+    print("Figure 3 -- exact answer:")
+    exact_system = AquaSystem(space_budget=budget)
+    exact_system.register_table("lineitem", lineitem, build=True)
+    exact = exact_system.exact(QUERY)
+    show("", exact, error_column=False)
+
+    for strategy, figure in ((House(), "Figure 4 -- uniform 1% sample"),
+                             (Congress(), "Congressional 1% sample")):
+        aqua = AquaSystem(space_budget=budget, allocation_strategy=strategy)
+        aqua.register_table(
+            "lineitem", lineitem,
+            grouping_columns=["l_returnflag", "l_linestatus"],
+        )
+        answer = aqua.answer(QUERY)
+        show(f"{figure} (strategy={aqua.synopsis('lineitem').allocation_strategy}):",
+             answer.result)
+        error = groupby_error(exact, answer.result,
+                              ["l_returnflag", "l_linestatus"], "sum_qty")
+        nf = error.per_group.get(("N", "F"), float("nan"))
+        nf_rows = [
+            row for row in answer.result.to_dicts()
+            if row["l_returnflag"] == "N" and row["l_linestatus"] == "F"
+        ]
+        bound_pct = (
+            100 * nf_rows[0]["sum_qty_error"] / nf_rows[0]["sum_qty"]
+            if nf_rows else float("nan")
+        )
+        print(
+            f"  per-group error: mean {error.eps_l1:.2f}%, "
+            f"smallest group (N,F): {nf:.2f}% "
+            f"(90% error bound: +/-{bound_pct:.1f}% of the estimate)\n"
+        )
+
+    print(
+        "With the uniform sample the tiny (N,F) group rides on a handful of\n"
+        "tuples and its estimate (and error bound) is far worse than the\n"
+        "other groups' -- the exact behaviour of the paper's Figure 4.  The\n"
+        "congressional sample gives (N,F) its Senate share and the error\n"
+        "collapses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The Aqua approximate-query-answering middleware (Section 2)."""
+
+from .join_synopsis import (
+    ForeignKey,
+    StarSchema,
+    build_join_synopsis,
+    materialize_star_join,
+)
+from .olap import CubeExplorer, Measure
+from .synopsis import Synopsis
+from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
+from .workload_log import QueryLog
+
+__all__ = [
+    "ApproximateAnswer",
+    "AquaError",
+    "AquaSystem",
+    "ComparisonReport",
+    "CubeExplorer",
+    "Measure",
+    "QueryLog",
+    "ForeignKey",
+    "StarSchema",
+    "Synopsis",
+    "build_join_synopsis",
+    "materialize_star_join",
+]

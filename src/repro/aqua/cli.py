@@ -1,0 +1,195 @@
+"""An interactive Aqua shell: SQL in, approximate answers out.
+
+Usage::
+
+    python -m repro.aqua                      # demo census warehouse
+    python -m repro.aqua --csv sales.csv --table sales \\
+        --grouping region,product --budget 5000
+
+Commands inside the shell::
+
+    <any SQL>          answer approximately from the synopsis
+    .exact <SQL>       answer exactly from the base table
+    .synopsis          describe the installed synopsis
+    .tables            list catalog tables
+    .budget            show the space budget
+    .help              this text
+    .quit              exit
+
+The shell is also importable (:class:`AquaShell`) and drives the same code
+paths as the library API, so it doubles as an end-to-end smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional, Sequence
+
+from ..core.congress import Congress
+from ..engine.io import read_csv
+from ..engine.sql import SqlError
+from ..synthetic.census import CensusConfig, generate_census
+from .system import AquaError, AquaSystem
+
+__all__ = ["AquaShell", "main"]
+
+_HELP = """commands:
+  <SQL>            approximate answer from the synopsis
+  .exact <SQL>     exact answer from the base table
+  .explain <SQL>   show the rewritten query (the paper's Figure 2 view)
+  .compare <SQL>   run approximately AND exactly; report error + speedup
+  .synopsis        describe the installed synopsis
+  .tables          list registered tables
+  .budget          show the space budget
+  .help            show this help
+  .quit            exit"""
+
+_MAX_PRINT_ROWS = 25
+
+
+class AquaShell:
+    """Line-oriented shell over an :class:`AquaSystem`."""
+
+    def __init__(
+        self,
+        aqua: AquaSystem,
+        out: Optional[IO[str]] = None,
+    ):
+        self._aqua = aqua
+        self._out = out if out is not None else sys.stdout
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self._out)
+
+    def _print_table(self, table) -> None:
+        names = table.schema.names
+        self._print("  ".join(names))
+        for i, row in enumerate(table.iter_rows()):
+            if i >= _MAX_PRINT_ROWS:
+                self._print(f"... ({table.num_rows - _MAX_PRINT_ROWS} more rows)")
+                break
+            cells = [
+                f"{value:.6g}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+            self._print("  ".join(cells))
+
+    def execute_line(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            if line in (".quit", ".exit"):
+                return False
+            if line == ".help":
+                self._print(_HELP)
+            elif line == ".tables":
+                for name in self._aqua.catalog.names():
+                    self._print(name)
+            elif line == ".budget":
+                self._print(str(self._aqua.space_budget))
+            elif line == ".synopsis":
+                for name in list(self._aqua.catalog.names()):
+                    try:
+                        self._print(self._aqua.synopsis(name).describe())
+                    except AquaError:
+                        continue
+            elif line.startswith(".exact"):
+                sql = line[len(".exact"):].strip()
+                if not sql:
+                    self._print("usage: .exact <SQL>")
+                else:
+                    self._print_table(self._aqua.exact(sql))
+            elif line.startswith(".explain"):
+                sql = line[len(".explain"):].strip()
+                if not sql:
+                    self._print("usage: .explain <SQL>")
+                else:
+                    self._print(self._aqua.explain(sql))
+            elif line.startswith(".compare"):
+                sql = line[len(".compare"):].strip()
+                if not sql:
+                    self._print("usage: .compare <SQL>")
+                else:
+                    self._print(self._aqua.compare(sql).describe())
+            elif line.startswith("."):
+                self._print(f"unknown command {line.split()[0]!r}; try .help")
+            else:
+                answer = self._aqua.answer(line)
+                self._print_table(answer.result)
+                self._print(
+                    f"[approximate; {answer.confidence:.0%} confidence, "
+                    f"{answer.elapsed_seconds * 1000:.1f} ms]"
+                )
+        except (AquaError, SqlError, ValueError, KeyError) as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def run(self, lines: Optional[Sequence[str]] = None) -> None:
+        """Run over an iterable of lines (or interactively from stdin)."""
+        if lines is None:
+            self._print("aqua> congressional-sample shell; .help for help")
+            while True:
+                try:
+                    line = input("aqua> ")
+                except (EOFError, KeyboardInterrupt):
+                    self._print()
+                    break
+                if not self.execute_line(line):
+                    break
+        else:
+            for line in lines:
+                if not self.execute_line(line):
+                    break
+
+
+def build_system(args: argparse.Namespace) -> AquaSystem:
+    """Construct the AquaSystem described by the CLI arguments."""
+    aqua = AquaSystem(
+        space_budget=args.budget, allocation_strategy=Congress()
+    )
+    if args.csv:
+        if not args.table or not args.grouping:
+            raise SystemExit("--csv requires --table and --grouping")
+        table = read_csv(args.csv)
+        aqua.register_table(
+            args.table, table, grouping_columns=args.grouping.split(",")
+        )
+    else:
+        census = generate_census(CensusConfig(population=100_000, seed=1))
+        aqua.register_table("census", census)
+    return aqua
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.aqua",
+        description="Interactive approximate-query shell (Aqua).",
+    )
+    parser.add_argument("--csv", help="load a CSV file as the base table")
+    parser.add_argument("--table", help="table name for the CSV data")
+    parser.add_argument(
+        "--grouping", help="comma-separated grouping columns for the CSV data"
+    )
+    parser.add_argument(
+        "--budget", type=int, default=5000, help="sample tuples to keep"
+    )
+    parser.add_argument(
+        "--execute", "-e", action="append", default=None,
+        help="run this statement and exit (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    aqua = build_system(args)
+    shell = AquaShell(aqua)
+    if args.execute:
+        shell.run(args.execute)
+    else:
+        shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

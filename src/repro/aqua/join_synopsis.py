@@ -1,0 +1,120 @@
+"""Join synopses over star schemas (Section 2, [AGPR99]).
+
+Aqua sidesteps the well-known problem of joining samples by precomputing
+*join synopses*: uniform (here: congressional) samples of the **result** of
+the foreign-key joins of the star schema.  Any multi-table query over the
+star can then be rewritten as a query on a single join-synopsis relation --
+which is exactly why the paper restricts its discussion to single-relation
+queries.
+
+For foreign-key joins the join result has the fact table's cardinality, and
+each fact row joins to exactly one row per dimension.  We exploit this:
+:func:`materialize_star_join` widens the fact table by its dimensions, after
+which the ordinary congressional machinery applies (including grouping on
+*dimension* attributes, the common OLAP case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.allocation import AllocationStrategy, build_sample
+from ..core.congress import Congress
+from ..engine.catalog import Catalog
+from ..engine.join import hash_join
+from ..engine.table import Table
+from ..sampling.stratified import StratifiedSample
+
+__all__ = ["ForeignKey", "StarSchema", "materialize_star_join", "build_join_synopsis"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A fact-to-dimension foreign key edge."""
+
+    fact_column: str
+    dimension_table: str
+    dimension_key: str
+
+
+@dataclass(frozen=True)
+class StarSchema:
+    """A star: one fact table plus foreign keys into dimension tables."""
+
+    fact_table: str
+    foreign_keys: Tuple[ForeignKey, ...]
+
+    @classmethod
+    def of(cls, fact_table: str, *foreign_keys: ForeignKey) -> "StarSchema":
+        return cls(fact_table, tuple(foreign_keys))
+
+
+def materialize_star_join(catalog: Catalog, star: StarSchema) -> Table:
+    """Compute the full foreign-key join of the star (fact cardinality).
+
+    Raises if any fact row dangles (no matching dimension row) -- a genuine
+    FK violation -- since silently dropping rows would bias every synopsis
+    built from the result.
+    """
+    result = catalog.get(star.fact_table)
+    expected_rows = result.num_rows
+    for fk in star.foreign_keys:
+        dimension = catalog.get(fk.dimension_table)
+        keys = dimension.column(fk.dimension_key)
+        if len(np.unique(keys)) != len(keys):
+            raise ValueError(
+                f"dimension key {fk.dimension_table}.{fk.dimension_key} "
+                "is not unique"
+            )
+        result = hash_join(
+            result,
+            dimension,
+            [fk.fact_column],
+            [fk.dimension_key],
+            suffix=f"_{fk.dimension_table}",
+        )
+        if result.num_rows != expected_rows:
+            raise ValueError(
+                f"foreign key {star.fact_table}.{fk.fact_column} -> "
+                f"{fk.dimension_table}.{fk.dimension_key} has "
+                f"{expected_rows - result.num_rows} dangling fact rows"
+            )
+    return result
+
+
+def build_join_synopsis(
+    catalog: Catalog,
+    star: StarSchema,
+    grouping_columns: Sequence[str],
+    budget: int,
+    strategy: Optional[AllocationStrategy] = None,
+    register_as: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[StratifiedSample, Table]:
+    """Build a congressional sample of the star's join result.
+
+    Args:
+        catalog: catalog holding the fact and dimension tables.
+        star: the star schema.
+        grouping_columns: stratification columns; may freely mix fact and
+            dimension attributes (post-join names).
+        budget: sample size.
+        strategy: allocation strategy (default :class:`Congress`).
+        register_as: if given, the widened join result is registered in the
+            catalog under this name so queries can target it.
+        rng: numpy generator.
+
+    Returns:
+        ``(sample, wide_table)`` -- the stratified sample over the join
+        result and the join result itself.
+    """
+    wide = materialize_star_join(catalog, star)
+    if register_as is not None:
+        catalog.register(register_as, wide, replace=True)
+    sample = build_sample(
+        strategy or Congress(), wide, grouping_columns, budget, rng=rng
+    )
+    return sample, wide

@@ -1,0 +1,152 @@
+"""Interactive roll-up / drill-down over an Aqua synopsis.
+
+The paper motivates congressional samples with the OLAP exploration loop:
+"group-by queries ... form an essential part of the common drill-down and
+roll-up processes".  :class:`CubeExplorer` packages that loop: hold a set of
+measures, drill into or roll up grouping columns, slice on values -- every
+navigation step is answered approximately from the *same* congressional
+sample, which is precisely the guarantee Congress provides (good accuracy
+for *all* groupings of the grouping columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..engine.query import Query
+from ..engine.sql import parse_query
+from .system import ApproximateAnswer, AquaError, AquaSystem
+
+__all__ = ["Measure", "CubeExplorer"]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """One aggregate to display at every navigation step."""
+
+    func: str
+    column: Optional[str]
+    alias: str
+
+    def to_sql(self) -> str:
+        if self.func == "count" and self.column is None:
+            return f"count(*) AS {self.alias}"
+        return f"{self.func}({self.column}) AS {self.alias}"
+
+
+class CubeExplorer:
+    """Stateful drill-down/roll-up navigator over one synopsis."""
+
+    def __init__(
+        self,
+        aqua: AquaSystem,
+        table: str,
+        measures: Sequence[Measure],
+        grouping: Sequence[str] = (),
+    ):
+        """Args:
+        aqua: the Aqua system holding the synopsis.
+        table: base table name (must have a built synopsis).
+        measures: aggregates computed at every step.
+        grouping: initial grouping columns (default: fully rolled up).
+        """
+        if not measures:
+            raise AquaError("at least one measure is required")
+        self._aqua = aqua
+        self._table = table
+        self._synopsis = aqua.synopsis(table)  # validates the table
+        self._measures = list(measures)
+        available = set(self._synopsis.grouping_columns)
+        for column in grouping:
+            if column not in available:
+                raise AquaError(
+                    f"{column!r} is not a grouping column of {table!r} "
+                    f"(have {sorted(available)})"
+                )
+        self._grouping: List[str] = list(grouping)
+        self._slices: List[Tuple[str, Union[str, int, float]]] = []
+        self._history: List[str] = []
+
+    # -- navigation ----------------------------------------------------------
+
+    @property
+    def grouping(self) -> Tuple[str, ...]:
+        return tuple(self._grouping)
+
+    @property
+    def slices(self) -> Tuple[Tuple[str, Union[str, int, float]], ...]:
+        return tuple(self._slices)
+
+    def history(self) -> List[str]:
+        """Navigation steps taken so far, oldest first."""
+        return list(self._history)
+
+    def drilldown(self, column: str) -> "CubeExplorer":
+        """Add a grouping column (finer partitioning)."""
+        if column not in self._synopsis.grouping_columns:
+            raise AquaError(
+                f"cannot drill into {column!r}: not a stratification column"
+            )
+        if column in self._grouping:
+            raise AquaError(f"already grouped by {column!r}")
+        self._grouping.append(column)
+        self._history.append(f"drilldown({column})")
+        return self
+
+    def rollup(self, column: Optional[str] = None) -> "CubeExplorer":
+        """Remove a grouping column (default: the most recent)."""
+        if not self._grouping:
+            raise AquaError("already fully rolled up")
+        if column is None:
+            column = self._grouping[-1]
+        if column not in self._grouping:
+            raise AquaError(f"not currently grouped by {column!r}")
+        self._grouping.remove(column)
+        self._history.append(f"rollup({column})")
+        return self
+
+    def slice(self, column: str, value: Union[str, int, float]) -> "CubeExplorer":
+        """Restrict to one value of a column (WHERE equality)."""
+        self._slices.append((column, value))
+        self._history.append(f"slice({column}={value!r})")
+        return self
+
+    def unslice(self, column: str) -> "CubeExplorer":
+        """Drop all slices on ``column``."""
+        before = len(self._slices)
+        self._slices = [s for s in self._slices if s[0] != column]
+        if len(self._slices) == before:
+            raise AquaError(f"no slice on {column!r} to remove")
+        self._history.append(f"unslice({column})")
+        return self
+
+    # -- answering -------------------------------------------------------
+
+    def to_sql(self) -> str:
+        """The SQL for the current navigation state."""
+        select_parts = list(self._grouping) + [
+            measure.to_sql() for measure in self._measures
+        ]
+        sql = f"SELECT {', '.join(select_parts)} FROM {self._table}"
+        if self._slices:
+            conditions = []
+            for column, value in self._slices:
+                literal = f"'{value}'" if isinstance(value, str) else repr(value)
+                conditions.append(f"{column} = {literal}")
+            sql += " WHERE " + " AND ".join(conditions)
+        if self._grouping:
+            sql += " GROUP BY " + ", ".join(self._grouping)
+            sql += " ORDER BY " + ", ".join(self._grouping)
+        return sql
+
+    def to_query(self) -> Query:
+        return parse_query(self.to_sql())
+
+    def view(self) -> ApproximateAnswer:
+        """Answer the current navigation state from the synopsis."""
+        return self._aqua.answer(self.to_sql())
+
+    def view_exact(self):
+        """Ground truth for the current state (for comparisons/demos)."""
+        return self._aqua.exact(self.to_sql())

@@ -1,0 +1,52 @@
+"""Synopsis metadata: what Aqua knows about each precomputed sample.
+
+A :class:`Synopsis` ties together the base table, the allocation strategy
+that shaped the sample, the physical :class:`StratifiedSample`, and the
+rewrite strategy's installed relation names.  It is what the Aqua rewriter
+consults when a user query arrives (Figure 1's "Statistics Collector" +
+"Query Rewriter" handshake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..rewrite.base import InstalledSynopsis
+from ..sampling.stratified import StratifiedSample
+
+__all__ = ["Synopsis"]
+
+
+@dataclass
+class Synopsis:
+    """One installed sample synopsis for a base table."""
+
+    base_name: str
+    grouping_columns: Tuple[str, ...]
+    allocation_strategy: str
+    rewrite_strategy: str
+    budget: int
+    sample: StratifiedSample
+    installed: InstalledSynopsis
+
+    @property
+    def sample_size(self) -> int:
+        return self.sample.total_sample_size
+
+    @property
+    def sampling_fraction(self) -> float:
+        population = self.sample.total_population
+        if population == 0:
+            return 0.0
+        return self.sample_size / population
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for example scripts)."""
+        return (
+            f"synopsis[{self.base_name}] strategy={self.allocation_strategy} "
+            f"rewrite={self.rewrite_strategy} size={self.sample_size} "
+            f"({100 * self.sampling_fraction:.2f}% of "
+            f"{self.sample.total_population} rows), "
+            f"strata={len(self.sample.strata)}"
+        )

@@ -1,0 +1,448 @@
+"""The Aqua approximate-query-answering middleware (Section 2, Figure 1).
+
+:class:`AquaSystem` sits "atop" the relational engine exactly as the paper's
+Aqua sits atop a commercial DBMS:
+
+1. the warehouse administrator registers base tables and a space budget;
+2. Aqua precomputes sample synopses (by default congressional samples) and
+   stores them as regular relations in the engine's catalog;
+3. user SQL against the *base* table is rewritten to run against the
+   synopsis relations, with aggregate scale-up and per-group error bounds
+   (the ``sum_error`` column of Figure 2);
+4. synopses are kept up to date under inserts via the Section 6 maintainers,
+   without re-reading the base relation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.allocation import AllocationStrategy, allocate_from_table
+from ..core.congress import Congress
+from ..engine.catalog import Catalog
+from ..engine.executor import execute
+from ..engine.query import Query
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.sql import parse_query
+from ..engine.table import Table
+from ..estimators.errors import (
+    DEFAULT_CONFIDENCE,
+    chebyshev_halfwidth,
+    hoeffding_halfwidth_stratified_sum,
+)
+from ..estimators.point import estimate
+from ..sampling.groups import finest_group_ids, make_key, project_key
+from ..maintenance.base import SampleMaintainer
+from ..maintenance.onepass import maintainer_for, subsample_to_budget
+from ..rewrite.base import RewriteStrategy
+from ..rewrite.nested_integrated import NestedIntegrated
+from ..sampling.stratified import StratifiedSample
+from .synopsis import Synopsis
+
+__all__ = ["AquaSystem", "ApproximateAnswer", "AquaError", "ComparisonReport"]
+
+
+class AquaError(RuntimeError):
+    """Raised for misconfiguration: unknown tables, missing synopses, etc."""
+
+
+@dataclass
+class ApproximateAnswer:
+    """An approximate answer with its provenance.
+
+    Attributes:
+        result: the answer table; each aggregate alias ``a`` is accompanied
+            by an ``a_error`` column -- the half-width of the confidence
+            interval at ``confidence`` (Chebyshev over the stratified
+            variance estimate), mirroring Figure 4.
+        confidence: the confidence level of the error columns.
+        synopsis: the synopsis used.
+        elapsed_seconds: wall-clock execution time of the rewritten plan.
+    """
+
+    result: Table
+    confidence: float
+    synopsis: Synopsis
+    elapsed_seconds: float
+
+
+@dataclass
+class ComparisonReport:
+    """Side-by-side approximate vs. exact answer with error metrics."""
+
+    approximate: ApproximateAnswer
+    exact: Table
+    exact_elapsed_seconds: float
+    errors: Dict[str, "GroupByError"]  # per aggregate alias
+
+    @property
+    def speedup(self) -> float:
+        """Exact time over approximate time (>1 = approximation faster)."""
+        approx_time = self.approximate.elapsed_seconds
+        if approx_time <= 0:
+            return float("inf")
+        return self.exact_elapsed_seconds / approx_time
+
+    def describe(self) -> str:
+        lines = [
+            f"speedup: {self.speedup:.1f}x "
+            f"(exact {self.exact_elapsed_seconds * 1000:.1f} ms, "
+            f"approx {self.approximate.elapsed_seconds * 1000:.1f} ms)"
+        ]
+        for alias, error in self.errors.items():
+            lines.append(
+                f"{alias}: mean {error.eps_l1:.2f}%  worst {error.eps_inf:.2f}%  "
+                f"coverage {error.coverage:.0%}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _TableState:
+    table: Table
+    grouping_columns: Tuple[str, ...]
+    maintainer: Optional[SampleMaintainer] = None
+    pending_rows: List[Tuple] = field(default_factory=list)
+
+
+class AquaSystem:
+    """Approximate query answering middleware over the in-memory engine."""
+
+    def __init__(
+        self,
+        space_budget: int,
+        allocation_strategy: Optional[AllocationStrategy] = None,
+        rewrite_strategy: Optional[RewriteStrategy] = None,
+        confidence: float = DEFAULT_CONFIDENCE,
+        bound_method: str = "chebyshev",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Args:
+        space_budget: sample tuples per synopsis (the paper's ``X``).
+        allocation_strategy: defaults to :class:`Congress`.
+        rewrite_strategy: defaults to :class:`NestedIntegrated` (the
+            paper's fastest strategy across most of the measured range).
+        confidence: confidence level for error bounds (Aqua default 90%).
+        bound_method: ``"chebyshev"`` (default; uses the stratified
+            variance estimate) or ``"hoeffding"`` (distribution-free, uses
+            per-stratum value ranges precomputed from the base table --
+            applies to SUM/COUNT; AVG always falls back to Chebyshev).
+        rng: numpy generator for sampling.
+        """
+        if space_budget < 1:
+            raise AquaError(f"space budget must be >= 1, got {space_budget}")
+        if bound_method not in ("chebyshev", "hoeffding"):
+            raise AquaError(
+                f"bound_method must be chebyshev or hoeffding, "
+                f"got {bound_method!r}"
+            )
+        self.catalog = Catalog()
+        self._budget = space_budget
+        self._allocation = allocation_strategy or Congress()
+        self._rewrite = rewrite_strategy or NestedIntegrated()
+        self._confidence = confidence
+        self._bound_method = bound_method
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._tables: Dict[str, _TableState] = {}
+        self._synopses: Dict[str, Synopsis] = {}
+
+    # -- administration ------------------------------------------------------
+
+    @property
+    def space_budget(self) -> int:
+        return self._budget
+
+    def register_table(
+        self,
+        name: str,
+        table: Table,
+        grouping_columns: Optional[Sequence[str]] = None,
+        build: bool = True,
+    ) -> Optional[Synopsis]:
+        """Register a base table and (by default) build its synopsis.
+
+        Args:
+            name: table name for SQL queries.
+            table: the base relation.
+            grouping_columns: stratification columns; defaults to the
+                schema's ``grouping``-role columns.
+            build: build the synopsis now (else call :meth:`build_synopsis`).
+        """
+        if grouping_columns is None:
+            grouping_columns = table.schema.grouping_columns()
+        if not grouping_columns:
+            raise AquaError(
+                f"table {name!r} has no grouping columns; annotate the "
+                "schema roles or pass grouping_columns explicitly"
+            )
+        for column in grouping_columns:
+            table.schema.column(column)
+        self.catalog.register(name, table, replace=True)
+        self._tables[name] = _TableState(table, tuple(grouping_columns))
+        if build:
+            return self.build_synopsis(name)
+        return None
+
+    def build_synopsis(self, name: str) -> Synopsis:
+        """(Re)build the sample synopsis for a registered table."""
+        state = self._state(name)
+        allocation = allocate_from_table(
+            self._allocation, state.table, state.grouping_columns, self._budget
+        )
+        sample = StratifiedSample.build(
+            state.table,
+            state.grouping_columns,
+            allocation.rounded(),
+            rng=self._rng,
+        )
+        return self._install(name, sample)
+
+    def _install(self, name: str, sample: StratifiedSample) -> Synopsis:
+        installed = self._rewrite.install(sample, name, self.catalog, replace=True)
+        synopsis = Synopsis(
+            base_name=name,
+            grouping_columns=tuple(sample.grouping_columns),
+            allocation_strategy=getattr(self._allocation, "name", "custom"),
+            rewrite_strategy=self._rewrite.name,
+            budget=self._budget,
+            sample=sample,
+            installed=installed,
+        )
+        self._synopses[name] = synopsis
+        return synopsis
+
+    def synopsis(self, name: str) -> Synopsis:
+        try:
+            return self._synopses[name]
+        except KeyError:
+            raise AquaError(f"no synopsis built for table {name!r}") from None
+
+    def _state(self, name: str) -> _TableState:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise AquaError(f"table {name!r} is not registered") from None
+
+    # -- query answering -------------------------------------------------
+
+    def answer(self, sql: Union[str, Query]) -> ApproximateAnswer:
+        """Rewrite and execute a user query against the synopsis.
+
+        The query must aggregate over a single registered base table.  The
+        result carries an ``<alias>_error`` column per SUM/COUNT/AVG
+        aggregate: the Chebyshev half-width at the configured confidence.
+        """
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        base_name = query.base_table_name()
+        synopsis = self.synopsis(base_name)
+
+        start = time.perf_counter()
+        plan = self._rewrite.plan(query, synopsis.installed)
+        result = plan.execute(self.catalog)
+        elapsed = time.perf_counter() - start
+
+        result = self._attach_error_bounds(query, synopsis, result)
+        return ApproximateAnswer(
+            result=result,
+            confidence=self._confidence,
+            synopsis=synopsis,
+            elapsed_seconds=elapsed,
+        )
+
+    def compare(self, sql: Union[str, Query]) -> "ComparisonReport":
+        """Answer approximately *and* exactly, and score the difference.
+
+        Intended for calibration sessions: the administrator samples a few
+        representative queries to decide whether the space budget is
+        adequate (the paper's Section 7 protocol, as an API).
+        """
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        answer = self.answer(query)
+        start = time.perf_counter()
+        exact = self.exact(query)
+        exact_elapsed = time.perf_counter() - start
+
+        from ..metrics.groupby_error import GroupByError, groupby_error
+
+        per_aggregate: Dict[str, GroupByError] = {}
+        key_columns = list(query.group_by)
+        for aggregate in query.aggregates():
+            per_aggregate[aggregate.alias] = groupby_error(
+                exact, answer.result, key_columns, aggregate.alias
+            )
+        return ComparisonReport(
+            approximate=answer,
+            exact=exact,
+            exact_elapsed_seconds=exact_elapsed,
+            errors=per_aggregate,
+        )
+
+    def explain(self, sql: Union[str, Query]) -> str:
+        """Show the rewritten plan (the paper's Figure 2/8-11 view)."""
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        synopsis = self.synopsis(query.base_table_name())
+        plan = self._rewrite.plan(query, synopsis.installed)
+        return plan.describe()
+
+    def exact(self, sql: Union[str, Query]) -> Table:
+        """Execute the query against the base relation (ground truth)."""
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        self._flush_pending(query.base_table_name())
+        return execute(query, self.catalog)
+
+    def _attach_error_bounds(
+        self, query: Query, synopsis: Synopsis, result: Table
+    ) -> Table:
+        group_by = list(query.group_by)
+        key_arrays = [result.column(name) for name in group_by]
+        for aggregate in query.aggregates():
+            if aggregate.func not in ("sum", "count", "avg"):
+                continue
+            use_hoeffding = (
+                self._bound_method == "hoeffding"
+                and aggregate.func in ("sum", "count")
+                and set(group_by) <= set(synopsis.grouping_columns)
+            )
+            if use_hoeffding:
+                hoeffding = self._hoeffding_halfwidths(
+                    query, synopsis, aggregate, group_by
+                )
+            estimates = (
+                None
+                if use_hoeffding
+                else estimate(
+                    synopsis.sample,
+                    aggregate.func,
+                    None if aggregate.func == "count" else aggregate.expr,
+                    predicate=query.where,
+                    group_by=group_by,
+                )
+            )
+            halfwidths = np.full(result.num_rows, np.nan)
+            for i in range(result.num_rows):
+                key = tuple(
+                    arr[i].item() if hasattr(arr[i], "item") else arr[i]
+                    for arr in key_arrays
+                )
+                if use_hoeffding:
+                    halfwidths[i] = hoeffding.get(key, np.nan)
+                else:
+                    group_estimate = estimates.get(key)
+                    if (
+                        group_estimate is not None
+                        and group_estimate.variance >= 0
+                    ):
+                        halfwidths[i] = chebyshev_halfwidth(
+                            group_estimate.std_error, self._confidence
+                        )
+            result = result.with_column(
+                Column(f"{aggregate.alias}_error", ColumnType.FLOAT), halfwidths
+            )
+        return result
+
+    def _hoeffding_halfwidths(
+        self, query: Query, synopsis: Synopsis, aggregate, group_by
+    ) -> Dict[Tuple, float]:
+        """Per-answer-group Hoeffding half-widths for a SUM/COUNT estimate.
+
+        Uses exact per-stratum value ranges computed from the base table
+        (Aqua precomputes such hints with the synopsis).  Ranges are
+        zero-extended because the WHERE predicate zeroes out non-qualifying
+        tuples in the estimator.
+        """
+        state = self._state(synopsis.base_name)
+        base = state.table
+        if aggregate.func == "count":
+            values = np.ones(base.num_rows)
+        else:
+            values = np.asarray(
+                aggregate.expr.evaluate(base), dtype=np.float64
+            )
+        ids, keys = finest_group_ids(base, synopsis.grouping_columns)
+        num = len(keys)
+        from ..engine.aggregates import grouped_reduce
+
+        lows = np.minimum(grouped_reduce("min", values, ids, num), 0.0)
+        highs = np.maximum(grouped_reduce("max", values, ids, num), 0.0)
+        ranges = highs - lows
+
+        # Collect strata per answer group.
+        per_answer: Dict[Tuple, List[int]] = {}
+        for stratum_index, key in enumerate(keys):
+            answer = project_key(
+                key, synopsis.grouping_columns, group_by
+            )
+            per_answer.setdefault(answer, []).append(stratum_index)
+
+        sample = synopsis.sample
+        out: Dict[Tuple, float] = {}
+        for answer, stratum_indices in per_answer.items():
+            r, n, m = [], [], []
+            for index in stratum_indices:
+                stratum = sample.strata.get(keys[index])
+                if stratum is None or stratum.sample_size == 0:
+                    continue
+                r.append(float(ranges[index]))
+                n.append(float(stratum.population))
+                m.append(int(stratum.sample_size))
+            if m:
+                out[answer] = hoeffding_halfwidth_stratified_sum(
+                    r, n, m, self._confidence
+                )
+        return out
+
+    # -- incremental maintenance -------------------------------------------
+
+    def enable_maintenance(self, name: str) -> None:
+        """Switch a table's synopsis to streaming maintenance (Section 6).
+
+        The existing base rows are streamed through the strategy's
+        maintainer once; subsequent :meth:`insert` calls update the
+        maintainer at O(1)-ish cost without touching the base relation.
+        """
+        state = self._state(name)
+        strategy_name = getattr(self._allocation, "name", "congress")
+        maintainer = maintainer_for(
+            strategy_name,
+            state.table.schema,
+            state.grouping_columns,
+            self._budget,
+            self._rng,
+        )
+        maintainer.insert_table(state.table)
+        state.maintainer = maintainer
+
+    def insert(self, name: str, row: Sequence) -> None:
+        """Insert one tuple into a table (buffered) and its maintainer."""
+        state = self._state(name)
+        state.pending_rows.append(tuple(row))
+        if state.maintainer is not None:
+            state.maintainer.insert(row)
+
+    def insert_many(self, name: str, rows: Sequence[Sequence]) -> None:
+        for row in rows:
+            self.insert(name, row)
+
+    def refresh_synopsis(self, name: str) -> Synopsis:
+        """Re-materialize the synopsis from the maintainer's current state."""
+        state = self._state(name)
+        if state.maintainer is None:
+            # No maintainer: fall back to a full rebuild from base data.
+            self._flush_pending(name)
+            return self.build_synopsis(name)
+        maintained = state.maintainer.snapshot()
+        maintained = subsample_to_budget(maintained, self._budget, self._rng)
+        return self._install(name, maintained.to_stratified())
+
+    def _flush_pending(self, name: str) -> None:
+        state = self._tables.get(name)
+        if state is None or not state.pending_rows:
+            return
+        appended = Table.from_rows(state.table.schema, state.pending_rows)
+        state.table = state.table.concat(appended)
+        state.pending_rows.clear()
+        self.catalog.register(name, state.table, replace=True)

@@ -1,0 +1,134 @@
+"""Mining group preferences from a query workload.
+
+Section 4.7 assumes relative preferences ``r_h`` "whenever they can be
+determined", and the paper's Aqua section notes that "work is also in
+progress to automatically extract this information from a query workload".
+This module implements that extraction:
+
+* every answered query is recorded in a :class:`QueryLog`;
+* grouping frequencies (how often each subset ``T ⊆ G`` is grouped by) and
+  slice frequencies (how often WHERE pins a grouping column to a value)
+  are tallied;
+* :meth:`QueryLog.to_preferences` converts the tallies into the
+  :class:`~repro.core.workload.GroupPreferences` consumed by
+  ``WorkloadCongress`` -- groupings the analysts actually use get more of
+  the budget, and frequently-sliced group values get a per-group boost.
+
+Laplace smoothing keeps never-seen groupings from being starved entirely
+(they still deserve the congressional guarantee, just less of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.workload import GroupPreferences
+from ..engine.expressions import Col, Lit
+from ..engine.predicates import And, Comparison, Predicate
+from ..engine.query import Query
+from ..engine.sql import parse_query
+from ..sampling.groups import all_groupings
+
+__all__ = ["QueryLog"]
+
+
+def _equality_slices(predicate: Optional[Predicate]) -> List[Tuple[str, object]]:
+    """Extract ``column = literal`` conjuncts from a WHERE predicate."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return _equality_slices(predicate.left) + _equality_slices(
+            predicate.right
+        )
+    if isinstance(predicate, Comparison) and predicate.op == "=":
+        left, right = predicate.left, predicate.right
+        if isinstance(left, Col) and isinstance(right, Lit):
+            return [(left.name, right.value)]
+        if isinstance(right, Col) and isinstance(left, Lit):
+            return [(right.name, left.value)]
+    return []
+
+
+@dataclass
+class QueryLog:
+    """Accumulates queries over one base table and derives preferences."""
+
+    base_table: str
+    grouping_columns: Tuple[str, ...]
+    _grouping_counts: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    _slice_counts: Dict[Tuple[str, object], int] = field(default_factory=dict)
+    _total: int = 0
+
+    def record(self, query: Union[str, Query]) -> None:
+        """Record one user query (SQL text or parsed).
+
+        Queries over other tables are ignored; grouping columns outside the
+        stratification set are ignored (Congress cannot help them).
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.base_table_name() != self.base_table:
+            return
+        grouping = tuple(
+            name for name in parsed.group_by if name in self.grouping_columns
+        )
+        self._grouping_counts[grouping] = (
+            self._grouping_counts.get(grouping, 0) + 1
+        )
+        for column, value in _equality_slices(parsed.where):
+            if column in self.grouping_columns:
+                key = (column, value)
+                self._slice_counts[key] = self._slice_counts.get(key, 0) + 1
+        self._total += 1
+
+    @property
+    def total_queries(self) -> int:
+        return self._total
+
+    def grouping_frequencies(self) -> Dict[Tuple[str, ...], float]:
+        """Observed fraction of queries per grouping (unsmoothed)."""
+        if self._total == 0:
+            return {}
+        return {
+            grouping: count / self._total
+            for grouping, count in self._grouping_counts.items()
+        }
+
+    def slice_frequencies(self) -> Dict[Tuple[str, object], float]:
+        """Observed fraction of queries slicing each (column, value)."""
+        if self._total == 0:
+            return {}
+        return {
+            key: count / self._total
+            for key, count in self._slice_counts.items()
+        }
+
+    def to_preferences(self, smoothing: float = 1.0) -> GroupPreferences:
+        """Convert the log into Section 4.7 preference weights.
+
+        Each grouping ``T`` receives a multiplicative boost proportional to
+        ``(count_T + smoothing)`` -- Laplace smoothing so unseen groupings
+        keep a floor share.  Each sliced group value additionally gets a
+        per-group weight boost proportional to how often analysts pin it.
+        """
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        preferences = GroupPreferences()
+        groupings = all_groupings(self.grouping_columns)
+        denominator = self._total + smoothing * len(groupings)
+        if denominator <= 0:
+            return preferences
+        for grouping in groupings:
+            count = self._grouping_counts.get(tuple(grouping), 0)
+            weight = (count + smoothing) / denominator
+            # Normalize so an all-uniform workload yields boost 1 for all.
+            preferences.set_grouping_weight(
+                grouping, weight * len(groupings)
+            )
+        # Per-group boosts from slices: a value pinned in fraction p of the
+        # queries gets a (1 + p) boost relative to its grouping's default
+        # share (set_boost keeps this independent of m_T).
+        for (column, value), count in self._slice_counts.items():
+            fraction = count / max(self._total, 1)
+            preferences.set_boost((column,), (value,), 1.0 + fraction)
+        return preferences

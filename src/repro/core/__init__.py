@@ -1,0 +1,64 @@
+"""The paper's primary contribution: sample allocation strategies.
+
+``House`` (uniform), ``Senate`` (equal per group), ``BasicCongress``
+(max of the two, rescaled), ``Congress`` (max over all groupings,
+Equations 4-6), plus the workload-weighted (Section 4.7) and multi-criteria
+(Section 8) generalizations.
+"""
+
+from .analysis import GroupingGuarantee, GuaranteeReport, guarantee_report
+from .allocation import (
+    Allocation,
+    AllocationStrategy,
+    allocate_from_table,
+    build_sample,
+)
+from .basic_congress import BasicCongress
+from .congress import Congress, congress_share_table
+from .house import House
+from .multicriteria import (
+    Criterion,
+    GroupingCriterion,
+    MultiCriteriaCongress,
+    RangeBiasCriterion,
+    VarianceCriterion,
+    WeightVector,
+)
+from .scaledown import (
+    pathological_counts,
+    pathological_factor_bound,
+    scale_down_factor,
+    scale_down_lower_bound,
+    uniform_cross_product_counts,
+)
+from .senate import Senate, senate_share
+from .workload import GroupPreferences, WorkloadCongress
+
+__all__ = [
+    "Allocation",
+    "AllocationStrategy",
+    "BasicCongress",
+    "Congress",
+    "Criterion",
+    "GroupPreferences",
+    "GroupingCriterion",
+    "GroupingGuarantee",
+    "GuaranteeReport",
+    "House",
+    "MultiCriteriaCongress",
+    "RangeBiasCriterion",
+    "Senate",
+    "VarianceCriterion",
+    "WeightVector",
+    "WorkloadCongress",
+    "allocate_from_table",
+    "build_sample",
+    "congress_share_table",
+    "guarantee_report",
+    "pathological_counts",
+    "pathological_factor_bound",
+    "scale_down_factor",
+    "scale_down_lower_bound",
+    "senate_share",
+    "uniform_cross_product_counts",
+]

@@ -1,0 +1,134 @@
+"""Allocation quality analysis: the congressional guarantee, quantified.
+
+Section 4's objective is to maximize ``α`` -- the minimum *expected number
+of sample tuples satisfying a predicate* over all answer groups (Eq. 3).
+For a fixed grouping ``T`` the S1-optimal design samples each group ``h``
+uniformly at rate ``(X / m_T) / n_h``; a predicate of selectivity ``q``
+within ``h`` then catches ``q * X / m_T`` sample tuples in expectation.
+
+A *biased* allocation samples each finest subgroup ``g ⊆ h`` at its own
+rate ``r_g``.  An adversarial predicate concentrates on the lowest-rate
+subgroup, so the worst-case expected catch (as ``q -> 0``) is governed by
+``min_{g ⊆ h} r_g``.  We therefore score each (grouping, group) pair by::
+
+    ratio(T, h) = min_{g ⊆ h} r_g  /  min(1, (X / m_T) / n_h)
+
+-- the fraction of the S1-optimal worst-case catch the allocation actually
+guarantees (the optimal rate is capped at 1: nobody can sample more than
+everything).
+
+This reproduces the paper's qualitative story *numerically*:
+
+* Congress's overall worst ratio is >= its scale-down factor ``f``
+  (Equation 5 guarantees ``r_g >= f * (X/m_T)/n_h`` for every ``T``);
+* House collapses on small groups at fine groupings;
+* Senate collapses on large groups at coarse groupings (its big-group
+  rate is far below the uniform rate the no-group-by query wants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..sampling.groups import GroupKey, all_groupings, project_key
+from .allocation import Allocation
+
+__all__ = ["GroupingGuarantee", "GuaranteeReport", "guarantee_report"]
+
+
+@dataclass(frozen=True)
+class GroupingGuarantee:
+    """Worst-case-predicate guarantee for one grouping ``T``."""
+
+    grouping: Tuple[str, ...]
+    num_groups: int
+    worst_group: GroupKey
+    optimal_rate: float   # min(1, (X/m_T) / n_h) for the worst group
+    achieved_rate: float  # min subgroup sampling rate within that group
+    worst_ratio: float    # achieved / optimal
+
+    def describe(self) -> str:
+        label = ",".join(self.grouping) or "(none)"
+        return (
+            f"T={label:24s} m_T={self.num_groups:6d} "
+            f"optimal_rate={self.optimal_rate:8.5f} "
+            f"achieved={self.achieved_rate:8.5f} "
+            f"ratio={self.worst_ratio:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class GuaranteeReport:
+    """Per-grouping guarantees plus the overall minimum."""
+
+    strategy: str
+    per_grouping: Tuple[GroupingGuarantee, ...]
+
+    @property
+    def worst_ratio(self) -> float:
+        """The allocation's effective guarantee over all groupings."""
+        if not self.per_grouping:
+            return 1.0
+        return min(g.worst_ratio for g in self.per_grouping)
+
+    def describe(self) -> str:
+        lines = [f"guarantee report for {self.strategy}:"]
+        lines.extend(g.describe() for g in self.per_grouping)
+        lines.append(f"overall worst ratio: {self.worst_ratio:.3f}")
+        return "\n".join(lines)
+
+
+def guarantee_report(allocation: Allocation) -> GuaranteeReport:
+    """Score an allocation's worst-case-predicate guarantee per grouping."""
+    counts = allocation.populations
+    grouping_columns = allocation.grouping_columns
+    budget = allocation.budget
+
+    # Per-finest-group sampling rates (capped at 1 -- the materialized
+    # sample cannot take more than the population).
+    rates: Dict[GroupKey, float] = {
+        key: min(1.0, allocation.fractional.get(key, 0.0) / counts[key])
+        for key in counts
+    }
+
+    guarantees = []
+    for target in all_groupings(grouping_columns):
+        group_pops: Dict[GroupKey, int] = {}
+        group_min_rate: Dict[GroupKey, float] = {}
+        for key, population in counts.items():
+            coarse = project_key(key, grouping_columns, target)
+            group_pops[coarse] = group_pops.get(coarse, 0) + population
+            rate = rates[key]
+            if coarse not in group_min_rate or rate < group_min_rate[coarse]:
+                group_min_rate[coarse] = rate
+        m_t = len(group_pops)
+
+        worst_key: GroupKey = ()
+        worst_ratio = float("inf")
+        worst_optimal = 0.0
+        worst_achieved = 0.0
+        for coarse, population in group_pops.items():
+            optimal_rate = min(1.0, (budget / m_t) / population)
+            if optimal_rate <= 0:
+                continue
+            achieved = group_min_rate[coarse]
+            ratio = min(achieved / optimal_rate, 1.0)
+            if ratio < worst_ratio:
+                worst_ratio = ratio
+                worst_key = coarse
+                worst_optimal = optimal_rate
+                worst_achieved = achieved
+        guarantees.append(
+            GroupingGuarantee(
+                grouping=tuple(target),
+                num_groups=m_t,
+                worst_group=worst_key,
+                optimal_rate=worst_optimal,
+                achieved_rate=worst_achieved,
+                worst_ratio=worst_ratio if worst_ratio != float("inf") else 1.0,
+            )
+        )
+    return GuaranteeReport(
+        strategy=allocation.strategy, per_grouping=tuple(guarantees)
+    )

@@ -1,0 +1,228 @@
+"""The multi-criteria weight-vector framework of Section 8.
+
+Figure 19 of the paper shows the generalization of the Figure 5 allocation
+table: each *criterion* contributes a **weight vector** -- one non-negative
+weight per finest group -- describing how that criterion would like the
+budget split.  The final allocation takes the per-group maximum across all
+weight vectors and scales down to the budget, exactly as Congress does with
+its per-grouping ``s_{g,T}`` columns.
+
+Provided criteria:
+
+* :class:`GroupingCriterion` -- wraps one grouping ``T`` (the columns of
+  Figure 5); House is ``GroupingCriterion(())``, Senate on ``G`` is
+  ``GroupingCriterion(G)``.
+* :class:`VarianceCriterion` -- allocates proportionally to per-group
+  ``n_g * S_g`` (population times standard deviation of an aggregate
+  column), the Neyman-style refinement the paper sketches ("the use of the
+  variance of values within the group can be expected to further improve
+  the sample accuracy").
+* :class:`RangeBiasCriterion` -- the "recent data matters more" extension:
+  weights groups by a user function of a (typically temporal) column's group
+  value, e.g. exponential decay with age.
+
+All criteria emit plain weight vectors, so applications can add their own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.table import Table
+from ..sampling.groups import (
+    GroupKey,
+    finest_group_ids,
+    project_key,
+    projected_counts,
+)
+from .allocation import Allocation, _validate
+from .senate import senate_share
+
+__all__ = [
+    "WeightVector",
+    "Criterion",
+    "GroupingCriterion",
+    "VarianceCriterion",
+    "RangeBiasCriterion",
+    "MultiCriteriaCongress",
+]
+
+# A weight vector assigns each finest group a non-negative share of the
+# budget; shares are normalized internally so only ratios matter.
+WeightVector = Dict[GroupKey, float]
+
+
+class Criterion:
+    """Base: produce a weight vector for the finest groups."""
+
+    name = "criterion"
+
+    def weight_vector(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> WeightVector:
+        raise NotImplementedError
+
+
+class GroupingCriterion(Criterion):
+    """The S1 share of one grouping ``T`` -- a column of Figure 5."""
+
+    def __init__(self, target: Sequence[str]):
+        self._target = tuple(target)
+        self.name = "grouping[" + (",".join(self._target) or "-") + "]"
+
+    def weight_vector(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> WeightVector:
+        return senate_share(counts, grouping_columns, self._target, budget)
+
+
+class VarianceCriterion(Criterion):
+    """Allocate ∝ ``n_g * S_g`` (Neyman allocation) for an aggregate column.
+
+    Groups with higher within-group variance receive more space; uniform
+    groups need less (the paper's example of two same-size groups with very
+    different spreads).  Requires the base table to compute ``S_g``.
+    """
+
+    def __init__(self, table: Table, aggregate_column: str):
+        self._table = table
+        self._column = aggregate_column
+        self.name = f"variance[{aggregate_column}]"
+
+    def weight_vector(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> WeightVector:
+        ids, keys = finest_group_ids(self._table, grouping_columns)
+        values = np.asarray(self._table.column(self._column), dtype=np.float64)
+        num_groups = len(keys)
+        count = np.bincount(ids, minlength=num_groups).astype(np.float64)
+        sums = np.bincount(ids, weights=values, minlength=num_groups)
+        sumsq = np.bincount(ids, weights=values * values, minlength=num_groups)
+        means = np.where(count > 0, sums / np.maximum(count, 1.0), 0.0)
+        variance = np.zeros(num_groups)
+        multi = count > 1
+        variance[multi] = np.maximum(
+            sumsq[multi] - count[multi] * means[multi] ** 2, 0.0
+        ) / (count[multi] - 1.0)
+        stddev = np.sqrt(variance)
+        neyman = count * stddev
+        total = float(neyman.sum())
+        if total <= 0:
+            # Degenerate: all groups constant; fall back to uniform shares.
+            return {key: budget / num_groups for key in keys}
+        vector: WeightVector = {}
+        for gid, key in enumerate(keys):
+            if key not in counts:
+                continue
+            vector[key] = budget * float(neyman[gid]) / total
+        # Groups present in counts but absent from the table get no weight
+        # from this criterion (another criterion must cover them).
+        for key in counts:
+            vector.setdefault(key, 0.0)
+        return vector
+
+
+class RangeBiasCriterion(Criterion):
+    """Weight groups by a function of one grouping column's value.
+
+    The Section 8 "recency" example: replace grouping values by ranges and
+    weight recent ranges higher.  ``weight_fn`` maps the group's value of
+    ``column`` to a non-negative weight; within equal-weight groups space is
+    proportional to population.
+    """
+
+    def __init__(self, column: str, weight_fn: Callable[[object], float]):
+        self._column = column
+        self._weight_fn = weight_fn
+        self.name = f"range_bias[{column}]"
+
+    def weight_vector(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> WeightVector:
+        if self._column not in grouping_columns:
+            raise ValueError(
+                f"{self._column!r} is not a grouping column "
+                f"({list(grouping_columns)})"
+            )
+        raw: Dict[GroupKey, float] = {}
+        for key, n_g in counts.items():
+            (value,) = project_key(key, grouping_columns, [self._column])
+            weight = float(self._weight_fn(value))
+            if weight < 0:
+                raise ValueError(
+                    f"weight_fn returned negative weight {weight} for {value!r}"
+                )
+            raw[key] = weight * n_g
+        total = sum(raw.values())
+        if total <= 0:
+            return {key: 0.0 for key in counts}
+        return {key: budget * value / total for key, value in raw.items()}
+
+
+class MultiCriteriaCongress:
+    """Max over arbitrary weight vectors, rescaled to the budget.
+
+    This is the Figure 19 framework: Congress itself is the special case
+    whose criteria are ``GroupingCriterion(T)`` for all ``T ⊆ G``.
+    """
+
+    def __init__(self, criteria: Sequence[Criterion]):
+        if not criteria:
+            raise ValueError("at least one criterion is required")
+        self._criteria = list(criteria)
+
+    @property
+    def name(self) -> str:
+        return "multi[" + ";".join(c.name for c in self._criteria) + "]"
+
+    def weight_table(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> Dict[str, WeightVector]:
+        """All weight vectors, keyed by criterion name (Figure 19's columns)."""
+        return {
+            criterion.name: criterion.weight_vector(
+                counts, grouping_columns, budget
+            )
+            for criterion in self._criteria
+        }
+
+    def allocate(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> Allocation:
+        _validate(counts, budget)
+        table = self.weight_table(counts, grouping_columns, budget)
+        pre_scaling = {
+            key: max(vector.get(key, 0.0) for vector in table.values())
+            for key in counts
+        }
+        total = sum(pre_scaling.values())
+        factor = budget / total if total > 0 else 0.0
+        fractional = {key: value * factor for key, value in pre_scaling.items()}
+        return Allocation(
+            strategy=self.name,
+            grouping_columns=tuple(grouping_columns),
+            budget=budget,
+            fractional=fractional,
+            populations=dict(counts),
+            pre_scaling=pre_scaling,
+        )

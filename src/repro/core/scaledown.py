@@ -1,0 +1,91 @@
+"""Scale-down factor analysis (Section 4.6).
+
+The Congress scale-down factor ``f`` (Equation 6) satisfies
+``2^-|G| < f <= 1``:
+
+* ``f = 1`` when tuples are uniformly distributed across the full cross
+  product of grouping values (every grouping's S1 share coincides).
+* ``f -> 2^-|G|`` under the paper's pathological distribution (Equation 7),
+  in which for every grouping ``T`` the groups avoiding value 1 are utterly
+  dominated by the single subgroup whose remaining attributes all equal 1.
+
+This module builds that pathological distribution and computes ``f``
+analytically from counts, so the bound can be checked empirically
+(``benchmarks/bench_scaledown.py`` sweeps ``n`` and ``m``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..sampling.groups import GroupKey
+from .congress import Congress
+
+__all__ = [
+    "pathological_counts",
+    "scale_down_factor",
+    "scale_down_lower_bound",
+    "uniform_cross_product_counts",
+]
+
+
+def pathological_counts(n: int, m: int) -> Dict[GroupKey, int]:
+    """The Equation 7 distribution on ``n`` attributes with domain size ``m``.
+
+    ``|(v_1, ..., v_n)| = (2m)^(2n * alpha)`` where ``alpha`` counts the
+    attributes equal to 1.  All ``m^n`` groups are non-empty.
+
+    Counts grow as ``(2m)^(2n^2)``; Python integers handle this exactly, but
+    keep ``n`` and ``m`` small (the bound already shows at n=2, m=4).
+    """
+    if n < 1 or m < 2:
+        raise ValueError(f"need n >= 1 and m >= 2, got n={n} m={m}")
+    base = 2 * m
+    counts: Dict[GroupKey, int] = {}
+    for values in product(range(1, m + 1), repeat=n):
+        alpha = sum(1 for v in values if v == 1)
+        counts[values] = base ** (2 * n * alpha)
+    return counts
+
+
+def uniform_cross_product_counts(
+    domain_sizes: Sequence[int], per_group: int = 100
+) -> Dict[GroupKey, int]:
+    """Every cross-product group has the same count -> ``f = 1``."""
+    if any(size < 1 for size in domain_sizes):
+        raise ValueError(f"domain sizes must be >= 1: {list(domain_sizes)}")
+    counts: Dict[GroupKey, int] = {}
+    for values in product(*(range(size) for size in domain_sizes)):
+        counts[values] = per_group
+    return counts
+
+
+def scale_down_factor(
+    counts: Mapping[GroupKey, int],
+    grouping_columns: Sequence[str],
+    budget: float = 1.0,
+) -> float:
+    """Compute Congress's ``f`` (Equation 6) for the given distribution.
+
+    ``f`` is budget-invariant (both numerator and denominator scale with X),
+    so the default budget of 1.0 is fine.
+    """
+    allocation = Congress().allocate(counts, grouping_columns, budget)
+    return allocation.scale_down_factor
+
+
+def scale_down_lower_bound(num_grouping_columns: int) -> float:
+    """The asymptotic worst case ``2^-|G|``."""
+    if num_grouping_columns < 0:
+        raise ValueError("number of grouping columns must be >= 0")
+    return 2.0 ** (-num_grouping_columns)
+
+
+def pathological_factor_bound(n: int, m: int) -> float:
+    """The paper's closed-form bound for the pathological distribution.
+
+    ``f < (1 + (2m)^-n) * (2 - 1/m)^-n`` -- approaches ``2^-n`` as
+    ``m -> ∞``.
+    """
+    return (1.0 + (2 * m) ** (-n)) * (2.0 - 1.0 / m) ** (-n)

@@ -1,0 +1,138 @@
+"""Workload-adaptive allocation (Section 4.7).
+
+When relative preferences between groupings and/or between groups are known
+(e.g. mined from a query log), each group ``h`` under each grouping ``T``
+carries a preference weight ``r_h``, and the per-finest-group target becomes::
+
+    SampleSize(g) = max_{h in T ⊆ G : g subgroup of h}  X * r_h * n_g / n_h
+
+scaled down so the total is ``X``.  With all ``r_h = 1/m_T`` this reduces to
+plain Congress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..sampling.groups import GroupKey, all_groupings, project_key, projected_counts
+from .allocation import Allocation, _validate
+
+__all__ = ["GroupPreferences", "WorkloadCongress"]
+
+
+class GroupPreferences:
+    """Relative preference weights ``r_h`` per (grouping, group).
+
+    Weights within a grouping need not sum to one; they are relative shares
+    of the budget for that grouping.  Unspecified groups default to a
+    uniform ``1/m_T`` share (i.e. plain Senate treatment).
+    """
+
+    def __init__(self) -> None:
+        self._weights: Dict[Tuple[Tuple[str, ...], GroupKey], float] = {}
+        self._boosts: Dict[Tuple[Tuple[str, ...], GroupKey], float] = {}
+        self._groupings: Dict[Tuple[str, ...], bool] = {}
+
+    def set(
+        self, grouping: Sequence[str], group: GroupKey, weight: float
+    ) -> "GroupPreferences":
+        """Set the preference weight for ``group`` under ``grouping``."""
+        if weight < 0:
+            raise ValueError(f"preference weight must be >= 0, got {weight}")
+        key = (tuple(grouping), tuple(group))
+        self._weights[key] = float(weight)
+        self._groupings[tuple(grouping)] = True
+        return self
+
+    def set_grouping_weight(
+        self, grouping: Sequence[str], weight: float
+    ) -> "GroupPreferences":
+        """Boost every group of ``grouping`` by the same factor.
+
+        Recorded as a marker; applied multiplicatively during allocation.
+        """
+        if weight < 0:
+            raise ValueError(f"grouping weight must be >= 0, got {weight}")
+        self._weights[(tuple(grouping), ("*",))] = float(weight)
+        self._groupings[tuple(grouping)] = True
+        return self
+
+    def set_boost(
+        self, grouping: Sequence[str], group: GroupKey, factor: float
+    ) -> "GroupPreferences":
+        """Boost one group *relative to its default share*.
+
+        Unlike :meth:`set`, which fixes the absolute weight ``r_h``, a
+        boost multiplies whatever the group's weight would otherwise be
+        (the uniform ``1/m_T`` unless :meth:`set` overrode it).  This is
+        the natural shape for workload mining, where we know "this group is
+        pinned 2x as often" without knowing ``m_T`` up front.
+        """
+        if factor < 0:
+            raise ValueError(f"boost factor must be >= 0, got {factor}")
+        key = (tuple(grouping), tuple(group))
+        self._boosts[key] = self._boosts.get(key, 1.0) * float(factor)
+        self._groupings[tuple(grouping)] = True
+        return self
+
+    def weight(
+        self, grouping: Tuple[str, ...], group: GroupKey, default: float
+    ) -> float:
+        base = self._weights.get((grouping, tuple(group)), default)
+        boost = self._weights.get((grouping, ("*",)), 1.0)
+        boost *= self._boosts.get((grouping, tuple(group)), 1.0)
+        return base * boost
+
+    def touched_groupings(self) -> Sequence[Tuple[str, ...]]:
+        return list(self._groupings)
+
+
+class WorkloadCongress:
+    """Congress with per-group preference weights (Section 4.7)."""
+
+    def __init__(
+        self,
+        preferences: GroupPreferences,
+        groupings: Optional[Sequence[Sequence[str]]] = None,
+    ):
+        self._preferences = preferences
+        self._groupings = (
+            [tuple(t) for t in groupings] if groupings is not None else None
+        )
+
+    name = "workload_congress"
+
+    def allocate(
+        self,
+        counts: Mapping[GroupKey, int],
+        grouping_columns: Sequence[str],
+        budget: float,
+    ) -> Allocation:
+        _validate(counts, budget)
+        groupings = (
+            self._groupings
+            if self._groupings is not None
+            else all_groupings(grouping_columns)
+        )
+        pre_scaling: Dict[GroupKey, float] = {key: 0.0 for key in counts}
+        for target in groupings:
+            by_group = projected_counts(counts, grouping_columns, target)
+            m_t = len(by_group)
+            default_weight = 1.0 / m_t
+            for key, n_g in counts.items():
+                h = project_key(key, grouping_columns, target)
+                r_h = self._preferences.weight(tuple(target), h, default_weight)
+                share = budget * r_h * n_g / by_group[h]
+                if share > pre_scaling[key]:
+                    pre_scaling[key] = share
+        total = sum(pre_scaling.values())
+        factor = budget / total if total > 0 else 0.0
+        fractional = {key: value * factor for key, value in pre_scaling.items()}
+        return Allocation(
+            strategy=self.name,
+            grouping_columns=tuple(grouping_columns),
+            budget=budget,
+            fractional=fractional,
+            populations=dict(counts),
+            pre_scaling=pre_scaling,
+        )

@@ -1,0 +1,139 @@
+"""Aggregate function specifications and vectorized grouped reduction.
+
+Supported aggregates: COUNT, SUM, AVG, MIN, MAX, VAR (population variance with
+``ddof=1``, matching the ``S`` of Eq. 2 in the paper).  Reduction is performed
+per group id using ``np.bincount`` for the additive aggregates and
+sort-partition for MIN/MAX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .expressions import Expression, Lit
+from .table import Table
+
+__all__ = ["AggregateFunction", "Aggregate", "grouped_reduce"]
+
+
+_SUPPORTED = ("count", "sum", "avg", "min", "max", "var")
+
+
+class AggregateFunction:
+    """Enumeration-lite of aggregate function names with validation."""
+
+    def __init__(self, name: str):
+        lowered = name.lower()
+        if lowered not in _SUPPORTED:
+            raise ValueError(
+                f"unsupported aggregate {name!r}; supported: {_SUPPORTED}"
+            )
+        self.name = lowered
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AggregateFunction):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other.lower()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"AggregateFunction({self.name})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate in a select list: ``func(expr) AS alias``.
+
+    ``COUNT(*)`` is modelled with ``expr = Lit(1)``.
+    """
+
+    func: str
+    expr: Expression
+    alias: str
+
+    def __post_init__(self) -> None:
+        AggregateFunction(self.func)
+
+    @classmethod
+    def count_star(cls, alias: str = "count") -> "Aggregate":
+        return cls("count", Lit(1), alias)
+
+    def evaluate_input(self, table: Table) -> np.ndarray:
+        """Evaluate the aggregate's input expression over ``table``."""
+        return self.expr.evaluate(table)
+
+
+def grouped_reduce(
+    func: str,
+    values: np.ndarray,
+    group_ids: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Reduce ``values`` per group.
+
+    Args:
+        func: one of count/sum/avg/min/max/var.
+        values: per-row input values (ignored for count).
+        group_ids: int array mapping each row to ``[0, num_groups)``.
+        num_groups: number of groups.
+
+    Returns:
+        Array of length ``num_groups`` with the per-group aggregate.  Groups
+        with no rows receive 0 for COUNT/SUM, NaN for AVG/MIN/MAX/VAR.
+    """
+    func = AggregateFunction(func).name
+    if num_groups == 0:
+        return np.empty(0, dtype=np.float64)
+
+    counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+
+    if func == "count":
+        return counts
+
+    values = np.asarray(values, dtype=np.float64)
+
+    if func == "sum":
+        return np.bincount(group_ids, weights=values, minlength=num_groups)
+
+    if func == "avg":
+        sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 0, sums / counts, np.nan)
+
+    if func == "var":
+        sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+        sumsq = np.bincount(
+            group_ids, weights=values * values, minlength=num_groups
+        )
+        out = np.full(num_groups, np.nan)
+        multi = counts > 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # Unbiased sample variance: (sum(x^2) - n*mean^2) / (n - 1).
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            numer = sumsq - counts * means * means
+            out[multi] = np.maximum(numer[multi], 0.0) / (counts[multi] - 1.0)
+        out[counts == 1] = 0.0
+        return out
+
+    # MIN / MAX via sort-partition: sort rows by group id, then reduce
+    # contiguous runs with np.minimum/maximum.reduceat.
+    out = np.full(num_groups, np.nan)
+    if len(values) == 0:
+        return out
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    sorted_values = values[order]
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    run_groups = sorted_ids[run_starts]
+    reducer = np.minimum if func == "min" else np.maximum
+    out[run_groups] = reducer.reduceat(sorted_values, run_starts)
+    return out

@@ -1,0 +1,84 @@
+"""Date literal parsing for DATE columns.
+
+DATE columns store day ordinals (days since 1970-01-01).  The paper's
+queries compare dates against literals like ``'01-SEP-98'`` (TPC-D /
+Oracle style) -- the ``date(...)`` scalar function turns such literals
+into ordinals so they compare correctly against DATE columns::
+
+    SELECT ... FROM lineitem WHERE l_shipdate <= date('01-SEP-98')
+
+Accepted formats: ISO (``1998-09-01``) and Oracle-style ``DD-MON-YY`` /
+``DD-MON-YYYY`` (``01-SEP-98``), case-insensitive.  Two-digit years map to
+1970-2069, matching TPC-D's 1990s data.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Union
+
+import numpy as np
+
+__all__ = ["parse_date", "date_to_ordinal", "ordinal_to_date", "format_date"]
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+_MONTHS = {
+    "JAN": 1, "FEB": 2, "MAR": 3, "APR": 4, "MAY": 5, "JUN": 6,
+    "JUL": 7, "AUG": 8, "SEP": 9, "OCT": 10, "NOV": 11, "DEC": 12,
+}
+
+_ISO_RE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_ORACLE_RE = re.compile(r"^(\d{1,2})-([A-Za-z]{3})-(\d{2}|\d{4})$")
+
+
+def parse_date(text: str) -> _dt.date:
+    """Parse an ISO or Oracle-style date literal."""
+    match = _ISO_RE.match(text.strip())
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return _dt.date(year, month, day)
+    match = _ORACLE_RE.match(text.strip())
+    if match:
+        day = int(match.group(1))
+        month_name = match.group(2).upper()
+        if month_name not in _MONTHS:
+            raise ValueError(f"unknown month {month_name!r} in date {text!r}")
+        year = int(match.group(3))
+        if year < 100:
+            year += 1900 if year >= 70 else 2000
+        return _dt.date(year, _MONTHS[month_name], day)
+    raise ValueError(
+        f"cannot parse date {text!r}; use 'YYYY-MM-DD' or 'DD-MON-YY'"
+    )
+
+
+def date_to_ordinal(value: Union[str, _dt.date]) -> int:
+    """Convert a date (or date literal) to days since 1970-01-01."""
+    if isinstance(value, str):
+        value = parse_date(value)
+    return (value - _EPOCH).days
+
+
+def ordinal_to_date(ordinal: int) -> _dt.date:
+    """Inverse of :func:`date_to_ordinal`."""
+    return _EPOCH + _dt.timedelta(days=int(ordinal))
+
+
+def format_date(ordinal: int) -> str:
+    """Render a day ordinal as ISO text."""
+    return ordinal_to_date(ordinal).isoformat()
+
+
+def date_function(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``date(...)`` scalar function for the expression engine.
+
+    String inputs are parsed as date literals; numeric inputs pass through
+    (already ordinals).
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind in ("i", "u", "f"):
+        return arr.astype(np.int64)
+    flat = [date_to_ordinal(str(v)) for v in arr.ravel()]
+    return np.array(flat, dtype=np.int64).reshape(arr.shape)

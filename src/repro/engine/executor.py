@@ -1,0 +1,100 @@
+"""Query executor: runs a logical :class:`Query` against a :class:`Catalog`.
+
+Execution pipeline (matching how a DBMS would execute the rewritten queries
+of Section 5):
+
+1. resolve FROM (base table lookup, or recursive execution of a subquery);
+2. apply the WHERE predicate as a vectorized filter;
+3. if the query aggregates, hash group-by on the GROUP BY columns;
+   otherwise project the select expressions;
+4. order the output if ORDER BY was given.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .catalog import Catalog
+from .expressions import Col
+from .groupby import group_by
+from .query import Projection, Query, QueryError
+from .schema import Column, ColumnType, Schema
+from .table import Table
+
+__all__ = ["execute", "execute_on_table"]
+
+
+def execute(query: Query, catalog: Catalog) -> Table:
+    """Execute ``query``, resolving table names against ``catalog``."""
+    source = query.from_item
+    if isinstance(source, Query):
+        input_table = execute(source, catalog)
+    else:
+        input_table = catalog.get(source)
+    return _run(query, input_table)
+
+
+def execute_on_table(query: Query, table: Table) -> Table:
+    """Execute ``query`` directly against ``table``, ignoring the FROM name.
+
+    The FROM item must be a plain name (not a subquery); this entry point is
+    used by estimator code that already holds the resolved sample relation.
+    """
+    if isinstance(query.from_item, Query):
+        raise QueryError("execute_on_table does not support nested subqueries")
+    return _run(query, table)
+
+
+def _run(query: Query, input_table: Table) -> Table:
+    if query.where is not None:
+        mask = query.where.evaluate(input_table)
+        input_table = input_table.filter(mask)
+
+    if query.has_aggregates() or query.group_by:
+        result = group_by(input_table, list(query.group_by), query.aggregates())
+        # group_by() emits keys-then-aggregates; restore select-list order and
+        # apply aliases for the key columns.
+        out_names = []
+        renames = {}
+        for item in query.select:
+            if isinstance(item, Projection):
+                assert isinstance(item.expr, Col)  # enforced by Query
+                out_names.append(item.expr.name)
+                if item.alias != item.expr.name:
+                    renames[item.expr.name] = item.alias
+            else:
+                out_names.append(item.alias)
+        result = result.project(out_names)
+        if renames:
+            result = result.rename(renames)
+        if query.having is not None:
+            result = result.filter(query.having.evaluate(result))
+    else:
+        columns = {}
+        schema_cols = []
+        for item in query.select:
+            values = item.expr.evaluate(input_table)
+            ctype = _infer_type(values, item.expr, input_table)
+            schema_cols.append(Column(item.alias, ctype))
+            columns[item.alias] = ctype.coerce(values)
+        result = Table(Schema(schema_cols), columns)
+
+    if query.order_by:
+        result = result.sort_by(list(query.order_by))
+    if query.limit is not None:
+        result = result.head(query.limit)
+    return result
+
+
+def _infer_type(values: np.ndarray, expr, table: Table) -> ColumnType:
+    """Infer the output type of a projected expression."""
+    if isinstance(expr, Col):
+        return table.schema.column(expr.name).ctype
+    kind = np.asarray(values).dtype.kind
+    if kind in ("i", "u"):
+        return ColumnType.INT
+    if kind == "f":
+        return ColumnType.FLOAT
+    return ColumnType.STR

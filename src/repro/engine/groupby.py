@@ -1,0 +1,81 @@
+"""Hash group-by executor.
+
+Implements the engine's multi-key, multi-aggregate GROUP BY: compute a dense
+group-id per row for the key columns, then reduce each aggregate input per
+group (see :mod:`repro.engine.aggregates`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .aggregates import Aggregate, grouped_reduce
+from .schema import Column, ColumnType, Schema
+from .table import Table
+
+__all__ = ["group_ids_for", "group_by", "distinct"]
+
+
+def group_ids_for(
+    table: Table, key_columns: Sequence[str]
+) -> Tuple[np.ndarray, List[Tuple], int]:
+    """Compute a dense group id per row for the given key columns.
+
+    Returns:
+        ``(group_ids, group_keys, num_groups)`` where ``group_ids`` maps each
+        row to ``[0, num_groups)`` and ``group_keys[i]`` is the tuple of key
+        values for group ``i``.  With no key columns, every row belongs to the
+        single group ``()`` (the paper's "no group-bys" case).
+    """
+    if not key_columns:
+        return np.zeros(table.num_rows, dtype=np.int64), [()], 1
+    arrays = [table.column(name) for name in key_columns]
+    if len(arrays) == 1:
+        uniques, ids = np.unique(arrays[0], return_inverse=True)
+        keys = [(value,) for value in uniques.tolist()]
+        return ids.astype(np.int64), keys, len(keys)
+    # Multi-key: unique over a structured view of the key columns.
+    record = np.rec.fromarrays(arrays)
+    uniques, ids = np.unique(record, return_inverse=True)
+    keys = [tuple(np.asarray(u).tolist()) for u in uniques]
+    return ids.astype(np.int64), keys, len(keys)
+
+
+def group_by(
+    table: Table,
+    key_columns: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> Table:
+    """Group ``table`` by ``key_columns`` and compute ``aggregates``.
+
+    The result schema is the key columns (original types) followed by one
+    FLOAT column per aggregate, named by its alias.  With empty
+    ``key_columns`` the result has a single row.
+    """
+    group_ids, group_keys, num_groups = group_ids_for(table, key_columns)
+
+    out_columns = {}
+    key_schema_cols = []
+    for pos, name in enumerate(key_columns):
+        src = table.schema.column(name)
+        key_schema_cols.append(Column(name, src.ctype))
+        out_columns[name] = src.ctype.coerce([key[pos] for key in group_keys])
+
+    agg_schema_cols = []
+    for agg in aggregates:
+        values = agg.evaluate_input(table)
+        reduced = grouped_reduce(agg.func, values, group_ids, num_groups)
+        agg_schema_cols.append(Column(agg.alias, ColumnType.FLOAT))
+        out_columns[agg.alias] = reduced
+
+    schema = Schema(key_schema_cols + agg_schema_cols)
+    return Table(schema, out_columns)
+
+
+def distinct(table: Table, key_columns: Sequence[str]) -> Table:
+    """Distinct combinations of the key columns (sorted by unique order)."""
+    __, group_keys, __ = group_ids_for(table, key_columns)
+    schema = table.schema.project(key_columns)
+    return Table.from_rows(schema, group_keys)

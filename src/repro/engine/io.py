@@ -1,0 +1,112 @@
+"""CSV import/export for engine tables.
+
+A thin adoption convenience: load a warehouse extract into a
+:class:`Table` (with explicit schema, or schema inference) and write
+answer tables back out.  Uses only the standard library ``csv`` module.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .schema import Column, ColumnType, Schema, SchemaError
+from .table import Table
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+PathLike = Union[str, Path]
+
+
+def _looks_int(value: str) -> bool:
+    try:
+        int(value)
+        return True
+    except ValueError:
+        return False
+
+
+def _looks_float(value: str) -> bool:
+    try:
+        float(value)
+        return True
+    except ValueError:
+        return False
+
+
+def infer_schema(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> Schema:
+    """Infer a schema from string rows: INT ⊂ FLOAT ⊂ STR, per column."""
+    columns: List[Column] = []
+    for position, name in enumerate(header):
+        values = [row[position] for row in rows if position < len(row)]
+        non_empty = [v for v in values if v != ""]
+        if non_empty and all(_looks_int(v) for v in non_empty):
+            ctype = ColumnType.INT
+        elif non_empty and all(_looks_float(v) for v in non_empty):
+            ctype = ColumnType.FLOAT
+        else:
+            ctype = ColumnType.STR
+        columns.append(Column(name, ctype))
+    return Schema(columns)
+
+
+def read_csv(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file (with header row) into a :class:`Table`.
+
+    Args:
+        path: file to read.
+        schema: expected schema; when omitted, types are inferred
+            (INT ⊂ FLOAT ⊂ STR).  When given, the header must match the
+            schema's column names exactly.
+        delimiter: field separator.
+
+    Raises:
+        SchemaError: header/schema mismatch, or uncoercible values.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file, no header row") from None
+        rows = list(reader)
+
+    if schema is None:
+        schema = infer_schema(header, rows)
+    elif list(header) != schema.names:
+        raise SchemaError(
+            f"{path}: header {header} does not match schema {schema.names}"
+        )
+
+    typed_rows = []
+    for row in rows:
+        if len(row) != len(schema):
+            raise SchemaError(
+                f"{path}: row arity {len(row)} != schema arity {len(schema)}"
+            )
+        typed = []
+        for value, column in zip(row, schema):
+            if column.ctype in (ColumnType.INT, ColumnType.DATE):
+                typed.append(int(value))
+            elif column.ctype is ColumnType.FLOAT:
+                typed.append(float(value))
+            else:
+                typed.append(value)
+        typed_rows.append(tuple(typed))
+    return Table.from_rows(schema, typed_rows)
+
+
+def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a table to CSV with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        for row in table.iter_rows():
+            writer.writerow(row)

@@ -1,0 +1,84 @@
+"""Hash equi-join.
+
+The engine needs joins for two reasons from the paper: the *Normalized* and
+*Key-normalized* rewriting strategies join the sample relation with the
+auxiliary scale-factor relation (Section 5.2, Figures 9-10), and join
+synopses conceptually join the fact table with its dimension tables
+(Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .schema import Column, Schema, SchemaError
+from .table import Table
+
+__all__ = ["hash_join"]
+
+
+def _key_tuples(table: Table, columns: Sequence[str]) -> List[Tuple]:
+    arrays = [table.column(name) for name in columns]
+    return list(zip(*(arr.tolist() for arr in arrays))) if arrays else []
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+    suffix: str = "_r",
+) -> Table:
+    """Inner hash join of ``left`` and ``right`` on equality of key columns.
+
+    Builds a hash table on the smaller input.  Right-side columns whose names
+    collide with left-side names are renamed with ``suffix`` (the join keys
+    from the right side are dropped, since they equal the left keys).
+
+    Returns a table containing all left columns plus non-key right columns.
+    """
+    if len(left_on) != len(right_on) or not left_on:
+        raise SchemaError(
+            f"join keys mismatch: left_on={list(left_on)} right_on={list(right_on)}"
+        )
+    for name in left_on:
+        left.schema.column(name)
+    for name in right_on:
+        right.schema.column(name)
+
+    # Build side: index right rows by key tuple.
+    index: Dict[Tuple, List[int]] = {}
+    for i, key in enumerate(_key_tuples(right, right_on)):
+        index.setdefault(key, []).append(i)
+
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    for i, key in enumerate(_key_tuples(left, left_on)):
+        matches = index.get(key)
+        if matches:
+            left_idx.extend([i] * len(matches))
+            right_idx.extend(matches)
+
+    left_take = left.take(np.asarray(left_idx, dtype=np.int64))
+    right_take = right.take(np.asarray(right_idx, dtype=np.int64))
+
+    out_columns = dict(left_take.columns())
+    out_schema_cols = list(left_take.schema.columns)
+    right_key_set = set(right_on)
+    left_names = set(left.schema.names)
+    for column in right_take.schema:
+        if column.name in right_key_set:
+            continue
+        out_name = column.name
+        if out_name in left_names:
+            out_name = out_name + suffix
+            if out_name in left_names:
+                raise SchemaError(
+                    f"suffixed column {out_name!r} still collides with left schema"
+                )
+        out_schema_cols.append(Column(out_name, column.ctype, column.role))
+        out_columns[out_name] = right_take.column(column.name)
+
+    return Table(Schema(out_schema_cols), out_columns)

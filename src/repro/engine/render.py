@@ -1,0 +1,126 @@
+"""Render logical queries, predicates, and expressions back to SQL text.
+
+The paper presents its rewriting strategies *as SQL* (Figures 2, 8-13);
+``render_query`` lets Aqua's ``explain`` show the user exactly what will
+run against the synopsis relations, in the same shape as those figures.
+
+Round-trip guarantee: ``parse_query(render_query(q))`` produces a query
+that executes identically to ``q`` (asserted by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .aggregates import Aggregate
+from .expressions import BinaryOp, Col, Expression, Func, Lit, UnaryOp
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from .query import Projection, Query
+
+__all__ = ["render_expression", "render_predicate", "render_query"]
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(value)  # keep the .0 so it re-parses as float
+    return repr(value)
+
+
+def render_expression(expr: Expression) -> str:
+    """Render a scalar expression (parenthesized for safety)."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Lit):
+        return _render_literal(expr.value)
+    if isinstance(expr, BinaryOp):
+        left = render_expression(expr.left)
+        right = render_expression(expr.right)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, UnaryOp):
+        return f"(-{render_expression(expr.operand)})"
+    if isinstance(expr, Func):
+        return f"{expr.name}({render_expression(expr.operand)})"
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """Render a predicate tree."""
+    if isinstance(predicate, Comparison):
+        return (
+            f"{render_expression(predicate.left)} {predicate.op} "
+            f"{render_expression(predicate.right)}"
+        )
+    if isinstance(predicate, Between):
+        return (
+            f"{render_expression(predicate.expr)} BETWEEN "
+            f"{render_expression(predicate.low)} AND "
+            f"{render_expression(predicate.high)}"
+        )
+    if isinstance(predicate, InList):
+        values = ", ".join(_render_literal(v) for v in predicate.values)
+        return f"{render_expression(predicate.expr)} IN ({values})"
+    if isinstance(predicate, And):
+        return (
+            f"({render_predicate(predicate.left)} AND "
+            f"{render_predicate(predicate.right)})"
+        )
+    if isinstance(predicate, Or):
+        return (
+            f"({render_predicate(predicate.left)} OR "
+            f"{render_predicate(predicate.right)})"
+        )
+    if isinstance(predicate, Not):
+        return f"NOT ({render_predicate(predicate.operand)})"
+    if isinstance(predicate, TruePredicate):
+        return "1 = 1"
+    raise TypeError(f"cannot render predicate {predicate!r}")
+
+
+def _render_select_item(item: Union[Projection, Aggregate]) -> str:
+    if isinstance(item, Aggregate):
+        if item.func == "count" and item.expr == Lit(1):
+            inner = "count(*)"
+        else:
+            inner = f"{item.func}({render_expression(item.expr)})"
+        return f"{inner} AS {item.alias}"
+    rendered = render_expression(item.expr)
+    if isinstance(item.expr, Col) and item.expr.name == item.alias:
+        return rendered
+    return f"{rendered} AS {item.alias}"
+
+
+def render_query(query: Query, indent: str = "") -> str:
+    """Render a query as SQL text (nested subqueries indented)."""
+    parts = [
+        indent
+        + "SELECT "
+        + ", ".join(_render_select_item(item) for item in query.select)
+    ]
+    if isinstance(query.from_item, Query):
+        inner = render_query(query.from_item, indent + "      ")
+        parts.append(f"{indent}FROM (\n{inner}\n{indent})")
+    else:
+        parts.append(f"{indent}FROM {query.from_item}")
+    if query.where is not None:
+        parts.append(f"{indent}WHERE {render_predicate(query.where)}")
+    if query.group_by:
+        parts.append(f"{indent}GROUP BY " + ", ".join(query.group_by))
+    if query.having is not None:
+        parts.append(f"{indent}HAVING {render_predicate(query.having)}")
+    if query.order_by:
+        parts.append(f"{indent}ORDER BY " + ", ".join(query.order_by))
+    if query.limit is not None:
+        parts.append(f"{indent}LIMIT {query.limit}")
+    return "\n".join(parts)

@@ -1,0 +1,190 @@
+"""Typed schema metadata for the column-store engine.
+
+A :class:`Schema` is an ordered collection of :class:`Column` definitions.
+Column types are deliberately minimal -- the engine only needs to know how to
+coerce Python/numpy values into a homogeneous numpy array and whether a column
+may be used for grouping, aggregation, or both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ColumnType", "Column", "Schema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for schema violations: unknown columns, duplicates, bad types."""
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine.
+
+    The mapping to numpy dtypes is:
+
+    * ``INT``    -> ``int64``
+    * ``FLOAT``  -> ``float64``
+    * ``STR``    -> numpy unicode (``<U``), width chosen at build time
+    * ``DATE``   -> ``int64`` day ordinal (stored as days since epoch)
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Return the canonical numpy dtype used to store this type."""
+        if self in (ColumnType.INT, ColumnType.DATE):
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype("U")
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can be aggregated arithmetically."""
+        return self in (ColumnType.INT, ColumnType.FLOAT, ColumnType.DATE)
+
+    def coerce(self, values: Sequence) -> np.ndarray:
+        """Coerce ``values`` into a numpy array of this type.
+
+        Raises :class:`SchemaError` if the coercion is not possible.
+        """
+        try:
+            if self in (ColumnType.INT, ColumnType.DATE):
+                arr = np.asarray(values)
+                if arr.dtype.kind == "f":
+                    rounded = np.rint(arr)
+                    if not np.allclose(arr, rounded, atol=1e-9, equal_nan=False):
+                        raise SchemaError(
+                            f"cannot coerce non-integral floats to {self.value}"
+                        )
+                    arr = rounded
+                return arr.astype(np.int64)
+            if self is ColumnType.FLOAT:
+                return np.asarray(values, dtype=np.float64)
+            return np.asarray(values, dtype=np.str_)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce values to {self.value}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column definition.
+
+    Attributes:
+        name: column name; must be a valid identifier-ish string.
+        ctype: logical :class:`ColumnType`.
+        role: optional informational role -- ``"key"``, ``"grouping"``,
+            or ``"aggregate"``.  The engine does not enforce roles; they
+            document intent (the paper's *dimensional* vs. *measured*
+            attributes) and are consulted by the Aqua layer when it decides
+            which columns participate in congressional stratification.
+    """
+
+    name: str
+    ctype: ColumnType
+    role: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.role is not None and self.role not in ("key", "grouping", "aggregate"):
+            raise SchemaError(f"invalid column role: {self.role!r}")
+
+
+class Schema:
+    """An ordered, immutable collection of :class:`Column` objects."""
+
+    def __init__(self, columns: Iterable[Column]):
+        cols = list(columns)
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        self._columns: Tuple[Column, ...] = tuple(cols)
+        self._index = {c.name: i for i, c in enumerate(cols)}
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, ColumnType]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs.
+
+        >>> Schema.of(("a", ColumnType.INT), ("b", ColumnType.FLOAT)).names
+        ['a', 'b']
+        """
+        return cls(Column(name, ctype) for name, ctype in pairs)
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.ctype.value}" for c in self._columns)
+        return f"Schema({inner})"
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``.
+
+        Raises :class:`SchemaError` for unknown names.
+        """
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.names}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of ``name`` in the schema."""
+        self.column(name)
+        return self._index[name]
+
+    def grouping_columns(self) -> List[str]:
+        """Names of columns annotated with the ``grouping`` role."""
+        return [c.name for c in self._columns if c.role == "grouping"]
+
+    def aggregate_columns(self) -> List[str]:
+        """Names of columns annotated with the ``aggregate`` role."""
+        return [c.name for c in self._columns if c.role == "aggregate"]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names``, in the given order."""
+        return Schema(self.column(n) for n in names)
+
+    def extend(self, *columns: Column) -> "Schema":
+        """Return a new schema with ``columns`` appended."""
+        return Schema(self._columns + tuple(columns))
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a new schema with columns renamed per ``mapping``."""
+        return Schema(
+            Column(mapping.get(c.name, c.name), c.ctype, c.role)
+            for c in self._columns
+        )

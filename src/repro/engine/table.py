@@ -1,0 +1,225 @@
+"""Immutable numpy column-store table.
+
+A :class:`Table` stores each column as a homogeneous numpy array.  All engine
+operators (filter, project, group-by, join) produce new tables; existing
+tables are never mutated.  Mutation for streaming workloads happens in a
+separate :class:`TableBuilder` which accumulates rows and freezes into a
+:class:`Table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import Column, ColumnType, Schema, SchemaError
+
+__all__ = ["Table", "TableBuilder"]
+
+
+class Table:
+    """An immutable, schema-typed collection of equal-length numpy columns."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise SchemaError(
+                f"column data {sorted(columns)} does not match schema {schema.names}"
+            )
+        lengths = {name: len(arr) for name, arr in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        self._schema = schema
+        self._columns: Dict[str, np.ndarray] = {}
+        for col in schema:
+            arr = np.asarray(columns[col.name])
+            expected_kind = col.ctype.numpy_dtype.kind
+            if arr.dtype.kind != expected_kind:
+                arr = col.ctype.coerce(arr)
+            arr.setflags(write=False)
+            self._columns[col.name] = arr
+        self._num_rows = 0 if not schema.names else len(
+            self._columns[schema.names[0]]
+        )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Table":
+        """Build a table from an iterable of row tuples (schema order)."""
+        materialized = list(rows)
+        data = {}
+        for i, col in enumerate(schema):
+            values = [row[i] for row in materialized]
+            data[col.name] = col.ctype.coerce(values) if values else np.empty(
+                0, dtype=col.ctype.numpy_dtype
+            )
+        return cls(schema, data)
+
+    @classmethod
+    def from_columns(cls, schema: Schema, **columns: Sequence) -> "Table":
+        """Build a table from keyword column sequences."""
+        data = {
+            col.name: col.ctype.coerce(columns[col.name]) for col in schema
+        }
+        return cls(schema, data)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """An empty table with the given schema."""
+        return cls(
+            schema,
+            {c.name: np.empty(0, dtype=c.ctype.numpy_dtype) for c in schema},
+        )
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the (read-only) numpy array for column ``name``."""
+        self._schema.column(name)
+        return self._columns[name]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """A shallow copy of the name -> array mapping."""
+        return dict(self._columns)
+
+    def row(self, i: int) -> Tuple:
+        """Return row ``i`` as a tuple in schema order (slow; for tests)."""
+        return tuple(self._columns[n][i] for n in self._schema.names)
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        """Iterate rows as tuples (slow; for tests and small outputs)."""
+        arrays = [self._columns[n] for n in self._schema.names]
+        for i in range(self._num_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Materialize rows as dictionaries (for display and tests)."""
+        names = self._schema.names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def __repr__(self) -> str:
+        return f"Table({self._schema!r}, rows={self._num_rows})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema != other._schema or self._num_rows != other._num_rows:
+            return False
+        return all(
+            np.array_equal(self._columns[n], other._columns[n])
+            for n in self._schema.names
+        )
+
+    # -- relational kernels -------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset/reorder by integer index array."""
+        data = {n: arr[indices] for n, arr in self._columns.items()}
+        return Table(self._schema, data)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Row subset by boolean mask."""
+        if len(mask) != self._num_rows:
+            raise ValueError(
+                f"mask length {len(mask)} != table rows {self._num_rows}"
+            )
+        data = {n: arr[mask] for n, arr in self._columns.items()}
+        return Table(self._schema, data)
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._num_rows)))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Column subset, in the given order."""
+        schema = self._schema.project(names)
+        return Table(schema, {n: self._columns[n] for n in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns per ``mapping``; unmentioned columns keep names."""
+        schema = self._schema.rename(dict(mapping))
+        data = {
+            mapping.get(n, n): arr for n, arr in self._columns.items()
+        }
+        return Table(schema, data)
+
+    def with_column(
+        self, column: Column, values: np.ndarray
+    ) -> "Table":
+        """Return a new table with an extra column appended."""
+        if len(values) != self._num_rows:
+            raise ValueError(
+                f"new column length {len(values)} != table rows {self._num_rows}"
+            )
+        schema = self._schema.extend(column)
+        data = dict(self._columns)
+        data[column.name] = column.ctype.coerce(values)
+        return Table(schema, data)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical concatenation; schemas must match column names/types."""
+        if [c.ctype for c in self._schema] != [c.ctype for c in other._schema] or (
+            self._schema.names != other._schema.names
+        ):
+            raise SchemaError(
+                f"cannot concat {self._schema!r} with {other._schema!r}"
+            )
+        data = {
+            n: np.concatenate([self._columns[n], other._columns[n]])
+            for n in self._schema.names
+        }
+        return Table(self._schema, data)
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        """Stable sort by the given columns (last key most significant
+        is handled internally; result is lexicographic by ``names``)."""
+        keys = [self._columns[n] for n in reversed(list(names))]
+        order = np.lexsort(keys)
+        return self.take(order)
+
+
+class TableBuilder:
+    """Accumulates rows and freezes them into an immutable :class:`Table`.
+
+    Used by the streaming maintenance algorithms (Section 6 of the paper) to
+    materialize sample relations once maintenance has settled.
+    """
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._rows: List[Tuple] = []
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row: Sequence) -> None:
+        """Append one row (values in schema order)."""
+        if len(row) != len(self._schema):
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity {len(self._schema)}"
+            )
+        self._rows.append(tuple(row))
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def build(self) -> Table:
+        """Freeze accumulated rows into a table."""
+        return Table.from_rows(self._schema, self._rows)

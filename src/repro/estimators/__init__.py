@@ -1,0 +1,27 @@
+"""Unbiased estimators over stratified samples and probabilistic bounds."""
+
+from .errors import (
+    DEFAULT_CONFIDENCE,
+    ErrorBound,
+    chebyshev_from_variance,
+    chebyshev_halfwidth,
+    hoeffding_halfwidth_mean,
+    hoeffding_halfwidth_stratified_sum,
+    hoeffding_halfwidth_sum,
+    standard_error,
+)
+from .point import GroupEstimate, estimate, estimate_single
+
+__all__ = [
+    "DEFAULT_CONFIDENCE",
+    "ErrorBound",
+    "GroupEstimate",
+    "chebyshev_from_variance",
+    "chebyshev_halfwidth",
+    "estimate",
+    "estimate_single",
+    "hoeffding_halfwidth_mean",
+    "hoeffding_halfwidth_stratified_sum",
+    "hoeffding_halfwidth_sum",
+    "standard_error",
+]

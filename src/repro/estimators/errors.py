@@ -1,0 +1,180 @@
+"""Probabilistic error bounds for approximate answers.
+
+Aqua supplements every approximate answer with an error bound at a chosen
+confidence level (Section 2: "probabilistic error/confidence bounds on the
+answer, based on the Hoeffding and Chebyshev formulas").  Three bound
+families are provided:
+
+* **Standard error** of the sample mean under uniform sampling without
+  replacement (Equation 2), with the finite-population correction.
+* **Hoeffding** bounds: distribution-free, need only the value range.
+* **Chebyshev** bounds: need a variance estimate, valid for any estimator
+  with finite variance -- this is what we attach to stratified estimates.
+
+All half-width helpers return the bound ``e`` such that the true value lies
+within ``estimate ± e`` with at least the requested confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ErrorBound",
+    "standard_error",
+    "hoeffding_halfwidth_mean",
+    "hoeffding_halfwidth_sum",
+    "hoeffding_halfwidth_stratified_sum",
+    "chebyshev_halfwidth",
+    "chebyshev_from_variance",
+]
+
+DEFAULT_CONFIDENCE = 0.90  # Aqua's example confidence level (Figure 4)
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """A symmetric error bound at a confidence level."""
+
+    halfwidth: float
+    confidence: float
+    method: str
+
+    def interval(self, estimate: float) -> tuple:
+        return (estimate - self.halfwidth, estimate + self.halfwidth)
+
+
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+
+
+def standard_error(
+    population_std: float, sample_size: int, population_size: int
+) -> float:
+    """Equation 2: ``S/sqrt(n) * sqrt(1 - n/N)``.
+
+    Args:
+        population_std: ``S``, the (population) standard deviation.
+        sample_size: ``n``.
+        population_size: ``N``.
+    """
+    if sample_size <= 0:
+        return float("inf")
+    if population_size <= 0 or sample_size > population_size:
+        raise ValueError(
+            f"need 0 < n <= N, got n={sample_size} N={population_size}"
+        )
+    fpc = 1.0 - sample_size / population_size
+    return population_std / math.sqrt(sample_size) * math.sqrt(max(fpc, 0.0))
+
+
+def hoeffding_halfwidth_mean(
+    value_range: float, sample_size: int, confidence: float = DEFAULT_CONFIDENCE
+) -> float:
+    """Hoeffding bound on the error of a sample mean of bounded values.
+
+    For n iid observations in an interval of width ``value_range``::
+
+        P(|mean_est - mean| >= e) <= 2 exp(-2 n e^2 / range^2)
+
+    giving ``e = range * sqrt(ln(2/delta) / (2n))`` at confidence
+    ``1 - delta``.
+    """
+    _check_confidence(confidence)
+    if sample_size <= 0:
+        return float("inf")
+    if value_range < 0:
+        raise ValueError(f"value range must be >= 0, got {value_range}")
+    delta = 1.0 - confidence
+    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * sample_size))
+
+
+def hoeffding_halfwidth_sum(
+    value_range: float,
+    sample_size: int,
+    population_size: int,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> float:
+    """Hoeffding bound for an expansion SUM estimate from a uniform sample.
+
+    The SUM estimator is ``N * mean_est``, so the mean bound scales by
+    ``N``.  This is the ``sum_error`` of the paper's Figure 2 rewrite.
+    """
+    if population_size < 0:
+        raise ValueError(f"population size must be >= 0, got {population_size}")
+    return population_size * hoeffding_halfwidth_mean(
+        value_range, sample_size, confidence
+    )
+
+
+def hoeffding_halfwidth_stratified_sum(
+    ranges: "list[float]",
+    populations: "list[float]",
+    sizes: "list[int]",
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> float:
+    """Hoeffding bound for a *stratified* expansion SUM estimate.
+
+    The estimator ``sum_g (N_g / n_g) * sum_i y_{g,i}`` is a sum of
+    ``sum_g n_g`` independent bounded terms; term ``(g, i)`` ranges over an
+    interval of width ``(N_g / n_g) * range_g``.  Hoeffding's inequality
+    then gives a half-width of::
+
+        sqrt( ln(2/delta) / 2 * sum_g n_g * (N_g/n_g * range_g)^2 )
+      = sqrt( ln(2/delta) / 2 * sum_g N_g^2 range_g^2 / n_g )
+
+    With a single stratum this reduces to
+    :func:`hoeffding_halfwidth_sum`.  This is the distribution-free
+    alternative to the Chebyshev bound used by default; it needs only the
+    per-stratum value ranges, which Aqua can precompute with the synopsis.
+
+    Args:
+        ranges: per-stratum value range (max - min).
+        populations: per-stratum population ``N_g``.
+        sizes: per-stratum sample size ``n_g`` (zero-size strata are
+            ignored -- they contribute nothing to the estimator either).
+        confidence: confidence level.
+    """
+    _check_confidence(confidence)
+    if not (len(ranges) == len(populations) == len(sizes)):
+        raise ValueError("ranges/populations/sizes must align")
+    delta = 1.0 - confidence
+    total = 0.0
+    for value_range, population, size in zip(ranges, populations, sizes):
+        if size == 0:
+            continue
+        if value_range < 0 or population < 0 or size < 0:
+            raise ValueError("inputs must be non-negative")
+        total += population * population * value_range * value_range / size
+    return math.sqrt(math.log(2.0 / delta) / 2.0 * total)
+
+
+def chebyshev_halfwidth(
+    std_error: float, confidence: float = DEFAULT_CONFIDENCE
+) -> float:
+    """Chebyshev: ``P(|X - mu| >= k sigma) <= 1/k^2``.
+
+    At confidence ``1 - delta`` the half-width is ``sigma / sqrt(delta)``.
+    Valid for any finite-variance estimator, hence usable with the
+    stratified variance estimates of :mod:`repro.estimators.point`.
+    """
+    _check_confidence(confidence)
+    if std_error < 0:
+        raise ValueError(f"std error must be >= 0, got {std_error}")
+    delta = 1.0 - confidence
+    return std_error / math.sqrt(delta)
+
+
+def chebyshev_from_variance(
+    variance: float, confidence: float = DEFAULT_CONFIDENCE
+) -> ErrorBound:
+    """Convenience wrapper: variance -> :class:`ErrorBound`."""
+    if variance < 0 or math.isnan(variance):
+        return ErrorBound(float("nan"), confidence, "chebyshev")
+    return ErrorBound(
+        chebyshev_halfwidth(math.sqrt(variance), confidence),
+        confidence,
+        "chebyshev",
+    )

@@ -1,0 +1,222 @@
+"""Unbiased point estimation from stratified (biased) samples.
+
+Section 5.1 of the paper: a congressional sample is a union of per-group
+uniform samples with different rates, so each sampled tuple carries a
+*ScaleFactor* -- the inverse of its stratum's sampling rate.  Then
+
+* ``SUM``:   sum of ``ScaleFactor * value`` over qualifying sample tuples;
+* ``COUNT``: sum of ``ScaleFactor`` over qualifying sample tuples;
+* ``AVG``:   scaled SUM / scaled COUNT (a ratio estimator).
+
+These are the classic stratified expansion estimators [Coc77]; SUM and COUNT
+are exactly unbiased, AVG is asymptotically unbiased.
+
+This module computes the estimates directly from a
+:class:`~repro.sampling.stratified.StratifiedSample` (no SQL round trip) and
+also returns per-answer-group *variance estimates*, from which
+:mod:`repro.estimators.errors` derives confidence bounds.  The SQL rewriting
+strategies (:mod:`repro.rewrite`) must agree with these numbers -- that
+equivalence is asserted in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..engine.expressions import Expression
+from ..engine.predicates import Predicate
+from ..engine.table import Table
+from ..sampling.groups import GroupKey, make_key
+from ..sampling.stratified import StratifiedSample
+
+__all__ = ["GroupEstimate", "estimate", "estimate_single"]
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """Estimate for one answer group of a group-by query.
+
+    Attributes:
+        key: the answer-group key (over the query's group-by columns).
+        value: the point estimate.
+        variance: estimated variance of the point estimate (NaN when it
+            cannot be estimated, e.g. singleton strata).
+        sample_tuples: number of sample tuples that contributed.
+    """
+
+    key: GroupKey
+    value: float
+    variance: float
+    sample_tuples: int
+
+    @property
+    def std_error(self) -> float:
+        return float(np.sqrt(self.variance)) if self.variance >= 0 else float("nan")
+
+
+def estimate(
+    sample: StratifiedSample,
+    func: str,
+    column: Optional[Union[str, Expression]],
+    predicate: Optional[Predicate] = None,
+    group_by: Sequence[str] = (),
+) -> Dict[GroupKey, GroupEstimate]:
+    """Estimate ``func(column)`` per answer group.
+
+    Args:
+        sample: the stratified sample.
+        func: ``"sum"``, ``"count"``, or ``"avg"``.
+        column: aggregate column name or arbitrary scalar
+            :class:`~repro.engine.expressions.Expression` (ignored for
+            count; pass ``None``).
+        predicate: optional WHERE predicate, evaluated on sample tuples.
+        group_by: answer grouping columns ``T'`` (may be any subset of the
+            base table's columns, though congressional guarantees only hold
+            for subsets of the stratification columns).
+
+    Returns:
+        Mapping from answer-group key to :class:`GroupEstimate`.  Groups
+        with no qualifying sample tuples are absent (the sample cannot know
+        about them) -- the paper's first user requirement is handled by the
+        allocation guaranteeing minimum per-group sample sizes.
+    """
+    func = func.lower()
+    if func not in ("sum", "count", "avg"):
+        raise ValueError(f"unsupported estimator {func!r}")
+    if func != "count" and column is None:
+        raise ValueError(f"{func} requires an aggregate column")
+
+    strata = [s for s in sample.strata.values() if s.sample_size > 0]
+    if not strata:
+        return {}
+
+    base = sample.base_table
+    group_cols = list(group_by)
+
+    # Assemble per-sampled-row arrays: value, scale factor, stratum id.
+    indices = np.concatenate([s.row_indices for s in strata])
+    sf = np.concatenate(
+        [np.full(s.sample_size, s.scale_factor) for s in strata]
+    )
+    stratum_ids = np.concatenate(
+        [np.full(s.sample_size, i, dtype=np.int64) for i, s in enumerate(strata)]
+    )
+    rows = base.take(indices)
+
+    qualifies = (
+        predicate.evaluate(rows)
+        if predicate is not None
+        else np.ones(rows.num_rows, dtype=bool)
+    )
+    if column is None:
+        values = np.ones(rows.num_rows)
+    elif isinstance(column, Expression):
+        values = np.asarray(column.evaluate(rows), dtype=np.float64)
+    else:
+        values = np.asarray(rows.column(column), dtype=np.float64)
+
+    # Answer-group id per sampled row.
+    if group_cols:
+        from ..engine.groupby import group_ids_for
+
+        answer_ids, raw_keys, num_answers = group_ids_for(rows, group_cols)
+        answer_keys = [make_key(k) for k in raw_keys]
+    else:
+        answer_ids = np.zeros(rows.num_rows, dtype=np.int64)
+        answer_keys = [()]
+        num_answers = 1
+
+    populations = np.array([s.population for s in strata], dtype=np.float64)
+    sizes = np.array([s.sample_size for s in strata], dtype=np.float64)
+
+    out: Dict[GroupKey, GroupEstimate] = {}
+    for aid in range(num_answers):
+        in_answer = answer_ids == aid
+        mask = in_answer & qualifies
+        tuples = int(mask.sum())
+        if tuples == 0:
+            continue
+        if func == "sum":
+            value, variance = _expansion(
+                values, mask, sf, stratum_ids, populations, sizes
+            )
+        elif func == "count":
+            value, variance = _expansion(
+                np.ones_like(values), mask, sf, stratum_ids, populations, sizes
+            )
+        else:  # avg -- ratio of scaled sum to scaled count
+            num, num_var = _expansion(
+                values, mask, sf, stratum_ids, populations, sizes
+            )
+            den, den_var = _expansion(
+                np.ones_like(values), mask, sf, stratum_ids, populations, sizes
+            )
+            if den == 0:
+                continue
+            value = num / den
+            # First-order (delta-method) variance for the ratio estimator,
+            # ignoring the covariance term (conservative simplification).
+            variance = (num_var + value * value * den_var) / (den * den)
+        out[answer_keys[aid]] = GroupEstimate(
+            key=answer_keys[aid],
+            value=float(value),
+            variance=float(variance),
+            sample_tuples=tuples,
+        )
+    return out
+
+
+def estimate_single(
+    sample: StratifiedSample,
+    func: str,
+    column: Optional[Union[str, Expression]],
+    predicate: Optional[Predicate] = None,
+) -> Optional[GroupEstimate]:
+    """Estimate a no-group-by aggregate; ``None`` if nothing qualifies."""
+    result = estimate(sample, func, column, predicate=predicate, group_by=())
+    return result.get(())
+
+
+def _expansion(
+    values: np.ndarray,
+    mask: np.ndarray,
+    sf: np.ndarray,
+    stratum_ids: np.ndarray,
+    populations: np.ndarray,
+    sizes: np.ndarray,
+) -> Tuple[float, float]:
+    """Stratified expansion estimator and its variance estimate.
+
+    Works on the *zero-extended* values ``y' = y * mask`` so that the
+    predicate/answer-group restriction is handled inside each stratum: the
+    estimator is ``sum_g (N_g/n_g) * sum_{i in sample_g} y'_i`` and its
+    estimated variance is ``sum_g N_g^2 (1 - n_g/N_g) s'^2_g / n_g`` with
+    ``s'^2_g`` the within-stratum sample variance of ``y'`` [Coc77, ch. 5].
+    Singleton strata contribute zero estimated variance (their variance is
+    not estimable from one observation; with full enumeration the true
+    variance is 0 anyway because the FPC vanishes).
+    """
+    num_strata = len(populations)
+    masked = np.where(mask, values, 0.0)
+
+    total = float(np.sum(masked * sf))
+
+    sums = np.bincount(stratum_ids, weights=masked, minlength=num_strata)
+    sumsq = np.bincount(
+        stratum_ids, weights=masked * masked, minlength=num_strata
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        means = sums / sizes
+        sample_var = np.where(
+            sizes > 1,
+            np.maximum(sumsq - sizes * means * means, 0.0)
+            / np.maximum(sizes - 1.0, 1.0),
+            0.0,
+        )
+        fpc = 1.0 - sizes / populations
+        per_stratum = populations * populations * fpc * sample_var / sizes
+    variance = float(np.sum(per_stratum))
+    return total, variance

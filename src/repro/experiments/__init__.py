@@ -1,0 +1,47 @@
+"""Experiment runners: one per table/figure of Section 7 (plus Section 4.6).
+
+See DESIGN.md's per-experiment index.  Each runner returns a result object
+with a ``format()`` method producing the paper-style text table; the
+``benchmarks/`` directory wires these into pytest-benchmark.
+"""
+
+from .drift import DriftResult, run_drift
+from .expt1 import Expt1Result, run_expt1
+from .expt2 import DEFAULT_SAMPLE_FRACTIONS as EXPT2_FRACTIONS
+from .expt2 import Expt2Result, run_expt2
+from .expt3 import Expt3Result, run_expt3
+from .expt4 import DEFAULT_GROUP_COUNTS, Expt4Result, run_expt4
+from .fig5 import FIG5_BUDGET, FIG5_COUNTS, Fig5Result, run_fig5
+from .harness import Testbed, default_table_size, standard_strategies, time_plan
+from .profile import GroupSizeProfile, run_group_size_profile
+from .report import format_mapping_table, format_table
+from .scaledown_expt import ScaleDownResult, run_scaledown
+
+__all__ = [
+    "DEFAULT_GROUP_COUNTS",
+    "DriftResult",
+    "GroupSizeProfile",
+    "EXPT2_FRACTIONS",
+    "Expt1Result",
+    "Expt2Result",
+    "Expt3Result",
+    "Expt4Result",
+    "FIG5_BUDGET",
+    "FIG5_COUNTS",
+    "Fig5Result",
+    "ScaleDownResult",
+    "Testbed",
+    "default_table_size",
+    "format_mapping_table",
+    "format_table",
+    "run_drift",
+    "run_expt1",
+    "run_expt2",
+    "run_expt3",
+    "run_expt4",
+    "run_fig5",
+    "run_group_size_profile",
+    "run_scaledown",
+    "standard_strategies",
+    "time_plan",
+]

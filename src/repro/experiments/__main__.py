@@ -1,0 +1,53 @@
+"""Run all paper experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments            # scaled-down defaults
+    REPRO_SCALE=1.0 python -m repro.experiments   # paper-scale (1M tuples)
+    python -m repro.experiments fig5 expt1 # run a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .drift import run_drift
+from .expt1 import run_expt1
+from .expt2 import run_expt2
+from .expt3 import run_expt3
+from .expt4 import run_expt4
+from .fig5 import run_fig5
+from .profile import run_group_size_profile
+from .scaledown_expt import run_scaledown
+
+RUNNERS = {
+    "fig5": run_fig5,
+    "expt1": run_expt1,
+    "expt2": run_expt2,
+    "expt3": run_expt3,
+    "expt4": run_expt4,
+    "scaledown": run_scaledown,
+    "profile": run_group_size_profile,
+    "drift": run_drift,
+}
+
+
+def main(argv) -> int:
+    names = argv[1:] or list(RUNNERS)
+    unknown = [name for name in names if name not in RUNNERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(RUNNERS)}")
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        result = RUNNERS[name]()
+        elapsed = time.perf_counter() - start
+        print()
+        print(result.format())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,81 @@
+"""Experiment 1: accuracy per query class (Figures 14, 15, 16).
+
+Fix the sample percentage at 7%, skew the group sizes hard (z = 1.5), and
+measure the average percentage error of House / Senate / Basic Congress /
+Congress on three query classes:
+
+* ``Q_g0`` -- 20 no-group-by range queries of ~7% selectivity (Figure 14);
+* ``Q_g3`` -- group-by on all three columns (Figure 15);
+* ``Q_g2`` -- group-by on two columns (Figure 16).
+
+Expected shape (paper): Senate worst on Q_g0 and House best; House worst on
+Q_g3 and Senate best; both poor on Q_g2 where Congress wins; Congress close
+to best everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..synthetic.queries import qg0_set, qg2, qg3
+from ..synthetic.tpcd import LineitemConfig
+from .harness import Testbed, default_table_size
+from .report import format_mapping_table
+
+__all__ = ["Expt1Result", "run_expt1"]
+
+
+@dataclass(frozen=True)
+class Expt1Result:
+    """Errors per query class per allocation strategy (percent)."""
+
+    errors: Dict[str, Dict[str, float]]  # query class -> strategy -> error%
+    table_size: int
+    sample_fraction: float
+    group_skew: float
+
+    def format(self) -> str:
+        return format_mapping_table(
+            "query",
+            self.errors,
+            title=(
+                f"Expt 1 (Figures 14-16): avg % error, T={self.table_size}, "
+                f"SP={self.sample_fraction:.0%}, z={self.group_skew}"
+            ),
+        )
+
+
+def run_expt1(
+    table_size: Optional[int] = None,
+    sample_fraction: float = 0.07,
+    num_groups: int = 1000,
+    group_skew: float = 1.5,
+    seed: int = 0,
+) -> Expt1Result:
+    """Run Experiment 1 and return per-class, per-strategy errors."""
+    table_size = table_size or default_table_size()
+    config = LineitemConfig(
+        table_size=table_size,
+        num_groups=num_groups,
+        group_skew=group_skew,
+        seed=seed,
+    )
+    bed = Testbed.create(config, sample_fraction)
+    rng = np.random.default_rng(seed + 17)
+    qg0_queries = qg0_set(table_size, num_queries=20, selectivity=0.07, rng=rng)
+
+    errors: Dict[str, Dict[str, float]] = {"Qg0": {}, "Qg2": {}, "Qg3": {}}
+    for strategy in bed.samples:
+        qg0_errors = [bed.query_error(strategy, q) for q in qg0_queries]
+        errors["Qg0"][strategy] = float(np.mean(qg0_errors))
+        errors["Qg2"][strategy] = bed.query_error(strategy, qg2())
+        errors["Qg3"][strategy] = bed.query_error(strategy, qg3())
+    return Expt1Result(
+        errors=errors,
+        table_size=table_size,
+        sample_fraction=sample_fraction,
+        group_skew=group_skew,
+    )

@@ -1,0 +1,71 @@
+"""Experiment 2: sample size vs. accuracy on ``Q_g2`` (Figure 17).
+
+Fix the group-size skew at z = 0.86 and sweep the sample percentage; errors
+should fall with sample size for every scheme, with House flattening early
+(extra space goes to big groups that are already well answered) and Congress
+dropping rapidly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..synthetic.queries import qg2
+from ..synthetic.tpcd import LineitemConfig
+from .harness import Testbed, default_table_size
+from .report import format_mapping_table
+
+__all__ = ["Expt2Result", "run_expt2", "DEFAULT_SAMPLE_FRACTIONS"]
+
+DEFAULT_SAMPLE_FRACTIONS: Tuple[float, ...] = (
+    0.01, 0.03, 0.07, 0.15, 0.30, 0.50, 0.75,
+)
+
+
+@dataclass(frozen=True)
+class Expt2Result:
+    """Errors per sample fraction per strategy (percent)."""
+
+    errors: Dict[str, Dict[str, float]]  # "SP=x%" -> strategy -> error%
+    table_size: int
+    group_skew: float
+
+    def format(self) -> str:
+        return format_mapping_table(
+            "sample",
+            self.errors,
+            title=(
+                f"Expt 2 (Figure 17): Qg2 avg % error vs sample size, "
+                f"T={self.table_size}, z={self.group_skew}"
+            ),
+        )
+
+
+def run_expt2(
+    table_size: Optional[int] = None,
+    sample_fractions: Sequence[float] = DEFAULT_SAMPLE_FRACTIONS,
+    num_groups: int = 1000,
+    group_skew: float = 0.86,
+    seed: int = 0,
+) -> Expt2Result:
+    """Run Experiment 2 and return the error sweep."""
+    table_size = table_size or default_table_size()
+    config = LineitemConfig(
+        table_size=table_size,
+        num_groups=num_groups,
+        group_skew=group_skew,
+        seed=seed,
+    )
+    query = qg2()
+    errors: Dict[str, Dict[str, float]] = {}
+    for fraction in sample_fractions:
+        bed = Testbed.create(config, fraction)
+        label = f"SP={fraction:.0%}"
+        errors[label] = {
+            strategy: bed.query_error(strategy, query)
+            for strategy in bed.samples
+        }
+    return Expt2Result(
+        errors=errors, table_size=table_size, group_skew=group_skew
+    )

@@ -1,0 +1,82 @@
+"""Experiment 3: rewrite-strategy execution time vs. sample size (Table 3).
+
+Fix the group count at 1000 and vary the sample percentage (the paper uses
+1%, 5%, 10%); time each of the four rewriting strategies running ``Q_g2``.
+Expected shape: Integrated-family beats Normalized-family, and the
+Normalized times grow much faster with sample size (the join dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.congress import Congress
+from ..rewrite import ALL_STRATEGIES
+from ..synthetic.queries import qg2
+from ..synthetic.tpcd import LineitemConfig
+from .harness import Testbed, default_table_size, time_plan
+from .report import format_mapping_table
+
+__all__ = ["Expt3Result", "run_expt3", "DEFAULT_SAMPLE_FRACTIONS"]
+
+DEFAULT_SAMPLE_FRACTIONS: Tuple[float, ...] = (0.01, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class Expt3Result:
+    """Seconds per rewrite strategy per sample percentage."""
+
+    seconds: Dict[str, Dict[str, float]]  # strategy -> "SP=x%" -> seconds
+    exact_seconds: float
+    table_size: int
+
+    def format(self) -> str:
+        table = format_mapping_table(
+            "technique",
+            self.seconds,
+            precision=4,
+            title=(
+                f"Expt 3 (Table 3): Qg2 execution seconds vs sample size, "
+                f"T={self.table_size}, NG=1000"
+            ),
+        )
+        return table + f"\n(exact query on base table: {self.exact_seconds:.4f}s)"
+
+
+def run_expt3(
+    table_size: Optional[int] = None,
+    sample_fractions: Sequence[float] = DEFAULT_SAMPLE_FRACTIONS,
+    num_groups: int = 1000,
+    group_skew: float = 0.86,
+    seed: int = 0,
+    repeats: int = 5,
+) -> Expt3Result:
+    """Run Experiment 3 and return the timing table."""
+    table_size = table_size or default_table_size()
+    config = LineitemConfig(
+        table_size=table_size,
+        num_groups=num_groups,
+        group_skew=group_skew,
+        seed=seed,
+    )
+    query = qg2()
+    seconds: Dict[str, Dict[str, float]] = {
+        cls.name: {} for cls in ALL_STRATEGIES
+    }
+    exact_seconds = 0.0
+    for fraction in sample_fractions:
+        # Timing depends on sample size, not allocation; one sample suffices.
+        bed = Testbed.create(config, fraction, strategies={"congress": Congress()})
+        label = f"SP={fraction:.0%}"
+        for cls in ALL_STRATEGIES:
+            rewrite = cls()
+            synopsis = bed.install("congress", rewrite)
+            plan = rewrite.plan(query.query, synopsis)
+            seconds[cls.name][label] = time_plan(
+                lambda: plan.execute(bed.catalog), repeats=repeats
+            )
+        exact_seconds = time_plan(lambda: bed.exact(query), repeats=repeats)
+    return Expt3Result(
+        seconds=seconds, exact_seconds=exact_seconds, table_size=table_size
+    )

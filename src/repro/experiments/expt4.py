@@ -1,0 +1,86 @@
+"""Experiment 4: rewrite-strategy execution time vs. group count (Figure 18).
+
+Fix the sample percentage at 7% and sweep the number of groups; time each
+rewriting strategy on ``Q_g2``.  Expected shape: the Integrated family is
+fastest and nearly flat in the group count; the Normalized family pays for
+the join; Nested-integrated beats Integrated at low group counts (fewer
+multiplications) but degrades as the per-group overhead of the nested query
+grows -- the crossover visible at the right edge of Figure 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.congress import Congress
+from ..rewrite import ALL_STRATEGIES
+from ..synthetic.queries import qg2
+from ..synthetic.tpcd import LineitemConfig
+from .harness import Testbed, default_table_size, time_plan
+from .report import format_mapping_table
+
+__all__ = ["Expt4Result", "run_expt4", "DEFAULT_GROUP_COUNTS"]
+
+DEFAULT_GROUP_COUNTS: Tuple[int, ...] = (10, 100, 1000, 8000, 27000)
+
+
+@dataclass(frozen=True)
+class Expt4Result:
+    """Seconds per rewrite strategy per group count."""
+
+    seconds: Dict[str, Dict[str, float]]  # strategy -> "NG=n" -> seconds
+    table_size: int
+    sample_fraction: float
+
+    def format(self) -> str:
+        return format_mapping_table(
+            "technique",
+            self.seconds,
+            precision=4,
+            title=(
+                f"Expt 4 (Figure 18): Qg2 execution seconds vs group count, "
+                f"T={self.table_size}, SP={self.sample_fraction:.0%}"
+            ),
+        )
+
+
+def run_expt4(
+    table_size: Optional[int] = None,
+    group_counts: Sequence[int] = DEFAULT_GROUP_COUNTS,
+    sample_fraction: float = 0.07,
+    group_skew: float = 0.86,
+    seed: int = 0,
+    repeats: int = 5,
+) -> Expt4Result:
+    """Run Experiment 4 and return the timing sweep."""
+    table_size = table_size or default_table_size()
+    query = qg2()
+    seconds: Dict[str, Dict[str, float]] = {
+        cls.name: {} for cls in ALL_STRATEGIES
+    }
+    for num_groups in group_counts:
+        if num_groups > table_size:
+            continue
+        config = LineitemConfig(
+            table_size=table_size,
+            num_groups=num_groups,
+            group_skew=group_skew,
+            seed=seed,
+        )
+        bed = Testbed.create(
+            config, sample_fraction, strategies={"congress": Congress()}
+        )
+        label = f"NG={num_groups}"
+        for cls in ALL_STRATEGIES:
+            rewrite = cls()
+            synopsis = bed.install("congress", rewrite)
+            plan = rewrite.plan(query.query, synopsis)
+            seconds[cls.name][label] = time_plan(
+                lambda: plan.execute(bed.catalog), repeats=repeats
+            )
+    return Expt4Result(
+        seconds=seconds,
+        table_size=table_size,
+        sample_fraction=sample_fraction,
+    )

@@ -1,0 +1,72 @@
+"""Figure 5: the worked allocation example.
+
+Reproduces the paper's table of expected sample sizes for the four
+strategies on the four-group relation (3000/3000/1500/2500 tuples, X=100),
+including the intermediate ``s_{g,T}`` columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.basic_congress import BasicCongress
+from ..core.congress import Congress
+from ..core.house import House
+from ..core.senate import Senate
+from ..sampling.groups import GroupKey
+from .report import format_table
+
+__all__ = ["FIG5_COUNTS", "FIG5_BUDGET", "Fig5Result", "run_fig5"]
+
+FIG5_COUNTS: Dict[GroupKey, int] = {
+    ("a1", "b1"): 3000,
+    ("a1", "b2"): 3000,
+    ("a1", "b3"): 1500,
+    ("a2", "b3"): 2500,
+}
+FIG5_GROUPING = ("A", "B")
+FIG5_BUDGET = 100.0
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """All columns of Figure 5, keyed by finest group."""
+
+    columns: Dict[str, Dict[GroupKey, float]]
+
+    def format(self) -> str:
+        groups = sorted(FIG5_COUNTS)
+        headers = ["A", "B"] + list(self.columns)
+        rows: List[List] = []
+        for group in groups:
+            row: List = list(group)
+            for name in self.columns:
+                row.append(self.columns[name].get(group, float("nan")))
+            rows.append(row)
+        return format_table(
+            headers, rows, precision=1,
+            title="Figure 5: expected sample sizes, X=100",
+        )
+
+
+def run_fig5() -> Fig5Result:
+    """Compute every column of Figure 5 from the paper's formulas."""
+    counts, grouping, budget = FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET
+    house = House().allocate(counts, grouping, budget)
+    senate = Senate().allocate(counts, grouping, budget)
+    basic = BasicCongress().allocate(counts, grouping, budget)
+    congress = Congress()
+    shares = congress.share_table(counts, grouping, budget)
+    full = congress.allocate(counts, grouping, budget)
+    columns: Dict[str, Dict[GroupKey, float]] = {
+        "house(s_g,0)": house.fractional,
+        "senate(s_g,AB)": senate.fractional,
+        "basic_pre": basic.pre_scaling,
+        "basic": basic.fractional,
+        "s_g,A": shares[("A",)],
+        "s_g,B": shares[("B",)],
+        "congress_pre": full.pre_scaling,
+        "congress": full.fractional,
+    }
+    return Fig5Result(columns=columns)

@@ -1,0 +1,114 @@
+"""Group-size error profile: the paper's motivation, quantified.
+
+Section 1.1: with a uniform sample, "accuracy is highly dependent on the
+number of sample tuples that belong to that group", so small groups get
+poor answers.  This experiment buckets the finest groups of a skewed
+relation by population size and reports each allocation strategy's mean
+per-group error per bucket for the finest-grouping query ``Q_g3``.
+
+Expected shape: House's error explodes as groups shrink (its per-group
+sample count is proportional to size); Senate/Congress stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.groupby_error import groupby_error
+from ..sampling.groups import group_counts
+from ..synthetic.queries import qg3
+from ..synthetic.tpcd import GROUPING_COLUMNS, LineitemConfig
+from .harness import Testbed, default_table_size
+from .report import format_mapping_table
+
+__all__ = ["GroupSizeProfile", "run_group_size_profile"]
+
+
+@dataclass(frozen=True)
+class GroupSizeProfile:
+    """Mean per-group error per group-size bucket, per strategy."""
+
+    buckets: Tuple[Tuple[int, int], ...]  # (lo, hi) population bounds
+    errors: Dict[str, Dict[str, float]]   # bucket label -> strategy -> error%
+    table_size: int
+
+    def format(self) -> str:
+        return format_mapping_table(
+            "group size",
+            self.errors,
+            title=(
+                "Group-size error profile (Qg3 per-group % error by "
+                f"population bucket, T={self.table_size})"
+            ),
+        )
+
+
+def _bucket_label(lo: int, hi: int) -> str:
+    return f"[{lo},{hi})"
+
+
+def run_group_size_profile(
+    table_size: Optional[int] = None,
+    sample_fraction: float = 0.07,
+    num_groups: int = 1000,
+    group_skew: float = 1.5,
+    num_buckets: int = 4,
+    seed: int = 0,
+) -> GroupSizeProfile:
+    """Run the profile experiment.
+
+    Groups are split into ``num_buckets`` quantile buckets by population;
+    per-group Qg3 errors are averaged within each bucket.
+    """
+    table_size = table_size or default_table_size()
+    config = LineitemConfig(
+        table_size=table_size,
+        num_groups=num_groups,
+        group_skew=group_skew,
+        seed=seed,
+    )
+    bed = Testbed.create(config, sample_fraction)
+    query = qg3()
+    exact = bed.exact(query)
+    key_columns = list(query.query.group_by)
+
+    populations = group_counts(bed.table, GROUPING_COLUMNS)
+    sizes = np.array(sorted(populations.values()))
+    quantiles = np.quantile(
+        sizes, np.linspace(0, 1, num_buckets + 1)
+    ).astype(int)
+    quantiles[-1] += 1  # right-open top bucket includes the maximum
+
+    buckets = [
+        (int(quantiles[i]), int(quantiles[i + 1]))
+        for i in range(num_buckets)
+    ]
+
+    errors: Dict[str, Dict[str, float]] = {
+        _bucket_label(lo, hi): {} for lo, hi in buckets
+    }
+    for strategy in bed.samples:
+        approx = bed.approximate(strategy, query)
+        per_group = groupby_error(
+            exact, approx, key_columns, "sum_qty"
+        ).per_group
+        bucket_values: Dict[Tuple[int, int], List[float]] = {
+            bucket: [] for bucket in buckets
+        }
+        for key, error in per_group.items():
+            population = populations[key]
+            for lo, hi in buckets:
+                if lo <= population < hi:
+                    bucket_values[(lo, hi)].append(error)
+                    break
+        for bucket, values in bucket_values.items():
+            label = _bucket_label(*bucket)
+            errors[label][strategy] = (
+                float(np.mean(values)) if values else float("nan")
+            )
+    return GroupSizeProfile(
+        buckets=tuple(buckets), errors=errors, table_size=table_size
+    )

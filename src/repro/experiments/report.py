@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmarks print paper-style tables (rows of Figures 14-18 / Table 3);
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_mapping_table"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_mapping_table(
+    row_label: str,
+    data: Mapping[str, Mapping[str, Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render nested mapping {row: {column: value}} as a table."""
+    rows_keys = list(data)
+    column_keys: List[str] = []
+    for row in data.values():
+        for key in row:
+            if key not in column_keys:
+                column_keys.append(key)
+    headers = [row_label] + column_keys
+    rows = [
+        [row_key] + [data[row_key].get(col, "") for col in column_keys]
+        for row_key in rows_keys
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,72 @@
+"""Scale-down factor experiment (the Section 4.6 analysis).
+
+Sweeps the pathological distribution of Equation 7 over (n, m) and reports
+Congress's scale-down factor ``f`` against the paper's closed-form bound and
+the asymptotic worst case ``2^-n``; also confirms ``f = 1`` on uniform
+cross-product data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.scaledown import (
+    pathological_counts,
+    pathological_factor_bound,
+    scale_down_factor,
+    scale_down_lower_bound,
+    uniform_cross_product_counts,
+)
+from .report import format_table
+
+__all__ = ["ScaleDownResult", "run_scaledown"]
+
+
+@dataclass(frozen=True)
+class ScaleDownResult:
+    """Rows of (n, m, f, bound, 2^-n) plus the uniform-case factors."""
+
+    rows: List[Tuple[int, int, float, float, float]]
+    uniform_factors: Dict[int, float]
+
+    def format(self) -> str:
+        table = format_table(
+            ["n=|G|", "m", "f (measured)", "paper bound", "2^-n"],
+            [list(row) for row in self.rows],
+            precision=4,
+            title="Scale-down factor under the Eq. 7 pathological distribution",
+        )
+        uniform = ", ".join(
+            f"n={n}: f={factor:.4f}"
+            for n, factor in sorted(self.uniform_factors.items())
+        )
+        return table + f"\nUniform cross-product data -> {uniform}"
+
+
+def run_scaledown(
+    configurations: Sequence[Tuple[int, int]] = (
+        (1, 4), (1, 16), (2, 4), (2, 8), (2, 16), (3, 4), (3, 6),
+    ),
+) -> ScaleDownResult:
+    """Measure ``f`` for each (n, m) pathological configuration."""
+    rows: List[Tuple[int, int, float, float, float]] = []
+    for n, m in configurations:
+        counts = pathological_counts(n, m)
+        grouping = tuple(f"A{i}" for i in range(n))
+        factor = scale_down_factor(counts, grouping)
+        rows.append(
+            (
+                n,
+                m,
+                factor,
+                pathological_factor_bound(n, m),
+                scale_down_lower_bound(n),
+            )
+        )
+    uniform_factors: Dict[int, float] = {}
+    for n in (1, 2, 3):
+        counts = uniform_cross_product_counts([3] * n)
+        grouping = tuple(f"A{i}" for i in range(n))
+        uniform_factors[n] = scale_down_factor(counts, grouping)
+    return ScaleDownResult(rows=rows, uniform_factors=uniform_factors)

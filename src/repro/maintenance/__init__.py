@@ -1,0 +1,30 @@
+"""One-pass construction and incremental maintenance (Section 6)."""
+
+from .base import KeyExtractor, MaintainedSample, SampleMaintainer
+from .basic_congress import BasicCongressMaintainer
+from .congress import CongressMaintainer
+from .datacube import CountDataCube
+from .house_senate import HouseMaintainer, SenateMaintainer
+from .onepass import (
+    construct_from_cube,
+    construct_one_pass,
+    maintainer_for,
+    subsample_to_budget,
+)
+from .topup import construct_congress_topup
+
+__all__ = [
+    "BasicCongressMaintainer",
+    "CongressMaintainer",
+    "CountDataCube",
+    "HouseMaintainer",
+    "KeyExtractor",
+    "MaintainedSample",
+    "SampleMaintainer",
+    "SenateMaintainer",
+    "construct_congress_topup",
+    "construct_from_cube",
+    "construct_one_pass",
+    "maintainer_for",
+    "subsample_to_budget",
+]

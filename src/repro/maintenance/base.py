@@ -1,0 +1,103 @@
+"""Shared machinery for the streaming sample maintainers of Section 6.
+
+All maintainers consume a stream of row tuples (values in schema order) via
+:meth:`SampleMaintainer.insert` and can, at any point, produce a
+:class:`MaintainedSample`: per-finest-group sampled rows plus the true group
+populations seen so far.  ``MaintainedSample.to_stratified()`` converts to
+the standard :class:`~repro.sampling.stratified.StratifiedSample` container
+(the base table being the sampled rows themselves, with populations carried
+from the stream counters), so estimators and rewrite strategies work
+unchanged on maintained samples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.schema import Schema
+from ..engine.table import Table
+from ..sampling.groups import GroupKey, make_key
+from ..sampling.stratified import StratifiedSample, Stratum
+
+__all__ = ["MaintainedSample", "SampleMaintainer", "KeyExtractor"]
+
+
+class KeyExtractor:
+    """Extract the finest-partition group key from a row tuple."""
+
+    def __init__(self, schema: Schema, grouping_columns: Sequence[str]):
+        self._positions = tuple(
+            schema.position(name) for name in grouping_columns
+        )
+
+    def __call__(self, row: Sequence) -> GroupKey:
+        return make_key(tuple(row[i] for i in self._positions))
+
+
+@dataclass
+class MaintainedSample:
+    """Output of a maintainer: sampled rows and populations per group."""
+
+    schema: Schema
+    grouping_columns: Tuple[str, ...]
+    rows_by_group: Dict[GroupKey, List[Tuple]]
+    populations: Dict[GroupKey, int]
+
+    @property
+    def total_sample_size(self) -> int:
+        return sum(len(rows) for rows in self.rows_by_group.values())
+
+    def sample_sizes(self) -> Dict[GroupKey, int]:
+        return {key: len(rows) for key, rows in self.rows_by_group.items()}
+
+    def to_stratified(self) -> StratifiedSample:
+        """Repackage as a :class:`StratifiedSample`.
+
+        The "base table" is the concatenation of the sampled rows; each
+        stratum's ``population`` is the true group size observed on the
+        stream, so scale factors are correct even though the full relation
+        was never materialized.
+        """
+        ordered = sorted(self.rows_by_group.items())
+        all_rows: List[Tuple] = []
+        strata: Dict[GroupKey, Stratum] = {}
+        cursor = 0
+        for key, rows in ordered:
+            population = int(self.populations.get(key, len(rows)))
+            indices = np.arange(cursor, cursor + len(rows), dtype=np.int64)
+            strata[key] = Stratum(key, population, indices)
+            all_rows.extend(rows)
+            cursor += len(rows)
+        base = Table.from_rows(self.schema, all_rows)
+        return StratifiedSample(base, self.grouping_columns, strata)
+
+
+class SampleMaintainer(ABC):
+    """Interface for the incremental maintenance algorithms of Section 6."""
+
+    def __init__(self, schema: Schema, grouping_columns: Sequence[str]):
+        for name in grouping_columns:
+            schema.column(name)
+        self.schema = schema
+        self.grouping_columns = tuple(grouping_columns)
+        self._key_of = KeyExtractor(schema, grouping_columns)
+
+    @abstractmethod
+    def insert(self, row: Sequence) -> None:
+        """Process one newly-inserted relation tuple."""
+
+    def insert_many(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def insert_table(self, table: Table) -> None:
+        """Stream an entire table through the maintainer."""
+        self.insert_many(table.iter_rows())
+
+    @abstractmethod
+    def snapshot(self) -> MaintainedSample:
+        """Produce the current sample (without disturbing internal state)."""

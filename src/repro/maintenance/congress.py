@@ -1,0 +1,140 @@
+"""Incremental maintenance of Congress samples via Equation 8 (Section 6).
+
+Invariant: every tuple ``τ`` of the relation is in the sample with
+probability ``p(τ) = min(1, max_{T ⊆ G} Y / (m_T * n_{g(τ,T)}))``, where the
+``m_T`` and ``n_h`` counters live in a :class:`CountDataCube`.
+
+Because both ``m_T`` and ``n_h`` only grow under insertions, ``p(τ)`` only
+*decreases* over time, so the invariant can be restored without touching the
+base relation: when a group's selection probability has dropped from ``p``
+to ``q`` since its members were last reconciled, each member survives an
+independent coin flip with probability ``q/p`` (the [GM98] process the paper
+cites).  All tuples of the same finest group share one probability, so we
+store a single ``p`` per group and *settle* groups lazily:
+
+* the inserted tuple's own group is settled on every insert (cheap: its
+  probability was just recomputed anyway);
+* all groups are settled in :meth:`snapshot`.
+
+Per-insert bookkeeping is ``O(2^|G|)`` counter updates, exactly as the paper
+notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.schema import Schema
+from ..sampling.bernoulli import thin_to_probability
+from ..sampling.groups import GroupKey
+from .base import MaintainedSample, SampleMaintainer
+from .datacube import CountDataCube
+
+__all__ = ["CongressMaintainer"]
+
+
+class CongressMaintainer(SampleMaintainer):
+    """Probability-based Congress maintenance (Equation 8)."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        grouping_columns: Sequence[str],
+        budget: float,
+        rng: Optional[np.random.Generator] = None,
+        settle_every: int = 0,
+    ):
+        """Args:
+        schema: relation schema.
+        grouping_columns: the stratification columns ``G``.
+        budget: the paper's ``Y`` -- the target (pre-scale-down) size knob.
+        rng: numpy generator.
+        settle_every: if > 0, settle *all* groups each time this many
+            inserts have accumulated (bounds staleness between snapshots;
+            0 = settle only the touched group, plus at snapshot time).
+        """
+        super().__init__(schema, grouping_columns)
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self._budget = float(budget)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._cube = CountDataCube(grouping_columns)
+        self._members: Dict[GroupKey, List[Tuple]] = {}
+        self._stored_p: Dict[GroupKey, float] = {}
+        self._settle_every = settle_every
+        self._since_settle = 0
+
+    @property
+    def budget(self) -> float:
+        return self._budget
+
+    @property
+    def cube(self) -> CountDataCube:
+        return self._cube
+
+    def current_probability(self, key: GroupKey) -> float:
+        """The Eq. 8 selection probability for tuples of group ``key`` now."""
+        return self._cube.selection_probability(tuple(key), self._budget)
+
+    def _settle(self, key: GroupKey) -> float:
+        """Re-flip group members down to the current probability.
+
+        Returns the (settled) current probability.  Members were uniformly
+        retained at the stored probability ``p >= q``; after thinning each
+        survives with marginal probability exactly ``q``.
+        """
+        current = self.current_probability(key)
+        stored = self._stored_p.get(key)
+        if stored is None:
+            self._stored_p[key] = current
+            return current
+        if current < stored - 1e-15:
+            members = self._members.get(key, [])
+            if members:
+                self._members[key] = thin_to_probability(
+                    members, stored, current, self._rng
+                )
+            self._stored_p[key] = current
+        return self._stored_p[key]
+
+    def settle_all(self) -> None:
+        """Reconcile every group with the current counters."""
+        for key in list(self._stored_p):
+            self._settle(key)
+        self._since_settle = 0
+
+    def insert(self, row: Sequence) -> None:
+        row = tuple(row)
+        key = self._key_of(row)
+        self._cube.observe(key)
+        probability = self._settle(key)
+        if self._rng.random() < probability:
+            self._members.setdefault(key, []).append(row)
+        self._since_settle += 1
+        if self._settle_every and self._since_settle >= self._settle_every:
+            self.settle_all()
+
+    def snapshot(self) -> MaintainedSample:
+        self.settle_all()
+        rows_by_group = {
+            key: list(members)
+            for key, members in self._members.items()
+            if members
+        }
+        return MaintainedSample(
+            schema=self.schema,
+            grouping_columns=self.grouping_columns,
+            rows_by_group=rows_by_group,
+            populations=self._cube.finest_counts(),
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def expected_sizes(self) -> Dict[GroupKey, float]:
+        """Current ``n_g * p_g`` per group (the pre-scale-down targets)."""
+        out = {}
+        for key, n_g in self._cube.finest_counts().items():
+            out[key] = n_g * self.current_probability(key)
+        return out

@@ -1,0 +1,121 @@
+"""Count data cube over all groupings of the grouping attributes.
+
+Section 6 of the paper: "Given a data cube of the counts of each group in
+all possible groupings, the target sizes are known, and any of our biased
+samples can be constructed in one pass."  This module provides that cube --
+for every grouping ``T ⊆ G`` it tracks ``m_T`` (the number of non-empty
+groups under ``T``) and ``n_h`` for each group ``h`` -- maintained
+incrementally at O(2^|G|) counter updates per inserted tuple, which is also
+exactly the bookkeeping the Eq. 8 Congress maintainer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..engine.table import Table
+from ..sampling.groups import (
+    GroupKey,
+    all_groupings,
+    group_counts,
+    project_key,
+)
+
+__all__ = ["CountDataCube"]
+
+
+class CountDataCube:
+    """Group counts for every grouping ``T ⊆ G``, incrementally updated."""
+
+    def __init__(self, grouping_columns: Sequence[str]):
+        self._grouping_columns = tuple(grouping_columns)
+        self._groupings: Tuple[Tuple[str, ...], ...] = tuple(
+            all_groupings(self._grouping_columns)
+        )
+        # Precompute key positions per grouping to avoid per-insert lookups.
+        positions = {name: i for i, name in enumerate(self._grouping_columns)}
+        self._projections: Dict[Tuple[str, ...], Tuple[int, ...]] = {
+            target: tuple(positions[name] for name in target)
+            for target in self._groupings
+        }
+        self._counts: Dict[Tuple[str, ...], Dict[GroupKey, int]] = {
+            target: {} for target in self._groupings
+        }
+        self._total = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls, table: Table, grouping_columns: Sequence[str]
+    ) -> "CountDataCube":
+        """Build the cube from a materialized relation in one pass."""
+        cube = cls(grouping_columns)
+        finest = group_counts(table, grouping_columns)
+        cube.observe_counts(finest)
+        return cube
+
+    def observe(self, key: GroupKey) -> None:
+        """Record one tuple belonging to finest group ``key``."""
+        self.observe_counts({tuple(key): 1})
+
+    def observe_counts(self, finest_counts: Mapping[GroupKey, int]) -> None:
+        """Record many tuples at once from finest-group counts."""
+        for key, count in finest_counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for group {key}: {count}")
+            self._total += count
+            for target in self._groupings:
+                positions = self._projections[target]
+                projected = tuple(key[i] for i in positions)
+                bucket = self._counts[target]
+                bucket[projected] = bucket.get(projected, 0) + count
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def grouping_columns(self) -> Tuple[str, ...]:
+        return self._grouping_columns
+
+    @property
+    def groupings(self) -> Tuple[Tuple[str, ...], ...]:
+        return self._groupings
+
+    @property
+    def total(self) -> int:
+        """Total number of tuples observed (``|R|``)."""
+        return self._total
+
+    def num_groups(self, target: Sequence[str]) -> int:
+        """``m_T``: non-empty groups under grouping ``target``."""
+        return len(self._counts[tuple(target)])
+
+    def count(self, target: Sequence[str], group: GroupKey) -> int:
+        """``n_h`` for group ``h`` under grouping ``target`` (0 if unseen)."""
+        return self._counts[tuple(target)].get(tuple(group), 0)
+
+    def counts(self, target: Sequence[str]) -> Dict[GroupKey, int]:
+        """All group counts under ``target`` (copy)."""
+        return dict(self._counts[tuple(target)])
+
+    def finest_counts(self) -> Dict[GroupKey, int]:
+        """Counts at the finest partitioning (grouping = ``G``)."""
+        return dict(self._counts[self._grouping_columns])
+
+    def selection_probability(self, key: GroupKey, budget: float) -> float:
+        """Equation 8's (un-normalized) per-tuple selection probability.
+
+        ``max_{T ⊆ G} budget / (m_T * n_{g(τ,T)})`` for a tuple in finest
+        group ``key``, clamped to 1.  This is what the Eq. 8 Congress
+        maintainer keeps as its acceptance probability.
+        """
+        best = 0.0
+        for target in self._groupings:
+            positions = self._projections[target]
+            projected = tuple(key[i] for i in positions)
+            m_t = len(self._counts[target])
+            n_h = self._counts[target].get(projected, 0)
+            if m_t == 0 or n_h == 0:
+                continue
+            best = max(best, budget / (m_t * n_h))
+        return min(1.0, best)

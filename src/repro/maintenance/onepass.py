@@ -1,0 +1,140 @@
+"""One-pass construction drivers (Section 6).
+
+Two routes to a congressional sample without a precomputed data cube:
+
+* run the corresponding incremental maintainer over the stream with
+  ``Y = X``, then *subsample* the floating-size result down to the fixed
+  budget ``X`` (``run the algorithm with Y = X, computing the scale down
+  factor, and then subsampling the sample to achieve the desired size X``);
+* or, when a :class:`~repro.maintenance.datacube.CountDataCube` *is*
+  available, compute exact target sizes and reservoir-sample each group in
+  one pass (:func:`construct_from_cube`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.allocation import AllocationStrategy
+from ..engine.schema import Schema
+from ..engine.table import Table
+from ..sampling.bernoulli import subsample_exact
+from ..sampling.groups import GroupKey
+from ..sampling.rounding import largest_remainder_round
+from ..sampling.stratified import StratifiedSample
+from .base import MaintainedSample, SampleMaintainer
+from .basic_congress import BasicCongressMaintainer
+from .congress import CongressMaintainer
+from .datacube import CountDataCube
+from .house_senate import HouseMaintainer, SenateMaintainer
+
+__all__ = [
+    "subsample_to_budget",
+    "construct_one_pass",
+    "construct_from_cube",
+    "maintainer_for",
+]
+
+RowStream = Iterable[Sequence]
+
+
+def subsample_to_budget(
+    maintained: MaintainedSample,
+    budget: int,
+    rng: Optional[np.random.Generator] = None,
+) -> MaintainedSample:
+    """Uniformly subsample each group so the total sample size is ``budget``.
+
+    Per-group targets are proportional to realized sizes (this applies the
+    scale-down factor ``f`` of Equation 6 empirically), rounded by largest
+    remainder so the final total is exact.  Subsampling a uniform sample
+    uniformly yields a uniform sample, so stratum validity is preserved.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    sizes = maintained.sample_sizes()
+    total = sum(sizes.values())
+    if total <= budget:
+        return maintained
+    factor = budget / total
+    fractional = {key: size * factor for key, size in sizes.items()}
+    targets = largest_remainder_round(fractional, total=budget, caps=sizes)
+    rows_by_group: Dict[GroupKey, list] = {}
+    for key, rows in maintained.rows_by_group.items():
+        kept = subsample_exact(rows, targets.get(key, 0), rng)
+        if kept:
+            rows_by_group[key] = kept
+    return MaintainedSample(
+        schema=maintained.schema,
+        grouping_columns=maintained.grouping_columns,
+        rows_by_group=rows_by_group,
+        populations=dict(maintained.populations),
+    )
+
+
+def maintainer_for(
+    strategy_name: str,
+    schema: Schema,
+    grouping_columns: Sequence[str],
+    budget: int,
+    rng: Optional[np.random.Generator] = None,
+) -> SampleMaintainer:
+    """Instantiate the Section 6 maintainer for an allocation strategy name."""
+    name = strategy_name.lower()
+    if name == "house":
+        return HouseMaintainer(schema, grouping_columns, budget, rng)
+    if name == "senate":
+        return SenateMaintainer(schema, grouping_columns, budget, rng)
+    if name == "basic_congress":
+        return BasicCongressMaintainer(schema, grouping_columns, budget, rng)
+    if name == "congress":
+        return CongressMaintainer(schema, grouping_columns, budget, rng)
+    raise ValueError(
+        f"no maintainer for strategy {strategy_name!r}; choose from "
+        "house, senate, basic_congress, congress"
+    )
+
+
+def construct_one_pass(
+    strategy_name: str,
+    source: Union[Table, RowStream],
+    schema: Schema,
+    grouping_columns: Sequence[str],
+    budget: int,
+    rng: Optional[np.random.Generator] = None,
+) -> StratifiedSample:
+    """Build a sample in one pass over ``source`` without a data cube.
+
+    Runs the strategy's maintainer with ``Y = budget`` and subsamples the
+    result to exactly ``budget`` tuples (when it overshoots).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    maintainer = maintainer_for(strategy_name, schema, grouping_columns, budget, rng)
+    if isinstance(source, Table):
+        maintainer.insert_table(source)
+    else:
+        maintainer.insert_many(source)
+    maintained = maintainer.snapshot()
+    maintained = subsample_to_budget(maintained, budget, rng)
+    return maintained.to_stratified()
+
+
+def construct_from_cube(
+    strategy: AllocationStrategy,
+    cube: CountDataCube,
+    table: Table,
+    budget: float,
+    rng: Optional[np.random.Generator] = None,
+) -> StratifiedSample:
+    """Build a sample in one pass given a precomputed count data cube.
+
+    With the cube the exact per-group targets are known up front, so a
+    single pass of independent per-group reservoirs (here: vectorized
+    choice without replacement) materializes the sample.
+    """
+    counts = cube.finest_counts()
+    allocation = strategy.allocate(counts, cube.grouping_columns, budget)
+    return StratifiedSample.build(
+        table, cube.grouping_columns, allocation.rounded(), rng=rng
+    )

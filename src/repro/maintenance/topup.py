@@ -1,0 +1,127 @@
+"""The Section 4.6 "top-up" construction of a congressional sample.
+
+The paper's third definition of Congress is the pseudocode::
+
+    compute f using Equation 6
+    for i = 0, 1, ..., |G|
+      for each T ⊆ G with |T| = i
+        for each nonempty group g under grouping T
+          let s_g be the number of sampled tuples selected for g in any
+              previous sampling for a grouping T' ⊂ T
+          if (s_g < f * X / m_T) then
+            select f*X/m_T - s_g additional tuples uniformly at random
+            from group g
+
+It "explicitly exploits the fact that a uniform random sample for a group
+g under grouping T can use the sampled tuples from g in any previously
+selected uniform random sample for a grouping T' ⊂ T": groupings are
+visited coarse-to-fine, and each group only *tops up* what coarser
+groupings already contributed.
+
+The result is a per-finest-group sample whose expected sizes match
+Congress's Equation 5 targets ("in practice, the difference between these
+approaches is negligible" -- verified in the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.congress import Congress
+from ..engine.table import Table
+from ..sampling.groups import (
+    GroupKey,
+    all_groupings,
+    finest_group_ids,
+    project_key,
+)
+from ..sampling.stratified import StratifiedSample, Stratum
+
+__all__ = ["construct_congress_topup"]
+
+
+def construct_congress_topup(
+    table: Table,
+    grouping_columns: Sequence[str],
+    budget: float,
+    rng: Optional[np.random.Generator] = None,
+) -> StratifiedSample:
+    """Build a congressional sample by coarse-to-fine top-up sampling.
+
+    Args:
+        table: base relation.
+        grouping_columns: the grouping set ``G``.
+        budget: the space budget ``X``.
+        rng: numpy generator.
+
+    Returns:
+        A :class:`StratifiedSample` over the finest partitioning whose
+        strata hold the union of all top-up draws.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    grouping_columns = tuple(grouping_columns)
+
+    ids, keys = finest_group_ids(table, grouping_columns)
+    bincounts = np.bincount(ids, minlength=len(keys))
+    counts = {key: int(bincounts[i]) for i, key in enumerate(keys)}
+
+    # Equation 6's scale-down factor from the standard Congress allocation.
+    allocation = Congress().allocate(counts, grouping_columns, budget)
+    factor = allocation.scale_down_factor
+
+    # Per finest group: row indices (into the table) and the selected set.
+    order = np.argsort(ids, kind="stable")
+    boundaries = np.searchsorted(ids[order], np.arange(len(keys) + 1))
+    members: Dict[GroupKey, np.ndarray] = {
+        key: order[boundaries[i] : boundaries[i + 1]]
+        for i, key in enumerate(keys)
+    }
+    selected: Dict[GroupKey, Set[int]] = {key: set() for key in keys}
+
+    # Visit groupings coarse-to-fine (all_groupings orders by subset size).
+    for target in all_groupings(grouping_columns):
+        # Group the finest keys by their projection under `target`.
+        by_coarse: Dict[GroupKey, List[GroupKey]] = {}
+        for key in keys:
+            coarse = project_key(key, grouping_columns, target)
+            by_coarse.setdefault(coarse, []).append(key)
+        m_t = len(by_coarse)
+        share = factor * budget / m_t
+        for coarse, subgroup_keys in by_coarse.items():
+            already = sum(len(selected[key]) for key in subgroup_keys)
+            deficit = share - already
+            if deficit <= 0:
+                continue
+            # Candidates: group members not yet selected, across subgroups.
+            candidates = np.concatenate(
+                [
+                    members[key][
+                        ~np.isin(
+                            members[key],
+                            np.fromiter(selected[key], dtype=np.int64,
+                                        count=len(selected[key])),
+                        )
+                    ]
+                    if selected[key]
+                    else members[key]
+                    for key in subgroup_keys
+                ]
+            )
+            want = min(int(round(deficit)), len(candidates))
+            if want <= 0:
+                continue
+            chosen = rng.choice(candidates, size=want, replace=False)
+            for row_index in chosen.tolist():
+                selected[keys[ids[row_index]]].add(int(row_index))
+
+    strata = {
+        key: Stratum(
+            key,
+            counts[key],
+            np.asarray(sorted(selected[key]), dtype=np.int64),
+        )
+        for key in keys
+    }
+    return StratifiedSample(table, grouping_columns, strata)

@@ -1,0 +1,21 @@
+"""Group-by answer quality metrics (Definition 3.1)."""
+
+from .mac_error import MacError, mac_error, mac_error_values
+from .groupby_error import (
+    GroupByError,
+    MISSING_GROUP_ERROR_PCT,
+    groupby_error,
+    mean_errors,
+    relative_error_pct,
+)
+
+__all__ = [
+    "GroupByError",
+    "MacError",
+    "mac_error",
+    "mac_error_values",
+    "MISSING_GROUP_ERROR_PCT",
+    "groupby_error",
+    "mean_errors",
+    "relative_error_pct",
+]

@@ -1,0 +1,137 @@
+"""Error metrics for group-by answers (Section 3.2, Definition 3.1).
+
+Per-group error is the percentage relative error (Equation 1)::
+
+    eps_i = |c_i - c'_i| / |c_i| * 100
+
+and the query-level error is an L-norm over the groups:
+
+* ``eps_inf`` -- worst group,
+* ``eps_l1``  -- mean over groups,
+* ``eps_l2``  -- root mean square over groups.
+
+The paper's first user requirement -- every exact-answer group must appear
+in the approximate answer -- is tracked via ``missing_groups``; by default a
+missing group counts as 100% error (its estimate is effectively zero
+knowledge), which is also how we score House's empty small groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.table import Table
+from ..sampling.groups import GroupKey, make_key
+
+__all__ = ["GroupByError", "relative_error_pct", "groupby_error", "mean_errors"]
+
+MISSING_GROUP_ERROR_PCT = 100.0
+
+
+def relative_error_pct(exact: float, approx: float) -> float:
+    """Equation 1.  An exact value of 0 yields 0% iff approx is 0, else inf."""
+    if exact == 0:
+        return 0.0 if approx == 0 else float("inf")
+    return abs(exact - approx) / abs(exact) * 100.0
+
+
+@dataclass(frozen=True)
+class GroupByError:
+    """Error summary for one group-by query answer."""
+
+    per_group: Dict[GroupKey, float]
+    missing_groups: Tuple[GroupKey, ...]
+    extra_groups: Tuple[GroupKey, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.per_group)
+
+    def _values(self) -> np.ndarray:
+        return np.array(list(self.per_group.values()), dtype=np.float64)
+
+    @property
+    def eps_inf(self) -> float:
+        """Definition 3.1: worst-group error."""
+        values = self._values()
+        return float(values.max()) if len(values) else 0.0
+
+    @property
+    def eps_l1(self) -> float:
+        """Definition 3.1: mean group error."""
+        values = self._values()
+        return float(values.mean()) if len(values) else 0.0
+
+    @property
+    def eps_l2(self) -> float:
+        """Definition 3.1: RMS group error."""
+        values = self._values()
+        return float(np.sqrt(np.mean(values ** 2))) if len(values) else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of exact-answer groups present in the approximation."""
+        total = len(self.per_group)
+        if total == 0:
+            return 1.0
+        return 1.0 - len(self.missing_groups) / total
+
+
+def _answers_by_key(
+    table: Table, key_columns: Sequence[str], value_column: str
+) -> Dict[GroupKey, float]:
+    keys = [table.column(name) for name in key_columns]
+    values = table.column(value_column)
+    out: Dict[GroupKey, float] = {}
+    for i in range(table.num_rows):
+        key = make_key(tuple(arr[i] for arr in keys))
+        out[key] = float(values[i])
+    return out
+
+
+def groupby_error(
+    exact: Table,
+    approx: Table,
+    key_columns: Sequence[str],
+    value_column: str,
+    missing_error_pct: float = MISSING_GROUP_ERROR_PCT,
+) -> GroupByError:
+    """Match groups between exact and approximate answers and score them.
+
+    Unlike the MAC error the paper rejects, groups are matched by *key
+    equality*, so errors are attributed to the right group.  Groups present
+    only in the exact answer score ``missing_error_pct``; groups present
+    only in the approximation are reported but not scored (they don't exist
+    in the exact answer, which the paper's metrics don't penalize).
+    """
+    exact_by_key = _answers_by_key(exact, key_columns, value_column)
+    approx_by_key = _answers_by_key(approx, key_columns, value_column)
+
+    per_group: Dict[GroupKey, float] = {}
+    missing: List[GroupKey] = []
+    for key, exact_value in exact_by_key.items():
+        if key in approx_by_key:
+            per_group[key] = relative_error_pct(exact_value, approx_by_key[key])
+        else:
+            per_group[key] = missing_error_pct
+            missing.append(key)
+    extra = tuple(k for k in approx_by_key if k not in exact_by_key)
+    return GroupByError(
+        per_group=per_group,
+        missing_groups=tuple(missing),
+        extra_groups=extra,
+    )
+
+
+def mean_errors(errors: Sequence[GroupByError]) -> Dict[str, float]:
+    """Average the three norms over a set of queries (the ``Q_g0`` set)."""
+    if not errors:
+        return {"eps_inf": 0.0, "eps_l1": 0.0, "eps_l2": 0.0}
+    return {
+        "eps_inf": float(np.mean([e.eps_inf for e in errors])),
+        "eps_l1": float(np.mean([e.eps_l1 for e in errors])),
+        "eps_l2": float(np.mean([e.eps_l2 for e in errors])),
+    }

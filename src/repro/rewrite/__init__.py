@@ -1,0 +1,72 @@
+"""Query rewriting strategies for biased samples (Section 5 of the paper)."""
+
+from .base import (
+    InstalledSynopsis,
+    RewriteError,
+    RewriteStrategy,
+    scale_select_list,
+)
+from .integrated import Integrated
+from .key_normalized import KeyNormalized
+from .nested_integrated import NestedIntegrated
+from .normalized import Normalized
+from .plan import JoinSpec, RatioColumn, RewrittenPlan
+
+ALL_STRATEGIES = (Integrated, NestedIntegrated, Normalized, KeyNormalized)
+
+
+def strategy_by_name(name: str) -> RewriteStrategy:
+    """Instantiate a rewrite strategy from its paper name."""
+    for cls in ALL_STRATEGIES:
+        if cls.name == name:
+            return cls()
+    raise ValueError(
+        f"unknown rewrite strategy {name!r}; "
+        f"choose from {[cls.name for cls in ALL_STRATEGIES]}"
+    )
+
+
+def recommend_strategy(
+    updates_per_query: float, num_groups_hint: int = 1000
+) -> RewriteStrategy:
+    """The Section 7.3.3 recommendation, as code.
+
+    "If the update frequencies are moderate to rare, Integrated (or
+    Nested-integrated) should be the technique(s) of choice.  Only the
+    (rare) high frequency update case warrants ... Key-normalized."
+
+    Args:
+        updates_per_query: warehouse inserts per approximate query answered.
+            Below ~1000 counts as "moderate to rare" -- the sample is
+            re-materialized far less often than it is queried.
+        num_groups_hint: expected group count; at small group counts
+            Nested-integrated's per-group scaling wins (Figure 18's left
+            side), at large counts plain Integrated does.
+    """
+    if updates_per_query < 0:
+        raise ValueError(
+            f"updates_per_query must be >= 0, got {updates_per_query}"
+        )
+    if updates_per_query > 1000:
+        return KeyNormalized()
+    if num_groups_hint <= 1000:
+        return NestedIntegrated()
+    return Integrated()
+
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "InstalledSynopsis",
+    "Integrated",
+    "JoinSpec",
+    "KeyNormalized",
+    "NestedIntegrated",
+    "Normalized",
+    "RatioColumn",
+    "RewriteError",
+    "RewriteStrategy",
+    "RewrittenPlan",
+    "recommend_strategy",
+    "scale_select_list",
+    "strategy_by_name",
+]

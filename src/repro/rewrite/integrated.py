@@ -1,0 +1,65 @@
+"""*Integrated* rewriting (Figure 8).
+
+The scale factor is stored as an extra ``SF`` column on every sample tuple.
+Rewriting is then purely textual -- ``sum(Q)`` becomes ``sum(Q*SF)`` -- and
+execution needs no join.  The costs: one multiplication per tuple at query
+time, one float of storage per tuple, and expensive maintenance (an
+insert that changes a stratum's rate must update the SF of *all* tuples in
+that stratum).
+"""
+
+from __future__ import annotations
+
+from ..engine.catalog import Catalog
+from ..engine.query import Query
+from ..sampling.stratified import StratifiedSample
+from .base import InstalledSynopsis, RewriteStrategy, scale_select_list
+from .plan import RatioColumn, RewrittenPlan
+
+__all__ = ["Integrated"]
+
+
+class Integrated(RewriteStrategy):
+    """Per-tuple SF column; flat scaled aggregation."""
+
+    name = "integrated"
+
+    def sample_table_name(self, base_name: str) -> str:
+        return f"bs_{base_name}"
+
+    def install(
+        self,
+        sample: StratifiedSample,
+        base_name: str,
+        catalog: Catalog,
+        replace: bool = False,
+    ) -> InstalledSynopsis:
+        table = sample.integrated_relation()
+        name = self.sample_table_name(base_name)
+        catalog.register(name, table, replace=replace)
+        return InstalledSynopsis(
+            strategy=self.name,
+            base_name=base_name,
+            grouping_columns=sample.grouping_columns,
+            sample_name=name,
+        )
+
+    def plan(self, query: Query, synopsis: InstalledSynopsis) -> RewrittenPlan:
+        self._check_query(query, synopsis)
+        select, ratio_triples = scale_select_list(query)
+        rewritten = Query(
+            select=tuple(select),
+            from_item=synopsis.sample_name,
+            where=query.where,
+            group_by=query.group_by,
+            order_by=(),
+        )
+        return RewrittenPlan(
+            strategy=self.name,
+            query=rewritten,
+            output=tuple(query.output_aliases()),
+            ratios=tuple(RatioColumn(*t) for t in ratio_triples),
+            having=query.having,
+            order_by=query.order_by,
+            limit=query.limit,
+        )

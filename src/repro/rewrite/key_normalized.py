@@ -1,0 +1,77 @@
+"""*Key-normalized* rewriting (Figure 10).
+
+Like Normalized, but each stratum is identified by a compact integer group
+id: the sample relation carries a ``GID`` column and the auxiliary relation
+is ``AuxRel(GID, SF)``.  The join predicate involves a single integer
+attribute instead of all the grouping columns, which is why the paper
+measures it slightly faster than Normalized.
+"""
+
+from __future__ import annotations
+
+from ..engine.catalog import Catalog
+from ..engine.query import Query
+from ..sampling.stratified import GID_COLUMN, StratifiedSample
+from .base import InstalledSynopsis, RewriteStrategy, scale_select_list
+from .plan import JoinSpec, RatioColumn, RewrittenPlan
+
+__all__ = ["KeyNormalized"]
+
+
+class KeyNormalized(RewriteStrategy):
+    """AuxRel keyed by an integer GID; single-attribute join."""
+
+    name = "key_normalized"
+
+    def sample_table_name(self, base_name: str) -> str:
+        return f"bsk_{base_name}"
+
+    def aux_table_name(self, base_name: str) -> str:
+        return f"auxk_{base_name}"
+
+    def install(
+        self,
+        sample: StratifiedSample,
+        base_name: str,
+        catalog: Catalog,
+        replace: bool = False,
+    ) -> InstalledSynopsis:
+        samp_rel, aux_rel = sample.key_normalized_relations()
+        sample_name = self.sample_table_name(base_name)
+        aux_name = self.aux_table_name(base_name)
+        catalog.register(sample_name, samp_rel, replace=replace)
+        catalog.register(aux_name, aux_rel, replace=replace)
+        return InstalledSynopsis(
+            strategy=self.name,
+            base_name=base_name,
+            grouping_columns=sample.grouping_columns,
+            sample_name=sample_name,
+            aux_name=aux_name,
+        )
+
+    def plan(self, query: Query, synopsis: InstalledSynopsis) -> RewrittenPlan:
+        self._check_query(query, synopsis)
+        select, ratio_triples = scale_select_list(query)
+        rewritten = Query(
+            select=tuple(select),
+            from_item=synopsis.sample_name,
+            where=query.where,
+            group_by=query.group_by,
+        )
+        assert synopsis.aux_name is not None
+        join = JoinSpec(
+            left=synopsis.sample_name,
+            right=synopsis.aux_name,
+            left_on=(GID_COLUMN,),
+            right_on=(GID_COLUMN,),
+        )
+        return RewrittenPlan(
+            strategy=self.name,
+            query=rewritten,
+            output=tuple(query.output_aliases()),
+            join=join,
+            ratios=tuple(RatioColumn(*t) for t in ratio_triples),
+            having=query.having,
+            order_by=query.order_by,
+            limit=query.limit,
+        )

@@ -1,0 +1,128 @@
+"""*Nested-integrated* rewriting (Figures 11 and 13).
+
+Same physical layout as Integrated (per-tuple ``SF`` column) but the plan
+first aggregates *within* each (answer group, SF) pair and multiplies by the
+scale factor once per group rather than once per tuple::
+
+    select A, B, sum(SQ * SF)
+    from (select A, B, SF, sum(Q) as SQ
+          from SampRel group by A, B, SF)
+    group by A, B
+
+Grouping by ``(A, B, SF)`` is the trick: tuples of the same stratum share an
+SF, so the inner group-by splits each answer group by stratum exactly.  For
+AVG the outer query computes ``sum(SQ*SF) / sum(SC*SF)`` where ``SC`` is the
+inner per-group count (Figure 13).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from ..engine.aggregates import Aggregate
+from ..engine.catalog import Catalog
+from ..engine.expressions import Col
+from ..engine.query import Projection, Query
+from ..sampling.stratified import SF_COLUMN, StratifiedSample
+from .base import InstalledSynopsis, RewriteError, RewriteStrategy
+from .integrated import Integrated
+from .plan import RatioColumn, RewrittenPlan
+
+__all__ = ["NestedIntegrated"]
+
+
+class NestedIntegrated(RewriteStrategy):
+    """Per-tuple SF column; nested per-(group, stratum) pre-aggregation."""
+
+    name = "nested_integrated"
+
+    def __init__(self) -> None:
+        self._layout = Integrated()
+
+    def sample_table_name(self, base_name: str) -> str:
+        return self._layout.sample_table_name(base_name)
+
+    def install(
+        self,
+        sample: StratifiedSample,
+        base_name: str,
+        catalog: Catalog,
+        replace: bool = False,
+    ) -> InstalledSynopsis:
+        inner = self._layout.install(sample, base_name, catalog, replace=replace)
+        return InstalledSynopsis(
+            strategy=self.name,
+            base_name=base_name,
+            grouping_columns=inner.grouping_columns,
+            sample_name=inner.sample_name,
+        )
+
+    def plan(self, query: Query, synopsis: InstalledSynopsis) -> RewrittenPlan:
+        self._check_query(query, synopsis)
+
+        sf = Col(SF_COLUMN)
+        inner_keys = tuple(query.group_by) + (SF_COLUMN,)
+        inner_select: List[Union[Projection, Aggregate]] = [
+            Projection(Col(name), name) for name in inner_keys
+        ]
+        outer_select: List[Union[Projection, Aggregate]] = []
+        ratios: List[RatioColumn] = []
+        counter = 0
+        need_count = False
+
+        for item in query.select:
+            if isinstance(item, Projection):
+                outer_select.append(item)
+                continue
+            if item.func == "sum":
+                sq = f"__sq{counter}"
+                counter += 1
+                inner_select.append(Aggregate("sum", item.expr, sq))
+                outer_select.append(Aggregate("sum", Col(sq) * sf, item.alias))
+            elif item.func == "count":
+                need_count = True
+                outer_select.append(
+                    Aggregate("sum", Col("__sc") * sf, item.alias)
+                )
+            elif item.func == "avg":
+                sq = f"__sq{counter}"
+                num = f"__num{counter}"
+                den = f"__den{counter}"
+                counter += 1
+                need_count = True
+                inner_select.append(Aggregate("sum", item.expr, sq))
+                outer_select.append(Aggregate("sum", Col(sq) * sf, num))
+                outer_select.append(Aggregate("sum", Col("__sc") * sf, den))
+                ratios.append(RatioColumn(item.alias, num, den))
+            elif item.func in ("min", "max"):
+                mv = f"__mm{counter}"
+                counter += 1
+                inner_select.append(Aggregate(item.func, item.expr, mv))
+                outer_select.append(Aggregate(item.func, Col(mv), item.alias))
+            else:
+                raise RewriteError(f"aggregate {item.func!r} has no rewrite rule")
+
+        if need_count:
+            inner_select.append(Aggregate.count_star("__sc"))
+
+        inner = Query(
+            select=tuple(inner_select),
+            from_item=synopsis.sample_name,
+            where=query.where,
+            group_by=inner_keys,
+        )
+        outer = Query(
+            select=tuple(outer_select),
+            from_item=inner,
+            where=None,
+            group_by=query.group_by,
+        )
+        return RewrittenPlan(
+            strategy=self.name,
+            query=outer,
+            output=tuple(query.output_aliases()),
+            ratios=tuple(ratios),
+            having=query.having,
+            order_by=query.order_by,
+            limit=query.limit,
+        )

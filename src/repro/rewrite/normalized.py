@@ -1,0 +1,78 @@
+"""*Normalized* rewriting (Figure 9).
+
+The sample relation stores no scale factors; a separate auxiliary relation
+``AuxRel(grouping columns..., SF)`` holds one row per stratum.  Query
+execution joins ``SampRel ⋈ AuxRel`` on the grouping columns and then
+aggregates as Integrated would.  Maintenance is cheap -- a rate change
+touches one AuxRel row -- but every query pays the join, and the join
+predicate spans all the grouping columns.
+"""
+
+from __future__ import annotations
+
+from ..engine.catalog import Catalog
+from ..engine.query import Query
+from ..sampling.stratified import StratifiedSample
+from .base import InstalledSynopsis, RewriteStrategy, scale_select_list
+from .plan import JoinSpec, RatioColumn, RewrittenPlan
+
+__all__ = ["Normalized"]
+
+
+class Normalized(RewriteStrategy):
+    """AuxRel keyed by the grouping columns; join at query time."""
+
+    name = "normalized"
+
+    def sample_table_name(self, base_name: str) -> str:
+        return f"bsn_{base_name}"
+
+    def aux_table_name(self, base_name: str) -> str:
+        return f"auxn_{base_name}"
+
+    def install(
+        self,
+        sample: StratifiedSample,
+        base_name: str,
+        catalog: Catalog,
+        replace: bool = False,
+    ) -> InstalledSynopsis:
+        samp_rel, aux_rel = sample.normalized_relations()
+        sample_name = self.sample_table_name(base_name)
+        aux_name = self.aux_table_name(base_name)
+        catalog.register(sample_name, samp_rel, replace=replace)
+        catalog.register(aux_name, aux_rel, replace=replace)
+        return InstalledSynopsis(
+            strategy=self.name,
+            base_name=base_name,
+            grouping_columns=sample.grouping_columns,
+            sample_name=sample_name,
+            aux_name=aux_name,
+        )
+
+    def plan(self, query: Query, synopsis: InstalledSynopsis) -> RewrittenPlan:
+        self._check_query(query, synopsis)
+        select, ratio_triples = scale_select_list(query)
+        rewritten = Query(
+            select=tuple(select),
+            from_item=synopsis.sample_name,  # informational; join provides rows
+            where=query.where,
+            group_by=query.group_by,
+        )
+        assert synopsis.aux_name is not None
+        join = JoinSpec(
+            left=synopsis.sample_name,
+            right=synopsis.aux_name,
+            left_on=synopsis.grouping_columns,
+            right_on=synopsis.grouping_columns,
+        )
+        return RewrittenPlan(
+            strategy=self.name,
+            query=rewritten,
+            output=tuple(query.output_aliases()),
+            join=join,
+            ratios=tuple(RatioColumn(*t) for t in ratio_triples),
+            having=query.having,
+            order_by=query.order_by,
+            limit=query.limit,
+        )

@@ -1,0 +1,146 @@
+"""Executable rewritten-query plans.
+
+A rewrite strategy turns a user query into a :class:`RewrittenPlan`: a
+logical query over the strategy's sample relation(s), optionally preceded by
+a join (Normalized / Key-normalized) and followed by post-aggregation ratio
+columns (the ``sum(Q*SF)/sum(SF)`` of AVG rewrites).
+
+Keeping the join as an explicit plan step -- rather than extending the
+engine's FROM clause -- mirrors what the paper measures: Normalized pays for
+a join *at query time*, and that cost is exactly what Experiments 3 and 4
+compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.catalog import Catalog
+from ..engine.executor import execute, execute_on_table
+from ..engine.join import hash_join
+from ..engine.predicates import Predicate
+from ..engine.query import Query
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.table import Table
+
+__all__ = ["JoinSpec", "RatioColumn", "RewrittenPlan"]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A pre-aggregation hash join between two catalog tables."""
+
+    left: str
+    right: str
+    left_on: Tuple[str, ...]
+    right_on: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RatioColumn:
+    """A post-aggregation derived column ``alias = numerator / denominator``.
+
+    Used for AVG rewrites, where the unbiased estimate is the ratio of two
+    scaled aggregates computed in the same pass.
+    """
+
+    alias: str
+    numerator: str
+    denominator: str
+
+
+@dataclass(frozen=True)
+class RewrittenPlan:
+    """A fully-specified executable rewrite of a user query.
+
+    Attributes:
+        strategy: name of the rewrite strategy that built the plan.
+        query: the aggregation query.  If ``join`` is set, the query runs
+            over the join result (its FROM name is ignored); otherwise it
+            runs against the catalog as-is (possibly nested).
+        join: optional pre-aggregation join step.
+        ratios: post-aggregation ratio columns to compute.
+        output: final output aliases in order (internal columns consumed by
+            ratios are dropped unless listed here).
+        having: the user query's HAVING predicate, applied to the *scaled*
+            answer (after ratios) -- SQL semantics demand the filter sees
+            the estimates the user asked for, not internal sums.
+        order_by: the user query's ORDER BY, applied to the final answer.
+        limit: the user query's LIMIT, applied last.
+    """
+
+    strategy: str
+    query: Query
+    output: Tuple[str, ...]
+    join: Optional[JoinSpec] = None
+    ratios: Tuple[RatioColumn, ...] = ()
+    having: Optional[Predicate] = None
+    order_by: Tuple[str, ...] = ()
+    limit: Optional[int] = None
+
+    def describe(self) -> str:
+        """Human-readable plan in the style of the paper's Figures 8-11."""
+        from ..engine.render import render_predicate, render_query
+
+        lines = [f"-- rewrite strategy: {self.strategy}"]
+        if self.join is not None:
+            lines.append(
+                f"-- join {self.join.left} WITH {self.join.right} ON "
+                + " AND ".join(
+                    f"{l} = {r}"
+                    for l, r in zip(self.join.left_on, self.join.right_on)
+                )
+            )
+        lines.append(render_query(self.query))
+        for ratio in self.ratios:
+            lines.append(
+                f"-- then {ratio.alias} = {ratio.numerator} / "
+                f"{ratio.denominator}"
+            )
+        if self.having is not None:
+            lines.append(f"-- then HAVING {render_predicate(self.having)}")
+        if self.order_by:
+            lines.append("-- then ORDER BY " + ", ".join(self.order_by))
+        if self.limit is not None:
+            lines.append(f"-- then LIMIT {self.limit}")
+        return "\n".join(lines)
+
+    def execute(self, catalog: Catalog) -> Table:
+        """Run the plan against ``catalog`` and return the answer table."""
+        if self.join is not None:
+            joined = hash_join(
+                catalog.get(self.join.left),
+                catalog.get(self.join.right),
+                list(self.join.left_on),
+                list(self.join.right_on),
+            )
+            result = execute_on_table(self.query, joined)
+        else:
+            result = execute(self.query, catalog)
+
+        if self.ratios:
+            columns = dict(result.columns())
+            schema_cols = {c.name: c for c in result.schema}
+            for ratio in self.ratios:
+                num = np.asarray(columns[ratio.numerator], dtype=np.float64)
+                den = np.asarray(columns[ratio.denominator], dtype=np.float64)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    values = np.where(den != 0, num / den, np.nan)
+                columns[ratio.alias] = values
+                schema_cols[ratio.alias] = Column(ratio.alias, ColumnType.FLOAT)
+            schema = Schema([schema_cols[name] for name in self.output])
+            result = Table(
+                schema, {name: columns[name] for name in self.output}
+            )
+        else:
+            result = result.project(list(self.output))
+        if self.having is not None:
+            result = result.filter(self.having.evaluate(result))
+        if self.order_by:
+            result = result.sort_by(list(self.order_by))
+        if self.limit is not None:
+            result = result.head(self.limit)
+        return result

@@ -1,0 +1,38 @@
+"""Sampling primitives: reservoirs, Bernoulli helpers, strata, rounding."""
+
+from .bernoulli import BernoulliSampler, subsample_exact, thin_to_probability
+from .groups import (
+    GroupKey,
+    all_groupings,
+    finest_group_ids,
+    group_counts,
+    make_key,
+    project_key,
+    projected_counts,
+)
+from .reservoir import ReservoirSampler, SkipReservoirSampler, reservoir_sample
+from .rounding import floor_round, largest_remainder_round, randomized_round
+from .stratified import GID_COLUMN, SF_COLUMN, StratifiedSample, Stratum
+
+__all__ = [
+    "BernoulliSampler",
+    "GID_COLUMN",
+    "GroupKey",
+    "ReservoirSampler",
+    "SF_COLUMN",
+    "SkipReservoirSampler",
+    "StratifiedSample",
+    "Stratum",
+    "all_groupings",
+    "finest_group_ids",
+    "floor_round",
+    "group_counts",
+    "largest_remainder_round",
+    "make_key",
+    "project_key",
+    "projected_counts",
+    "randomized_round",
+    "reservoir_sample",
+    "subsample_exact",
+    "thin_to_probability",
+]

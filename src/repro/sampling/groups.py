@@ -1,0 +1,127 @@
+"""Group machinery: finest partitions, groupings, and subgroup projection.
+
+Terminology follows Section 4.6 of the paper:
+
+* ``G`` -- the full set of *grouping attributes* of a relation.
+* a *grouping* ``T ⊆ G`` -- the set of columns a query groups by
+  (``T = ∅`` is the no-group-by query).
+* ``𝒢`` -- the set of non-empty *groups at the finest partitioning*, i.e.
+  distinct value combinations over all of ``G``.  Every group under any
+  coarser grouping ``T`` is a union of finest groups (*subgroups*).
+
+A group is identified by a :class:`GroupKey`: a tuple of plain Python values
+aligned with the grouping columns that define it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.table import Table
+
+__all__ = [
+    "GroupKey",
+    "all_groupings",
+    "finest_group_ids",
+    "group_counts",
+    "project_key",
+    "projected_counts",
+]
+
+GroupKey = Tuple  # tuple of plain python scalars
+
+
+def _as_python(value) -> object:
+    """Normalize numpy scalars to plain Python so GroupKeys hash stably."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def make_key(values: Sequence) -> GroupKey:
+    """Build a normalized :data:`GroupKey` from raw values."""
+    return tuple(_as_python(v) for v in values)
+
+
+def all_groupings(grouping_columns: Sequence[str]) -> List[Tuple[str, ...]]:
+    """Enumerate the power set ``U`` of the grouping columns.
+
+    Order: by subset size then column order, so ``()`` (no group-by) comes
+    first and the full set ``G`` last -- matching how the one-pass Congress
+    construction pseudocode of Section 4.6 iterates ``i = 0, 1, ..., |G|``.
+
+    >>> all_groupings(["a", "b"])
+    [(), ('a',), ('b',), ('a', 'b')]
+    """
+    columns = list(grouping_columns)
+    result: List[Tuple[str, ...]] = []
+    for size in range(len(columns) + 1):
+        for subset in combinations(range(len(columns)), size):
+            result.append(tuple(columns[i] for i in subset))
+    return result
+
+
+def finest_group_ids(
+    table: Table, grouping_columns: Sequence[str]
+) -> Tuple[np.ndarray, List[GroupKey]]:
+    """Dense finest-partition group ids for every row.
+
+    Returns ``(ids, keys)`` with ``ids[i]`` indexing into ``keys``; keys are
+    normalized tuples over ``grouping_columns``.
+    """
+    from ..engine.groupby import group_ids_for
+
+    ids, raw_keys, __ = group_ids_for(table, list(grouping_columns))
+    keys = [make_key(k) for k in raw_keys]
+    return ids, keys
+
+
+def group_counts(
+    table: Table, grouping_columns: Sequence[str]
+) -> Dict[GroupKey, int]:
+    """Tuple counts ``n_g`` per finest group ``g`` (all groups non-empty)."""
+    ids, keys = finest_group_ids(table, grouping_columns)
+    counts = np.bincount(ids, minlength=len(keys))
+    return {key: int(count) for key, count in zip(keys, counts)}
+
+
+def project_key(
+    key: GroupKey,
+    grouping_columns: Sequence[str],
+    target: Sequence[str],
+) -> GroupKey:
+    """Project a finest-partition key onto a coarser grouping ``target``.
+
+    ``key`` is aligned with ``grouping_columns``; the result is aligned with
+    ``target`` (which must be a subset of ``grouping_columns``).
+
+    >>> project_key(("a1", "b2"), ["A", "B"], ["B"])
+    ('b2',)
+    """
+    positions = {name: i for i, name in enumerate(grouping_columns)}
+    try:
+        return tuple(key[positions[name]] for name in target)
+    except KeyError as exc:
+        raise KeyError(
+            f"grouping column {exc.args[0]!r} not in {list(grouping_columns)}"
+        ) from None
+
+
+def projected_counts(
+    finest_counts: Dict[GroupKey, int],
+    grouping_columns: Sequence[str],
+    target: Sequence[str],
+) -> Dict[GroupKey, int]:
+    """Aggregate finest-group counts ``n_g`` up to ``n_h`` for grouping T.
+
+    This computes, for each group ``h`` under grouping ``target``, the total
+    number of relation tuples in ``h`` (the ``n_h`` of Equation 4).
+    """
+    out: Dict[GroupKey, int] = {}
+    for key, count in finest_counts.items():
+        projected = project_key(key, grouping_columns, target)
+        out[projected] = out.get(projected, 0) + count
+    return out

@@ -1,0 +1,207 @@
+"""Reservoir sampling (Vitter, 1985).
+
+Two flavours are provided:
+
+* :class:`ReservoirSampler` -- classic Algorithm R: the *i*-th arriving item
+  replaces a random reservoir slot with probability ``k/i``.
+* :class:`SkipReservoirSampler` -- Algorithm X: instead of drawing a random
+  number per item, it predetermines how many arrivals to *skip* before the
+  next replacement.  This is the "cost efficient ... based on predetermining
+  how many insertions to skip over" variant the paper uses for per-group
+  maintenance (Section 6).
+
+Both maintain the invariant that after ``n`` arrivals the reservoir is a
+uniform random sample (without replacement) of the ``n`` items seen.  Both
+support *shrinking* the reservoir (random eviction), which preserves
+uniformity -- the property Theorem 6.1 leans on ("it is preserved under
+random eviction without insertion").
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, List, Optional, TypeVar
+
+import numpy as np
+
+__all__ = ["ReservoirSampler", "SkipReservoirSampler", "reservoir_sample"]
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Vitter's Algorithm R over arbitrary items."""
+
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._items: List[T] = []
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of items offered so far."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> List[T]:
+        """A copy of the current reservoir contents."""
+        return list(self._items)
+
+    def offer(self, item: T) -> Optional[T]:
+        """Offer one item.
+
+        Returns:
+            The item evicted to make room (possibly the offered item itself
+            if it was not selected), or ``None`` while the reservoir is still
+            filling or when capacity is zero and nothing was stored.
+        """
+        self._seen += 1
+        if self._capacity == 0:
+            return item
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            return None
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self._capacity:
+            evicted = self._items[slot]
+            self._items[slot] = item
+            return evicted
+        return item
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def shrink_to(self, new_capacity: int) -> List[T]:
+        """Reduce capacity, evicting uniformly-random members.
+
+        Returns the evicted items.  Uniformity of the remaining sample is
+        preserved (random eviction without insertion).
+        """
+        if new_capacity < 0:
+            raise ValueError(f"new capacity must be >= 0, got {new_capacity}")
+        self._capacity = new_capacity
+        evicted: List[T] = []
+        while len(self._items) > new_capacity:
+            slot = int(self._rng.integers(0, len(self._items)))
+            self._items[slot], self._items[-1] = self._items[-1], self._items[slot]
+            evicted.append(self._items.pop())
+        return evicted
+
+    def grow_to(self, new_capacity: int) -> None:
+        """Increase capacity.
+
+        Note: the reservoir remains a uniform sample of the stream seen so
+        far, but it cannot retroactively add past items; future offers fill
+        the extra room only via the standard replacement rule.  Callers that
+        need exact target sizes after growth must re-sample from the base
+        data (the paper makes the same observation about the scale-down
+        factor decreasing, Section 6).
+        """
+        if new_capacity < self._capacity:
+            raise ValueError("use shrink_to to reduce capacity")
+        self._capacity = new_capacity
+
+
+class SkipReservoirSampler(Generic[T]):
+    """Vitter's Algorithm X: skip-counting reservoir.
+
+    Once the reservoir is full, draws the number of subsequent arrivals to
+    skip before the next replacement, so the per-arrival cost is a counter
+    decrement (the paper: "a counter counts down as new tuples are
+    inserted").
+    """
+
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._items: List[T] = []
+        self._seen = 0
+        self._skip = -1  # arrivals to skip before next replacement; -1 = unset
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> List[T]:
+        return list(self._items)
+
+    def _draw_skip(self) -> int:
+        """Draw the skip count for Algorithm X.
+
+        The number of items skipped after seeing ``n`` items satisfies
+        ``P(skip >= s) = prod_{j=1..s} (n + j - k) / (n + j)`` for reservoir
+        size ``k``.  We invert by sequential search on a uniform variate,
+        which is exact (this is Vitter's Algorithm X).
+        """
+        n = self._seen
+        k = self._capacity
+        u = float(self._rng.random())
+        skip = 0
+        quot = (n + 1 - k) / (n + 1)
+        while quot > u:
+            skip += 1
+            quot *= (n + skip + 1 - k) / (n + skip + 1)
+        return skip
+
+    def offer(self, item: T) -> None:
+        self._seen += 1
+        if self._capacity == 0:
+            return
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            if len(self._items) == self._capacity:
+                self._seen_at_fill = self._seen
+                self._skip = self._draw_skip()
+            return
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        slot = int(self._rng.integers(0, self._capacity))
+        self._items[slot] = item
+        self._skip = self._draw_skip()
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def shrink_to(self, new_capacity: int) -> List[T]:
+        """Reduce capacity via uniform random eviction (see Algorithm R)."""
+        if new_capacity < 0:
+            raise ValueError(f"new capacity must be >= 0, got {new_capacity}")
+        self._capacity = new_capacity
+        evicted: List[T] = []
+        while len(self._items) > new_capacity:
+            slot = int(self._rng.integers(0, len(self._items)))
+            self._items[slot], self._items[-1] = self._items[-1], self._items[slot]
+            evicted.append(self._items.pop())
+        # The skip distribution depends on capacity; redraw.
+        if self._items and len(self._items) == self._capacity:
+            self._skip = self._draw_skip()
+        return evicted
+
+
+def reservoir_sample(
+    items: Iterable[T], size: int, rng: Optional[np.random.Generator] = None
+) -> List[T]:
+    """One-shot uniform sample of ``size`` items from an iterable."""
+    sampler: ReservoirSampler[T] = ReservoirSampler(size, rng)
+    sampler.extend(items)
+    return sampler.items()

@@ -1,0 +1,128 @@
+"""Integer rounding of fractional sample allocations.
+
+The allocation formulas of Section 4 produce *fractional* expected sample
+sizes (e.g. Figure 5's 27.3 / 22.7).  To materialize a sample we need
+integers.  The default is largest-remainder rounding, which preserves the
+total budget exactly and never deviates from the fractional target by more
+than one tuple per group.  A plain floor rounding is provided for ablation
+(see ``benchmarks/bench_ablation_rounding.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, TypeVar
+
+import numpy as np
+
+__all__ = ["largest_remainder_round", "floor_round", "randomized_round"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+def largest_remainder_round(
+    fractional: Mapping[K, float],
+    total: Optional[int] = None,
+    caps: Optional[Mapping[K, int]] = None,
+) -> Dict[K, int]:
+    """Round fractional allocations to integers preserving the total.
+
+    Args:
+        fractional: per-key fractional allocation (non-negative).
+        total: target integer total; defaults to ``round(sum(fractional))``.
+        caps: optional per-key upper bounds (e.g. the group population
+            ``n_g`` -- you cannot sample more tuples than a group has).
+
+    Returns:
+        Per-key integer allocation summing to ``total`` (or to the sum of
+        caps if the caps make ``total`` infeasible).
+    """
+    keys = list(fractional)
+    values = np.array([fractional[k] for k in keys], dtype=np.float64)
+    if np.any(values < -1e-9):
+        bad = [k for k, v in zip(keys, values) if v < -1e-9]
+        raise ValueError(f"negative allocations for {bad}")
+    values = np.maximum(values, 0.0)
+
+    if total is None:
+        total = int(round(float(values.sum())))
+    cap_values = (
+        np.array([caps[k] for k in keys], dtype=np.int64)
+        if caps is not None
+        else np.full(len(keys), np.iinfo(np.int64).max)
+    )
+    if caps is not None and np.any(cap_values < 0):
+        raise ValueError("caps must be non-negative")
+
+    base = np.minimum(np.floor(values).astype(np.int64), cap_values)
+    remaining = total - int(base.sum())
+    if remaining < 0:
+        # Total smaller than the floor sum: strip from the smallest
+        # remainders (largest over-allocation) first.
+        order = np.argsort(values - base)  # ascending remainder
+        for idx in order:
+            if remaining == 0:
+                break
+            reducible = int(base[idx])
+            take = min(reducible, -remaining)
+            base[idx] -= take
+            remaining += take
+        return dict(zip(keys, base.tolist()))
+
+    # Distribute the leftover to the largest remainders, respecting caps.
+    remainders = values - np.floor(values)
+    headroom = cap_values - base
+    order = np.argsort(-remainders, kind="stable")
+    for idx in order:
+        if remaining == 0:
+            break
+        if headroom[idx] > 0:
+            base[idx] += 1
+            headroom[idx] -= 1
+            remaining -= 1
+    if remaining > 0:
+        # Caps exhausted the obvious candidates; spill into any headroom.
+        for idx in np.argsort(-headroom):
+            if remaining == 0:
+                break
+            take = min(int(headroom[idx]), remaining)
+            base[idx] += take
+            headroom[idx] -= take
+            remaining -= take
+    return dict(zip(keys, base.tolist()))
+
+
+def floor_round(
+    fractional: Mapping[K, float], caps: Optional[Mapping[K, int]] = None
+) -> Dict[K, int]:
+    """Plain floor rounding (under-uses the budget; for ablation)."""
+    out: Dict[K, int] = {}
+    for key, value in fractional.items():
+        rounded = int(np.floor(max(0.0, value)))
+        if caps is not None:
+            rounded = min(rounded, int(caps[key]))
+        out[key] = rounded
+    return out
+
+
+def randomized_round(
+    fractional: Mapping[K, float],
+    rng: Optional[np.random.Generator] = None,
+    caps: Optional[Mapping[K, int]] = None,
+) -> Dict[K, int]:
+    """Round each value up with probability equal to its fractional part.
+
+    Preserves the total *in expectation* only; matches the paper's
+    "select each tuple with probability SampleSize(g)/n_g" variant in
+    spirit.  For ablation.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    out: Dict[K, int] = {}
+    for key, value in fractional.items():
+        value = max(0.0, value)
+        base = int(np.floor(value))
+        if rng.random() < value - base:
+            base += 1
+        if caps is not None:
+            base = min(base, int(caps[key]))
+        out[key] = base
+    return out

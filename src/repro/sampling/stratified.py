@@ -1,0 +1,225 @@
+"""Stratified sample container and sample-relation materialization.
+
+A :class:`StratifiedSample` is the physical realization of any of the
+paper's allocation strategies: each finest group is a *stratum* holding a
+uniform random sample (without replacement) of its tuples, together with the
+stratum population ``n_g``.  From it we derive the per-tuple *ScaleFactor*
+(inverse sampling rate, Section 5.1) and materialize the sample relation
+layouts required by the four rewriting strategies:
+
+* *Integrated* / *Nested-integrated*: one relation with an ``SF`` column.
+* *Normalized*: plain sample relation + ``AuxRel(grouping columns, SF)``.
+* *Key-normalized*: sample relation with a ``GID`` column +
+  ``AuxRel(GID, SF)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.table import Table
+from .groups import GroupKey, finest_group_ids
+
+__all__ = ["Stratum", "StratifiedSample", "SF_COLUMN", "GID_COLUMN"]
+
+SF_COLUMN = "sf"
+GID_COLUMN = "gid"
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One stratum: a uniform sample of the tuples of one finest group."""
+
+    key: GroupKey
+    population: int
+    row_indices: np.ndarray  # indices into the base table
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.row_indices)
+
+    @property
+    def sampling_rate(self) -> float:
+        """Fraction of the stratum's tuples in the sample (0 if empty)."""
+        if self.population == 0:
+            return 0.0
+        return self.sample_size / self.population
+
+    @property
+    def scale_factor(self) -> float:
+        """Inverse sampling rate: each sampled tuple represents this many."""
+        if self.sample_size == 0:
+            return float("nan")
+        return self.population / self.sample_size
+
+
+class StratifiedSample:
+    """Per-group uniform samples of a base table, with stratum metadata."""
+
+    def __init__(
+        self,
+        base_table: Table,
+        grouping_columns: Sequence[str],
+        strata: Mapping[GroupKey, Stratum],
+    ):
+        self._base = base_table
+        self._grouping_columns = tuple(grouping_columns)
+        self._strata: Dict[GroupKey, Stratum] = dict(strata)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        grouping_columns: Sequence[str],
+        allocation: Mapping[GroupKey, int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> "StratifiedSample":
+        """Draw a uniform sample without replacement from each group.
+
+        Args:
+            table: base relation.
+            grouping_columns: the stratification columns ``G``.
+            allocation: integer tuples-per-group targets (e.g. from
+                :meth:`repro.core.allocation.Allocation.rounded`); groups
+                absent from the mapping get zero tuples.  Targets are capped
+                at the group population.
+            rng: numpy random generator (defaults to a fresh one).
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        ids, keys = finest_group_ids(table, grouping_columns)
+        strata: Dict[GroupKey, Stratum] = {}
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        boundaries = np.searchsorted(sorted_ids, np.arange(len(keys) + 1))
+        for gid, key in enumerate(keys):
+            members = order[boundaries[gid] : boundaries[gid + 1]]
+            want = min(int(allocation.get(key, 0)), len(members))
+            if want > 0:
+                chosen = rng.choice(members, size=want, replace=False)
+                chosen = np.sort(chosen)
+            else:
+                chosen = np.empty(0, dtype=np.int64)
+            strata[key] = Stratum(key, len(members), chosen)
+        return cls(table, grouping_columns, strata)
+
+    @classmethod
+    def from_member_lists(
+        cls,
+        base_table: Table,
+        grouping_columns: Sequence[str],
+        members: Mapping[GroupKey, Sequence[int]],
+        populations: Mapping[GroupKey, int],
+    ) -> "StratifiedSample":
+        """Assemble from explicit per-group row-index lists.
+
+        Used by the maintenance algorithms, which track sampled row indices
+        themselves and only need the container/materialization logic.
+        """
+        strata = {
+            key: Stratum(
+                key,
+                int(populations[key]),
+                np.asarray(sorted(rows), dtype=np.int64),
+            )
+            for key, rows in members.items()
+        }
+        return cls(base_table, grouping_columns, strata)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def base_table(self) -> Table:
+        return self._base
+
+    @property
+    def grouping_columns(self) -> Tuple[str, ...]:
+        return self._grouping_columns
+
+    @property
+    def strata(self) -> Dict[GroupKey, Stratum]:
+        return dict(self._strata)
+
+    def stratum(self, key: GroupKey) -> Stratum:
+        return self._strata[key]
+
+    @property
+    def total_sample_size(self) -> int:
+        return sum(s.sample_size for s in self._strata.values())
+
+    @property
+    def total_population(self) -> int:
+        return sum(s.population for s in self._strata.values())
+
+    def sample_sizes(self) -> Dict[GroupKey, int]:
+        return {key: s.sample_size for key, s in self._strata.items()}
+
+    def scale_factors(self) -> Dict[GroupKey, float]:
+        return {
+            key: s.scale_factor
+            for key, s in self._strata.items()
+            if s.sample_size > 0
+        }
+
+    # -- materialization -----------------------------------------------------
+
+    def _ordered_nonempty(self) -> List[Stratum]:
+        return [s for __, s in sorted(self._strata.items()) if s.sample_size > 0]
+
+    def _all_indices_and_sf(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated row indices, per-row SF, and per-row dense gid."""
+        strata = self._ordered_nonempty()
+        if not strata:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64), empty
+        indices = np.concatenate([s.row_indices for s in strata])
+        sfs = np.concatenate(
+            [np.full(s.sample_size, s.scale_factor) for s in strata]
+        )
+        gids = np.concatenate(
+            [np.full(s.sample_size, gid, dtype=np.int64)
+             for gid, s in enumerate(strata)]
+        )
+        return indices, sfs, gids
+
+    def sample_table(self) -> Table:
+        """The bare sample relation (no scale-factor bookkeeping)."""
+        indices, __, __ = self._all_indices_and_sf()
+        return self._base.take(indices)
+
+    def integrated_relation(self) -> Table:
+        """Sample relation with a per-tuple ``SF`` column (Figure 8/11)."""
+        indices, sfs, __ = self._all_indices_and_sf()
+        return self._base.take(indices).with_column(
+            Column(SF_COLUMN, ColumnType.FLOAT), sfs
+        )
+
+    def normalized_relations(self) -> Tuple[Table, Table]:
+        """``(SampRel, AuxRel)`` keyed by the grouping columns (Figure 9)."""
+        indices, __, __ = self._all_indices_and_sf()
+        samp_rel = self._base.take(indices)
+        strata = self._ordered_nonempty()
+        aux_schema = Schema(
+            [self._base.schema.column(name) for name in self._grouping_columns]
+            + [Column(SF_COLUMN, ColumnType.FLOAT)]
+        )
+        aux_rows = [tuple(s.key) + (s.scale_factor,) for s in strata]
+        return samp_rel, Table.from_rows(aux_schema, aux_rows)
+
+    def key_normalized_relations(self) -> Tuple[Table, Table]:
+        """``(SampRel + GID, AuxRel(GID, SF))`` (Figure 10)."""
+        indices, __, gids = self._all_indices_and_sf()
+        samp_rel = self._base.take(indices).with_column(
+            Column(GID_COLUMN, ColumnType.INT), gids
+        )
+        strata = self._ordered_nonempty()
+        aux_schema = Schema(
+            [Column(GID_COLUMN, ColumnType.INT), Column(SF_COLUMN, ColumnType.FLOAT)]
+        )
+        aux_rows = [(gid, s.scale_factor) for gid, s in enumerate(strata)]
+        return samp_rel, Table.from_rows(aux_schema, aux_rows)

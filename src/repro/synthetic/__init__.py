@@ -1,0 +1,43 @@
+"""Synthetic workloads: the paper's TPC-D-style data and queries."""
+
+from .census import CENSUS_SCHEMA, CensusConfig, STATE_NAMES, generate_census
+from .queries import QueryClass, qg0, qg0_set, qg2, qg3
+from .tpcd_star import (
+    NATIONS,
+    TPCD_STAR,
+    TpcdStarConfig,
+    generate_tpcd_star,
+)
+from .tpcd import (
+    AGGREGATE_COLUMNS,
+    GROUPING_COLUMNS,
+    LINEITEM_SCHEMA,
+    LineitemConfig,
+    generate_lineitem,
+)
+from .zipf import ninety_ten_share, zipf_choice, zipf_sizes, zipf_weights
+
+__all__ = [
+    "AGGREGATE_COLUMNS",
+    "CENSUS_SCHEMA",
+    "CensusConfig",
+    "GROUPING_COLUMNS",
+    "LINEITEM_SCHEMA",
+    "LineitemConfig",
+    "NATIONS",
+    "QueryClass",
+    "TPCD_STAR",
+    "TpcdStarConfig",
+    "STATE_NAMES",
+    "generate_census",
+    "generate_lineitem",
+    "generate_tpcd_star",
+    "ninety_ten_share",
+    "qg0",
+    "qg0_set",
+    "qg2",
+    "qg3",
+    "zipf_choice",
+    "zipf_sizes",
+    "zipf_weights",
+]

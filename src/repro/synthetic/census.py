@@ -1,0 +1,94 @@
+"""Census-style synthetic data for the paper's motivating example.
+
+Section 1/3 of the paper motivates congressional samples with a U.S. census
+relation ``census(ssn, st, gen, sal)``: state populations vary by a factor
+of ~70 (California vs. Wyoming), so a uniform sample starves small states.
+This generator produces that shape: a configurable number of "states" with
+Zipf-skewed populations spanning roughly that ratio, a balanced gender
+column, and log-normal incomes whose location varies mildly by state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.table import Table
+from .zipf import zipf_sizes
+
+__all__ = ["CENSUS_SCHEMA", "CensusConfig", "generate_census", "STATE_NAMES"]
+
+CENSUS_SCHEMA = Schema(
+    [
+        Column("ssn", ColumnType.INT, "key"),
+        Column("st", ColumnType.STR, "grouping"),
+        Column("gen", ColumnType.STR, "grouping"),
+        Column("sal", ColumnType.FLOAT, "aggregate"),
+    ]
+)
+
+STATE_NAMES = (
+    "CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI",
+    "NJ", "VA", "WA", "AZ", "TN", "MA", "IN", "MO", "MD", "WI",
+    "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "CT", "UT",
+    "IA", "NV", "AR", "KS", "MS", "NM", "NE", "ID", "WV", "HI",
+    "NH", "ME", "MT", "RI", "DE", "SD", "ND", "AK", "VT", "WY",
+)
+
+
+@dataclass(frozen=True)
+class CensusConfig:
+    """Shape of the synthetic census relation."""
+
+    population: int = 200_000
+    num_states: int = 50
+    state_skew: float = 1.0  # ~70x ratio between largest and smallest state
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_states < 1 or self.num_states > len(STATE_NAMES):
+            raise ValueError(
+                f"num_states must be in [1, {len(STATE_NAMES)}], "
+                f"got {self.num_states}"
+            )
+        if self.population < self.num_states:
+            raise ValueError("population must cover every state")
+
+
+def generate_census(config: CensusConfig) -> Table:
+    """Generate the census relation.
+
+    State sizes follow Zipf(``state_skew``) over the states in
+    :data:`STATE_NAMES` order (CA largest), genders are drawn evenly, and
+    incomes are log-normal with a per-state location shift so that per-state
+    AVG queries have distinguishable true answers.
+    """
+    rng = np.random.default_rng(config.seed)
+    states = np.array(STATE_NAMES[: config.num_states])
+    sizes = zipf_sizes(config.population, config.num_states, config.state_skew)
+    state_of_row = np.repeat(np.arange(config.num_states), sizes)
+    order = rng.permutation(config.population)
+    state_of_row = state_of_row[order]
+
+    gender = rng.choice(np.array(["M", "F"]), size=config.population)
+
+    # Per-state median income between ~45k and ~85k.
+    state_location = rng.uniform(
+        np.log(45_000.0), np.log(85_000.0), size=config.num_states
+    )
+    income = np.exp(
+        state_location[state_of_row] + rng.normal(0.0, 0.5, config.population)
+    )
+
+    return Table(
+        CENSUS_SCHEMA,
+        {
+            "ssn": np.arange(1, config.population + 1, dtype=np.int64),
+            "st": states[state_of_row],
+            "gen": gender,
+            "sal": income,
+        },
+    )

@@ -1,0 +1,101 @@
+"""The paper's query workload (Table 2).
+
+Three query classes over ``lineitem``:
+
+* ``Q_g2`` -- two grouping columns (derived from TPC-D Q3)::
+
+      SELECT l_returnflag, l_linestatus,
+             sum(l_quantity), sum(l_extendedprice)
+      FROM lineitem GROUP BY l_returnflag, l_linestatus
+
+* ``Q_g3`` -- all three grouping columns::
+
+      SELECT l_returnflag, l_linestatus, l_shipdate, sum(l_quantity)
+      FROM lineitem GROUP BY l_returnflag, l_linestatus, l_shipdate
+
+* ``Q_g0`` -- no group-by, parametrized range selection::
+
+      SELECT sum(l_quantity) FROM lineitem WHERE s <= l_id <= s + c
+
+  The paper draws 20 such queries with ``s`` uniform in ``[0, 950K]`` and
+  ``c = 70K`` (7% selectivity at T = 1M); we scale both with the table size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.query import Query
+from ..engine.sql import parse_query
+
+__all__ = ["qg2", "qg3", "qg0", "qg0_set", "QueryClass"]
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A named query with its SQL and parsed form."""
+
+    name: str
+    sql: str
+
+    @property
+    def query(self) -> Query:
+        return parse_query(self.sql)
+
+
+def qg2(table_name: str = "lineitem") -> QueryClass:
+    """The two-group-by query ``Q_g2`` of Table 2."""
+    sql = (
+        "SELECT l_returnflag, l_linestatus, "
+        "sum(l_quantity) AS sum_qty, sum(l_extendedprice) AS sum_price "
+        f"FROM {table_name} "
+        "GROUP BY l_returnflag, l_linestatus"
+    )
+    return QueryClass("Qg2", sql)
+
+
+def qg3(table_name: str = "lineitem") -> QueryClass:
+    """The three-group-by query ``Q_g3`` of Table 2."""
+    sql = (
+        "SELECT l_returnflag, l_linestatus, l_shipdate, "
+        "sum(l_quantity) AS sum_qty "
+        f"FROM {table_name} "
+        "GROUP BY l_returnflag, l_linestatus, l_shipdate"
+    )
+    return QueryClass("Qg3", sql)
+
+
+def qg0(start: int, count: int, table_name: str = "lineitem") -> QueryClass:
+    """One ``Q_g0`` range-selection query: ``s <= l_id <= s + c``."""
+    sql = (
+        "SELECT sum(l_quantity) AS sum_qty "
+        f"FROM {table_name} "
+        f"WHERE l_id BETWEEN {start} AND {start + count}"
+    )
+    return QueryClass(f"Qg0[{start},{start + count}]", sql)
+
+
+def qg0_set(
+    table_size: int,
+    num_queries: int = 20,
+    selectivity: float = 0.07,
+    rng: Optional[np.random.Generator] = None,
+    table_name: str = "lineitem",
+) -> List[QueryClass]:
+    """The paper's set of 20 ``Q_g0`` queries.
+
+    ``c = selectivity * table_size`` tuples per query; start positions are
+    uniform over ``[0, table_size - c]`` (the paper's 0..950K at T = 1M).
+    """
+    if not 0 < selectivity <= 1:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    rng = rng if rng is not None else np.random.default_rng()
+    count = max(1, int(round(selectivity * table_size)))
+    high = max(1, table_size - count)
+    return [
+        qg0(int(rng.integers(0, high)), count, table_name)
+        for __ in range(num_queries)
+    ]

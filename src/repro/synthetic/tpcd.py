@@ -1,0 +1,160 @@
+"""TPC-D--style ``lineitem`` generator (Section 7.1.1, Table 1).
+
+The paper's experiments use the TPC-D ``lineitem`` fact table, restricted to
+the columns below, with authors-introduced Zipf skew in both the group-size
+distribution and the aggregate columns:
+
+=================  =========  ============
+attribute          type       role
+=================  =========  ============
+``l_id``           int        primary key (introduced by the authors)
+``l_returnflag``   int        grouping
+``l_linestatus``   int        grouping
+``l_shipdate``     date(int)  grouping
+``l_quantity``     float      aggregation
+``l_extendedprice``float      aggregation
+=================  =========  ============
+
+Knobs (Table 1): table size ``T`` (100K-6M, default 1M), number of groups
+``NG`` (10-200K, default 1000; each grouping column gets ``NG^(1/3)``
+distinct values), group-size skew ``z`` (0-1.5, default 0.86), and the
+aggregate-column skew fixed at z = 0.86.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.table import Table
+from .zipf import zipf_choice, zipf_sizes
+
+__all__ = [
+    "LINEITEM_SCHEMA",
+    "GROUPING_COLUMNS",
+    "AGGREGATE_COLUMNS",
+    "LineitemConfig",
+    "generate_lineitem",
+]
+
+LINEITEM_SCHEMA = Schema(
+    [
+        Column("l_id", ColumnType.INT, "key"),
+        Column("l_returnflag", ColumnType.INT, "grouping"),
+        Column("l_linestatus", ColumnType.INT, "grouping"),
+        Column("l_shipdate", ColumnType.DATE, "grouping"),
+        Column("l_quantity", ColumnType.FLOAT, "aggregate"),
+        Column("l_extendedprice", ColumnType.FLOAT, "aggregate"),
+    ]
+)
+
+GROUPING_COLUMNS = ("l_returnflag", "l_linestatus", "l_shipdate")
+AGGREGATE_COLUMNS = ("l_quantity", "l_extendedprice")
+
+# Aggregate-value domains, loosely matching TPC-D's dbgen ranges.
+_QUANTITY_DOMAIN = np.arange(1, 51, dtype=np.float64)
+_PRICE_DOMAIN = np.linspace(900.0, 105_000.0, 200)
+
+
+@dataclass(frozen=True)
+class LineitemConfig:
+    """Table 1 of the paper: experiment data parameters.
+
+    Attributes:
+        table_size: ``T``, total tuples (paper default 1M).
+        num_groups: ``NG``, target group count at the finest partitioning
+            (paper default 1000).  Rounded to the nearest achievable
+            ``d^3`` where ``d = round(NG^(1/3))`` distinct values per
+            grouping column, exactly as the paper constructs it.
+        group_skew: ``z`` for group sizes (paper default 0.86).
+        aggregate_skew: ``z`` for aggregate values (paper fixes 0.86).
+        seed: RNG seed for reproducibility.
+    """
+
+    table_size: int = 1_000_000
+    num_groups: int = 1000
+    group_skew: float = 0.86
+    aggregate_skew: float = 0.86
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.table_size < 1:
+            raise ValueError(f"table_size must be >= 1, got {self.table_size}")
+        if self.num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {self.num_groups}")
+        if self.group_skew < 0 or self.aggregate_skew < 0:
+            raise ValueError("skew parameters must be >= 0")
+
+    @property
+    def distinct_per_column(self) -> int:
+        """``NG^(1/3)`` distinct values per grouping column (>= 1)."""
+        return max(1, int(round(self.num_groups ** (1.0 / 3.0))))
+
+    @property
+    def actual_num_groups(self) -> int:
+        return self.distinct_per_column ** 3
+
+
+def generate_lineitem(config: LineitemConfig) -> Table:
+    """Generate the skewed ``lineitem`` table for an experiment run.
+
+    Group construction follows the paper: pick ``d = NG^(1/3)`` random
+    distinct values for each grouping column, form all ``d^3`` groups,
+    assign Zipf(``group_skew``) sizes over a random permutation of the
+    groups (so skew is not correlated with attribute order), then draw
+    aggregate values Zipf(``aggregate_skew``)-skewed over their domains.
+    Rows are shuffled and ``l_id`` assigned sequentially from 1, so range
+    predicates on ``l_id`` (query set ``Q_g0``) select uniformly.
+    """
+    rng = np.random.default_rng(config.seed)
+    d = config.distinct_per_column
+    num_groups = d ** 3
+    if config.table_size < num_groups:
+        raise ValueError(
+            f"table_size {config.table_size} < group count {num_groups}; "
+            "each group must be non-empty"
+        )
+
+    # Random distinct values per grouping column (paper: "randomly chosen").
+    returnflags = rng.choice(10 * d, size=d, replace=False).astype(np.int64)
+    linestatuses = rng.choice(10 * d, size=d, replace=False).astype(np.int64)
+    # Shipdates: distinct day ordinals within TPC-D's six-year window.
+    shipdates = np.sort(rng.choice(2192, size=d, replace=False)).astype(np.int64)
+
+    combos = np.stack(
+        np.meshgrid(returnflags, linestatuses, shipdates, indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+
+    sizes = zipf_sizes(config.table_size, num_groups, config.group_skew)
+    # Detach skew from combo enumeration order.
+    sizes = sizes[rng.permutation(num_groups)]
+
+    group_of_row = np.repeat(np.arange(num_groups), sizes)
+    # Shuffle rows so l_id ranges are independent of grouping.
+    order = rng.permutation(config.table_size)
+    group_of_row = group_of_row[order]
+
+    quantity = zipf_choice(
+        _QUANTITY_DOMAIN, config.aggregate_skew, config.table_size, rng,
+        shuffle_ranks=True,
+    )
+    price = zipf_choice(
+        _PRICE_DOMAIN, config.aggregate_skew, config.table_size, rng,
+        shuffle_ranks=True,
+    )
+
+    return Table(
+        LINEITEM_SCHEMA,
+        {
+            "l_id": np.arange(1, config.table_size + 1, dtype=np.int64),
+            "l_returnflag": combos[group_of_row, 0],
+            "l_linestatus": combos[group_of_row, 1],
+            "l_shipdate": combos[group_of_row, 2],
+            "l_quantity": quantity,
+            "l_extendedprice": price,
+        },
+    )

@@ -1,0 +1,192 @@
+"""A TPC-D--style star schema: lineitem fact + dimension tables.
+
+Section 2 of the paper: Aqua's join synopses are "particularly effective on
+the star and snowflake schemas which are common in data warehousing", and
+"all joins in the TPC-D benchmark are on foreign keys".  This generator
+produces a scaled-down TPC-D-like star so the join-synopsis machinery can
+be exercised on its natural input:
+
+* ``part(p_partkey, p_brand, p_type)``
+* ``supplier(s_suppkey, s_nation)``
+* ``customer(c_custkey, c_nation, c_segment)``
+* ``orders(o_orderkey, o_custkey, o_orderpriority)``
+* ``lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity,
+  l_extendedprice, l_shipdate)`` -- the fact table; every foreign key
+  resolves (no dangling references).
+
+Nation populations are skewed (Zipf) so dimension-attribute group-bys show
+the congressional effect; order fan-out follows TPC-D's 1-7 lineitems per
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..aqua.join_synopsis import ForeignKey, StarSchema
+from ..engine.catalog import Catalog
+from ..engine.schema import Column, ColumnType, Schema
+from ..engine.table import Table
+from .zipf import zipf_weights
+
+__all__ = ["TpcdStarConfig", "generate_tpcd_star", "TPCD_STAR"]
+
+NATIONS = (
+    "US", "CN", "DE", "JP", "UK", "FR", "IN", "BR", "CA", "AU",
+    "MX", "KR", "ES", "ID", "NL", "SA", "TR", "CH", "AR", "SE",
+    "PL", "BE", "TH", "IR",
+)
+SEGMENTS = ("BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE")
+BRANDS = tuple(f"Brand#{i}" for i in range(1, 6))
+PART_TYPES = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+PART_SCHEMA = Schema(
+    [
+        Column("p_partkey", ColumnType.INT, "key"),
+        Column("p_brand", ColumnType.STR, "grouping"),
+        Column("p_type", ColumnType.STR, "grouping"),
+    ]
+)
+SUPPLIER_SCHEMA = Schema(
+    [
+        Column("s_suppkey", ColumnType.INT, "key"),
+        Column("s_nation", ColumnType.STR, "grouping"),
+    ]
+)
+CUSTOMER_SCHEMA = Schema(
+    [
+        Column("c_custkey", ColumnType.INT, "key"),
+        Column("c_nation", ColumnType.STR, "grouping"),
+        Column("c_segment", ColumnType.STR, "grouping"),
+    ]
+)
+ORDERS_SCHEMA = Schema(
+    [
+        Column("o_orderkey", ColumnType.INT, "key"),
+        Column("o_custkey", ColumnType.INT),
+        Column("o_orderpriority", ColumnType.STR, "grouping"),
+    ]
+)
+LINEITEM_FACT_SCHEMA = Schema(
+    [
+        Column("l_orderkey", ColumnType.INT),
+        Column("l_partkey", ColumnType.INT),
+        Column("l_suppkey", ColumnType.INT),
+        Column("l_quantity", ColumnType.FLOAT, "aggregate"),
+        Column("l_extendedprice", ColumnType.FLOAT, "aggregate"),
+        Column("l_shipdate", ColumnType.DATE, "grouping"),
+    ]
+)
+
+# The star's foreign-key edges.  Lineitem -> orders -> (customer) is a
+# snowflake arm; we pre-join orders with customer nation/segment so the
+# star stays one level deep, exactly as Aqua's join synopses flatten it.
+TPCD_STAR = StarSchema.of(
+    "lineitem",
+    ForeignKey("l_orderkey", "orders_wide", "o_orderkey"),
+    ForeignKey("l_partkey", "part", "p_partkey"),
+    ForeignKey("l_suppkey", "supplier", "s_suppkey"),
+)
+
+
+@dataclass(frozen=True)
+class TpcdStarConfig:
+    """Scale knobs for the star generator."""
+
+    num_orders: int = 20_000
+    num_customers: int = 2_000
+    num_parts: int = 500
+    num_suppliers: int = 100
+    nation_skew: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("num_orders", "num_customers", "num_parts", "num_suppliers"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+def generate_tpcd_star(
+    config: TpcdStarConfig, catalog: Catalog
+) -> Tuple[StarSchema, Dict[str, Table]]:
+    """Generate and register the star's tables.
+
+    Registers ``part``, ``supplier``, ``customer``, ``orders``,
+    ``orders_wide`` (orders ⋈ customer, the flattened snowflake arm), and
+    ``lineitem``.  Returns the star schema and the table dict.
+
+    The lineitem count is random (1-7 per order, TPC-D's fan-out), so read
+    it from the returned table.
+    """
+    rng = np.random.default_rng(config.seed)
+
+    nation_probabilities = zipf_weights(len(NATIONS), config.nation_skew)
+
+    part = Table.from_columns(
+        PART_SCHEMA,
+        p_partkey=np.arange(config.num_parts),
+        p_brand=rng.choice(np.array(BRANDS), size=config.num_parts),
+        p_type=rng.choice(np.array(PART_TYPES), size=config.num_parts),
+    )
+    supplier = Table.from_columns(
+        SUPPLIER_SCHEMA,
+        s_suppkey=np.arange(config.num_suppliers),
+        s_nation=rng.choice(
+            np.array(NATIONS), size=config.num_suppliers,
+            p=nation_probabilities,
+        ),
+    )
+    customer = Table.from_columns(
+        CUSTOMER_SCHEMA,
+        c_custkey=np.arange(config.num_customers),
+        c_nation=rng.choice(
+            np.array(NATIONS), size=config.num_customers,
+            p=nation_probabilities,
+        ),
+        c_segment=rng.choice(np.array(SEGMENTS), size=config.num_customers),
+    )
+    orders = Table.from_columns(
+        ORDERS_SCHEMA,
+        o_orderkey=np.arange(config.num_orders),
+        o_custkey=rng.integers(0, config.num_customers, size=config.num_orders),
+        o_orderpriority=rng.choice(
+            np.array(PRIORITIES), size=config.num_orders
+        ),
+    )
+
+    # Flatten the orders -> customer snowflake arm.
+    from ..engine.join import hash_join
+
+    orders_wide = hash_join(
+        orders, customer, ["o_custkey"], ["c_custkey"], suffix="_c"
+    )
+
+    # Lineitems: 1-7 per order (TPC-D's fan-out).
+    fanout = rng.integers(1, 8, size=config.num_orders)
+    orderkeys = np.repeat(np.arange(config.num_orders), fanout)
+    num_lineitems = len(orderkeys)
+    lineitem = Table.from_columns(
+        LINEITEM_FACT_SCHEMA,
+        l_orderkey=orderkeys,
+        l_partkey=rng.integers(0, config.num_parts, size=num_lineitems),
+        l_suppkey=rng.integers(0, config.num_suppliers, size=num_lineitems),
+        l_quantity=rng.integers(1, 51, size=num_lineitems).astype(float),
+        l_extendedprice=rng.gamma(2.0, 15_000.0, size=num_lineitems),
+        l_shipdate=rng.integers(8400, 10500, size=num_lineitems),  # ~1993-98
+    )
+
+    tables = {
+        "part": part,
+        "supplier": supplier,
+        "customer": customer,
+        "orders": orders,
+        "orders_wide": orders_wide,
+        "lineitem": lineitem,
+    }
+    for name, table in tables.items():
+        catalog.register(name, table, replace=True)
+    return TPCD_STAR, tables

@@ -1,0 +1,153 @@
+"""Unit tests for the Aqua shell."""
+
+import io
+
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.aqua.cli import AquaShell, build_system, main
+from repro.engine import write_csv
+
+
+@pytest.fixture
+def shell(skewed_table, rng):
+    aqua = AquaSystem(space_budget=500, rng=rng)
+    aqua.register_table("rel", skewed_table)
+    out = io.StringIO()
+    return AquaShell(aqua, out=out), out
+
+
+class TestShellCommands:
+    def test_sql_answer(self, shell):
+        sh, out = shell
+        assert sh.execute_line("select a, sum(q) s from rel group by a")
+        text = out.getvalue()
+        assert "s_error" in text
+        assert "approximate" in text
+
+    def test_exact(self, shell):
+        sh, out = shell
+        sh.execute_line(".exact select count(*) c from rel")
+        assert "20000" in out.getvalue()
+
+    def test_tables(self, shell):
+        sh, out = shell
+        sh.execute_line(".tables")
+        assert "rel" in out.getvalue()
+
+    def test_synopsis(self, shell):
+        sh, out = shell
+        sh.execute_line(".synopsis")
+        assert "congress" in out.getvalue()
+
+    def test_budget(self, shell):
+        sh, out = shell
+        sh.execute_line(".budget")
+        assert "500" in out.getvalue()
+
+    def test_help(self, shell):
+        sh, out = shell
+        sh.execute_line(".help")
+        assert ".exact" in out.getvalue()
+
+    def test_quit_returns_false(self, shell):
+        sh, __ = shell
+        assert sh.execute_line(".quit") is False
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        sh.execute_line(".bogus")
+        assert "unknown command" in out.getvalue()
+
+    def test_sql_error_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.execute_line("select from nowhere")
+        assert "error:" in out.getvalue()
+
+    def test_empty_line_ignored(self, shell):
+        sh, out = shell
+        assert sh.execute_line("   ")
+        assert out.getvalue() == ""
+
+    def test_run_over_lines_stops_at_quit(self, shell):
+        sh, out = shell
+        sh.run([".budget", ".quit", ".tables"])
+        assert "rel" not in out.getvalue()
+
+    def test_row_cap(self, shell):
+        sh, out = shell
+        sh.execute_line(".exact select id from rel order by id")
+        assert "more rows" in out.getvalue()
+
+
+class TestBuildSystem:
+    def test_demo_census(self):
+        import argparse
+
+        args = argparse.Namespace(
+            csv=None, table=None, grouping=None, budget=100
+        )
+        aqua = build_system(args)
+        assert "census" in aqua.catalog
+
+    def test_csv_loading(self, small_table, tmp_path):
+        import argparse
+
+        path = tmp_path / "rel.csv"
+        write_csv(small_table, path)
+        args = argparse.Namespace(
+            csv=str(path), table="rel", grouping="a,b", budget=4
+        )
+        aqua = build_system(args)
+        assert aqua.synopsis("rel").sample_size == 4
+
+    def test_csv_requires_table_and_grouping(self, tmp_path):
+        import argparse
+
+        args = argparse.Namespace(
+            csv=str(tmp_path / "x.csv"), table=None, grouping=None, budget=4
+        )
+        with pytest.raises(SystemExit):
+            build_system(args)
+
+
+class TestMain:
+    def test_execute_mode(self, small_table, tmp_path, capsys):
+        path = tmp_path / "rel.csv"
+        write_csv(small_table, path)
+        code = main(
+            [
+                "--csv", str(path),
+                "--table", "rel",
+                "--grouping", "a,b",
+                "--budget", "8",
+                "-e", "select a, count(*) c from rel group by a order by a",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c_error" in out
+
+
+class TestExplainCompareCommands:
+    def test_explain(self, shell):
+        sh, out = shell
+        sh.execute_line(".explain select a, sum(q) s from rel group by a")
+        text = out.getvalue()
+        assert "rewrite strategy" in text
+        assert "bs_rel" in text
+
+    def test_compare(self, shell):
+        sh, out = shell
+        sh.execute_line(".compare select a, sum(q) s from rel group by a")
+        text = out.getvalue()
+        assert "speedup" in text
+        assert "coverage" in text
+
+    def test_usage_messages(self, shell):
+        sh, out = shell
+        sh.execute_line(".explain")
+        sh.execute_line(".compare")
+        text = out.getvalue()
+        assert "usage: .explain" in text
+        assert "usage: .compare" in text

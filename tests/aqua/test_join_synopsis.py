@@ -1,0 +1,84 @@
+"""Unit tests for star-schema join synopses."""
+
+import numpy as np
+import pytest
+
+from repro.aqua import ForeignKey, StarSchema, build_join_synopsis, materialize_star_join
+from repro.engine import Catalog, ColumnType, Schema, Table
+
+
+@pytest.fixture
+def star_catalog(rng):
+    catalog = Catalog()
+    catalog.register(
+        "dim",
+        Table.from_columns(
+            Schema.of(("d_id", ColumnType.INT), ("d_name", ColumnType.STR)),
+            d_id=[0, 1, 2],
+            d_name=["red", "green", "blue"],
+        ),
+    )
+    n = 3000
+    catalog.register(
+        "fact",
+        Table.from_columns(
+            Schema.of(
+                ("f_id", ColumnType.INT),
+                ("f_dim", ColumnType.INT),
+                ("f_val", ColumnType.FLOAT),
+            ),
+            f_id=np.arange(n),
+            f_dim=rng.choice([0, 1, 2], size=n, p=[0.7, 0.25, 0.05]),
+            f_val=rng.normal(100, 10, n),
+        ),
+    )
+    return catalog
+
+
+@pytest.fixture
+def star():
+    return StarSchema.of("fact", ForeignKey("f_dim", "dim", "d_id"))
+
+
+class TestMaterialize:
+    def test_cardinality_preserved(self, star_catalog, star):
+        wide = materialize_star_join(star_catalog, star)
+        assert wide.num_rows == star_catalog.get("fact").num_rows
+
+    def test_dimension_columns_present(self, star_catalog, star):
+        wide = materialize_star_join(star_catalog, star)
+        assert "d_name" in wide.schema
+        assert "d_id" not in wide.schema  # join key dropped
+
+    def test_dangling_fk_detected(self, star_catalog):
+        bad = StarSchema.of("fact", ForeignKey("f_id", "dim", "d_id"))
+        with pytest.raises(ValueError, match="dangling"):
+            materialize_star_join(star_catalog, bad)
+
+    def test_non_unique_dimension_key_rejected(self, star_catalog, star):
+        dup = Table.from_columns(
+            Schema.of(("d_id", ColumnType.INT), ("d_name", ColumnType.STR)),
+            d_id=[0, 0],
+            d_name=["x", "y"],
+        )
+        star_catalog.register("dim", dup, replace=True)
+        with pytest.raises(ValueError, match="not unique"):
+            materialize_star_join(star_catalog, star)
+
+
+class TestBuildJoinSynopsis:
+    def test_sample_over_dimension_attribute(self, star_catalog, star, rng):
+        sample, wide = build_join_synopsis(
+            star_catalog, star, ["d_name"], 300, rng=rng
+        )
+        assert sample.total_sample_size == 300
+        assert set(sample.strata) == {("red",), ("green",), ("blue",)}
+        # Congress guarantees the 5% dimension value a solid share.
+        assert sample.stratum(("blue",)).sample_size > 30
+
+    def test_register_as(self, star_catalog, star, rng):
+        build_join_synopsis(
+            star_catalog, star, ["d_name"], 100,
+            register_as="fact_wide", rng=rng,
+        )
+        assert "fact_wide" in star_catalog

@@ -1,0 +1,123 @@
+"""Unit tests for the roll-up/drill-down cube explorer."""
+
+import pytest
+
+from repro.aqua import AquaError, AquaSystem, CubeExplorer, Measure
+
+
+@pytest.fixture
+def aqua(skewed_table, rng):
+    system = AquaSystem(space_budget=1000, rng=rng)
+    system.register_table("rel", skewed_table)
+    return system
+
+
+@pytest.fixture
+def explorer(aqua):
+    return CubeExplorer(
+        aqua, "rel", [Measure("sum", "q", "total"), Measure("count", None, "n")]
+    )
+
+
+class TestNavigation:
+    def test_starts_rolled_up(self, explorer):
+        assert explorer.grouping == ()
+        answer = explorer.view()
+        assert answer.result.num_rows == 1
+
+    def test_drilldown(self, explorer):
+        explorer.drilldown("a")
+        assert explorer.grouping == ("a",)
+        assert explorer.view().result.num_rows == 3
+
+    def test_drilldown_twice(self, explorer):
+        explorer.drilldown("a").drilldown("b")
+        assert explorer.view().result.num_rows == 6
+
+    def test_rollup_default_removes_last(self, explorer):
+        explorer.drilldown("a").drilldown("b").rollup()
+        assert explorer.grouping == ("a",)
+
+    def test_rollup_named(self, explorer):
+        explorer.drilldown("a").drilldown("b").rollup("a")
+        assert explorer.grouping == ("b",)
+
+    def test_rollup_when_empty_rejected(self, explorer):
+        with pytest.raises(AquaError, match="rolled up"):
+            explorer.rollup()
+
+    def test_drilldown_unknown_column(self, explorer):
+        with pytest.raises(AquaError, match="stratification"):
+            explorer.drilldown("q")
+
+    def test_double_drilldown_rejected(self, explorer):
+        explorer.drilldown("a")
+        with pytest.raises(AquaError, match="already"):
+            explorer.drilldown("a")
+
+    def test_slice_restricts(self, explorer):
+        explorer.drilldown("b").slice("a", "a1")
+        result = explorer.view().result
+        assert result.num_rows == 2  # only b values within a1
+
+    def test_unslice(self, explorer):
+        explorer.slice("a", "a1").unslice("a")
+        assert explorer.slices == ()
+
+    def test_unslice_missing_rejected(self, explorer):
+        with pytest.raises(AquaError):
+            explorer.unslice("a")
+
+    def test_history(self, explorer):
+        explorer.drilldown("a").slice("b", "b1").rollup("a")
+        assert explorer.history() == [
+            "drilldown(a)", "slice(b='b1')", "rollup(a)",
+        ]
+
+
+class TestAnswers:
+    def test_sql_shape(self, explorer):
+        explorer.drilldown("a")
+        sql = explorer.to_sql()
+        assert "GROUP BY a" in sql
+        assert "sum(q) AS total" in sql
+
+    def test_view_close_to_exact(self, explorer):
+        explorer.drilldown("a")
+        approx = explorer.view().result
+        exact = explorer.view_exact()
+        approx_by_key = {r["a"]: r["total"] for r in approx.to_dicts()}
+        for row in exact.to_dicts():
+            assert approx_by_key[row["a"]] == pytest.approx(
+                row["total"], rel=0.25
+            )
+
+    def test_error_columns_present(self, explorer):
+        explorer.drilldown("a")
+        result = explorer.view().result
+        assert "total_error" in result.schema
+        assert "n_error" in result.schema
+
+    def test_every_navigation_state_covered(self, explorer):
+        """Congress's core promise: all groupings answered from one sample."""
+        states = [
+            [],
+            ["a"],
+            ["b"],
+            ["a", "b"],
+        ]
+        for grouping in states:
+            explorer._grouping = list(grouping)
+            exact = explorer.view_exact()
+            approx = explorer.view().result
+            assert approx.num_rows == exact.num_rows
+
+    def test_requires_measures(self, aqua):
+        with pytest.raises(AquaError):
+            CubeExplorer(aqua, "rel", [])
+
+    def test_requires_synopsis(self, skewed_table, rng):
+        system = AquaSystem(space_budget=10, rng=rng)
+        system.register_table("rel", skewed_table, build=False)
+        with pytest.raises(AquaError):
+            CubeExplorer(system, "rel", [Measure("sum", "q", "s")])

@@ -1,0 +1,171 @@
+"""Unit tests for the Aqua middleware."""
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaError, AquaSystem
+from repro.core import House, Senate
+from repro.rewrite import Integrated
+
+
+@pytest.fixture
+def aqua(skewed_table, rng):
+    system = AquaSystem(space_budget=1000, rng=rng)
+    system.register_table("rel", skewed_table)
+    return system
+
+
+SQL = "select a, sum(q) as s from rel group by a order by a"
+
+
+class TestRegistration:
+    def test_synopsis_built_on_register(self, aqua):
+        synopsis = aqua.synopsis("rel")
+        assert synopsis.sample_size == 1000
+        assert synopsis.grouping_columns == ("a", "b")
+
+    def test_grouping_columns_from_roles(self, aqua):
+        assert aqua.synopsis("rel").grouping_columns == ("a", "b")
+
+    def test_explicit_grouping_columns(self, skewed_table, rng):
+        system = AquaSystem(space_budget=500, rng=rng)
+        system.register_table("rel", skewed_table, grouping_columns=["a"])
+        assert system.synopsis("rel").grouping_columns == ("a",)
+
+    def test_no_grouping_columns_rejected(self, rng):
+        from repro.engine import ColumnType, Schema, Table
+
+        table = Table.from_columns(Schema.of(("x", ColumnType.INT)), x=[1])
+        system = AquaSystem(space_budget=10, rng=rng)
+        with pytest.raises(AquaError, match="grouping"):
+            system.register_table("t", table)
+
+    def test_deferred_build(self, skewed_table, rng):
+        system = AquaSystem(space_budget=100, rng=rng)
+        assert system.register_table("rel", skewed_table, build=False) is None
+        with pytest.raises(AquaError, match="no synopsis"):
+            system.synopsis("rel")
+        system.build_synopsis("rel")
+        assert system.synopsis("rel").sample_size == 100
+
+    def test_invalid_budget(self):
+        with pytest.raises(AquaError):
+            AquaSystem(space_budget=0)
+
+    def test_unknown_table(self, aqua):
+        with pytest.raises(AquaError, match="not registered"):
+            aqua.build_synopsis("nope")
+
+
+class TestAnswering:
+    def test_answer_close_to_exact(self, aqua):
+        answer = aqua.answer(SQL)
+        exact = aqua.exact(SQL)
+        approx_by_key = {r["a"]: r["s"] for r in answer.result.to_dicts()}
+        for row in exact.to_dicts():
+            assert approx_by_key[row["a"]] == pytest.approx(
+                row["s"], rel=0.25
+            )
+
+    def test_error_columns_attached(self, aqua):
+        answer = aqua.answer(SQL)
+        assert "s_error" in answer.result.schema
+        errors = answer.result.column("s_error")
+        assert (errors[~np.isnan(errors)] > 0).all()
+
+    def test_confidence_recorded(self, aqua):
+        assert aqua.answer(SQL).confidence == pytest.approx(0.90)
+
+    def test_elapsed_positive(self, aqua):
+        assert aqua.answer(SQL).elapsed_seconds > 0
+
+    def test_avg_and_count(self, aqua):
+        answer = aqua.answer(
+            "select b, avg(q) m, count(*) c from rel group by b order by b"
+        )
+        assert {"m", "c", "m_error", "c_error"} <= set(
+            answer.result.schema.names
+        )
+
+    def test_query_object_accepted(self, aqua):
+        from repro.engine import parse_query
+
+        answer = aqua.answer(parse_query(SQL))
+        assert answer.result.num_rows == 3
+
+    def test_answer_without_synopsis_rejected(self, skewed_table, rng):
+        system = AquaSystem(space_budget=100, rng=rng)
+        system.register_table("rel", skewed_table, build=False)
+        with pytest.raises(AquaError):
+            system.answer(SQL)
+
+    def test_custom_strategies(self, skewed_table, rng):
+        system = AquaSystem(
+            space_budget=600,
+            allocation_strategy=Senate(),
+            rewrite_strategy=Integrated(),
+            rng=rng,
+        )
+        system.register_table("rel", skewed_table)
+        synopsis = system.synopsis("rel")
+        assert synopsis.allocation_strategy == "senate"
+        assert synopsis.rewrite_strategy == "integrated"
+        # Senate targets 100 per stratum; tiny strata cap at their
+        # population and the spare tuples go to the largest remainders.
+        sizes = synopsis.sample.sample_sizes()
+        populations = {
+            key: stratum.population
+            for key, stratum in synopsis.sample.strata.items()
+        }
+        assert sum(sizes.values()) == 600
+        for key, size in sizes.items():
+            assert size >= min(95, populations[key])
+
+
+class TestMaintenance:
+    def test_insert_and_refresh(self, aqua):
+        aqua.enable_maintenance("rel")
+        new_rows = [("znew", "b1", 5.0, 10_000_000 + i) for i in range(3000)]
+        aqua.insert_many("rel", new_rows)
+        aqua.refresh_synopsis("rel")
+        answer = aqua.answer(SQL)
+        groups = set(answer.result.column("a").tolist())
+        assert "znew" in groups
+
+    def test_exact_sees_pending_inserts(self, aqua):
+        aqua.insert("rel", ("brand_new", "b1", 1.0, 99_999_999))
+        exact = aqua.exact(SQL)
+        assert "brand_new" in set(exact.column("a").tolist())
+
+    def test_refresh_without_maintainer_rebuilds(self, aqua):
+        aqua.insert("rel", ("fresh", "b2", 2.0, 88_888_888))
+        synopsis = aqua.refresh_synopsis("rel")
+        assert synopsis.sample_size == 1000
+
+    def test_describe(self, aqua):
+        text = aqua.synopsis("rel").describe()
+        assert "congress" in text
+        assert "1000" in text
+
+
+class TestCompareAndExplain:
+    def test_compare_report(self, aqua):
+        report = aqua.compare(SQL)
+        assert "s" in report.errors
+        assert report.errors["s"].coverage == 1.0
+        assert report.exact.num_rows == 3
+        assert report.speedup > 0
+        text = report.describe()
+        assert "speedup" in text
+        assert "coverage" in text
+
+    def test_compare_multiple_aggregates(self, aqua):
+        report = aqua.compare(
+            "select b, sum(q) s, count(*) c from rel group by b"
+        )
+        assert set(report.errors) == {"s", "c"}
+
+    def test_explain_contains_sample_relation(self, aqua):
+        text = aqua.explain(SQL)
+        assert "bs_rel" in text
+        assert "rewrite strategy" in text

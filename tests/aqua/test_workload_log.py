@@ -1,0 +1,108 @@
+"""Unit tests for workload mining (QueryLog -> GroupPreferences)."""
+
+import pytest
+
+from repro.aqua import QueryLog
+from repro.core import Congress, WorkloadCongress
+
+
+@pytest.fixture
+def log():
+    return QueryLog(base_table="rel", grouping_columns=("a", "b"))
+
+
+class TestRecording:
+    def test_counts_groupings(self, log):
+        log.record("select a, sum(q) s from rel group by a")
+        log.record("select a, sum(q) s from rel group by a")
+        log.record("select a, b, sum(q) s from rel group by a, b")
+        freqs = log.grouping_frequencies()
+        assert freqs[("a",)] == pytest.approx(2 / 3)
+        assert freqs[("a", "b")] == pytest.approx(1 / 3)
+        assert log.total_queries == 3
+
+    def test_no_group_by_counts_as_empty_grouping(self, log):
+        log.record("select sum(q) s from rel")
+        assert log.grouping_frequencies() == {(): 1.0}
+
+    def test_other_tables_ignored(self, log):
+        log.record("select x, sum(y) s from other group by x")
+        assert log.total_queries == 0
+
+    def test_non_grouping_columns_filtered(self, log):
+        log.record("select id, sum(q) s from rel group by id")
+        assert log.grouping_frequencies() == {(): 1.0}
+
+    def test_slices_extracted(self, log):
+        log.record("select b, sum(q) s from rel where a = 'a1' group by b")
+        log.record(
+            "select sum(q) s from rel where a = 'a1' and b = 'b2'"
+        )
+        freqs = log.slice_frequencies()
+        assert freqs[("a", "a1")] == pytest.approx(1.0)
+        assert freqs[("b", "b2")] == pytest.approx(0.5)
+
+    def test_range_predicates_not_slices(self, log):
+        log.record("select sum(q) s from rel where id between 1 and 10")
+        assert log.slice_frequencies() == {}
+
+    def test_empty_log(self, log):
+        assert log.grouping_frequencies() == {}
+        assert log.slice_frequencies() == {}
+
+
+class TestPreferenceDerivation:
+    COUNTS = {
+        ("a1", "b1"): 700,
+        ("a1", "b2"): 200,
+        ("a2", "b1"): 100,
+    }
+
+    def test_heavy_grouping_gets_more_space(self, log):
+        # Analysts group by {a} constantly.
+        for __ in range(50):
+            log.record("select a, sum(q) s from rel group by a")
+        preferences = log.to_preferences()
+        weighted = WorkloadCongress(preferences).allocate(
+            self.COUNTS, ("a", "b"), 100
+        )
+        plain = Congress().allocate(self.COUNTS, ("a", "b"), 100)
+        # The {a}-grouping's starved group (a2) benefits.
+        assert weighted.fractional[("a2", "b1")] > plain.fractional[("a2", "b1")]
+
+    def test_sliced_value_gets_boost(self, log):
+        for __ in range(20):
+            log.record("select sum(q) s from rel where a = 'a2'")
+        preferences = log.to_preferences()
+        # a2 under grouping (a,) gets a boost over the uniform default.
+        boosted = preferences.weight(("a",), ("a2",), 0.5)
+        unboosted = preferences.weight(("a",), ("a1",), 0.5)
+        assert boosted > unboosted
+
+    def test_smoothing_keeps_unseen_groupings_alive(self, log):
+        for __ in range(100):
+            log.record("select a, sum(q) s from rel group by a")
+        preferences = log.to_preferences(smoothing=1.0)
+        # Unseen grouping {b} still has a positive weight.
+        weight = preferences.weight(("b",), ("b1",), 0.5)
+        assert weight > 0
+
+    def test_negative_smoothing_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.to_preferences(smoothing=-1)
+
+    def test_uniform_workload_is_neutral(self, log):
+        """Equal use of every grouping should reproduce plain Congress."""
+        log.record("select sum(q) s from rel")
+        log.record("select a, sum(q) s from rel group by a")
+        log.record("select b, sum(q) s from rel group by b")
+        log.record("select a, b, sum(q) s from rel group by a, b")
+        preferences = log.to_preferences(smoothing=0.0)
+        weighted = WorkloadCongress(preferences).allocate(
+            self.COUNTS, ("a", "b"), 100
+        )
+        plain = Congress().allocate(self.COUNTS, ("a", "b"), 100)
+        for key in self.COUNTS:
+            assert weighted.fractional[key] == pytest.approx(
+                plain.fractional[key]
+            )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Catalog, Column, ColumnType, Schema, Table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_schema():
+    """A four-column schema with two grouping columns."""
+    return Schema(
+        [
+            Column("a", ColumnType.STR, "grouping"),
+            Column("b", ColumnType.STR, "grouping"),
+            Column("q", ColumnType.FLOAT, "aggregate"),
+            Column("id", ColumnType.INT, "key"),
+        ]
+    )
+
+
+@pytest.fixture
+def small_table(small_schema):
+    """Eight rows over groups (x,p), (x,q), (y,p), (y,q) with known sums."""
+    return Table.from_columns(
+        small_schema,
+        a=["x", "x", "x", "x", "y", "y", "y", "y"],
+        b=["p", "p", "q", "q", "p", "p", "q", "q"],
+        q=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        id=[1, 2, 3, 4, 5, 6, 7, 8],
+    )
+
+
+@pytest.fixture
+def skewed_table(small_schema, rng):
+    """20k rows with an 80/18/2 split on `a` and 95/5 on `b`."""
+    n = 20_000
+    return Table.from_columns(
+        small_schema,
+        a=rng.choice(["a1", "a2", "a3"], size=n, p=[0.80, 0.18, 0.02]),
+        b=rng.choice(["b1", "b2"], size=n, p=[0.95, 0.05]),
+        q=rng.exponential(10.0, size=n),
+        id=np.arange(n),
+    )
+
+
+@pytest.fixture
+def catalog(small_table):
+    cat = Catalog()
+    cat.register("rel", small_table)
+    return cat

@@ -1,0 +1,83 @@
+"""Unit tests for the Allocation container and strategy plumbing."""
+
+import pytest
+
+from repro.core import Allocation, Congress, House, allocate_from_table, build_sample
+from repro.core.allocation import _validate
+
+
+class TestValidation:
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            _validate({("g",): 1}, -1)
+
+    def test_empty_counts(self):
+        with pytest.raises(ValueError):
+            _validate({}, 10)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            _validate({("g",): -1}, 10)
+
+    def test_zero_count_groups_rejected(self):
+        with pytest.raises(ValueError, match="empty groups"):
+            _validate({("g",): 0}, 10)
+
+    def test_allocation_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(
+                strategy="x",
+                grouping_columns=("a",),
+                budget=10,
+                fractional={("g",): 5.0},
+                populations={("h",): 10},
+            )
+
+
+class TestRounding:
+    def test_rounded_total_equals_budget(self):
+        counts = {("a",): 100, ("b",): 100, ("c",): 100}
+        allocation = House().allocate(counts, ["g"], 10)
+        rounded = allocation.rounded()
+        assert sum(rounded.values()) == 10
+
+    def test_rounded_capped_at_population(self):
+        counts = {("a",): 2, ("b",): 1000}
+        allocation = Congress().allocate(counts, ["g"], 100)
+        rounded = allocation.rounded()
+        assert rounded[("a",)] <= 2
+        assert sum(rounded.values()) == 100
+
+    def test_budget_exceeding_population_saturates(self):
+        counts = {("a",): 3, ("b",): 4}
+        allocation = House().allocate(counts, ["g"], 100)
+        rounded = allocation.rounded()
+        assert rounded == {("a",): 3, ("b",): 4}
+
+    def test_zero_budget(self):
+        counts = {("a",): 10}
+        allocation = House().allocate(counts, ["g"], 0)
+        assert allocation.rounded() == {("a",): 0}
+
+
+class TestTableHelpers:
+    def test_allocate_from_table(self, skewed_table):
+        allocation = allocate_from_table(House(), skewed_table, ["a", "b"], 100)
+        assert allocation.total_fractional == pytest.approx(100)
+        # Proportionality check on the dominant group (~76% of rows).
+        big = allocation.fractional[("a1", "b1")]
+        assert 65 < big < 85
+
+    def test_build_sample_size(self, skewed_table, rng):
+        sample = build_sample(Congress(), skewed_table, ["a", "b"], 500, rng=rng)
+        assert sample.total_sample_size == 500
+        assert set(sample.strata) == {
+            ("a1", "b1"), ("a1", "b2"), ("a2", "b1"),
+            ("a2", "b2"), ("a3", "b1"), ("a3", "b2"),
+        }
+
+    def test_scale_down_factor_bounds(self, skewed_table):
+        allocation = allocate_from_table(
+            Congress(), skewed_table, ["a", "b"], 500
+        )
+        assert 0.25 < allocation.scale_down_factor <= 1.0

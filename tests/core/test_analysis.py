@@ -1,0 +1,101 @@
+"""Unit tests for the guarantee report (Section 4's alpha, quantified)."""
+
+import pytest
+
+from repro.core import (
+    BasicCongress,
+    Congress,
+    House,
+    Senate,
+    guarantee_report,
+)
+
+COUNTS = {
+    ("a1", "b1"): 5000,
+    ("a1", "b2"): 300,
+    ("a2", "b1"): 150,
+    ("a2", "b2"): 50,
+}
+G = ("A", "B")
+X = 110.0
+
+
+def report_for(strategy):
+    return guarantee_report(strategy.allocate(COUNTS, G, X))
+
+
+class TestGuaranteeReport:
+    def test_congress_worst_ratio_equals_f(self):
+        allocation = Congress().allocate(COUNTS, G, X)
+        report = guarantee_report(allocation)
+        assert report.worst_ratio == pytest.approx(
+            allocation.scale_down_factor, abs=1e-6
+        )
+
+    def test_congress_ratio_uniform_across_groupings(self):
+        """Equation 5 guarantees exactly f at every grouping."""
+        allocation = Congress().allocate(COUNTS, G, X)
+        report = guarantee_report(allocation)
+        f = allocation.scale_down_factor
+        for guarantee in report.per_grouping:
+            assert guarantee.worst_ratio >= f - 1e-9
+
+    def test_house_collapses_on_fine_groupings(self):
+        report = report_for(House())
+        by_grouping = {g.grouping: g for g in report.per_grouping}
+        # Perfect at T = ∅ (House IS the uniform sample)...
+        assert by_grouping[()].worst_ratio == pytest.approx(1.0)
+        # ...terrible at the finest grouping (small groups starved).
+        assert by_grouping[G].worst_ratio < 0.1
+
+    def test_senate_collapses_on_coarse_groupings(self):
+        report = report_for(Senate())
+        by_grouping = {g.grouping: g for g in report.per_grouping}
+        # Perfect at the finest grouping...
+        assert by_grouping[G].worst_ratio == pytest.approx(1.0)
+        # ...weak at T = ∅ (large groups sampled at a low rate).
+        assert by_grouping[()].worst_ratio < 0.5
+
+    def test_basic_congress_fails_intermediate_groupings(self):
+        """The paper's criticism: Basic Congress only covers ∅ and G."""
+        allocation = BasicCongress().allocate(COUNTS, G, X)
+        report = guarantee_report(allocation)
+        by_grouping = {g.grouping: g for g in report.per_grouping}
+        f = allocation.scale_down_factor
+        # Covered groupings achieve ~f...
+        assert by_grouping[()].worst_ratio >= f - 1e-9
+        assert by_grouping[G].worst_ratio >= f - 1e-9
+        # ...but some intermediate grouping falls below f.
+        intermediate = min(
+            by_grouping[("A",)].worst_ratio, by_grouping[("B",)].worst_ratio
+        )
+        assert intermediate < f - 0.05
+
+    def test_congress_has_best_overall_guarantee(self):
+        ratios = {
+            strategy.name: report_for(strategy).worst_ratio
+            for strategy in (House(), Senate(), BasicCongress(), Congress())
+        }
+        assert max(ratios, key=ratios.get) == "congress"
+
+    def test_uniform_data_all_perfect(self):
+        counts = {(a, b): 100 for a in ("x", "y") for b in ("p", "q")}
+        for strategy in (House(), Senate(), Congress()):
+            allocation = strategy.allocate(counts, G, 40)
+            assert guarantee_report(allocation).worst_ratio == pytest.approx(
+                1.0
+            )
+
+    def test_describe_output(self):
+        report = report_for(Congress())
+        text = report.describe()
+        assert "congress" in text
+        assert "T=A,B" in text
+        assert "overall worst ratio" in text
+
+    def test_rates_capped_at_one(self):
+        # A budget bigger than the population: everything fully sampled.
+        counts = {("a",): 5, ("b",): 5}
+        allocation = Congress().allocate(counts, ("G",), 100)
+        report = guarantee_report(allocation)
+        assert report.worst_ratio == pytest.approx(1.0)

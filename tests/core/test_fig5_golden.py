@@ -1,0 +1,101 @@
+"""Golden test: the paper's Figure 5 worked example, to the printed digit.
+
+Figure 5 lists, for the relation with finest groups
+(a1,b1)=3000, (a1,b2)=3000, (a1,b3)=1500, (a2,b3)=2500 and X=100, the
+expected sample sizes of every strategy and the intermediate s_{g,T}
+columns.  Every number below is transcribed from the paper.
+"""
+
+import pytest
+
+from repro.core import BasicCongress, Congress, House, Senate
+from repro.experiments.fig5 import FIG5_BUDGET, FIG5_COUNTS, FIG5_GROUPING, run_fig5
+
+G11, G12, G13, G23 = ("a1", "b1"), ("a1", "b2"), ("a1", "b3"), ("a2", "b3")
+
+
+def approx(value):
+    return pytest.approx(value, abs=0.05)
+
+
+class TestFigure5:
+    def test_house_column(self):
+        allocation = House().allocate(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        assert allocation.fractional[G11] == approx(30)
+        assert allocation.fractional[G12] == approx(30)
+        assert allocation.fractional[G13] == approx(15)
+        assert allocation.fractional[G23] == approx(25)
+
+    def test_senate_column(self):
+        allocation = Senate().allocate(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        for group in (G11, G12, G13, G23):
+            assert allocation.fractional[group] == approx(25)
+
+    def test_basic_congress_before_scaling(self):
+        allocation = BasicCongress().allocate(
+            FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET
+        )
+        assert allocation.pre_scaling[G11] == approx(30)
+        assert allocation.pre_scaling[G12] == approx(30)
+        assert allocation.pre_scaling[G13] == approx(25)
+        assert allocation.pre_scaling[G23] == approx(25)
+
+    def test_basic_congress_after_scaling(self):
+        allocation = BasicCongress().allocate(
+            FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET
+        )
+        assert allocation.fractional[G11] == approx(27.3)
+        assert allocation.fractional[G12] == approx(27.3)
+        assert allocation.fractional[G13] == approx(22.7)
+        assert allocation.fractional[G23] == approx(22.7)
+
+    def test_share_column_for_grouping_a(self):
+        shares = Congress().share_table(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        s_a = shares[("A",)]
+        assert s_a[G11] == approx(20)  # "20 (of 50)"
+        assert s_a[G12] == approx(20)
+        assert s_a[G13] == approx(10)  # "10 (of 50)"
+        assert s_a[G23] == approx(50)
+
+    def test_share_column_for_grouping_b(self):
+        shares = Congress().share_table(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        s_b = shares[("B",)]
+        assert s_b[G11] == approx(33.3)
+        assert s_b[G12] == approx(33.3)
+        assert s_b[G13] == approx(12.5)  # "12.5 (of 33.3)"
+        assert s_b[G23] == approx(20.8)  # "20.8 (of 33.3)"
+
+    def test_congress_before_scaling(self):
+        allocation = Congress().allocate(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        assert allocation.pre_scaling[G11] == approx(33.3)
+        assert allocation.pre_scaling[G12] == approx(33.3)
+        assert allocation.pre_scaling[G13] == approx(25)
+        assert allocation.pre_scaling[G23] == approx(50)
+
+    def test_congress_after_scaling(self):
+        allocation = Congress().allocate(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        assert allocation.fractional[G11] == approx(23.5)
+        assert allocation.fractional[G12] == approx(23.5)
+        assert allocation.fractional[G13] == approx(17.6)  # paper prints 17.7
+        assert allocation.fractional[G23] == approx(35.3)
+
+    def test_congress_scale_down_factor(self):
+        allocation = Congress().allocate(FIG5_COUNTS, FIG5_GROUPING, FIG5_BUDGET)
+        # f = 100 / 141.67.
+        assert allocation.scale_down_factor == pytest.approx(0.7059, abs=1e-3)
+
+    def test_runner_produces_all_columns(self):
+        result = run_fig5()
+        assert set(result.columns) == {
+            "house(s_g,0)",
+            "senate(s_g,AB)",
+            "basic_pre",
+            "basic",
+            "s_g,A",
+            "s_g,B",
+            "congress_pre",
+            "congress",
+        }
+        formatted = result.format()
+        assert "Figure 5" in formatted
+        assert "35.3" in formatted

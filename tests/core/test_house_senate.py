@@ -1,0 +1,73 @@
+"""Unit tests for House and Senate allocation."""
+
+import pytest
+
+from repro.core import House, Senate, senate_share
+
+
+COUNTS = {("a1", "b1"): 600, ("a1", "b2"): 300, ("a2", "b1"): 100}
+G = ("A", "B")
+
+
+class TestHouse:
+    def test_proportional(self):
+        allocation = House().allocate(COUNTS, G, 100)
+        assert allocation.fractional[("a1", "b1")] == pytest.approx(60)
+        assert allocation.fractional[("a1", "b2")] == pytest.approx(30)
+        assert allocation.fractional[("a2", "b1")] == pytest.approx(10)
+
+    def test_total_is_budget(self):
+        allocation = House().allocate(COUNTS, G, 57)
+        assert allocation.total_fractional == pytest.approx(57)
+
+    def test_no_scaling_needed(self):
+        allocation = House().allocate(COUNTS, G, 100)
+        assert allocation.scale_down_factor == pytest.approx(1.0)
+
+    def test_name(self):
+        assert House().name == "house"
+
+
+class TestSenate:
+    def test_equal_per_finest_group(self):
+        allocation = Senate().allocate(COUNTS, G, 90)
+        for group in COUNTS:
+            assert allocation.fractional[group] == pytest.approx(30)
+
+    def test_subset_target(self):
+        # Senate on {A}: groups a1 (900 tuples) and a2 (100) each get 50,
+        # distributed within a1 by proportion.
+        allocation = Senate(target=["A"]).allocate(COUNTS, G, 100)
+        assert allocation.fractional[("a2", "b1")] == pytest.approx(50)
+        assert allocation.fractional[("a1", "b1")] == pytest.approx(50 * 600 / 900)
+        assert allocation.fractional[("a1", "b2")] == pytest.approx(50 * 300 / 900)
+
+    def test_empty_target_is_house(self):
+        senate = Senate(target=[])
+        house = House()
+        s = senate.allocate(COUNTS, G, 100)
+        h = house.allocate(COUNTS, G, 100)
+        for group in COUNTS:
+            assert s.fractional[group] == pytest.approx(h.fractional[group])
+
+    def test_unknown_target_column(self):
+        with pytest.raises(ValueError, match="not in grouping"):
+            Senate(target=["Z"]).allocate(COUNTS, G, 100)
+
+    def test_name_includes_target(self):
+        assert Senate().name == "senate"
+        assert Senate(target=["A"]).name == "senate[A]"
+
+
+class TestSenateShare:
+    def test_matches_equation_4(self):
+        # Grouping {B}: b1 has 700 tuples, b2 has 300; m_T = 2; X/m_T = 50.
+        shares = senate_share(COUNTS, G, ["B"], 100)
+        assert shares[("a1", "b1")] == pytest.approx(50 * 600 / 700)
+        assert shares[("a2", "b1")] == pytest.approx(50 * 100 / 700)
+        assert shares[("a1", "b2")] == pytest.approx(50)
+
+    def test_shares_sum_to_budget(self):
+        for target in ([], ["A"], ["B"], ["A", "B"]):
+            shares = senate_share(COUNTS, G, target, 100)
+            assert sum(shares.values()) == pytest.approx(100)

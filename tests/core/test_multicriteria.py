@@ -1,0 +1,126 @@
+"""Unit tests for the Section 8 multi-criteria framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Congress,
+    GroupingCriterion,
+    MultiCriteriaCongress,
+    RangeBiasCriterion,
+    VarianceCriterion,
+    senate_share,
+)
+from repro.engine import ColumnType, Schema, Table
+from repro.sampling import all_groupings
+
+
+COUNTS = {("a1", "b1"): 500, ("a1", "b2"): 300, ("a2", "b1"): 200}
+G = ("A", "B")
+
+
+@pytest.fixture
+def variance_table():
+    """Two equal-size groups; group 'hi' has much larger spread."""
+    rng = np.random.default_rng(1)
+    schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+    lo = rng.normal(100, 1.0, 500)
+    hi = rng.normal(100, 50.0, 500)
+    return Table.from_columns(
+        schema, g=["lo"] * 500 + ["hi"] * 500, v=np.concatenate([lo, hi])
+    )
+
+
+class TestGroupingCriterion:
+    def test_equals_senate_share(self):
+        for target in all_groupings(G):
+            criterion = GroupingCriterion(target)
+            vector = criterion.weight_vector(COUNTS, G, 100)
+            expected = senate_share(COUNTS, G, target, 100)
+            for group in COUNTS:
+                assert vector[group] == pytest.approx(expected[group])
+
+
+class TestCongressAsSpecialCase:
+    def test_multi_criteria_reproduces_congress(self):
+        criteria = [GroupingCriterion(t) for t in all_groupings(G)]
+        multi = MultiCriteriaCongress(criteria)
+        m = multi.allocate(COUNTS, G, 100)
+        c = Congress().allocate(COUNTS, G, 100)
+        for group in COUNTS:
+            assert m.fractional[group] == pytest.approx(c.fractional[group])
+
+    def test_weight_table_has_all_criteria(self):
+        criteria = [GroupingCriterion(t) for t in all_groupings(G)]
+        multi = MultiCriteriaCongress(criteria)
+        table = multi.weight_table(COUNTS, G, 100)
+        assert len(table) == 4
+
+    def test_empty_criteria_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCriteriaCongress([])
+
+
+class TestVarianceCriterion:
+    def test_high_variance_group_gets_more(self, variance_table):
+        counts = {("lo",): 500, ("hi",): 500}
+        criterion = VarianceCriterion(variance_table, "v")
+        vector = criterion.weight_vector(counts, ("g",), 100)
+        assert vector[("hi",)] > 10 * vector[("lo",)]
+
+    def test_total_equals_budget(self, variance_table):
+        counts = {("lo",): 500, ("hi",): 500}
+        vector = VarianceCriterion(variance_table, "v").weight_vector(
+            counts, ("g",), 100
+        )
+        assert sum(vector.values()) == pytest.approx(100)
+
+    def test_constant_values_fall_back_to_uniform(self):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        table = Table.from_columns(
+            schema, g=["x", "x", "y", "y"], v=[5.0, 5.0, 5.0, 5.0]
+        )
+        vector = VarianceCriterion(table, "v").weight_vector(
+            {("x",): 2, ("y",): 2}, ("g",), 100
+        )
+        assert vector[("x",)] == pytest.approx(vector[("y",)])
+
+
+class TestRangeBiasCriterion:
+    def test_weights_follow_function(self):
+        counts = {("old", "x"): 100, ("new", "x"): 100}
+        criterion = RangeBiasCriterion(
+            "era", lambda era: 1.0 if era == "new" else 0.25
+        )
+        vector = criterion.weight_vector(counts, ("era", "other"), 100)
+        assert vector[("new", "x")] == pytest.approx(80)
+        assert vector[("old", "x")] == pytest.approx(20)
+
+    def test_population_still_matters_within_equal_weight(self):
+        counts = {("new", "x"): 300, ("new", "y"): 100}
+        criterion = RangeBiasCriterion("era", lambda era: 1.0)
+        vector = criterion.weight_vector(counts, ("era", "other"), 100)
+        assert vector[("new", "x")] == pytest.approx(75)
+
+    def test_non_grouping_column_rejected(self):
+        criterion = RangeBiasCriterion("missing", lambda v: 1.0)
+        with pytest.raises(ValueError):
+            criterion.weight_vector({("a",): 1}, ("g",), 10)
+
+    def test_negative_weight_rejected(self):
+        criterion = RangeBiasCriterion("g", lambda v: -1.0)
+        with pytest.raises(ValueError):
+            criterion.weight_vector({("a",): 1}, ("g",), 10)
+
+
+class TestCombination:
+    def test_variance_column_lifts_volatile_group(self, variance_table):
+        counts = {("lo",): 500, ("hi",): 500}
+        plain = MultiCriteriaCongress(
+            [GroupingCriterion(t) for t in all_groupings(("g",))]
+        ).allocate(counts, ("g",), 100)
+        with_var = MultiCriteriaCongress(
+            [GroupingCriterion(t) for t in all_groupings(("g",))]
+            + [VarianceCriterion(variance_table, "v")]
+        ).allocate(counts, ("g",), 100)
+        assert with_var.fractional[("hi",)] > plain.fractional[("hi",)]

@@ -1,0 +1,117 @@
+"""Direct tests of individual claims the paper states in prose."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicCongress,
+    Congress,
+    House,
+    Senate,
+    allocate_from_table,
+    senate_share,
+)
+from repro.sampling import all_groupings, projected_counts
+
+
+COUNTS = {
+    ("a1", "b1"): 4000,
+    ("a1", "b2"): 900,
+    ("a2", "b1"): 700,
+    ("a2", "b2"): 250,
+    ("a3", "b1"): 120,
+    ("a3", "b2"): 30,
+}
+G = ("A", "B")
+X = 300.0
+
+
+class TestSection44SenateSubsetClaim:
+    def test_senate_serves_coarser_groupings_at_least_as_well(self):
+        """'Given a Senate sample for T, we can also provide approximate
+        answers to group-by queries on any subset T' of T, with at least
+        the same quality' -- every group under T' holds >= X/m_T samples."""
+        senate = Senate().allocate(COUNTS, G, X)
+        m_t = len(COUNTS)
+        per_group_floor = X / m_t
+        for target in all_groupings(G):
+            sizes = {}
+            for key, expected in senate.fractional.items():
+                from repro.sampling import project_key
+
+                coarse = project_key(key, G, target)
+                sizes[coarse] = sizes.get(coarse, 0.0) + expected
+            for coarse, total in sizes.items():
+                assert total >= per_group_floor - 1e-9
+
+
+class TestSection45BasicCongressBound:
+    def test_pre_scaling_space_bound(self):
+        """'X' <= (2 m_T - 1)/m_T * X - m_T + 1 < 2X' (Section 4.5)."""
+        basic = BasicCongress().allocate(COUNTS, G, X)
+        pre_total = sum(basic.pre_scaling.values())
+        m_t = len(COUNTS)
+        assert pre_total <= (2 * m_t - 1) / m_t * X - m_t + 1 + 1e-6
+        assert pre_total < 2 * X
+
+
+class TestSection43HouseTrends:
+    def test_larger_selectivity_smaller_relative_error(self, skewed_table):
+        """House trend 1: 'the quality of approximate answers increases
+        with the query selectivity'."""
+        from repro.core import build_sample
+        from repro.engine import Comparison, col
+        from repro.estimators import estimate_single
+
+        deviations = {0.9: [], 0.05: []}
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            sample = build_sample(House(), skewed_table, ["a", "b"], 800, rng=rng)
+            for selectivity in deviations:
+                cutoff = int(selectivity * 20_000)
+                predicate = Comparison.of(col("id"), "<", cutoff)
+                estimate = estimate_single(
+                    sample, "sum", "q", predicate=predicate
+                )
+                exact = float(
+                    np.sum(
+                        skewed_table.column("q")[
+                            skewed_table.column("id") < cutoff
+                        ]
+                    )
+                )
+                deviations[selectivity].append(
+                    abs(estimate.value - exact) / exact
+                )
+        assert np.mean(deviations[0.9]) < np.mean(deviations[0.05])
+
+
+class TestSection46FUniform:
+    def test_f_is_one_iff_uniform_cross_product(self):
+        uniform = {
+            (a, b): 500 for a in ("a1", "a2") for b in ("b1", "b2", "b3")
+        }
+        allocation = Congress().allocate(uniform, G, 60)
+        assert allocation.scale_down_factor == pytest.approx(1.0)
+        # Perturb one group: f drops strictly below 1.
+        uniform[("a1", "b1")] = 5000
+        perturbed = Congress().allocate(uniform, G, 60)
+        assert perturbed.scale_down_factor < 1.0
+
+
+class TestEquation4Consistency:
+    def test_shares_nest_over_groupings(self):
+        """Summing s_{g,T} over the subgroups of any group h equals h's
+        S1 share X/m_T -- Equation 4's defining property."""
+        for target in all_groupings(G):
+            shares = senate_share(COUNTS, G, target, X)
+            by_group = projected_counts(COUNTS, G, target)
+            m_t = len(by_group)
+            from repro.sampling import project_key
+
+            sums = {}
+            for key, share in shares.items():
+                coarse = project_key(key, G, target)
+                sums[coarse] = sums.get(coarse, 0.0) + share
+            for coarse, total in sums.items():
+                assert total == pytest.approx(X / m_t)

@@ -1,0 +1,76 @@
+"""Unit tests for the Section 4.6 scale-down factor analysis."""
+
+import pytest
+
+from repro.core import (
+    pathological_counts,
+    pathological_factor_bound,
+    scale_down_factor,
+    scale_down_lower_bound,
+    uniform_cross_product_counts,
+)
+
+
+class TestPathologicalCounts:
+    def test_group_count(self):
+        counts = pathological_counts(2, 3)
+        assert len(counts) == 9
+
+    def test_equation_7_values(self):
+        counts = pathological_counts(2, 3)
+        base = 2 * 3
+        # alpha=2 for (1,1); alpha=1 for (1,2); alpha=0 for (2,3).
+        assert counts[(1, 1)] == base ** 8
+        assert counts[(1, 2)] == base ** 4
+        assert counts[(2, 3)] == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            pathological_counts(0, 3)
+        with pytest.raises(ValueError):
+            pathological_counts(1, 1)
+
+
+class TestScaleDownFactor:
+    def test_uniform_gives_one(self):
+        counts = uniform_cross_product_counts([2, 3])
+        assert scale_down_factor(counts, ("A", "B")) == pytest.approx(1.0)
+
+    def test_budget_invariance(self):
+        counts = pathological_counts(2, 4)
+        f1 = scale_down_factor(counts, ("A", "B"), budget=1.0)
+        f2 = scale_down_factor(counts, ("A", "B"), budget=1000.0)
+        assert f1 == pytest.approx(f2)
+
+    @pytest.mark.parametrize("n,m", [(1, 4), (2, 4), (2, 8), (3, 4)])
+    def test_pathological_within_paper_bounds(self, n, m):
+        counts = pathological_counts(n, m)
+        grouping = tuple(f"A{i}" for i in range(n))
+        f = scale_down_factor(counts, grouping)
+        assert scale_down_lower_bound(n) < f
+        assert f < pathological_factor_bound(n, m) + 1e-9
+
+    def test_factor_approaches_lower_bound_with_m(self):
+        grouping = ("A0", "A1")
+        f_small = scale_down_factor(pathological_counts(2, 4), grouping)
+        f_large = scale_down_factor(pathological_counts(2, 16), grouping)
+        bound = scale_down_lower_bound(2)
+        assert f_large < f_small
+        assert f_large - bound < f_small - bound
+
+    def test_lower_bound_values(self):
+        assert scale_down_lower_bound(0) == 1.0
+        assert scale_down_lower_bound(3) == 0.125
+        with pytest.raises(ValueError):
+            scale_down_lower_bound(-1)
+
+
+class TestUniformCounts:
+    def test_shape(self):
+        counts = uniform_cross_product_counts([2, 2], per_group=7)
+        assert len(counts) == 4
+        assert all(v == 7 for v in counts.values())
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            uniform_cross_product_counts([0])

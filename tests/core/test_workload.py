@@ -1,0 +1,60 @@
+"""Unit tests for workload-adaptive allocation (Section 4.7)."""
+
+import pytest
+
+from repro.core import Congress, GroupPreferences, WorkloadCongress
+
+
+COUNTS = {("a1", "b1"): 700, ("a1", "b2"): 200, ("a2", "b1"): 100}
+G = ("A", "B")
+
+
+class TestGroupPreferences:
+    def test_set_and_get(self):
+        prefs = GroupPreferences().set(["A"], ("a1",), 0.9)
+        assert prefs.weight(("A",), ("a1",), 0.5) == 0.9
+
+    def test_default_when_unset(self):
+        prefs = GroupPreferences()
+        assert prefs.weight(("A",), ("a1",), 0.5) == 0.5
+
+    def test_grouping_boost_multiplies(self):
+        prefs = GroupPreferences().set_grouping_weight(["A"], 2.0)
+        assert prefs.weight(("A",), ("a1",), 0.5) == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GroupPreferences().set(["A"], ("a1",), -1)
+        with pytest.raises(ValueError):
+            GroupPreferences().set_grouping_weight(["A"], -1)
+
+
+class TestWorkloadCongress:
+    def test_uniform_preferences_equal_plain_congress(self):
+        workload = WorkloadCongress(GroupPreferences())
+        plain = Congress()
+        w = workload.allocate(COUNTS, G, 100)
+        c = plain.allocate(COUNTS, G, 100)
+        for group in COUNTS:
+            assert w.fractional[group] == pytest.approx(c.fractional[group])
+
+    def test_preference_shifts_allocation(self):
+        # Strongly prefer group a2 under grouping {A}.
+        prefs = GroupPreferences()
+        prefs.set(["A"], ("a2",), 0.9)
+        prefs.set(["A"], ("a1",), 0.1)
+        weighted = WorkloadCongress(prefs).allocate(COUNTS, G, 100)
+        plain = Congress().allocate(COUNTS, G, 100)
+        assert weighted.fractional[("a2", "b1")] > plain.fractional[("a2", "b1")]
+
+    def test_total_is_budget(self):
+        prefs = GroupPreferences().set(["A"], ("a2",), 0.99)
+        weighted = WorkloadCongress(prefs).allocate(COUNTS, G, 100)
+        assert weighted.total_fractional == pytest.approx(100)
+
+    def test_restricted_groupings(self):
+        workload = WorkloadCongress(GroupPreferences(), groupings=[G])
+        allocation = workload.allocate(COUNTS, G, 90)
+        # Only the finest grouping: equals Senate (30 each).
+        for group in COUNTS:
+            assert allocation.fractional[group] == pytest.approx(30)

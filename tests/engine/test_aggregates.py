@@ -1,0 +1,106 @@
+"""Unit tests for grouped aggregate reduction."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Aggregate, AggregateFunction, grouped_reduce, lit
+from repro.engine.expressions import col
+
+
+class TestAggregateFunction:
+    def test_known_functions(self):
+        for name in ("count", "sum", "avg", "min", "max", "var"):
+            assert AggregateFunction(name).name == name
+
+    def test_case_insensitive(self):
+        assert AggregateFunction("SUM") == "sum"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateFunction("median")
+
+
+class TestAggregateSpec:
+    def test_count_star(self):
+        agg = Aggregate.count_star("c")
+        assert agg.func == "count"
+        assert agg.alias == "c"
+        assert agg.expr == lit(1)
+
+    def test_invalid_func_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("mode", col("x"), "m")
+
+
+class TestGroupedReduce:
+    @pytest.fixture
+    def data(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+        group_ids = np.array([0, 0, 1, 1, 1])
+        return values, group_ids
+
+    def test_count(self, data):
+        values, ids = data
+        assert grouped_reduce("count", values, ids, 2).tolist() == [2.0, 3.0]
+
+    def test_sum(self, data):
+        values, ids = data
+        assert grouped_reduce("sum", values, ids, 2).tolist() == [3.0, 17.0]
+
+    def test_avg(self, data):
+        values, ids = data
+        np.testing.assert_allclose(
+            grouped_reduce("avg", values, ids, 2), [1.5, 17.0 / 3]
+        )
+
+    def test_min(self, data):
+        values, ids = data
+        assert grouped_reduce("min", values, ids, 2).tolist() == [1.0, 3.0]
+
+    def test_max(self, data):
+        values, ids = data
+        assert grouped_reduce("max", values, ids, 2).tolist() == [2.0, 10.0]
+
+    def test_var_matches_numpy(self, data):
+        values, ids = data
+        expected = [np.var([1, 2], ddof=1), np.var([3, 4, 10], ddof=1)]
+        np.testing.assert_allclose(
+            grouped_reduce("var", values, ids, 2), expected
+        )
+
+    def test_var_of_singleton_is_zero(self):
+        out = grouped_reduce("var", np.array([5.0]), np.array([0]), 1)
+        assert out.tolist() == [0.0]
+
+    def test_empty_group_conventions(self):
+        # Group 1 has no rows.
+        values = np.array([1.0])
+        ids = np.array([0])
+        assert grouped_reduce("count", values, ids, 2).tolist() == [1.0, 0.0]
+        assert grouped_reduce("sum", values, ids, 2).tolist() == [1.0, 0.0]
+        assert np.isnan(grouped_reduce("avg", values, ids, 2)[1])
+        assert np.isnan(grouped_reduce("min", values, ids, 2)[1])
+        assert np.isnan(grouped_reduce("max", values, ids, 2)[1])
+
+    def test_zero_groups(self):
+        out = grouped_reduce("sum", np.array([]), np.array([], dtype=int), 0)
+        assert len(out) == 0
+
+    def test_empty_input_min(self):
+        out = grouped_reduce("min", np.array([]), np.array([], dtype=int), 2)
+        assert np.isnan(out).all()
+
+    def test_unsorted_group_ids_min_max(self):
+        # Interleaved group ids exercise the sort-partition path.
+        values = np.array([5.0, 1.0, 4.0, 2.0, 3.0])
+        ids = np.array([1, 0, 1, 0, 1])
+        assert grouped_reduce("min", values, ids, 2).tolist() == [1.0, 3.0]
+        assert grouped_reduce("max", values, ids, 2).tolist() == [2.0, 5.0]
+
+    def test_large_random_against_python(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        ids = rng.integers(0, 7, size=1000)
+        out = grouped_reduce("sum", values, ids, 7)
+        for g in range(7):
+            np.testing.assert_allclose(out[g], values[ids == g].sum())

@@ -1,0 +1,52 @@
+"""Unit tests for the table catalog."""
+
+import pytest
+
+from repro.engine import Catalog, CatalogError, ColumnType, Schema, Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(Schema.of(("a", ColumnType.INT)), a=[1, 2])
+
+
+class TestCatalog:
+    def test_register_and_get(self, table):
+        cat = Catalog()
+        cat.register("t", table)
+        assert cat.get("t") is table
+        assert "t" in cat
+
+    def test_double_register_rejected(self, table):
+        cat = Catalog()
+        cat.register("t", table)
+        with pytest.raises(CatalogError, match="already registered"):
+            cat.register("t", table)
+
+    def test_replace_allowed_when_flagged(self, table):
+        cat = Catalog()
+        cat.register("t", table)
+        other = Table.from_columns(Schema.of(("a", ColumnType.INT)), a=[9])
+        cat.register("t", other, replace=True)
+        assert cat.get("t") is other
+
+    def test_get_unknown(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().get("nope")
+
+    def test_drop(self, table):
+        cat = Catalog()
+        cat.register("t", table)
+        cat.drop("t")
+        assert "t" not in cat
+
+    def test_drop_unknown(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop("nope")
+
+    def test_names_sorted(self, table):
+        cat = Catalog()
+        cat.register("zz", table)
+        cat.register("aa", table)
+        assert cat.names() == ["aa", "zz"]
+        assert sorted(iter(cat)) == ["aa", "zz"]

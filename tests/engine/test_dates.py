@@ -1,0 +1,103 @@
+"""Unit tests for date parsing and the date() SQL function."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Catalog,
+    Column,
+    ColumnType,
+    Schema,
+    Table,
+    date_to_ordinal,
+    execute,
+    format_date,
+    ordinal_to_date,
+    parse_date,
+    parse_query,
+)
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert parse_date("1998-09-01") == datetime.date(1998, 9, 1)
+
+    def test_oracle_two_digit_year(self):
+        assert parse_date("01-SEP-98") == datetime.date(1998, 9, 1)
+
+    def test_oracle_lowercase(self):
+        assert parse_date("15-mar-05") == datetime.date(2005, 3, 15)
+
+    def test_oracle_four_digit_year(self):
+        assert parse_date("01-JAN-1970") == datetime.date(1970, 1, 1)
+
+    def test_two_digit_year_window(self):
+        assert parse_date("01-JAN-69").year == 2069
+        assert parse_date("01-JAN-70").year == 1970
+
+    def test_bad_month(self):
+        with pytest.raises(ValueError, match="unknown month"):
+            parse_date("01-XYZ-98")
+
+    def test_unparseable(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_date("September 1st 1998")
+
+
+class TestOrdinals:
+    def test_epoch_is_zero(self):
+        assert date_to_ordinal("1970-01-01") == 0
+
+    def test_round_trip(self):
+        ordinal = date_to_ordinal("1998-09-01")
+        assert ordinal_to_date(ordinal) == datetime.date(1998, 9, 1)
+        assert format_date(ordinal) == "1998-09-01"
+
+    def test_accepts_date_objects(self):
+        assert date_to_ordinal(datetime.date(1970, 1, 2)) == 1
+
+
+class TestDateFunctionInSql:
+    @pytest.fixture
+    def cat(self):
+        schema = Schema(
+            [Column("d", ColumnType.DATE), Column("v", ColumnType.FLOAT)]
+        )
+        days = [
+            date_to_ordinal("1998-08-15"),
+            date_to_ordinal("1998-09-01"),
+            date_to_ordinal("1998-09-15"),
+        ]
+        table = Table(
+            schema,
+            {"d": np.array(days), "v": np.array([1.0, 2.0, 4.0])},
+        )
+        catalog = Catalog()
+        catalog.register("t", table)
+        return catalog
+
+    def test_figure2_style_cutoff(self, cat):
+        """The paper's Q1 predicate: l_shipdate <= '01-SEP-98'."""
+        result = execute(
+            parse_query(
+                "select sum(v) s from t where d <= date('01-SEP-98')"
+            ),
+            cat,
+        )
+        assert result.column("s")[0] == 3.0
+
+    def test_iso_literal(self, cat):
+        result = execute(
+            parse_query("select count(*) c from t where d = date('1998-09-15')"),
+            cat,
+        )
+        assert result.column("c")[0] == 1.0
+
+    def test_date_of_numeric_passthrough(self, cat):
+        result = execute(
+            parse_query("select count(*) c from t where date(d) = d"),
+            cat,
+        )
+        assert result.column("c")[0] == 3.0

@@ -1,0 +1,150 @@
+"""Edge-case tests across the engine: empty inputs, unicode, degenerates."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    Catalog,
+    Column,
+    ColumnType,
+    Schema,
+    SchemaError,
+    Table,
+    col,
+    execute,
+    group_by,
+    hash_join,
+    parse_query,
+)
+
+
+class TestEmptyTables:
+    @pytest.fixture
+    def empty(self):
+        return Table.empty(
+            Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        )
+
+    def test_group_by_empty(self, empty):
+        result = group_by(empty, ["g"], [Aggregate("sum", col("v"), "s")])
+        assert result.num_rows == 0
+
+    def test_filter_empty(self, empty):
+        assert empty.filter(np.array([], dtype=bool)).num_rows == 0
+
+    def test_sort_empty(self, empty):
+        assert empty.sort_by(["g"]).num_rows == 0
+
+    def test_join_empty_left(self, empty):
+        right = Table.from_columns(
+            Schema.of(("g", ColumnType.STR), ("w", ColumnType.INT)),
+            g=["a"], w=[1],
+        )
+        assert hash_join(empty, right, ["g"], ["g"]).num_rows == 0
+
+    def test_query_on_empty(self, empty):
+        cat = Catalog()
+        cat.register("t", empty)
+        result = execute(
+            parse_query("select g, sum(v) s from t group by g"), cat
+        )
+        assert result.num_rows == 0
+
+    def test_concat_empty(self, empty):
+        other = Table.from_columns(empty.schema, g=["a"], v=[1.0])
+        assert empty.concat(other).num_rows == 1
+
+
+class TestUnicodeAndStrings:
+    def test_unicode_group_keys(self):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.INT))
+        table = Table.from_columns(
+            schema, g=["北京", "北京", "tōkyō"], v=[1, 2, 3]
+        )
+        result = group_by(table, ["g"], [Aggregate("sum", col("v"), "s")])
+        by_key = {row["g"]: row["s"] for row in result.to_dicts()}
+        assert by_key["北京"] == 3.0
+        assert by_key["tōkyō"] == 3.0
+
+    def test_string_width_growth_on_concat(self):
+        schema = Schema.of(("g", ColumnType.STR),)
+        short = Table.from_columns(schema, g=["ab"])
+        long = Table.from_columns(schema, g=["abcdefghij"])
+        combined = short.concat(long)
+        assert combined.column("g").tolist() == ["ab", "abcdefghij"]
+
+    def test_quoted_string_in_predicate(self):
+        schema = Schema.of(("g", ColumnType.STR),)
+        table = Table.from_columns(schema, g=["it's", "plain"])
+        cat = Catalog()
+        cat.register("t", table)
+        result = execute(
+            parse_query("select g from t where g = 'it''s'"), cat
+        )
+        assert result.column("g").tolist() == ["it's"]
+
+
+class TestDegenerateSchemas:
+    def test_single_column_table(self):
+        schema = Schema.of(("only", ColumnType.INT))
+        table = Table.from_columns(schema, only=[3, 1, 2])
+        assert table.sort_by(["only"]).column("only").tolist() == [1, 2, 3]
+
+    def test_rename_collision_rejected(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.INT))
+        table = Table.from_columns(schema, a=[1], b=[2])
+        with pytest.raises(SchemaError):
+            table.rename({"a": "b"})
+
+    def test_many_columns(self):
+        columns = [Column(f"c{i}", ColumnType.INT) for i in range(50)]
+        schema = Schema(columns)
+        data = {f"c{i}": [i] for i in range(50)}
+        table = Table.from_columns(schema, **data)
+        assert table.row(0) == tuple(range(50))
+
+
+class TestNumericEdges:
+    def test_negative_and_zero_sums(self):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        table = Table.from_columns(
+            schema, g=["a", "a", "b"], v=[-5.0, 5.0, 0.0]
+        )
+        result = group_by(table, ["g"], [Aggregate("sum", col("v"), "s")])
+        by_key = {row["g"]: row["s"] for row in result.to_dicts()}
+        assert by_key["a"] == 0.0
+        assert by_key["b"] == 0.0
+
+    def test_large_values(self):
+        schema = Schema.of(("v", ColumnType.FLOAT),)
+        table = Table.from_columns(schema, v=[1e300, 1e300])
+        result = group_by(table, [], [Aggregate("sum", col("v"), "s")])
+        assert result.column("s")[0] == 2e300
+
+    def test_int64_boundaries(self):
+        schema = Schema.of(("v", ColumnType.INT),)
+        big = 2**62
+        table = Table.from_columns(schema, v=[big, -big])
+        assert table.column("v").tolist() == [big, -big]
+
+    def test_duplicate_rows_counted_separately(self):
+        schema = Schema.of(("g", ColumnType.STR),)
+        table = Table.from_columns(schema, g=["x"] * 5)
+        result = group_by(table, ["g"], [Aggregate.count_star("c")])
+        assert result.column("c")[0] == 5.0
+
+
+class TestGroupingOnAggregateOutputs:
+    def test_group_by_date_column(self):
+        schema = Schema(
+            [Column("d", ColumnType.DATE), Column("v", ColumnType.FLOAT)]
+        )
+        table = Table(
+            schema,
+            {"d": np.array([10, 10, 20]), "v": np.array([1.0, 2.0, 3.0])},
+        )
+        result = group_by(table, ["d"], [Aggregate("sum", col("v"), "s")])
+        by_key = {row["d"]: row["s"] for row in result.to_dicts()}
+        assert by_key[10] == 3.0
+        assert by_key[20] == 3.0

@@ -1,0 +1,132 @@
+"""Unit tests for query execution against the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Catalog,
+    CatalogError,
+    ColumnType,
+    QueryError,
+    Schema,
+    Table,
+    execute,
+    execute_on_table,
+    parse_query,
+)
+
+
+@pytest.fixture
+def cat():
+    schema = Schema.of(
+        ("g", ColumnType.STR), ("n", ColumnType.INT), ("v", ColumnType.FLOAT)
+    )
+    table = Table.from_columns(
+        schema,
+        g=["a", "a", "b", "b", "b"],
+        n=[1, 2, 3, 4, 5],
+        v=[10.0, 20.0, 30.0, 40.0, 50.0],
+    )
+    catalog = Catalog()
+    catalog.register("t", table)
+    return catalog
+
+
+class TestExecution:
+    def test_aggregate_group_by(self, cat):
+        result = execute(
+            parse_query("select g, sum(v) s from t group by g order by g"), cat
+        )
+        assert result.to_dicts() == [
+            {"g": "a", "s": 30.0},
+            {"g": "b", "s": 120.0},
+        ]
+
+    def test_where_filters_before_aggregation(self, cat):
+        result = execute(
+            parse_query("select g, count(*) c from t where n >= 3 group by g"),
+            cat,
+        )
+        assert {r["g"]: r["c"] for r in result.to_dicts()} == {"b": 3.0}
+
+    def test_no_group_by_aggregate(self, cat):
+        result = execute(parse_query("select avg(v) m from t"), cat)
+        assert result.num_rows == 1
+        assert result.column("m")[0] == 30.0
+
+    def test_plain_projection(self, cat):
+        result = execute(parse_query("select n, v from t where g = 'a'"), cat)
+        assert result.column("n").tolist() == [1, 2]
+
+    def test_projection_with_expression(self, cat):
+        result = execute(parse_query("select v * 2 d from t where n = 1"), cat)
+        assert result.column("d").tolist() == [20.0]
+        assert result.schema.column("d").ctype is ColumnType.FLOAT
+
+    def test_projection_type_inference_int(self, cat):
+        result = execute(parse_query("select n + 1 m from t"), cat)
+        assert result.schema.column("m").ctype is ColumnType.INT
+
+    def test_key_alias_in_group_by(self, cat):
+        result = execute(
+            parse_query("select g as grp, count(*) c from t group by g"), cat
+        )
+        assert "grp" in result.schema
+
+    def test_select_order_preserved(self, cat):
+        result = execute(
+            parse_query("select sum(v) s, g, count(*) c from t group by g"),
+            cat,
+        )
+        assert result.schema.names == ["s", "g", "c"]
+
+    def test_nested_subquery(self, cat):
+        sql = (
+            "select g, sum(sv) total from "
+            "(select g, n, sum(v) sv from t group by g, n) "
+            "group by g order by g"
+        )
+        result = execute(parse_query(sql), cat)
+        assert {r["g"]: r["total"] for r in result.to_dicts()} == {
+            "a": 30.0,
+            "b": 120.0,
+        }
+
+    def test_order_by_multiple(self, cat):
+        result = execute(
+            parse_query("select g, n from t order by g, n"), cat
+        )
+        assert result.column("n").tolist() == [1, 2, 3, 4, 5]
+
+    def test_unknown_table(self, cat):
+        with pytest.raises(CatalogError):
+            execute(parse_query("select a from missing"), cat)
+
+    def test_execute_on_table(self, cat):
+        table = cat.get("t")
+        result = execute_on_table(
+            parse_query("select sum(v) s from ignored"), table
+        )
+        assert result.column("s")[0] == 150.0
+
+    def test_execute_on_table_rejects_nested(self, cat):
+        query = parse_query(
+            "select sum(s) z from (select g, sum(v) s from t group by g) "
+        )
+        with pytest.raises(QueryError):
+            execute_on_table(query, cat.get("t"))
+
+    def test_empty_result_group_by(self, cat):
+        result = execute(
+            parse_query("select g, sum(v) s from t where n > 100 group by g"),
+            cat,
+        )
+        assert result.num_rows == 0
+
+    def test_empty_result_no_group_by_returns_one_row(self, cat):
+        # SQL semantics: aggregate without GROUP BY always returns one row.
+        result = execute(
+            parse_query("select count(*) c from t where n > 100"), cat
+        )
+        assert result.num_rows == 1
+        assert result.column("c")[0] == 0.0

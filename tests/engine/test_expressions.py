@@ -1,0 +1,93 @@
+"""Unit tests for the scalar expression AST."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BinaryOp,
+    Col,
+    ColumnType,
+    Func,
+    Lit,
+    Schema,
+    Table,
+    UnaryOp,
+    col,
+    lit,
+)
+
+
+@pytest.fixture
+def table():
+    schema = Schema.of(("x", ColumnType.FLOAT), ("y", ColumnType.FLOAT))
+    return Table.from_columns(schema, x=[1.0, 2.0, 3.0], y=[10.0, 20.0, 0.0])
+
+
+class TestBasics:
+    def test_col(self, table):
+        assert Col("x").evaluate(table).tolist() == [1.0, 2.0, 3.0]
+
+    def test_lit_broadcast(self, table):
+        assert Lit(7).evaluate(table).tolist() == [7, 7, 7]
+
+    def test_referenced_columns(self):
+        expr = (col("a") + col("b")) * col("a")
+        assert expr.referenced_columns() == ("a", "b")
+
+    def test_lit_references_nothing(self):
+        assert lit(1).referenced_columns() == ()
+
+
+class TestArithmetic:
+    def test_add(self, table):
+        assert (col("x") + col("y")).evaluate(table).tolist() == [11.0, 22.0, 3.0]
+
+    def test_sub(self, table):
+        assert (col("y") - col("x")).evaluate(table).tolist() == [9.0, 18.0, -3.0]
+
+    def test_mul_by_scalar(self, table):
+        assert (col("x") * 100).evaluate(table).tolist() == [100.0, 200.0, 300.0]
+
+    def test_rmul(self, table):
+        assert (100 * col("x")).evaluate(table).tolist() == [100.0, 200.0, 300.0]
+
+    def test_div(self, table):
+        assert (col("y") / col("x")).evaluate(table).tolist() == [10.0, 10.0, 0.0]
+
+    def test_div_by_zero_is_inf_not_error(self, table):
+        result = (col("x") / col("y")).evaluate(table)
+        assert result[2] == np.inf
+
+    def test_neg(self, table):
+        assert (-col("x")).evaluate(table).tolist() == [-1.0, -2.0, -3.0]
+
+    def test_nested_precedence_via_composition(self, table):
+        expr = col("x") * (col("y") + 1)
+        assert expr.evaluate(table).tolist() == [11.0, 42.0, 3.0]
+
+    def test_unsupported_binary_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("%", col("x"), col("y"))
+
+    def test_unsupported_unary_op_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("+", col("x"))
+
+
+class TestFunc:
+    def test_abs(self, table):
+        expr = Func("abs", col("x") - 2)
+        assert expr.evaluate(table).tolist() == [1.0, 0.0, 1.0]
+
+    def test_sqrt(self, table):
+        expr = Func("sqrt", col("y"))
+        np.testing.assert_allclose(
+            expr.evaluate(table), [np.sqrt(10), np.sqrt(20), 0.0]
+        )
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ValueError, match="unsupported function"):
+            Func("exp", col("x"))
+
+    def test_func_referenced_columns(self):
+        assert Func("abs", col("z")).referenced_columns() == ("z",)

@@ -1,0 +1,103 @@
+"""Unit tests for the hash group-by executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    ColumnType,
+    Schema,
+    Table,
+    col,
+    distinct,
+    group_by,
+    group_ids_for,
+)
+
+
+@pytest.fixture
+def table():
+    schema = Schema.of(
+        ("a", ColumnType.STR), ("b", ColumnType.INT), ("v", ColumnType.FLOAT)
+    )
+    return Table.from_columns(
+        schema,
+        a=["x", "x", "y", "y", "x"],
+        b=[1, 2, 1, 1, 1],
+        v=[10.0, 20.0, 30.0, 40.0, 50.0],
+    )
+
+
+class TestGroupIds:
+    def test_single_key(self, table):
+        ids, keys, num = group_ids_for(table, ["a"])
+        assert num == 2
+        assert keys == [("x",), ("y",)]
+        assert ids.tolist() == [0, 0, 1, 1, 0]
+
+    def test_multi_key(self, table):
+        ids, keys, num = group_ids_for(table, ["a", "b"])
+        assert num == 3
+        assert set(keys) == {("x", 1), ("x", 2), ("y", 1)}
+        # Rows with equal key tuples share an id.
+        assert ids[0] == ids[4]
+        assert ids[2] == ids[3]
+
+    def test_no_keys_single_group(self, table):
+        ids, keys, num = group_ids_for(table, [])
+        assert num == 1
+        assert keys == [()]
+        assert (ids == 0).all()
+
+    def test_empty_table(self):
+        schema = Schema.of(("a", ColumnType.STR))
+        ids, keys, num = group_ids_for(Table.empty(schema), ["a"])
+        assert num == 0
+        assert len(ids) == 0
+
+
+class TestGroupBy:
+    def test_sum_per_group(self, table):
+        result = group_by(table, ["a"], [Aggregate("sum", col("v"), "s")])
+        by_key = {row["a"]: row["s"] for row in result.to_dicts()}
+        assert by_key == {"x": 80.0, "y": 70.0}
+
+    def test_multiple_aggregates(self, table):
+        result = group_by(
+            table,
+            ["a"],
+            [
+                Aggregate("sum", col("v"), "s"),
+                Aggregate.count_star("c"),
+                Aggregate("max", col("v"), "m"),
+            ],
+        )
+        row = [r for r in result.to_dicts() if r["a"] == "x"][0]
+        assert (row["s"], row["c"], row["m"]) == (80.0, 3.0, 50.0)
+
+    def test_expression_aggregate(self, table):
+        result = group_by(
+            table, ["a"], [Aggregate("sum", col("v") * col("b"), "s")]
+        )
+        by_key = {row["a"]: row["s"] for row in result.to_dicts()}
+        assert by_key == {"x": 10.0 + 40.0 + 50.0, "y": 70.0}
+
+    def test_no_keys_collapses_to_one_row(self, table):
+        result = group_by(table, [], [Aggregate("sum", col("v"), "s")])
+        assert result.num_rows == 1
+        assert result.column("s")[0] == 150.0
+
+    def test_key_types_preserved(self, table):
+        result = group_by(table, ["b"], [Aggregate.count_star("c")])
+        assert result.schema.column("b").ctype is ColumnType.INT
+
+    def test_aggregate_outputs_are_float(self, table):
+        result = group_by(table, ["a"], [Aggregate.count_star("c")])
+        assert result.schema.column("c").ctype is ColumnType.FLOAT
+
+
+class TestDistinct:
+    def test_distinct_pairs(self, table):
+        result = distinct(table, ["a", "b"])
+        assert result.num_rows == 3
+        assert set(result.iter_rows()) == {("x", 1), ("x", 2), ("y", 1)}

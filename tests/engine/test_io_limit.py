@@ -1,0 +1,141 @@
+"""Unit tests for CSV I/O and the LIMIT clause."""
+
+import pytest
+
+from repro.engine import (
+    Catalog,
+    ColumnType,
+    Schema,
+    SchemaError,
+    SqlError,
+    Table,
+    execute,
+    infer_schema,
+    parse_query,
+    read_csv,
+    write_csv,
+)
+
+
+@pytest.fixture
+def table():
+    schema = Schema.of(
+        ("name", ColumnType.STR), ("score", ColumnType.FLOAT), ("n", ColumnType.INT)
+    )
+    return Table.from_columns(
+        schema, name=["a", "b", "c"], score=[1.5, 2.5, 3.5], n=[10, 20, 30]
+    )
+
+
+class TestCsvRoundTrip:
+    def test_write_then_read(self, table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, schema=table.schema)
+        assert loaded == table
+
+    def test_inferred_schema_types(self, table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema.column("name").ctype is ColumnType.STR
+        assert loaded.schema.column("score").ctype is ColumnType.FLOAT
+        assert loaded.schema.column("n").ctype is ColumnType.INT
+
+    def test_header_mismatch_rejected(self, table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        wrong = Schema.of(("x", ColumnType.STR))
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(path, schema=wrong)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError, match="arity"):
+            read_csv(path)
+
+    def test_custom_delimiter(self, table, tmp_path):
+        path = tmp_path / "data.tsv"
+        write_csv(table, path, delimiter="\t")
+        loaded = read_csv(path, delimiter="\t")
+        assert loaded.num_rows == 3
+
+
+class TestInferSchema:
+    def test_int_dominates(self):
+        schema = infer_schema(["x"], [["1"], ["2"]])
+        assert schema.column("x").ctype is ColumnType.INT
+
+    def test_float_when_mixed(self):
+        schema = infer_schema(["x"], [["1"], ["2.5"]])
+        assert schema.column("x").ctype is ColumnType.FLOAT
+
+    def test_str_fallback(self):
+        schema = infer_schema(["x"], [["1"], ["abc"]])
+        assert schema.column("x").ctype is ColumnType.STR
+
+    def test_empty_values_ignored_for_typing(self):
+        schema = infer_schema(["x"], [[""], ["3"]])
+        assert schema.column("x").ctype is ColumnType.INT
+
+
+class TestLimit:
+    @pytest.fixture
+    def cat(self, table):
+        catalog = Catalog()
+        catalog.register("t", table)
+        return catalog
+
+    def test_limit_caps_rows(self, cat):
+        result = execute(parse_query("select name from t limit 2"), cat)
+        assert result.num_rows == 2
+
+    def test_limit_after_order_by(self, cat):
+        result = execute(
+            parse_query("select name, n from t order by n limit 1"), cat
+        )
+        assert result.column("name").tolist() == ["a"]
+
+    def test_limit_zero(self, cat):
+        result = execute(parse_query("select name from t limit 0"), cat)
+        assert result.num_rows == 0
+
+    def test_limit_larger_than_table(self, cat):
+        result = execute(parse_query("select name from t limit 99"), cat)
+        assert result.num_rows == 3
+
+    def test_limit_with_group_by(self, cat):
+        result = execute(
+            parse_query(
+                "select name, sum(n) s from t group by name order by name limit 2"
+            ),
+            cat,
+        )
+        assert result.num_rows == 2
+
+    def test_non_integer_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("select name from t limit 1.5")
+
+    def test_limit_survives_rewrite(self, skewed_table, rng):
+        from repro.core import Congress, build_sample
+        from repro.rewrite import Integrated
+
+        catalog = Catalog()
+        catalog.register("rel", skewed_table)
+        sample = build_sample(Congress(), skewed_table, ["a", "b"], 500, rng=rng)
+        strategy = Integrated()
+        synopsis = strategy.install(sample, "rel", catalog, replace=True)
+        query = parse_query(
+            "select a, sum(q) s from rel group by a order by a limit 2"
+        )
+        result = strategy.plan(query, synopsis).execute(catalog)
+        assert result.num_rows == 2
+        assert result.column("a").tolist() == ["a1", "a2"]

@@ -1,0 +1,81 @@
+"""Unit tests for the hash join."""
+
+import pytest
+
+from repro.engine import ColumnType, Schema, SchemaError, Table, hash_join
+
+
+@pytest.fixture
+def left():
+    schema = Schema.of(("k", ColumnType.INT), ("v", ColumnType.FLOAT))
+    return Table.from_columns(schema, k=[1, 2, 2, 3], v=[1.0, 2.0, 2.5, 3.0])
+
+
+@pytest.fixture
+def right():
+    schema = Schema.of(("k", ColumnType.INT), ("w", ColumnType.STR))
+    return Table.from_columns(schema, k=[1, 2, 4], w=["one", "two", "four"])
+
+
+class TestHashJoin:
+    def test_inner_join_matching(self, left, right):
+        joined = hash_join(left, right, ["k"], ["k"])
+        assert joined.num_rows == 3  # k=3 has no match, k=2 matches twice
+        rows = {(r["k"], r["v"], r["w"]) for r in joined.to_dicts()}
+        assert rows == {(1, 1.0, "one"), (2, 2.0, "two"), (2, 2.5, "two")}
+
+    def test_join_key_dropped_from_right(self, left, right):
+        joined = hash_join(left, right, ["k"], ["k"])
+        assert joined.schema.names == ["k", "v", "w"]
+
+    def test_one_to_many_from_right(self, left):
+        schema = Schema.of(("k", ColumnType.INT), ("tag", ColumnType.STR))
+        right = Table.from_columns(schema, k=[2, 2], tag=["p", "q"])
+        joined = hash_join(left, right, ["k"], ["k"])
+        assert joined.num_rows == 4  # two left k=2 rows x two right rows
+
+    def test_different_key_names(self, left):
+        schema = Schema.of(("rk", ColumnType.INT), ("w", ColumnType.STR))
+        right = Table.from_columns(schema, rk=[1], w=["one"])
+        joined = hash_join(left, right, ["k"], ["rk"])
+        assert joined.num_rows == 1
+        assert "rk" not in joined.schema
+
+    def test_name_collision_suffixed(self, left):
+        schema = Schema.of(("k", ColumnType.INT), ("v", ColumnType.STR))
+        right = Table.from_columns(schema, k=[1], v=["dup"])
+        joined = hash_join(left, right, ["k"], ["k"])
+        assert "v_r" in joined.schema
+        assert joined.column("v_r").tolist() == ["dup"]
+
+    def test_multi_key_join(self):
+        schema_l = Schema.of(
+            ("a", ColumnType.STR), ("b", ColumnType.INT), ("v", ColumnType.FLOAT)
+        )
+        schema_r = Schema.of(
+            ("a", ColumnType.STR), ("b", ColumnType.INT), ("sf", ColumnType.FLOAT)
+        )
+        left = Table.from_columns(
+            schema_l, a=["x", "x", "y"], b=[1, 2, 1], v=[1.0, 2.0, 3.0]
+        )
+        right = Table.from_columns(
+            schema_r, a=["x", "y"], b=[1, 1], sf=[10.0, 20.0]
+        )
+        joined = hash_join(left, right, ["a", "b"], ["a", "b"])
+        assert joined.num_rows == 2
+        rows = {(r["a"], r["sf"]) for r in joined.to_dicts()}
+        assert rows == {("x", 10.0), ("y", 20.0)}
+
+    def test_empty_inputs(self, left):
+        schema = Schema.of(("k", ColumnType.INT), ("w", ColumnType.STR))
+        joined = hash_join(left, Table.empty(schema), ["k"], ["k"])
+        assert joined.num_rows == 0
+        assert joined.schema.names == ["k", "v", "w"]
+
+    def test_mismatched_key_counts_rejected(self, left, right):
+        with pytest.raises(SchemaError):
+            hash_join(left, right, ["k"], [])
+
+    def test_unknown_key_rejected(self, left, right):
+        with pytest.raises(SchemaError):
+            hash_join(left, right, ["missing"], ["k"])

@@ -1,0 +1,97 @@
+"""Unit tests for the predicate AST."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    And,
+    Between,
+    ColumnType,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Schema,
+    Table,
+    TruePredicate,
+    col,
+)
+
+
+@pytest.fixture
+def table():
+    schema = Schema.of(
+        ("n", ColumnType.INT), ("tag", ColumnType.STR)
+    )
+    return Table.from_columns(
+        schema, n=[1, 2, 3, 4, 5], tag=["a", "b", "a", "c", "b"]
+    )
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", [False, False, True, False, False]),
+            ("!=", [True, True, False, True, True]),
+            ("<", [True, True, False, False, False]),
+            ("<=", [True, True, True, False, False]),
+            (">", [False, False, False, True, True]),
+            (">=", [False, False, True, True, True]),
+        ],
+    )
+    def test_all_operators(self, table, op, expected):
+        pred = Comparison.of(col("n"), op, 3)
+        assert pred.evaluate(table).tolist() == expected
+
+    def test_string_equality(self, table):
+        pred = Comparison.of(col("tag"), "=", "a")
+        assert pred.evaluate(table).tolist() == [True, False, True, False, False]
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison.of(col("n"), "~", 1)
+
+    def test_referenced_columns(self):
+        pred = Comparison.of(col("n"), "<", col("m"))
+        assert pred.referenced_columns() == ("n", "m")
+
+
+class TestBetween:
+    def test_inclusive_bounds(self, table):
+        pred = Between.of(col("n"), 2, 4)
+        assert pred.evaluate(table).tolist() == [False, True, True, True, False]
+
+
+class TestInList:
+    def test_membership(self, table):
+        pred = InList.of(col("tag"), ["a", "c"])
+        assert pred.evaluate(table).tolist() == [True, False, True, True, False]
+
+    def test_empty_list_matches_nothing(self, table):
+        pred = InList.of(col("n"), [])
+        assert not pred.evaluate(table).any()
+
+
+class TestCombinators:
+    def test_and(self, table):
+        pred = Comparison.of(col("n"), ">", 1) & Comparison.of(col("n"), "<", 4)
+        assert pred.evaluate(table).tolist() == [False, True, True, False, False]
+
+    def test_or(self, table):
+        pred = Comparison.of(col("n"), "=", 1) | Comparison.of(col("n"), "=", 5)
+        assert pred.evaluate(table).tolist() == [True, False, False, False, True]
+
+    def test_not(self, table):
+        pred = ~Comparison.of(col("tag"), "=", "a")
+        assert pred.evaluate(table).tolist() == [False, True, False, True, True]
+
+    def test_true_predicate(self, table):
+        assert TruePredicate().evaluate(table).all()
+
+    def test_combined_referenced_columns(self, table):
+        pred = And(
+            Comparison.of(col("n"), ">", 0),
+            Or(Comparison.of(col("tag"), "=", "a"), Comparison.of(col("n"), "<", 2)),
+        )
+        assert pred.referenced_columns() == ("n", "tag")

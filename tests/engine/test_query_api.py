@@ -1,0 +1,105 @@
+"""Unit tests for the logical Query API (validation + transformations)."""
+
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    Col,
+    Projection,
+    Query,
+    QueryError,
+    col,
+)
+
+
+def make(select, **kwargs):
+    return Query(select=tuple(select), from_item="t", **kwargs)
+
+
+class TestValidation:
+    def test_empty_select_rejected(self):
+        with pytest.raises(QueryError, match="empty"):
+            make([])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            make([
+                Aggregate("sum", col("v"), "x"),
+                Aggregate("count", col("v"), "x"),
+            ])
+
+    def test_non_column_projection_with_aggregates_rejected(self):
+        with pytest.raises(QueryError, match="bare columns"):
+            make(
+                [Projection(col("a") + 1, "a1"), Aggregate("sum", col("v"), "s")],
+                group_by=("a",),
+            )
+
+    def test_ungrouped_key_rejected(self):
+        with pytest.raises(QueryError, match="not in"):
+            make(
+                [Projection(Col("a"), "a"), Aggregate("sum", col("v"), "s")],
+                group_by=("b",),
+            )
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError, match="LIMIT"):
+            make([Projection(Col("a"), "a")], limit=-1)
+
+    def test_plain_projection_query_valid(self):
+        query = make([Projection(col("a") * 2, "double_a")])
+        assert not query.has_aggregates()
+
+
+class TestIntrospection:
+    @pytest.fixture
+    def query(self):
+        return make(
+            [
+                Projection(Col("a"), "a"),
+                Aggregate("sum", col("v"), "s"),
+                Aggregate.count_star("c"),
+            ],
+            group_by=("a",),
+        )
+
+    def test_projections_and_aggregates_split(self, query):
+        assert len(query.projections()) == 1
+        assert [a.alias for a in query.aggregates()] == ["s", "c"]
+
+    def test_output_aliases_in_order(self, query):
+        assert query.output_aliases() == ["a", "s", "c"]
+
+    def test_base_table_name_flat(self, query):
+        assert query.base_table_name() == "t"
+
+    def test_base_table_name_nested(self, query):
+        outer = Query(
+            select=(Aggregate("sum", Col("s"), "total"),),
+            from_item=query,
+        )
+        assert outer.base_table_name() == "t"
+
+
+class TestTransformations:
+    @pytest.fixture
+    def query(self):
+        return make(
+            [Projection(Col("a"), "a"), Aggregate("sum", col("v"), "s")],
+            group_by=("a",),
+        )
+
+    def test_with_from(self, query):
+        renamed = query.with_from("bs_t")
+        assert renamed.from_item == "bs_t"
+        assert query.from_item == "t"  # original untouched
+
+    def test_with_select(self, query):
+        new = query.with_select(
+            (Projection(Col("a"), "a"), Aggregate("count", col("v"), "c"))
+        )
+        assert new.output_aliases() == ["a", "c"]
+
+    def test_with_group_by_validates(self, query):
+        with pytest.raises(QueryError):
+            query.with_group_by(("zzz",))

@@ -1,0 +1,131 @@
+"""Tests for SQL rendering (round-trip + the Figure 2 explain view)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Catalog,
+    ColumnType,
+    Schema,
+    Table,
+    execute,
+    parse_query,
+    render_expression,
+    render_predicate,
+    render_query,
+)
+
+
+@pytest.fixture(scope="module")
+def cat():
+    rng = np.random.default_rng(1)
+    n = 300
+    schema = Schema.of(
+        ("g", ColumnType.STR), ("h", ColumnType.INT), ("v", ColumnType.FLOAT)
+    )
+    table = Table.from_columns(
+        schema,
+        g=rng.choice(["x", "y"], size=n),
+        h=rng.integers(0, 4, size=n),
+        v=rng.normal(5, 2, size=n),
+    )
+    catalog = Catalog()
+    catalog.register("t", table)
+    return catalog
+
+
+ROUND_TRIP_QUERIES = [
+    "select g, sum(v) as s from t group by g",
+    "select g, h, count(*) as c, avg(v) as m from t group by g, h",
+    "select sum(v * 2 + 1) as s from t where v > 0 and h != 2",
+    "select g, min(v) lo, max(v) hi from t group by g having lo < hi",
+    "select g, sum(v) s from t where g in ('x', 'y') group by g order by g",
+    "select g, sum(v) s from t where v between 1 and 9 group by g limit 1",
+    "select count(*) c from t where not g = 'x' or h = 3",
+    (
+        "select g, sum(sq) s from "
+        "(select g, h, sum(v) sq from t group by g, h) group by g"
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_render_reparse_same_answer(self, cat, sql):
+        original = parse_query(sql)
+        rendered = render_query(original)
+        reparsed = parse_query(rendered)
+        left = execute(original, cat)
+        right = execute(reparsed, cat)
+        assert left.schema.names == right.schema.names
+        assert left.num_rows == right.num_rows
+        for column in left.schema:
+            if column.ctype.is_numeric:
+                np.testing.assert_allclose(
+                    left.column(column.name), right.column(column.name)
+                )
+
+
+class TestRenderedText:
+    def test_count_star(self):
+        query = parse_query("select count(*) as c from t")
+        assert "count(*) AS c" in render_query(query)
+
+    def test_string_literal_escaped(self):
+        query = parse_query("select g from t where g = 'it''s'")
+        rendered = render_query(query)
+        assert "'it''s'" in rendered
+        parse_query(rendered)  # still parseable
+
+    def test_nested_query_indented(self):
+        query = parse_query(
+            "select g, sum(sq) s from "
+            "(select g, sum(v) sq from t group by g) group by g"
+        )
+        rendered = render_query(query)
+        assert "FROM (" in rendered
+        assert rendered.count("SELECT") == 2
+
+    def test_bare_column_not_aliased(self):
+        query = parse_query("select g, sum(v) s from t group by g")
+        rendered = render_query(query)
+        assert "g AS g" not in rendered
+
+
+class TestExplain:
+    def test_integrated_explain_shape(self, skewed_table, rng):
+        """The explain output matches the paper's Figure 8 shape."""
+        from repro import AquaSystem, Integrated
+
+        aqua = AquaSystem(
+            space_budget=500, rewrite_strategy=Integrated(), rng=rng
+        )
+        aqua.register_table("rel", skewed_table)
+        text = aqua.explain(
+            "select a, sum(q) s from rel where id < 100 group by a"
+        )
+        assert "bs_rel" in text
+        assert "(q * sf)" in text
+        assert "WHERE id < 100" in text
+
+    def test_nested_integrated_explain_has_subquery(self, skewed_table, rng):
+        from repro import AquaSystem, NestedIntegrated
+
+        aqua = AquaSystem(
+            space_budget=500, rewrite_strategy=NestedIntegrated(), rng=rng
+        )
+        aqua.register_table("rel", skewed_table)
+        text = aqua.explain("select a, sum(q) s from rel group by a")
+        assert "FROM (" in text
+        assert "GROUP BY a, sf" in text
+
+    def test_normalized_explain_mentions_join(self, skewed_table, rng):
+        from repro import AquaSystem, Normalized
+
+        aqua = AquaSystem(
+            space_budget=500, rewrite_strategy=Normalized(), rng=rng
+        )
+        aqua.register_table("rel", skewed_table)
+        text = aqua.explain("select a, count(*) c from rel group by a")
+        assert "join" in text
+        assert "auxn_rel" in text

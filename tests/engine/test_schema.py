@@ -1,0 +1,136 @@
+"""Unit tests for schema metadata and type coercion."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, ColumnType, Schema, SchemaError
+
+
+class TestColumnType:
+    def test_int_dtype(self):
+        assert ColumnType.INT.numpy_dtype == np.dtype(np.int64)
+
+    def test_float_dtype(self):
+        assert ColumnType.FLOAT.numpy_dtype == np.dtype(np.float64)
+
+    def test_date_is_stored_as_int(self):
+        assert ColumnType.DATE.numpy_dtype == np.dtype(np.int64)
+
+    def test_numeric_flags(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert ColumnType.DATE.is_numeric
+        assert not ColumnType.STR.is_numeric
+
+    def test_coerce_int_from_list(self):
+        arr = ColumnType.INT.coerce([1, 2, 3])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_coerce_int_from_whole_floats(self):
+        arr = ColumnType.INT.coerce([1.0, 2.0])
+        assert arr.tolist() == [1, 2]
+
+    def test_coerce_int_rejects_fractional_floats(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce([1.5])
+
+    def test_coerce_float(self):
+        arr = ColumnType.FLOAT.coerce([1, 2.5])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.5]
+
+    def test_coerce_str(self):
+        arr = ColumnType.STR.coerce(["a", "bb"])
+        assert arr.dtype.kind == "U"
+        assert arr.tolist() == ["a", "bb"]
+
+    def test_coerce_int_rejects_text(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce(["not a number"])
+
+
+class TestColumn:
+    def test_valid_roles(self):
+        for role in ("key", "grouping", "aggregate", None):
+            Column("c", ColumnType.INT, role)
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("c", ColumnType.INT, "measure")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+
+class TestSchema:
+    def test_names_order_preserved(self):
+        schema = Schema.of(("b", ColumnType.INT), ("a", ColumnType.STR))
+        assert schema.names == ["b", "a"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(("a", ColumnType.INT), ("a", ColumnType.STR))
+
+    def test_contains_and_position(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.STR))
+        assert "a" in schema
+        assert "c" not in schema
+        assert schema.position("b") == 1
+
+    def test_unknown_column_raises(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.column("zzz")
+
+    def test_role_queries(self):
+        schema = Schema(
+            [
+                Column("g1", ColumnType.STR, "grouping"),
+                Column("g2", ColumnType.INT, "grouping"),
+                Column("m", ColumnType.FLOAT, "aggregate"),
+                Column("k", ColumnType.INT, "key"),
+            ]
+        )
+        assert schema.grouping_columns() == ["g1", "g2"]
+        assert schema.aggregate_columns() == ["m"]
+
+    def test_project_reorders(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.STR))
+        projected = schema.project(["b", "a"])
+        assert projected.names == ["b", "a"]
+
+    def test_project_unknown_raises(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        with pytest.raises(SchemaError):
+            schema.project(["missing"])
+
+    def test_extend(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        extended = schema.extend(Column("b", ColumnType.FLOAT))
+        assert extended.names == ["a", "b"]
+        assert schema.names == ["a"]  # original untouched
+
+    def test_extend_duplicate_rejected(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        with pytest.raises(SchemaError):
+            schema.extend(Column("a", ColumnType.FLOAT))
+
+    def test_rename(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.STR))
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+
+    def test_equality_and_hash(self):
+        s1 = Schema.of(("a", ColumnType.INT))
+        s2 = Schema.of(("a", ColumnType.INT))
+        s3 = Schema.of(("a", ColumnType.FLOAT))
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_iteration(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.STR))
+        assert [c.name for c in schema] == ["a", "b"]
+        assert len(schema) == 2

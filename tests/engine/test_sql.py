@@ -1,0 +1,216 @@
+"""Unit tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    Col,
+    Comparison,
+    InList,
+    Lit,
+    Projection,
+    Query,
+    SqlError,
+    parse_query,
+)
+from repro.engine.sql import tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("select a from t")]
+        assert kinds == ["keyword", "ident", "keyword", "ident", "eof"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e2 .5")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", "3e2", ".5"]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+
+    def test_semicolons_ignored(self):
+        assert tokenize("select;")[-2].text == "select"
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("SELECT")[0].text == "select"
+
+
+class TestSelectList:
+    def test_simple_columns(self):
+        q = parse_query("select a, b from t")
+        assert [p.alias for p in q.projections()] == ["a", "b"]
+
+    def test_alias_with_as(self):
+        q = parse_query("select a as x from t")
+        assert q.select[0].alias == "x"
+
+    def test_alias_without_as(self):
+        q = parse_query("select a x from t")
+        assert q.select[0].alias == "x"
+
+    def test_aggregate_default_alias(self):
+        q = parse_query("select sum(v) from t")
+        agg = q.select[0]
+        assert isinstance(agg, Aggregate)
+        assert agg.alias == "sum"
+
+    def test_count_star(self):
+        q = parse_query("select count(*) as n from t")
+        agg = q.select[0]
+        assert agg.func == "count"
+        assert agg.alias == "n"
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlError):
+            parse_query("select sum(*) from t")
+
+    def test_expression_in_aggregate(self):
+        q = parse_query("select sum(price * (1 - discount)) s from t")
+        agg = q.select[0]
+        assert isinstance(agg.expr, BinaryOp)
+
+    def test_expression_projection_gets_synthetic_alias(self):
+        q = parse_query("select v * 2 from t")
+        assert q.select[0].alias == "expr_0"
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("select a as x, b as x from t")
+
+
+class TestWhere:
+    def test_comparison(self):
+        q = parse_query("select a from t where a = 'x'")
+        assert isinstance(q.where, Comparison)
+        assert q.where.right == Lit("x")
+
+    def test_between(self):
+        q = parse_query("select a from t where n between 1 and 10")
+        assert isinstance(q.where, Between)
+
+    def test_in_list(self):
+        q = parse_query("select a from t where a in ('x', 'y')")
+        assert isinstance(q.where, InList)
+        assert q.where.values == ("x", "y")
+
+    def test_and_or_precedence(self):
+        q = parse_query(
+            "select a from t where a = 1 or b = 2 and c = 3"
+        )
+        # AND binds tighter: a=1 OR (b=2 AND c=3).
+        from repro.engine import And, Or
+
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.right, And)
+
+    def test_parenthesized_predicate(self):
+        from repro.engine import And, Or
+
+        q = parse_query("select a from t where (a = 1 or b = 2) and c = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.left, Or)
+
+    def test_not(self):
+        from repro.engine import Not
+
+        q = parse_query("select a from t where not a = 1")
+        assert isinstance(q.where, Not)
+
+    def test_not_equal_variants(self):
+        q1 = parse_query("select a from t where a != 1")
+        q2 = parse_query("select a from t where a <> 1")
+        assert q1.where.op == q2.where.op == "!="
+
+    def test_arithmetic_in_predicate(self):
+        q = parse_query("select a from t where x + 1 < y * 2")
+        assert isinstance(q.where.left, BinaryOp)
+
+
+class TestClauses:
+    def test_group_by(self):
+        q = parse_query("select a, sum(v) s from t group by a")
+        assert q.group_by == ("a",)
+
+    def test_group_by_multiple(self):
+        q = parse_query("select a, b, count(*) c from t group by a, b")
+        assert q.group_by == ("a", "b")
+
+    def test_order_by(self):
+        q = parse_query("select a, count(*) c from t group by a order by a")
+        assert q.order_by == ("a",)
+
+    def test_select_column_must_be_grouped(self):
+        with pytest.raises(SqlError):
+            parse_query("select a, b, sum(v) s from t group by a")
+
+    def test_nested_subquery(self):
+        q = parse_query(
+            "select a, sum(sq) s from "
+            "(select a, b, sum(v) as sq from t group by a, b) "
+            "group by a"
+        )
+        assert isinstance(q.from_item, Query)
+        assert q.from_item.from_item == "t"
+        assert q.base_table_name() == "t"
+
+    def test_subquery_alias_accepted(self):
+        q = parse_query(
+            "select a, sum(sq) s from "
+            "(select a, sum(v) sq from t group by a) inner_q group by a"
+        )
+        assert isinstance(q.from_item, Query)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse_query("select a from t extra")
+
+    def test_trailing_semicolon_ok(self):
+        parse_query("select a from t;")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("select a")
+
+
+class TestPaperQueries:
+    """The queries used throughout the paper must parse."""
+
+    def test_figure2_original(self):
+        q = parse_query(
+            "select l_returnflag, l_linestatus, sum(l_quantity) "
+            "from lineitem where l_shipdate <= 10470 "
+            "group by l_returnflag, l_linestatus"
+        )
+        assert q.group_by == ("l_returnflag", "l_linestatus")
+
+    def test_figure2_rewritten(self):
+        q = parse_query(
+            "select l_returnflag, l_linestatus, sum(l_quantity*100) e "
+            "from bs_lineitem where l_shipdate <= 10470 "
+            "group by l_returnflag, l_linestatus"
+        )
+        assert q.from_item == "bs_lineitem"
+
+    def test_figure11_nested_integrated(self):
+        q = parse_query(
+            "select a, b, sum(sq*sf) s from "
+            "(select a, b, sf, sum(q) as sq from samprel group by a, b, sf) "
+            "group by a, b"
+        )
+        inner = q.from_item
+        assert inner.group_by == ("a", "b", "sf")
+
+    def test_qg0_shape(self):
+        q = parse_query(
+            "select sum(l_quantity) s from lineitem "
+            "where l_id between 100 and 70100"
+        )
+        assert q.group_by == ()
+        assert isinstance(q.where, Between)

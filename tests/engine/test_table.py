@@ -1,0 +1,156 @@
+"""Unit tests for the immutable column-store table."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, ColumnType, Schema, SchemaError, Table, TableBuilder
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        ("name", ColumnType.STR), ("score", ColumnType.FLOAT), ("n", ColumnType.INT)
+    )
+
+
+@pytest.fixture
+def table(schema):
+    return Table.from_columns(
+        schema, name=["a", "b", "c"], score=[1.0, 2.0, 3.0], n=[10, 20, 30]
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, schema):
+        t = Table.from_rows(schema, [("a", 1.0, 1), ("b", 2.0, 2)])
+        assert t.num_rows == 2
+        assert t.column("name").tolist() == ["a", "b"]
+
+    def test_from_rows_empty(self, schema):
+        t = Table.from_rows(schema, [])
+        assert t.num_rows == 0
+        assert t.column("score").dtype == np.float64
+
+    def test_empty(self, schema):
+        assert Table.empty(schema).num_rows == 0
+
+    def test_ragged_columns_rejected(self, schema):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table(
+                schema,
+                {
+                    "name": np.array(["a"]),
+                    "score": np.array([1.0, 2.0]),
+                    "n": np.array([1]),
+                },
+            )
+
+    def test_wrong_columns_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"name": np.array(["a"])})
+
+    def test_columns_are_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.column("score")[0] = 99.0
+
+    def test_type_coercion_on_build(self, schema):
+        t = Table.from_columns(
+            schema, name=["a"], score=[1], n=[2.0]  # int->float, float->int
+        )
+        assert t.column("score").dtype == np.float64
+        assert t.column("n").dtype == np.int64
+
+
+class TestAccessors:
+    def test_row_and_iter(self, table):
+        assert table.row(1) == ("b", 2.0, 20)
+        assert list(table.iter_rows())[2] == ("c", 3.0, 30)
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert dicts[0]["name"] == "a"
+        assert dicts[0]["n"] == 10
+
+    def test_equality(self, table, schema):
+        same = Table.from_columns(
+            schema, name=["a", "b", "c"], score=[1.0, 2.0, 3.0], n=[10, 20, 30]
+        )
+        different = Table.from_columns(
+            schema, name=["a", "b", "c"], score=[1.0, 2.0, 3.5], n=[10, 20, 30]
+        )
+        assert table == same
+        assert table != different
+
+
+class TestKernels:
+    def test_take(self, table):
+        taken = table.take(np.array([2, 0]))
+        assert taken.column("name").tolist() == ["c", "a"]
+
+    def test_filter(self, table):
+        filtered = table.filter(table.column("n") > 15)
+        assert filtered.column("name").tolist() == ["b", "c"]
+
+    def test_filter_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.filter(np.array([True]))
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(10).num_rows == 3
+
+    def test_project(self, table):
+        projected = table.project(["n", "name"])
+        assert projected.schema.names == ["n", "name"]
+
+    def test_rename(self, table):
+        renamed = table.rename({"n": "count"})
+        assert renamed.column("count").tolist() == [10, 20, 30]
+        assert "n" not in renamed.schema
+
+    def test_with_column(self, table):
+        extended = table.with_column(
+            Column("double", ColumnType.FLOAT), table.column("score") * 2
+        )
+        assert extended.column("double").tolist() == [2.0, 4.0, 6.0]
+        assert table.schema.names == ["name", "score", "n"]  # unchanged
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.with_column(Column("x", ColumnType.INT), np.array([1]))
+
+    def test_concat(self, table, schema):
+        other = Table.from_columns(schema, name=["d"], score=[4.0], n=[40])
+        combined = table.concat(other)
+        assert combined.num_rows == 4
+        assert combined.column("name").tolist() == ["a", "b", "c", "d"]
+
+    def test_concat_schema_mismatch(self, table):
+        other_schema = Schema.of(("x", ColumnType.INT))
+        other = Table.from_columns(other_schema, x=[1])
+        with pytest.raises(SchemaError):
+            table.concat(other)
+
+    def test_sort_by(self, schema):
+        t = Table.from_columns(
+            schema, name=["b", "a", "b"], score=[2.0, 1.0, 0.5], n=[1, 2, 3]
+        )
+        sorted_t = t.sort_by(["name", "score"])
+        assert sorted_t.column("name").tolist() == ["a", "b", "b"]
+        assert sorted_t.column("score").tolist() == [1.0, 0.5, 2.0]
+
+
+class TestBuilder:
+    def test_append_and_build(self, schema):
+        builder = TableBuilder(schema)
+        builder.append(("a", 1.0, 1))
+        builder.extend([("b", 2.0, 2)])
+        assert len(builder) == 2
+        built = builder.build()
+        assert built.num_rows == 2
+        assert built.column("n").tolist() == [1, 2]
+
+    def test_wrong_arity_rejected(self, schema):
+        builder = TableBuilder(schema)
+        with pytest.raises(SchemaError, match="arity"):
+            builder.append(("a", 1.0))

@@ -1,0 +1,186 @@
+"""Unit and statistical tests for error bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    ErrorBound,
+    chebyshev_from_variance,
+    chebyshev_halfwidth,
+    hoeffding_halfwidth_mean,
+    hoeffding_halfwidth_sum,
+    standard_error,
+)
+
+
+class TestStandardError:
+    def test_equation_2(self):
+        # S/sqrt(n) * sqrt(1 - n/N).
+        expected = 10.0 / math.sqrt(25) * math.sqrt(1 - 25 / 100)
+        assert standard_error(10.0, 25, 100) == pytest.approx(expected)
+
+    def test_full_sample_is_zero(self):
+        assert standard_error(10.0, 100, 100) == pytest.approx(0.0)
+
+    def test_zero_sample_is_infinite(self):
+        assert standard_error(10.0, 0, 100) == float("inf")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            standard_error(10.0, 50, 25)
+
+    def test_decreases_with_sample_size(self):
+        errors = [standard_error(5.0, n, 10_000) for n in (10, 100, 1000)]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestHoeffding:
+    def test_mean_formula(self):
+        expected = 1.0 * math.sqrt(math.log(2 / 0.1) / (2 * 100))
+        assert hoeffding_halfwidth_mean(1.0, 100, 0.90) == pytest.approx(expected)
+
+    def test_sum_scales_by_population(self):
+        mean = hoeffding_halfwidth_mean(1.0, 100, 0.90)
+        assert hoeffding_halfwidth_sum(1.0, 100, 5000, 0.90) == pytest.approx(
+            5000 * mean
+        )
+
+    def test_higher_confidence_wider(self):
+        assert hoeffding_halfwidth_mean(1.0, 100, 0.99) > hoeffding_halfwidth_mean(
+            1.0, 100, 0.90
+        )
+
+    def test_zero_sample_infinite(self):
+        assert hoeffding_halfwidth_mean(1.0, 0) == float("inf")
+
+    def test_invalid_confidence(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                hoeffding_halfwidth_mean(1.0, 10, bad)
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth_mean(-1.0, 10)
+
+    def test_coverage_simulation(self):
+        """The Hoeffding bound must cover the truth >= 90% of the time."""
+        rng = np.random.default_rng(2)
+        population = rng.uniform(0, 1, 10_000)
+        truth = population.mean()
+        n, hits, trials = 200, 0, 300
+        halfwidth = hoeffding_halfwidth_mean(1.0, n, 0.90)
+        for __ in range(trials):
+            sample = rng.choice(population, size=n, replace=False)
+            if abs(sample.mean() - truth) <= halfwidth:
+                hits += 1
+        assert hits / trials >= 0.90
+
+
+class TestChebyshev:
+    def test_formula(self):
+        # At 90% confidence: sigma / sqrt(0.1).
+        assert chebyshev_halfwidth(2.0, 0.90) == pytest.approx(2.0 / math.sqrt(0.1))
+
+    def test_from_variance(self):
+        bound = chebyshev_from_variance(4.0, 0.90)
+        assert isinstance(bound, ErrorBound)
+        assert bound.halfwidth == pytest.approx(chebyshev_halfwidth(2.0, 0.90))
+        assert bound.method == "chebyshev"
+
+    def test_nan_variance_propagates(self):
+        bound = chebyshev_from_variance(float("nan"))
+        assert math.isnan(bound.halfwidth)
+
+    def test_interval(self):
+        bound = ErrorBound(5.0, 0.9, "chebyshev")
+        assert bound.interval(100.0) == (95.0, 105.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev_halfwidth(-1.0)
+
+    def test_coverage_simulation(self):
+        """Chebyshev at 90% must cover the truth at least 90% of the time."""
+        rng = np.random.default_rng(3)
+        population = rng.exponential(5.0, 10_000)
+        truth = population.sum()
+        n_total, n_sample, hits, trials = len(population), 400, 0, 300
+        for __ in range(trials):
+            idx = rng.choice(n_total, size=n_sample, replace=False)
+            sample = population[idx]
+            est = sample.mean() * n_total
+            s2 = sample.var(ddof=1)
+            var_est = n_total**2 * (1 - n_sample / n_total) * s2 / n_sample
+            halfwidth = chebyshev_halfwidth(math.sqrt(var_est), 0.90)
+            if abs(est - truth) <= halfwidth:
+                hits += 1
+        assert hits / trials >= 0.90
+
+
+class TestHoeffdingStratified:
+    def test_reduces_to_single_stratum_sum(self):
+        from repro.estimators import (
+            hoeffding_halfwidth_stratified_sum,
+            hoeffding_halfwidth_sum,
+        )
+
+        single = hoeffding_halfwidth_sum(3.0, 50, 1000, 0.90)
+        stratified = hoeffding_halfwidth_stratified_sum(
+            [3.0], [1000.0], [50], 0.90
+        )
+        assert stratified == pytest.approx(single)
+
+    def test_zero_size_strata_ignored(self):
+        from repro.estimators import hoeffding_halfwidth_stratified_sum
+
+        with_empty = hoeffding_halfwidth_stratified_sum(
+            [3.0, 9.9], [1000.0, 500.0], [50, 0], 0.90
+        )
+        without = hoeffding_halfwidth_stratified_sum(
+            [3.0], [1000.0], [50], 0.90
+        )
+        assert with_empty == pytest.approx(without)
+
+    def test_more_samples_tighter(self):
+        from repro.estimators import hoeffding_halfwidth_stratified_sum
+
+        loose = hoeffding_halfwidth_stratified_sum([1.0], [100.0], [5])
+        tight = hoeffding_halfwidth_stratified_sum([1.0], [100.0], [50])
+        assert tight < loose
+
+    def test_misaligned_inputs_rejected(self):
+        from repro.estimators import hoeffding_halfwidth_stratified_sum
+
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth_stratified_sum([1.0], [100.0], [5, 5])
+
+    def test_negative_inputs_rejected(self):
+        from repro.estimators import hoeffding_halfwidth_stratified_sum
+
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth_stratified_sum([-1.0], [100.0], [5])
+
+    def test_coverage_simulation(self):
+        """Stratified Hoeffding at 90% must cover the truth >= 90%."""
+        from repro.estimators import hoeffding_halfwidth_stratified_sum
+
+        rng = np.random.default_rng(11)
+        strata = [rng.uniform(0, 10, 2000), rng.uniform(5, 25, 500)]
+        truth = sum(float(s.sum()) for s in strata)
+        sizes = [100, 80]
+        ranges = [10.0, 20.0]
+        populations = [2000.0, 500.0]
+        halfwidth = hoeffding_halfwidth_stratified_sum(
+            ranges, populations, sizes, 0.90
+        )
+        hits, trials = 0, 300
+        for __ in range(trials):
+            est = 0.0
+            for stratum, n in zip(strata, sizes):
+                sample = rng.choice(stratum, size=n, replace=False)
+                est += sample.mean() * len(stratum)
+            if abs(est - truth) <= halfwidth:
+                hits += 1
+        assert hits / trials >= 0.90

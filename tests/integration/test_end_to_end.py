@@ -1,0 +1,121 @@
+"""Integration tests: the full paper pipeline on a small testbed.
+
+These validate the *claims* of the paper end-to-end on scaled-down data:
+allocation -> sampling -> rewriting -> estimation -> error metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Testbed
+from repro.metrics import groupby_error
+from repro.rewrite import ALL_STRATEGIES
+from repro.synthetic import LineitemConfig, qg0_set, qg2, qg3
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    config = LineitemConfig(
+        table_size=60_000, num_groups=216, group_skew=1.5, seed=3
+    )
+    return Testbed.create(config, sample_fraction=0.07)
+
+
+class TestPaperClaims:
+    def test_house_beats_senate_on_qg0(self, testbed):
+        """Figure 14: Senate has the highest error on no-group-by queries."""
+        rng = np.random.default_rng(0)
+        queries = qg0_set(60_000, num_queries=10, rng=rng)
+        house = np.mean([testbed.query_error("house", q) for q in queries])
+        senate = np.mean([testbed.query_error("senate", q) for q in queries])
+        assert house < senate
+
+    def test_senate_beats_house_on_qg3(self, testbed):
+        """Figure 15: House has the highest error at the finest grouping."""
+        house = testbed.query_error("house", qg3())
+        senate = testbed.query_error("senate", qg3())
+        assert senate < house
+
+    def test_congress_never_worst(self, testbed):
+        """Figures 14-16: Congress is consistently best or close to best."""
+        rng = np.random.default_rng(1)
+        queries = {
+            "Qg0": None,
+            "Qg2": qg2(),
+            "Qg3": qg3(),
+        }
+        qg0_queries = qg0_set(60_000, num_queries=10, rng=rng)
+        for name, query in queries.items():
+            errors = {}
+            for strategy in testbed.samples:
+                if name == "Qg0":
+                    errors[strategy] = float(
+                        np.mean(
+                            [testbed.query_error(strategy, q) for q in qg0_queries]
+                        )
+                    )
+                else:
+                    errors[strategy] = testbed.query_error(strategy, query)
+            worst = max(errors, key=errors.get)
+            assert worst != "congress", f"congress worst on {name}: {errors}"
+
+    def test_congress_wins_qg2(self, testbed):
+        """Figure 16: Congress is the best of the four on Q_g2."""
+        errors = {
+            strategy: testbed.query_error(strategy, qg2())
+            for strategy in testbed.samples
+        }
+        best = min(errors, key=errors.get)
+        # Congress should be best or within a whisker of best.
+        assert errors["congress"] <= errors[best] * 1.5
+
+    def test_senate_and_congress_cover_all_groups(self, testbed):
+        """The coverage requirement of Section 3.2 at the finest grouping."""
+        query = qg3()
+        exact = testbed.exact(query)
+        for strategy in ("senate", "congress"):
+            approx = testbed.approximate(strategy, query)
+            error = groupby_error(
+                exact, approx, list(query.query.group_by), "sum_qty"
+            )
+            assert not error.missing_groups
+
+    def test_house_misses_small_groups_under_skew(self, testbed):
+        """The motivating failure: uniform samples drop tiny groups."""
+        query = qg3()
+        exact = testbed.exact(query)
+        approx = testbed.approximate("house", query)
+        error = groupby_error(
+            exact, approx, list(query.query.group_by), "sum_qty"
+        )
+        assert len(error.missing_groups) > 0
+
+
+class TestRewriteEquivalenceOnTestbed:
+    def test_all_strategies_agree_on_qg2(self, testbed):
+        results = []
+        for cls in ALL_STRATEGIES:
+            table = testbed.approximate("congress", qg2(), rewrite=cls())
+            results.append(table.sort_by(["l_returnflag", "l_linestatus"]))
+        baseline = results[0]
+        for other in results[1:]:
+            np.testing.assert_allclose(
+                other.column("sum_qty"), baseline.column("sum_qty"), rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                other.column("sum_price"), baseline.column("sum_price"), rtol=1e-9
+            )
+
+
+class TestSampleSizeSweep:
+    def test_error_decreases_with_sample_size(self):
+        """Figure 17's monotone trend for Congress."""
+        config = LineitemConfig(
+            table_size=40_000, num_groups=125, group_skew=0.86, seed=5
+        )
+        errors = []
+        for fraction in (0.01, 0.10, 0.50):
+            bed = Testbed.create(config, fraction)
+            errors.append(bed.query_error("congress", qg2()))
+        assert errors[2] < errors[0]
+        assert errors[1] < errors[0] * 1.5  # allow sampling noise mid-sweep

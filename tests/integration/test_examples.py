@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Each example is executed in a subprocess (its own interpreter, like a user
+would run it) with a generous timeout; we assert a zero exit code and the
+expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "Congress guarantees every state"),
+    ("tpcd_q1_demo.py", "congressional sample"),
+    ("streaming_warehouse.py", "No base-table rescan was needed"),
+    ("workload_tuning.py", "weight-vector column"),
+    ("star_schema_rollup.py", "join"),
+    ("olap_drilldown.py", "workload-tuned allocation ready"),
+    ("budget_calibration.py", "recommended rewrite strategy"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES)
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert expected in proc.stdout, proc.stdout

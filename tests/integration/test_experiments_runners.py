@@ -1,0 +1,168 @@
+"""Tests for the experiment runners (tiny scale) and report formatting."""
+
+import pytest
+
+from repro.experiments import (
+    Testbed,
+    default_table_size,
+    format_mapping_table,
+    format_table,
+    run_expt1,
+    run_expt2,
+    run_fig5,
+    run_scaledown,
+    standard_strategies,
+)
+from repro.synthetic import LineitemConfig
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.2345], ["b", 10.0]], precision=2
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert "10.00" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_table_nan(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_format_mapping_table(self):
+        text = format_mapping_table(
+            "row", {"r1": {"c1": 1.0, "c2": 2.0}, "r2": {"c1": 3.0}}
+        )
+        assert "r1" in text and "c2" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRunners:
+    def test_run_fig5(self):
+        result = run_fig5()
+        assert "congress" in result.columns
+        assert "35.3" in result.format()
+
+    def test_run_scaledown(self):
+        result = run_scaledown(configurations=[(1, 4), (2, 4)])
+        assert len(result.rows) == 2
+        assert "2^-n" in result.format()
+
+    def test_run_expt1_tiny(self):
+        result = run_expt1(table_size=20_000, num_groups=64, seed=1)
+        assert set(result.errors) == {"Qg0", "Qg2", "Qg3"}
+        for by_strategy in result.errors.values():
+            assert set(by_strategy) == {
+                "house", "senate", "basic_congress", "congress",
+            }
+            assert all(v >= 0 for v in by_strategy.values())
+        assert "Expt 1" in result.format()
+
+    def test_run_expt2_tiny(self):
+        result = run_expt2(
+            table_size=20_000,
+            sample_fractions=(0.05, 0.50),
+            num_groups=64,
+        )
+        labels = list(result.errors)
+        assert len(labels) == 2
+        # More sample, less error for congress.
+        assert (
+            result.errors[labels[1]]["congress"]
+            < result.errors[labels[0]]["congress"]
+        )
+
+
+class TestTestbed:
+    def test_invalid_fraction(self):
+        config = LineitemConfig(table_size=1000, num_groups=8)
+        with pytest.raises(ValueError):
+            Testbed.create(config, 0.0)
+
+    def test_default_table_size_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert default_table_size() == 10_000
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            default_table_size()
+
+    def test_standard_strategies_names(self):
+        strategies = standard_strategies()
+        assert list(strategies) == [
+            "house", "senate", "basic_congress", "congress",
+        ]
+
+
+class TestProfileAndDrift:
+    def test_group_size_profile_tiny(self):
+        from repro.experiments import run_group_size_profile
+
+        result = run_group_size_profile(
+            table_size=30_000, num_groups=125, num_buckets=3
+        )
+        assert len(result.buckets) == 3
+        assert len(result.errors) == 3
+        # House degrades toward small groups.
+        labels = list(result.errors)
+        assert (
+            result.errors[labels[0]]["house"]
+            > result.errors[labels[-1]]["house"]
+        )
+        assert "profile" in result.format().lower()
+
+    def test_drift_tiny(self):
+        from repro.experiments import run_drift
+
+        result = run_drift(stream_size=20_000, budget=800, seed=2)
+        assert result.errors["stale"]["missing_groups"] >= 1
+        assert result.errors["maintained"]["missing_groups"] == 0
+        assert (
+            result.errors["maintained"]["eps_l1"]
+            < result.errors["stale"]["eps_l1"]
+        )
+        assert "Drift" in result.format()
+
+
+class TestTimingRunners:
+    def test_run_expt3_tiny(self):
+        from repro.experiments import run_expt3
+
+        result = run_expt3(
+            table_size=20_000, sample_fractions=(0.05,), repeats=2
+        )
+        assert set(result.seconds) == {
+            "integrated", "nested_integrated", "normalized", "key_normalized",
+        }
+        for times in result.seconds.values():
+            assert all(v > 0 for v in times.values())
+        assert result.exact_seconds > 0
+        assert "Expt 3" in result.format()
+
+    def test_run_expt4_tiny(self):
+        from repro.experiments import run_expt4
+
+        result = run_expt4(
+            table_size=20_000, group_counts=(10, 100), repeats=2
+        )
+        labels = set()
+        for times in result.seconds.values():
+            labels.update(times)
+        assert labels == {"NG=10", "NG=100"}
+        assert "Expt 4" in result.format()
+
+    def test_run_expt4_skips_oversized_group_counts(self):
+        from repro.experiments import run_expt4
+
+        result = run_expt4(
+            table_size=5_000, group_counts=(10, 1_000_000), repeats=1
+        )
+        for times in result.seconds.values():
+            assert "NG=1000000" not in times

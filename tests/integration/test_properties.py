@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BasicCongress, Congress, House, Senate, senate_share
+from repro.engine import Aggregate, ColumnType, Schema, Table, col, group_by
+from repro.sampling import StratifiedSample, all_groupings
+
+# Random finest-partition count dictionaries over two grouping columns.
+counts_2d = st.dictionaries(
+    keys=st.tuples(
+        st.sampled_from(["a1", "a2", "a3", "a4"]),
+        st.sampled_from(["b1", "b2", "b3"]),
+    ),
+    values=st.integers(min_value=1, max_value=100_000),
+    min_size=1,
+    max_size=12,
+)
+
+budgets = st.floats(min_value=1.0, max_value=10_000.0)
+
+G = ("A", "B")
+STRATEGIES = [House(), Senate(), BasicCongress(), Congress()]
+
+
+class TestAllocationProperties:
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_total_equals_budget(self, counts, budget):
+        for strategy in STRATEGIES:
+            allocation = strategy.allocate(counts, G, budget)
+            assert allocation.total_fractional == pytest.approx(
+                budget, rel=1e-9
+            )
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_non_negative(self, counts, budget):
+        for strategy in STRATEGIES:
+            allocation = strategy.allocate(counts, G, budget)
+            assert all(v >= 0 for v in allocation.fractional.values())
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_budget_linearity(self, counts, budget):
+        """Doubling the budget doubles every fractional allocation."""
+        for strategy in STRATEGIES:
+            one = strategy.allocate(counts, G, budget)
+            two = strategy.allocate(counts, G, 2 * budget)
+            for key in counts:
+                assert two.fractional[key] == pytest.approx(
+                    2 * one.fractional[key], rel=1e-9
+                )
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_congress_f_guarantee(self, counts, budget):
+        """Every group under every grouping gets >= f of its S1 share."""
+        congress = Congress().allocate(counts, G, budget)
+        f = congress.scale_down_factor
+        for target in all_groupings(G):
+            shares = senate_share(counts, G, target, budget)
+            for key, share in shares.items():
+                assert congress.fractional[key] >= f * share - 1e-6
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_scale_down_factor_bounds(self, counts, budget):
+        congress = Congress().allocate(counts, G, budget)
+        assert 2.0 ** (-len(G)) - 1e-9 < congress.scale_down_factor <= 1.0
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_rounding_totals(self, counts, budget):
+        for strategy in STRATEGIES:
+            allocation = strategy.allocate(counts, G, budget)
+            rounded = allocation.rounded()
+            expected_total = min(
+                int(round(budget)), sum(counts.values())
+            )
+            assert sum(rounded.values()) == expected_total
+            for key, value in rounded.items():
+                assert 0 <= value <= counts[key]
+
+    @given(counts=counts_2d, budget=budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_count_scale_invariance(self, counts, budget):
+        """Multiplying every group count by a constant changes nothing."""
+        congress = Congress()
+        base = congress.allocate(counts, G, budget)
+        scaled_counts = {k: v * 7 for k, v in counts.items()}
+        scaled = congress.allocate(scaled_counts, G, budget)
+        for key in counts:
+            assert scaled.fractional[key] == pytest.approx(
+                base.fractional[key], rel=1e-9
+            )
+
+
+class TestEngineAgainstBruteForce:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z"]),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_group_by_sum_matches_python(self, data):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.INT))
+        table = Table.from_rows(schema, data)
+        result = group_by(table, ["g"], [Aggregate("sum", col("v"), "s")])
+        got = {row["g"]: row["s"] for row in result.to_dicts()}
+        want = {}
+        for g, v in data:
+            want[g] = want.get(g, 0) + v
+        assert got.keys() == want.keys()
+        for key in want:
+            assert got[key] == pytest.approx(want[key])
+
+
+class TestEstimatorProperties:
+    @given(
+        rates=st.lists(
+            st.integers(min_value=1, max_value=20), min_size=2, max_size=5
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_count_estimate_exact_in_expectation_structure(self, rates, seed):
+        """Scaled COUNT over any stratified sample of known strata sizes
+        equals sum of populations exactly when SF = n_g / m_g is exact."""
+        rng = np.random.default_rng(seed)
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        rows = []
+        for i, per_group in enumerate(rates):
+            rows.extend((f"g{i}", float(j)) for j in range(per_group * 3))
+        table = Table.from_rows(schema, rows)
+        allocation = {(f"g{i}",): rate for i, rate in enumerate(rates)}
+        sample = StratifiedSample.build(table, ["g"], allocation, rng=rng)
+        from repro.estimators import estimate_single
+
+        single = estimate_single(sample, "count", None)
+        # Each stratum contributes m_g * (n_g / m_g) = n_g exactly.
+        assert single.value == pytest.approx(table.num_rows)

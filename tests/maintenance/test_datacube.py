@@ -1,0 +1,85 @@
+"""Unit tests for the count data cube."""
+
+import pytest
+
+from repro.maintenance import CountDataCube
+from repro.sampling import all_groupings
+
+
+class TestConstruction:
+    def test_from_table(self, small_table):
+        cube = CountDataCube.from_table(small_table, ["a", "b"])
+        assert cube.total == 8
+        assert cube.finest_counts() == {
+            ("x", "p"): 2, ("x", "q"): 2, ("y", "p"): 2, ("y", "q"): 2,
+        }
+
+    def test_incremental_matches_bulk(self, small_table):
+        bulk = CountDataCube.from_table(small_table, ["a", "b"])
+        incremental = CountDataCube(["a", "b"])
+        for row in small_table.iter_rows():
+            incremental.observe((row[0], row[1]))
+        for target in all_groupings(["a", "b"]):
+            assert incremental.counts(target) == bulk.counts(target)
+
+    def test_negative_counts_rejected(self):
+        cube = CountDataCube(["a"])
+        with pytest.raises(ValueError):
+            cube.observe_counts({("g",): -1})
+
+
+class TestProjections:
+    @pytest.fixture
+    def cube(self):
+        cube = CountDataCube(["a", "b"])
+        cube.observe_counts({("a1", "b1"): 3, ("a1", "b2"): 5, ("a2", "b1"): 2})
+        return cube
+
+    def test_num_groups_per_grouping(self, cube):
+        assert cube.num_groups([]) == 1
+        assert cube.num_groups(["a"]) == 2
+        assert cube.num_groups(["b"]) == 2
+        assert cube.num_groups(["a", "b"]) == 3
+
+    def test_projected_counts(self, cube):
+        assert cube.count(["a"], ("a1",)) == 8
+        assert cube.count(["b"], ("b1",)) == 5
+        assert cube.count([], ()) == 10
+
+    def test_unseen_group_is_zero(self, cube):
+        assert cube.count(["a"], ("a99",)) == 0
+
+
+class TestSelectionProbability:
+    def test_matches_equation_8(self):
+        cube = CountDataCube(["a", "b"])
+        cube.observe_counts({("a1", "b1"): 90, ("a1", "b2"): 10})
+        budget = 10.0
+        # For group (a1, b2):
+        #   T=∅:      10 / (1 * 100) = 0.1
+        #   T={a}:    10 / (1 * 100) = 0.1
+        #   T={b}:    10 / (2 * 10)  = 0.5
+        #   T={a,b}:  10 / (2 * 10)  = 0.5
+        assert cube.selection_probability(("a1", "b2"), budget) == pytest.approx(0.5)
+        # For group (a1, b1): max(0.1, 0.1, 10/180, 10/180) = 0.1.
+        assert cube.selection_probability(("a1", "b1"), budget) == pytest.approx(0.1)
+
+    def test_clamped_to_one(self):
+        cube = CountDataCube(["a"])
+        cube.observe_counts({("g",): 2})
+        assert cube.selection_probability(("g",), 1000) == 1.0
+
+    def test_unseen_group_probability_zero(self):
+        cube = CountDataCube(["a"])
+        cube.observe_counts({("g",): 5})
+        assert cube.selection_probability(("other",), 10) == pytest.approx(
+            min(1.0, 10 / 5)  # only the T=∅ grouping matches via total count
+        )
+
+    def test_probability_decreases_with_inserts(self):
+        cube = CountDataCube(["a"])
+        cube.observe_counts({("g",): 10})
+        p1 = cube.selection_probability(("g",), 5)
+        cube.observe_counts({("g",): 10})
+        p2 = cube.selection_probability(("g",), 5)
+        assert p2 < p1

@@ -1,0 +1,62 @@
+"""Tests for the Section 4.6 top-up construction of Congress samples."""
+
+import numpy as np
+import pytest
+
+from repro.core import Congress, allocate_from_table
+from repro.maintenance import construct_congress_topup
+
+
+class TestTopUpConstruction:
+    def test_sizes_track_equation_5(self, skewed_table):
+        """Mean per-group sizes match Congress's Eq. 5 targets."""
+        rng = np.random.default_rng(0)
+        budget = 600
+        trials = 6
+        sums = {}
+        for __ in range(trials):
+            sample = construct_congress_topup(
+                skewed_table, ["a", "b"], budget, rng
+            )
+            for key, size in sample.sample_sizes().items():
+                sums[key] = sums.get(key, 0) + size
+        allocation = allocate_from_table(
+            Congress(), skewed_table, ["a", "b"], budget
+        )
+        for key, target in allocation.fractional.items():
+            capped = min(target, allocation.populations[key])
+            mean = sums.get(key, 0) / trials
+            assert abs(mean - capped) <= max(0.2 * capped, 5), (
+                key, mean, capped,
+            )
+
+    def test_total_within_budget(self, skewed_table, rng):
+        sample = construct_congress_topup(skewed_table, ["a", "b"], 500, rng)
+        # Tiny groups cap at their population, so total can fall below X,
+        # but must never exceed it (plus rounding slack of one per group).
+        assert sample.total_sample_size <= 500 + len(sample.strata)
+
+    def test_no_duplicate_rows(self, skewed_table, rng):
+        sample = construct_congress_topup(skewed_table, ["a", "b"], 800, rng)
+        for stratum in sample.strata.values():
+            indices = stratum.row_indices.tolist()
+            assert len(indices) == len(set(indices))
+
+    def test_rows_belong_to_their_stratum(self, skewed_table, rng):
+        sample = construct_congress_topup(skewed_table, ["a", "b"], 300, rng)
+        for key, stratum in sample.strata.items():
+            for idx in stratum.row_indices[:10]:
+                row = skewed_table.row(int(idx))
+                assert (str(row[0]), str(row[1])) == key
+
+    def test_small_budget(self, skewed_table, rng):
+        sample = construct_congress_topup(skewed_table, ["a", "b"], 10, rng)
+        assert 0 < sample.total_sample_size <= 10 + len(sample.strata)
+
+    def test_estimates_work(self, skewed_table, rng):
+        from repro.estimators import estimate_single
+
+        sample = construct_congress_topup(skewed_table, ["a", "b"], 1000, rng)
+        exact = float(np.sum(skewed_table.column("q")))
+        single = estimate_single(sample, "sum", "q")
+        assert single.value == pytest.approx(exact, rel=0.15)

@@ -1,0 +1,118 @@
+"""Unit tests for the Definition 3.1 error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ColumnType, Schema, Table
+from repro.metrics import (
+    GroupByError,
+    groupby_error,
+    mean_errors,
+    relative_error_pct,
+)
+
+
+def answer_table(rows):
+    schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+    return Table.from_rows(schema, rows)
+
+
+class TestRelativeError:
+    def test_equation_1(self):
+        assert relative_error_pct(100.0, 90.0) == pytest.approx(10.0)
+        assert relative_error_pct(100.0, 110.0) == pytest.approx(10.0)
+
+    def test_exact_zero_cases(self):
+        assert relative_error_pct(0.0, 0.0) == 0.0
+        assert relative_error_pct(0.0, 1.0) == float("inf")
+
+    def test_negative_exact(self):
+        assert relative_error_pct(-100.0, -90.0) == pytest.approx(10.0)
+
+
+class TestGroupByErrorMatching:
+    def test_per_group_errors(self):
+        exact = answer_table([("a", 100.0), ("b", 200.0)])
+        approx = answer_table([("a", 110.0), ("b", 190.0)])
+        error = groupby_error(exact, approx, ["g"], "v")
+        assert error.per_group[("a",)] == pytest.approx(10.0)
+        assert error.per_group[("b",)] == pytest.approx(5.0)
+        assert not error.missing_groups
+        assert not error.extra_groups
+
+    def test_missing_group_scored_100(self):
+        exact = answer_table([("a", 100.0), ("b", 200.0)])
+        approx = answer_table([("a", 100.0)])
+        error = groupby_error(exact, approx, ["g"], "v")
+        assert error.missing_groups == (("b",),)
+        assert error.per_group[("b",)] == 100.0
+        assert error.coverage == pytest.approx(0.5)
+
+    def test_custom_missing_penalty(self):
+        exact = answer_table([("a", 100.0), ("b", 200.0)])
+        approx = answer_table([("a", 100.0)])
+        error = groupby_error(exact, approx, ["g"], "v", missing_error_pct=50.0)
+        assert error.per_group[("b",)] == 50.0
+
+    def test_extra_groups_reported_not_scored(self):
+        exact = answer_table([("a", 100.0)])
+        approx = answer_table([("a", 100.0), ("phantom", 5.0)])
+        error = groupby_error(exact, approx, ["g"], "v")
+        assert error.extra_groups == (("phantom",),)
+        assert ("phantom",) not in error.per_group
+
+    def test_groups_matched_by_key_not_position(self):
+        exact = answer_table([("a", 100.0), ("b", 200.0)])
+        approx = answer_table([("b", 200.0), ("a", 100.0)])  # reordered
+        error = groupby_error(exact, approx, ["g"], "v")
+        assert error.eps_inf == 0.0
+
+
+class TestNorms:
+    @pytest.fixture
+    def error(self):
+        return GroupByError(
+            per_group={("a",): 3.0, ("b",): 4.0, ("c",): 5.0},
+            missing_groups=(),
+            extra_groups=(),
+        )
+
+    def test_eps_inf(self, error):
+        assert error.eps_inf == 5.0
+
+    def test_eps_l1(self, error):
+        assert error.eps_l1 == pytest.approx(4.0)
+
+    def test_eps_l2(self, error):
+        assert error.eps_l2 == pytest.approx(np.sqrt((9 + 16 + 25) / 3))
+
+    def test_norm_ordering(self, error):
+        # L1 <= L2 <= Linf always.
+        assert error.eps_l1 <= error.eps_l2 <= error.eps_inf
+
+    def test_empty_answer(self):
+        error = GroupByError(per_group={}, missing_groups=(), extra_groups=())
+        assert error.eps_inf == error.eps_l1 == error.eps_l2 == 0.0
+        assert error.coverage == 1.0
+
+    def test_single_group_norms_equal(self):
+        error = GroupByError(
+            per_group={(): 7.0}, missing_groups=(), extra_groups=()
+        )
+        assert error.eps_inf == error.eps_l1 == error.eps_l2 == 7.0
+
+
+class TestMeanErrors:
+    def test_averages_over_queries(self):
+        errors = [
+            GroupByError({("a",): 2.0}, (), ()),
+            GroupByError({("a",): 4.0}, (), ()),
+        ]
+        means = mean_errors(errors)
+        assert means["eps_l1"] == pytest.approx(3.0)
+        assert means["eps_inf"] == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert mean_errors([]) == {
+            "eps_inf": 0.0, "eps_l1": 0.0, "eps_l2": 0.0,
+        }

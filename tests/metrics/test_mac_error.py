@@ -1,0 +1,62 @@
+"""Unit tests for the MAC error, including the paper's criticism of it."""
+
+import pytest
+
+from repro.engine import ColumnType, Schema, Table
+from repro.metrics import groupby_error, mac_error, mac_error_values
+
+
+def answer_table(rows):
+    schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+    return Table.from_rows(schema, rows)
+
+
+class TestMacErrorValues:
+    def test_identical_sets_zero(self):
+        result = mac_error_values([1.0, 2.0, 3.0], [3.0, 1.0, 2.0])
+        assert result.total == pytest.approx(0.0)
+
+    def test_matched_differences_summed(self):
+        result = mac_error_values([10.0, 20.0], [11.0, 18.0])
+        assert result.total == pytest.approx(1.0 + 2.0)
+
+    def test_unmatched_penalized_by_magnitude(self):
+        result = mac_error_values([10.0, 20.0], [10.0])
+        assert result.unmatched_exact == (20.0,)
+        assert result.total == pytest.approx(20.0)
+
+    def test_extra_approx_values_penalized(self):
+        result = mac_error_values([10.0], [10.0, 5.0])
+        assert result.unmatched_approx == (10.0,) or result.unmatched_approx == (5.0,)
+        assert result.total > 0
+
+    def test_mean(self):
+        result = mac_error_values([10.0, 20.0], [12.0, 20.0])
+        assert result.mean == pytest.approx(1.0)
+
+    def test_empty(self):
+        result = mac_error_values([], [])
+        assert result.total == 0.0
+        assert result.mean == 0.0
+
+
+class TestPaperCriticism:
+    def test_mac_blind_to_swapped_groups(self):
+        """Section 3.2: MAC 'does not necessarily match corresponding
+        groups' -- swapping two groups' values fools it completely."""
+        exact = answer_table([("a", 100.0), ("b", 500.0)])
+        swapped = answer_table([("a", 500.0), ("b", 100.0)])
+
+        mac = mac_error(exact, swapped, "v")
+        assert mac.total == pytest.approx(0.0)  # MAC sees a perfect answer
+
+        matched = groupby_error(exact, swapped, ["g"], "v")
+        assert matched.eps_l1 > 100  # the group-matched metric does not
+
+
+class TestMacErrorTables:
+    def test_basic(self):
+        exact = answer_table([("a", 10.0), ("b", 30.0)])
+        approx = answer_table([("a", 12.0), ("b", 30.0)])
+        result = mac_error(exact, approx, "v")
+        assert result.total == pytest.approx(2.0)

@@ -1,0 +1,115 @@
+"""Unit tests for the rewritten-plan executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    Catalog,
+    Col,
+    ColumnType,
+    Projection,
+    Query,
+    Schema,
+    Table,
+    col,
+)
+from repro.rewrite import JoinSpec, RatioColumn, RewrittenPlan
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    samp_schema = Schema.of(
+        ("g", ColumnType.STR), ("v", ColumnType.FLOAT), ("gid", ColumnType.INT)
+    )
+    aux_schema = Schema.of(("gid", ColumnType.INT), ("sf", ColumnType.FLOAT))
+    cat.register(
+        "samp",
+        Table.from_columns(
+            samp_schema,
+            g=["a", "a", "b"],
+            v=[1.0, 2.0, 3.0],
+            gid=[0, 0, 1],
+        ),
+    )
+    cat.register(
+        "aux", Table.from_columns(aux_schema, gid=[0, 1], sf=[10.0, 5.0])
+    )
+    return cat
+
+
+def make_query(select, group_by=("g",)):
+    return Query(select=tuple(select), from_item="samp", group_by=group_by)
+
+
+class TestPlainPlan:
+    def test_projection_order(self, catalog):
+        query = make_query(
+            [
+                Aggregate("sum", col("v"), "s"),
+                Projection(Col("g"), "g"),
+            ]
+        )
+        plan = RewrittenPlan(
+            strategy="test", query=query, output=("g", "s")
+        )
+        result = plan.execute(catalog)
+        assert result.schema.names == ["g", "s"]
+
+
+class TestJoinPlan:
+    def test_join_then_aggregate(self, catalog):
+        query = Query(
+            select=(
+                Projection(Col("g"), "g"),
+                Aggregate("sum", col("v") * col("sf"), "s"),
+            ),
+            from_item="samp",
+            group_by=("g",),
+        )
+        plan = RewrittenPlan(
+            strategy="test",
+            query=query,
+            output=("g", "s"),
+            join=JoinSpec("samp", "aux", ("gid",), ("gid",)),
+        )
+        result = plan.execute(catalog).sort_by(["g"])
+        assert result.column("s").tolist() == [30.0, 15.0]
+
+
+class TestRatioColumns:
+    def test_ratio_computed_and_internals_dropped(self, catalog):
+        query = make_query(
+            [
+                Projection(Col("g"), "g"),
+                Aggregate("sum", col("v"), "__num"),
+                Aggregate.count_star("__den"),
+            ]
+        )
+        plan = RewrittenPlan(
+            strategy="test",
+            query=query,
+            output=("g", "m"),
+            ratios=(RatioColumn("m", "__num", "__den"),),
+        )
+        result = plan.execute(catalog).sort_by(["g"])
+        assert result.schema.names == ["g", "m"]
+        assert result.column("m").tolist() == [1.5, 3.0]
+
+    def test_zero_denominator_gives_nan(self, catalog):
+        query = make_query(
+            [
+                Projection(Col("g"), "g"),
+                Aggregate("sum", col("v"), "__num"),
+                Aggregate("sum", col("v") * 0, "__den"),
+            ]
+        )
+        plan = RewrittenPlan(
+            strategy="test",
+            query=query,
+            output=("g", "m"),
+            ratios=(RatioColumn("m", "__num", "__den"),),
+        )
+        result = plan.execute(catalog)
+        assert np.isnan(result.column("m")).all()

@@ -1,0 +1,190 @@
+"""Unit and cross-validation tests for the four rewriting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Congress, build_sample
+from repro.engine import Catalog, parse_query
+from repro.estimators import estimate
+from repro.rewrite import (
+    ALL_STRATEGIES,
+    Integrated,
+    KeyNormalized,
+    NestedIntegrated,
+    Normalized,
+    RewriteError,
+    strategy_by_name,
+)
+
+
+@pytest.fixture
+def setup(skewed_table, rng):
+    catalog = Catalog()
+    catalog.register("rel", skewed_table)
+    sample = build_sample(Congress(), skewed_table, ["a", "b"], 1000, rng=rng)
+    return catalog, sample
+
+
+QUERIES = {
+    "sum": "select a, sum(q) s from rel group by a order by a",
+    "count": "select a, b, count(*) c from rel group by a, b order by a, b",
+    "avg": "select b, avg(q) m from rel group by b order by b",
+    "mixed": (
+        "select a, sum(q) s, count(*) c, avg(q) m "
+        "from rel group by a order by a"
+    ),
+    "where": (
+        "select a, sum(q) s from rel where id < 10000 group by a order by a"
+    ),
+    "no_group_by": "select sum(q) s from rel",
+    "expression": "select a, sum(q * 2 + 1) s from rel group by a order by a",
+}
+
+
+class TestCrossStrategyAgreement:
+    """All four strategies are algebraic rewrites of the same estimator,
+    so they must agree to floating-point precision."""
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_identical_answers(self, setup, query_name):
+        catalog, sample = setup
+        query = parse_query(QUERIES[query_name])
+        results = []
+        for cls in ALL_STRATEGIES:
+            strategy = cls()
+            synopsis = strategy.install(sample, "rel", catalog, replace=True)
+            plan = strategy.plan(query, synopsis)
+            table = plan.execute(catalog)
+            if query.group_by:
+                table = table.sort_by(list(query.group_by))
+            results.append(table)
+        baseline = results[0]
+        for other in results[1:]:
+            assert other.schema.names == baseline.schema.names
+            assert other.num_rows == baseline.num_rows
+            for column in baseline.schema:
+                if column.ctype.is_numeric:
+                    np.testing.assert_allclose(
+                        other.column(column.name),
+                        baseline.column(column.name),
+                        rtol=1e-9,
+                    )
+                else:
+                    assert (
+                        other.column(column.name).tolist()
+                        == baseline.column(column.name).tolist()
+                    )
+
+    def test_matches_direct_estimator(self, setup):
+        catalog, sample = setup
+        query = parse_query(QUERIES["sum"])
+        strategy = Integrated()
+        synopsis = strategy.install(sample, "rel", catalog, replace=True)
+        table = strategy.plan(query, synopsis).execute(catalog).sort_by(["a"])
+        direct = estimate(sample, "sum", "q", group_by=["a"])
+        for row in table.to_dicts():
+            assert row["s"] == pytest.approx(direct[(str(row["a"]),)].value)
+
+
+class TestExactnessOnFullSample:
+    def test_full_rate_sample_reproduces_exact_answer(self, skewed_table, rng):
+        from repro.sampling import StratifiedSample, group_counts
+
+        counts = group_counts(skewed_table, ["a", "b"])
+        sample = StratifiedSample.build(
+            skewed_table, ["a", "b"], counts, rng=rng
+        )
+        catalog = Catalog()
+        catalog.register("rel", skewed_table)
+        query = parse_query(QUERIES["mixed"])
+        from repro.engine import execute
+
+        exact = execute(query, catalog).sort_by(["a"])
+        strategy = NestedIntegrated()
+        synopsis = strategy.install(sample, "rel", catalog, replace=True)
+        approx = strategy.plan(query, synopsis).execute(catalog).sort_by(["a"])
+        for name in ("s", "c", "m"):
+            np.testing.assert_allclose(
+                approx.column(name), exact.column(name), rtol=1e-9
+            )
+
+
+class TestSchemas:
+    def test_integrated_installs_one_relation(self, setup):
+        catalog, sample = setup
+        synopsis = Integrated().install(sample, "rel", catalog, replace=True)
+        assert synopsis.sample_name == "bs_rel"
+        assert synopsis.aux_name is None
+        assert "sf" in catalog.get("bs_rel").schema
+
+    def test_normalized_installs_two_relations(self, setup):
+        catalog, sample = setup
+        synopsis = Normalized().install(sample, "rel", catalog, replace=True)
+        assert synopsis.aux_name == "auxn_rel"
+        assert "sf" not in catalog.get("bsn_rel").schema
+        assert "sf" in catalog.get("auxn_rel").schema
+
+    def test_key_normalized_gid(self, setup):
+        catalog, sample = setup
+        synopsis = KeyNormalized().install(sample, "rel", catalog, replace=True)
+        assert "gid" in catalog.get("bsk_rel").schema
+        assert catalog.get("auxk_rel").schema.names == ["gid", "sf"]
+
+    def test_aux_rel_smaller_than_sample(self, setup):
+        catalog, sample = setup
+        Normalized().install(sample, "rel", catalog, replace=True)
+        assert catalog.get("auxn_rel").num_rows < catalog.get("bsn_rel").num_rows
+
+
+class TestRewriteValidation:
+    def test_wrong_table_rejected(self, setup):
+        catalog, sample = setup
+        synopsis = Integrated().install(sample, "rel", catalog, replace=True)
+        query = parse_query("select a, sum(q) s from other group by a")
+        with pytest.raises(RewriteError, match="synopsis covers"):
+            Integrated().plan(query, synopsis)
+
+    def test_non_aggregate_query_rejected(self, setup):
+        catalog, sample = setup
+        synopsis = Integrated().install(sample, "rel", catalog, replace=True)
+        query = parse_query("select a, b from rel")
+        with pytest.raises(RewriteError, match="aggregate"):
+            Integrated().plan(query, synopsis)
+
+    def test_internal_alias_collision_rejected(self, setup):
+        catalog, sample = setup
+        synopsis = Integrated().install(sample, "rel", catalog, replace=True)
+        query = parse_query("select a, sum(q) as __num0 from rel group by a")
+        with pytest.raises(RewriteError, match="internal"):
+            Integrated().plan(query, synopsis)
+
+    def test_var_aggregate_has_no_rewrite(self, setup):
+        catalog, sample = setup
+        synopsis = Integrated().install(sample, "rel", catalog, replace=True)
+        query = parse_query("select a, var(q) v from rel group by a")
+        with pytest.raises(RewriteError, match="no rewrite rule"):
+            Integrated().plan(query, synopsis)
+
+    def test_min_max_pass_through(self, setup):
+        catalog, sample = setup
+        for cls in (Integrated, NestedIntegrated):
+            strategy = cls()
+            synopsis = strategy.install(sample, "rel", catalog, replace=True)
+            query = parse_query(
+                "select a, min(q) lo, max(q) hi from rel group by a"
+            )
+            result = strategy.plan(query, synopsis).execute(catalog)
+            assert result.num_rows == 3
+            lows = result.column("lo")
+            highs = result.column("hi")
+            assert (lows <= highs).all()
+
+
+class TestStrategyRegistry:
+    def test_lookup_by_name(self):
+        for cls in ALL_STRATEGIES:
+            assert isinstance(strategy_by_name(cls.name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("bogus")

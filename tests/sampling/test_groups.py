@@ -1,0 +1,87 @@
+"""Unit tests for group-key machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    all_groupings,
+    finest_group_ids,
+    group_counts,
+    make_key,
+    project_key,
+    projected_counts,
+)
+
+
+class TestAllGroupings:
+    def test_power_set_sizes(self):
+        assert len(all_groupings([])) == 1
+        assert len(all_groupings(["a"])) == 2
+        assert len(all_groupings(["a", "b", "c"])) == 8
+
+    def test_order_empty_first_full_last(self):
+        groupings = all_groupings(["a", "b"])
+        assert groupings[0] == ()
+        assert groupings[-1] == ("a", "b")
+
+    def test_order_by_size(self):
+        groupings = all_groupings(["a", "b", "c"])
+        sizes = [len(t) for t in groupings]
+        assert sizes == sorted(sizes)
+
+    def test_column_order_within_subset(self):
+        groupings = all_groupings(["b", "a"])
+        assert ("b", "a") in groupings  # original column order preserved
+        assert ("a", "b") not in groupings
+
+
+class TestMakeKey:
+    def test_numpy_scalars_normalized(self):
+        key = make_key((np.int64(3), np.str_("x")))
+        assert key == (3, "x")
+        assert type(key[0]) is int
+
+    def test_plain_values_passthrough(self):
+        assert make_key(("a", 1.5)) == ("a", 1.5)
+
+
+class TestProjectKey:
+    def test_projection(self):
+        assert project_key(("v1", "v2", "v3"), ["A", "B", "C"], ["C", "A"]) == (
+            "v3",
+            "v1",
+        )
+
+    def test_empty_target(self):
+        assert project_key(("v1",), ["A"], []) == ()
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            project_key(("v1",), ["A"], ["Z"])
+
+
+class TestCounts:
+    def test_group_counts(self, small_table):
+        counts = group_counts(small_table, ["a", "b"])
+        assert counts == {
+            ("x", "p"): 2,
+            ("x", "q"): 2,
+            ("y", "p"): 2,
+            ("y", "q"): 2,
+        }
+
+    def test_finest_group_ids_cover_all_rows(self, small_table):
+        ids, keys = finest_group_ids(small_table, ["a", "b"])
+        assert len(ids) == small_table.num_rows
+        assert set(ids.tolist()) == set(range(len(keys)))
+
+    def test_projected_counts(self):
+        finest = {("a1", "b1"): 3, ("a1", "b2"): 5, ("a2", "b1"): 7}
+        by_a = projected_counts(finest, ["A", "B"], ["A"])
+        assert by_a == {("a1",): 8, ("a2",): 7}
+        by_none = projected_counts(finest, ["A", "B"], [])
+        assert by_none == {(): 15}
+
+    def test_projected_counts_identity(self):
+        finest = {("a", "b"): 2}
+        assert projected_counts(finest, ["A", "B"], ["A", "B"]) == finest

@@ -1,0 +1,84 @@
+"""Property-based tests for group-key machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    all_groupings,
+    project_key,
+    projected_counts,
+)
+
+counts_3d = st.dictionaries(
+    keys=st.tuples(
+        st.sampled_from(["a1", "a2"]),
+        st.sampled_from(["b1", "b2", "b3"]),
+        st.sampled_from(["c1", "c2"]),
+    ),
+    values=st.integers(min_value=1, max_value=10_000),
+    min_size=1,
+    max_size=12,
+)
+
+G3 = ("A", "B", "C")
+
+
+class TestGroupingProperties:
+    @given(n=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_power_set_cardinality(self, n):
+        columns = [f"c{i}" for i in range(n)]
+        groupings = all_groupings(columns)
+        assert len(groupings) == 2 ** n
+        assert len(set(groupings)) == 2 ** n  # no duplicates
+
+    @given(counts=counts_3d)
+    @settings(max_examples=80, deadline=None)
+    def test_projection_preserves_total(self, counts):
+        total = sum(counts.values())
+        for target in all_groupings(G3):
+            projected = projected_counts(counts, G3, target)
+            assert sum(projected.values()) == total
+
+    @given(counts=counts_3d)
+    @settings(max_examples=80, deadline=None)
+    def test_projection_composes(self, counts):
+        """Projecting to B,C then to C equals projecting straight to C."""
+        via_bc = projected_counts(counts, G3, ["B", "C"])
+        via_bc_then_c = projected_counts(via_bc, ["B", "C"], ["C"])
+        direct = projected_counts(counts, G3, ["C"])
+        assert via_bc_then_c == direct
+
+    @given(counts=counts_3d)
+    @settings(max_examples=50, deadline=None)
+    def test_group_count_monotone_in_grouping_size(self, counts):
+        """Finer groupings never have fewer groups than coarser subsets."""
+        for target in all_groupings(G3):
+            finer = projected_counts(counts, G3, G3)
+            coarser = projected_counts(counts, G3, target)
+            assert len(coarser) <= len(finer)
+
+    @given(
+        key=st.tuples(
+            st.sampled_from(["x", "y"]),
+            st.integers(min_value=0, max_value=9),
+            st.sampled_from(["p", "q"]),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_project_key_identity_and_empty(self, key):
+        assert project_key(key, G3, G3) == key
+        assert project_key(key, G3, []) == ()
+
+    @given(
+        key=st.tuples(
+            st.sampled_from(["x", "y"]),
+            st.integers(min_value=0, max_value=9),
+            st.sampled_from(["p", "q"]),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_project_key_composition(self, key):
+        via = project_key(project_key(key, G3, ["A", "C"]), ["A", "C"], ["C"])
+        direct = project_key(key, G3, ["C"])
+        assert via == direct

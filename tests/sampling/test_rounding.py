@@ -1,0 +1,96 @@
+"""Unit and property tests for allocation rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import floor_round, largest_remainder_round, randomized_round
+
+
+class TestLargestRemainder:
+    def test_preserves_total(self):
+        out = largest_remainder_round({"a": 1.4, "b": 2.3, "c": 3.3}, total=7)
+        assert sum(out.values()) == 7
+
+    def test_default_total_is_rounded_sum(self):
+        out = largest_remainder_round({"a": 1.5, "b": 2.5})
+        assert sum(out.values()) == 4
+
+    def test_largest_remainders_win(self):
+        out = largest_remainder_round({"a": 1.9, "b": 1.1}, total=3)
+        assert out == {"a": 2, "b": 1}
+
+    def test_within_one_of_fractional(self):
+        fractional = {"a": 10.7, "b": 0.2, "c": 5.1}
+        out = largest_remainder_round(fractional, total=16)
+        for key, value in fractional.items():
+            assert abs(out[key] - value) < 1.0 + 1e-9
+
+    def test_caps_respected(self):
+        out = largest_remainder_round(
+            {"a": 5.0, "b": 5.0}, total=10, caps={"a": 2, "b": 100}
+        )
+        assert out["a"] <= 2
+        assert sum(out.values()) == 10
+
+    def test_infeasible_caps_saturate(self):
+        out = largest_remainder_round(
+            {"a": 5.0, "b": 5.0}, total=10, caps={"a": 2, "b": 3}
+        )
+        assert out == {"a": 2, "b": 3}
+
+    def test_total_below_floor_sum(self):
+        out = largest_remainder_round({"a": 5.0, "b": 5.0}, total=6)
+        assert sum(out.values()) == 6
+        assert all(v >= 0 for v in out.values())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_round({"a": -1.0})
+
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_round({"a": 1.0}, caps={"a": -1})
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_total_and_proximity(self, values):
+        fractional = {i: v for i, v in enumerate(values)}
+        total = int(round(sum(values)))
+        out = largest_remainder_round(fractional, total=total)
+        assert sum(out.values()) == total
+        assert all(v >= 0 for v in out.values())
+        for key, target in fractional.items():
+            assert abs(out[key] - target) <= 1.0 + 1e-6
+
+
+class TestFloorRound:
+    def test_floors(self):
+        assert floor_round({"a": 1.9, "b": 2.0}) == {"a": 1, "b": 2}
+
+    def test_caps(self):
+        assert floor_round({"a": 5.9}, caps={"a": 3}) == {"a": 3}
+
+    def test_negative_clamped_to_zero(self):
+        assert floor_round({"a": -0.5}) == {"a": 0}
+
+
+class TestRandomizedRound:
+    def test_expectation(self):
+        rng = np.random.default_rng(5)
+        trials = 5000
+        total = sum(
+            randomized_round({"a": 1.25}, rng)["a"] for __ in range(trials)
+        )
+        assert abs(total / trials - 1.25) < 0.05
+
+    def test_caps(self, rng):
+        out = randomized_round({"a": 7.9}, rng, caps={"a": 5})
+        assert out["a"] <= 5

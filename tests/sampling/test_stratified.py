@@ -1,0 +1,124 @@
+"""Unit tests for the stratified sample container and materializations."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import GID_COLUMN, SF_COLUMN, StratifiedSample, Stratum
+
+
+@pytest.fixture
+def sample(small_table, rng):
+    allocation = {
+        ("x", "p"): 1,
+        ("x", "q"): 2,
+        ("y", "p"): 2,
+        ("y", "q"): 0,
+    }
+    return StratifiedSample.build(small_table, ["a", "b"], allocation, rng=rng)
+
+
+class TestStratum:
+    def test_rates_and_scale_factors(self):
+        stratum = Stratum(("g",), 100, np.array([1, 5, 9]))
+        assert stratum.sample_size == 3
+        assert stratum.sampling_rate == 0.03
+        assert stratum.scale_factor == pytest.approx(100 / 3)
+
+    def test_empty_stratum(self):
+        stratum = Stratum(("g",), 10, np.array([], dtype=np.int64))
+        assert stratum.sampling_rate == 0.0
+        assert np.isnan(stratum.scale_factor)
+
+
+class TestBuild:
+    def test_allocation_honored(self, sample):
+        assert sample.sample_sizes() == {
+            ("x", "p"): 1,
+            ("x", "q"): 2,
+            ("y", "p"): 2,
+            ("y", "q"): 0,
+        }
+        assert sample.total_sample_size == 5
+
+    def test_allocation_capped_at_population(self, small_table, rng):
+        sample = StratifiedSample.build(
+            small_table, ["a", "b"], {("x", "p"): 100}, rng=rng
+        )
+        assert sample.stratum(("x", "p")).sample_size == 2
+
+    def test_rows_actually_belong_to_their_group(self, sample, small_table):
+        for key, stratum in sample.strata.items():
+            for idx in stratum.row_indices:
+                row = small_table.row(int(idx))
+                assert (row[0], row[1]) == key
+
+    def test_without_replacement(self, sample):
+        for stratum in sample.strata.values():
+            assert len(set(stratum.row_indices.tolist())) == stratum.sample_size
+
+    def test_population_totals(self, sample):
+        assert sample.total_population == 8
+
+    def test_missing_groups_get_zero(self, small_table, rng):
+        sample = StratifiedSample.build(small_table, ["a", "b"], {}, rng=rng)
+        assert sample.total_sample_size == 0
+        assert len(sample.strata) == 4  # strata exist, just empty
+
+
+class TestMaterializations:
+    def test_sample_table_rows(self, sample):
+        table = sample.sample_table()
+        assert table.num_rows == 5
+        assert table.schema == sample.base_table.schema
+
+    def test_integrated_relation_sf(self, sample):
+        rel = sample.integrated_relation()
+        assert SF_COLUMN in rel.schema
+        # The (x,p) stratum has 1 of 2 rows: SF = 2.
+        mask = (rel.column("a") == "x") & (rel.column("b") == "p")
+        assert rel.column(SF_COLUMN)[mask].tolist() == [2.0]
+        # The (x,q) stratum has 2 of 2 rows: SF = 1.
+        mask = (rel.column("a") == "x") & (rel.column("b") == "q")
+        assert rel.column(SF_COLUMN)[mask].tolist() == [1.0, 1.0]
+
+    def test_normalized_relations(self, sample):
+        samp, aux = sample.normalized_relations()
+        assert SF_COLUMN not in samp.schema
+        assert aux.schema.names == ["a", "b", SF_COLUMN]
+        assert aux.num_rows == 3  # only non-empty strata
+        by_key = {
+            (r["a"], r["b"]): r[SF_COLUMN] for r in aux.to_dicts()
+        }
+        assert by_key[("x", "p")] == 2.0
+
+    def test_key_normalized_relations(self, sample):
+        samp, aux = sample.key_normalized_relations()
+        assert GID_COLUMN in samp.schema
+        assert aux.schema.names == [GID_COLUMN, SF_COLUMN]
+        # GIDs in the sample relation must all resolve in aux.
+        sample_gids = set(samp.column(GID_COLUMN).tolist())
+        aux_gids = set(aux.column(GID_COLUMN).tolist())
+        assert sample_gids <= aux_gids
+
+    def test_scale_factors_only_for_nonempty(self, sample):
+        factors = sample.scale_factors()
+        assert ("y", "q") not in factors
+        assert len(factors) == 3
+
+    def test_empty_sample_materializations(self, small_table, rng):
+        sample = StratifiedSample.build(small_table, ["a", "b"], {}, rng=rng)
+        assert sample.integrated_relation().num_rows == 0
+        samp, aux = sample.normalized_relations()
+        assert samp.num_rows == 0 and aux.num_rows == 0
+
+
+class TestFromMemberLists:
+    def test_round_trip(self, small_table):
+        sample = StratifiedSample.from_member_lists(
+            small_table,
+            ["a", "b"],
+            members={("x", "p"): [0, 1]},
+            populations={("x", "p"): 2},
+        )
+        assert sample.stratum(("x", "p")).scale_factor == 1.0
+        assert sample.total_sample_size == 2

@@ -1,0 +1,82 @@
+"""Unit tests for the census generator and the paper's query classes."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Between, Query
+from repro.sampling import group_counts
+from repro.synthetic import (
+    CensusConfig,
+    STATE_NAMES,
+    generate_census,
+    qg0,
+    qg0_set,
+    qg2,
+    qg3,
+)
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_census(CensusConfig(population=20_000, num_states=20))
+
+    def test_population(self, table):
+        assert table.num_rows == 20_000
+
+    def test_states_subset(self, table):
+        states = set(np.unique(table.column("st")).tolist())
+        assert states <= set(STATE_NAMES)
+        assert len(states) == 20
+
+    def test_state_sizes_skewed(self, table):
+        counts = group_counts(table, ["st"])
+        sizes = sorted(counts.values())
+        assert sizes[-1] > 5 * sizes[0]
+
+    def test_genders(self, table):
+        assert set(np.unique(table.column("gen")).tolist()) == {"M", "F"}
+
+    def test_income_positive(self, table):
+        assert (table.column("sal") > 0).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CensusConfig(num_states=0)
+        with pytest.raises(ValueError):
+            CensusConfig(population=10, num_states=20)
+
+
+class TestQueries:
+    def test_qg2_shape(self):
+        query = qg2().query
+        assert query.group_by == ("l_returnflag", "l_linestatus")
+        assert len(query.aggregates()) == 2
+
+    def test_qg3_shape(self):
+        query = qg3().query
+        assert query.group_by == (
+            "l_returnflag", "l_linestatus", "l_shipdate",
+        )
+
+    def test_qg0_range(self):
+        query = qg0(100, 700).query
+        assert query.group_by == ()
+        assert isinstance(query.where, Between)
+
+    def test_qg0_set_count_and_selectivity(self, rng):
+        queries = qg0_set(100_000, num_queries=20, selectivity=0.07, rng=rng)
+        assert len(queries) == 20
+        for q in queries:
+            where = q.query.where
+            low = where.low.value
+            high = where.high.value
+            assert high - low == 7000
+            assert 0 <= low <= 100_000
+
+    def test_qg0_set_invalid_selectivity(self, rng):
+        with pytest.raises(ValueError):
+            qg0_set(1000, selectivity=0.0, rng=rng)
+
+    def test_custom_table_name(self):
+        assert "FROM my_table" in qg2("my_table").sql

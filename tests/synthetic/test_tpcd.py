@@ -1,0 +1,91 @@
+"""Unit tests for the lineitem generator (Section 7.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import group_counts
+from repro.synthetic import (
+    GROUPING_COLUMNS,
+    LINEITEM_SCHEMA,
+    LineitemConfig,
+    generate_lineitem,
+)
+
+
+class TestConfig:
+    def test_distinct_per_column(self):
+        assert LineitemConfig(num_groups=1000).distinct_per_column == 10
+        assert LineitemConfig(num_groups=27).distinct_per_column == 3
+        assert LineitemConfig(num_groups=10).distinct_per_column == 2
+
+    def test_actual_num_groups(self):
+        assert LineitemConfig(num_groups=1000).actual_num_groups == 1000
+        assert LineitemConfig(num_groups=10).actual_num_groups == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineitemConfig(table_size=0)
+        with pytest.raises(ValueError):
+            LineitemConfig(group_skew=-0.5)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_lineitem(
+            LineitemConfig(table_size=30_000, num_groups=64, group_skew=1.0)
+        )
+
+    def test_schema(self, table):
+        assert table.schema == LINEITEM_SCHEMA
+
+    def test_row_count(self, table):
+        assert table.num_rows == 30_000
+
+    def test_lid_sequential(self, table):
+        assert table.column("l_id").tolist() == list(range(1, 30_001))
+
+    def test_group_count(self, table):
+        counts = group_counts(table, GROUPING_COLUMNS)
+        assert len(counts) == 64
+        assert all(v >= 1 for v in counts.values())
+
+    def test_distinct_values_per_column(self, table):
+        for name in GROUPING_COLUMNS:
+            assert len(np.unique(table.column(name))) == 4  # 64^(1/3)
+
+    def test_group_sizes_skewed(self, table):
+        counts = sorted(group_counts(table, GROUPING_COLUMNS).values())
+        assert counts[-1] > 5 * counts[0]
+
+    def test_zero_skew_uniform_groups(self):
+        table = generate_lineitem(
+            LineitemConfig(table_size=6400, num_groups=64, group_skew=0.0)
+        )
+        counts = group_counts(table, GROUPING_COLUMNS)
+        assert set(counts.values()) == {100}
+
+    def test_aggregate_ranges(self, table):
+        qty = table.column("l_quantity")
+        assert qty.min() >= 1 and qty.max() <= 50
+        price = table.column("l_extendedprice")
+        assert price.min() >= 900
+
+    def test_reproducible_by_seed(self):
+        config = LineitemConfig(table_size=5000, num_groups=27, seed=5)
+        assert generate_lineitem(config) == generate_lineitem(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_lineitem(LineitemConfig(table_size=5000, num_groups=27, seed=1))
+        b = generate_lineitem(LineitemConfig(table_size=5000, num_groups=27, seed=2))
+        assert a != b
+
+    def test_lid_uncorrelated_with_groups(self, table):
+        """Row order is shuffled, so an l_id range hits all groups."""
+        head = table.filter(table.column("l_id") <= 5000)
+        counts = group_counts(head, GROUPING_COLUMNS)
+        assert len(counts) > 50  # nearly all 64 groups appear
+
+    def test_table_smaller_than_groups_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_lineitem(LineitemConfig(table_size=10, num_groups=1000))

@@ -1,0 +1,109 @@
+"""Unit and integration tests for the TPC-D star schema generator."""
+
+import numpy as np
+import pytest
+
+from repro.aqua import build_join_synopsis, materialize_star_join
+from repro.core import Congress
+from repro.engine import Catalog, execute, parse_query
+from repro.synthetic import NATIONS, TpcdStarConfig, generate_tpcd_star
+
+
+@pytest.fixture(scope="module")
+def star_setup():
+    catalog = Catalog()
+    star, tables = generate_tpcd_star(
+        TpcdStarConfig(num_orders=4000, seed=5), catalog
+    )
+    return catalog, star, tables
+
+
+class TestGeneration:
+    def test_all_tables_registered(self, star_setup):
+        catalog, __, __tables = star_setup
+        for name in ("part", "supplier", "customer", "orders",
+                     "orders_wide", "lineitem"):
+            assert name in catalog
+
+    def test_fanout_range(self, star_setup):
+        __, __, tables = star_setup
+        lineitems = tables["lineitem"].num_rows
+        orders = tables["orders"].num_rows
+        assert orders <= lineitems <= 7 * orders
+
+    def test_foreign_keys_resolve(self, star_setup):
+        """Every lineitem FK must hit a dimension row (no dangling)."""
+        __, __, tables = star_setup
+        lineitem = tables["lineitem"]
+        assert set(np.unique(lineitem.column("l_partkey"))) <= set(
+            tables["part"].column("p_partkey").tolist()
+        )
+        assert set(np.unique(lineitem.column("l_suppkey"))) <= set(
+            tables["supplier"].column("s_suppkey").tolist()
+        )
+        assert set(np.unique(lineitem.column("l_orderkey"))) <= set(
+            tables["orders"].column("o_orderkey").tolist()
+        )
+
+    def test_orders_wide_flattens_customer(self, star_setup):
+        __, __, tables = star_setup
+        wide = tables["orders_wide"]
+        assert "c_nation" in wide.schema
+        assert wide.num_rows == tables["orders"].num_rows
+
+    def test_nation_skew(self, star_setup):
+        __, __, tables = star_setup
+        nations = tables["customer"].column("c_nation")
+        values, counts = np.unique(nations, return_counts=True)
+        assert counts.max() > 3 * counts.min()
+
+    def test_nations_from_catalog(self, star_setup):
+        __, __, tables = star_setup
+        observed = set(np.unique(tables["supplier"].column("s_nation")))
+        assert observed <= set(NATIONS)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TpcdStarConfig(num_orders=0)
+
+    def test_reproducible(self):
+        c1, c2 = Catalog(), Catalog()
+        __, t1 = generate_tpcd_star(TpcdStarConfig(num_orders=500, seed=9), c1)
+        __, t2 = generate_tpcd_star(TpcdStarConfig(num_orders=500, seed=9), c2)
+        assert t1["lineitem"] == t2["lineitem"]
+
+
+class TestJoinSynopsisOverStar:
+    def test_materialize_preserves_cardinality(self, star_setup):
+        catalog, star, tables = star_setup
+        wide = materialize_star_join(catalog, star)
+        assert wide.num_rows == tables["lineitem"].num_rows
+        for column in ("c_nation", "p_brand", "s_nation", "o_orderpriority"):
+            assert column in wide.schema
+
+    def test_rollup_on_dimension_attributes(self, star_setup):
+        catalog, star, __ = star_setup
+        rng = np.random.default_rng(0)
+        sample, wide = build_join_synopsis(
+            catalog, star, ["c_nation", "p_brand"], 1500,
+            strategy=Congress(), register_as="li_wide", rng=rng,
+        )
+        assert sample.total_sample_size == 1500
+
+        from repro.metrics import groupby_error
+        from repro.rewrite import Integrated
+
+        sql = (
+            "select c_nation, p_brand, sum(l_extendedprice) rev "
+            "from li_wide group by c_nation, p_brand"
+        )
+        query = parse_query(sql)
+        exact = execute(query, catalog)
+        rewrite = Integrated()
+        synopsis = rewrite.install(sample, "li_wide", catalog)
+        approx = rewrite.plan(query, synopsis).execute(catalog)
+        error = groupby_error(
+            exact, approx, ["c_nation", "p_brand"], "rev"
+        )
+        assert not error.missing_groups
+        assert error.eps_l1 < 30
