@@ -28,12 +28,23 @@ from .aqua import (
     ComparisonReport,
     CubeExplorer,
     ForeignKey,
+    GuardPolicy,
+    GuardReport,
     Measure,
     QueryLog,
+    RefreshPolicy,
     StarSchema,
     Synopsis,
+    SynopsisHealth,
     build_join_synopsis,
     materialize_star_join,
+)
+from .errors import (
+    GuardViolationError,
+    StaleSynopsisError,
+    SynopsisCorruptError,
+    SynopsisMissingError,
+    TableNotRegisteredError,
 )
 from .core import (
     Allocation,
@@ -113,6 +124,9 @@ __all__ = [
     "GroupEstimate",
     "GroupPreferences",
     "GroupingCriterion",
+    "GuardPolicy",
+    "GuardReport",
+    "GuardViolationError",
     "House",
     "HouseMaintainer",
     "Integrated",
@@ -124,13 +138,19 @@ __all__ = [
     "Normalized",
     "QueryLog",
     "RangeBiasCriterion",
+    "RefreshPolicy",
     "Schema",
     "Senate",
     "SenateMaintainer",
+    "StaleSynopsisError",
     "StarSchema",
     "StratifiedSample",
     "Synopsis",
+    "SynopsisCorruptError",
+    "SynopsisHealth",
+    "SynopsisMissingError",
     "Table",
+    "TableNotRegisteredError",
     "VarianceCriterion",
     "WorkloadCongress",
     "allocate_from_table",

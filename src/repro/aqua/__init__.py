@@ -6,6 +6,17 @@ from .join_synopsis import (
     build_join_synopsis,
     materialize_star_join,
 )
+from .guard import (
+    PROVENANCE_COLUMN,
+    PROVENANCE_EXACT,
+    PROVENANCE_REPAIRED,
+    PROVENANCE_SYNOPSIS,
+    GuardPolicy,
+    GuardReport,
+    RefreshPolicy,
+    SynopsisHealth,
+    validate_sample,
+)
 from .olap import CubeExplorer, Measure
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
@@ -16,6 +27,15 @@ __all__ = [
     "AquaError",
     "AquaSystem",
     "ComparisonReport",
+    "GuardPolicy",
+    "GuardReport",
+    "RefreshPolicy",
+    "SynopsisHealth",
+    "PROVENANCE_COLUMN",
+    "PROVENANCE_SYNOPSIS",
+    "PROVENANCE_REPAIRED",
+    "PROVENANCE_EXACT",
+    "validate_sample",
     "CubeExplorer",
     "Measure",
     "QueryLog",

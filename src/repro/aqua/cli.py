@@ -11,6 +11,7 @@ Commands inside the shell::
     <any SQL>          answer approximately from the synopsis
     .exact <SQL>       answer exactly from the base table
     .synopsis          describe the installed synopsis
+    .health            report synopsis health per table
     .tables            list catalog tables
     .budget            show the space budget
     .help              this text
@@ -23,6 +24,7 @@ paths as the library API, so it doubles as an end-to-end smoke test.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import IO, List, Optional, Sequence
 
@@ -40,6 +42,7 @@ _HELP = """commands:
   .explain <SQL>   show the rewritten query (the paper's Figure 2 view)
   .compare <SQL>   run approximately AND exactly; report error + speedup
   .synopsis        describe the installed synopsis
+  .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
   .budget          show the space budget
   .help            show this help
@@ -69,11 +72,14 @@ class AquaShell:
             if i >= _MAX_PRINT_ROWS:
                 self._print(f"... ({table.num_rows - _MAX_PRINT_ROWS} more rows)")
                 break
-            cells = [
-                f"{value:.6g}" if isinstance(value, float) else str(value)
-                for value in row
-            ]
+            cells = [self._format_cell(value) for value in row]
             self._print("  ".join(cells))
+
+    @staticmethod
+    def _format_cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}" if math.isfinite(value) else "n/a"
+        return str(value)
 
     def execute_line(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
@@ -96,6 +102,12 @@ class AquaShell:
                         self._print(self._aqua.synopsis(name).describe())
                     except AquaError:
                         continue
+            elif line == ".health":
+                names = self._aqua.table_names()
+                if not names:
+                    self._print("no tables registered")
+                for name in names:
+                    self._print(self._aqua.health(name).describe())
             elif line.startswith(".exact"):
                 sql = line[len(".exact"):].strip()
                 if not sql:
@@ -123,7 +135,9 @@ class AquaShell:
                     f"[approximate; {answer.confidence:.0%} confidence, "
                     f"{answer.elapsed_seconds * 1000:.1f} ms]"
                 )
-        except (AquaError, SqlError, ValueError, KeyError) as exc:
+                if answer.guard is not None and answer.guard.degraded:
+                    self._print(f"[{answer.guard.describe()}]")
+        except (AquaError, SqlError, ValueError) as exc:
             self._print(f"error: {exc}")
         return True
 

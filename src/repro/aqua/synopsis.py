@@ -10,9 +10,10 @@ consults when a user query arrives (Figure 1's "Statistics Collector" +
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..rewrite.base import InstalledSynopsis
+from ..sampling.groups import GroupKey
 from ..sampling.stratified import StratifiedSample
 
 __all__ = ["Synopsis"]
@@ -40,6 +41,26 @@ class Synopsis:
         if population == 0:
             return 0.0
         return self.sample_size / population
+
+    @property
+    def empty_strata(self) -> Tuple[GroupKey, ...]:
+        """Keys of populated strata that received no sample tuples.
+
+        A nonempty result means some base-table groups are invisible to the
+        synopsis -- the answer-time guard repairs them from the base table,
+        and :meth:`AquaSystem.health` reports them as reduced coverage.
+        """
+        return tuple(
+            key
+            for key, stratum in sorted(self.sample.strata.items())
+            if stratum.population > 0 and stratum.sample_size == 0
+        )
+
+    def validate(self) -> List[str]:
+        """Structural issues with the underlying sample (empty = sound)."""
+        from .guard import validate_sample
+
+        return validate_sample(self.sample)
 
     def describe(self) -> str:
         """One-line human-readable summary (for example scripts)."""

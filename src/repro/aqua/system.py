@@ -11,43 +11,79 @@ Aqua sits atop a commercial DBMS:
    (the ``sum_error`` column of Figure 2);
 4. synopses are kept up to date under inserts via the Section 6 maintainers,
    without re-reading the base relation.
+
+On top of the paper's pipeline sits a *guarded answering* layer
+(:mod:`repro.aqua.guard`): :meth:`AquaSystem.answer` validates the synopsis,
+checks staleness, and escalates per answer group -- synopsis answer, then
+partial-exact repair of low-support/unbounded groups from the base table,
+then a full exact fallback -- tagging every group with its provenance.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
+from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.allocation import AllocationStrategy, allocate_from_table
 from ..core.congress import Congress
-from ..engine.catalog import Catalog
+from ..engine.catalog import Catalog, CatalogError
 from ..engine.executor import execute
+from ..engine.expressions import Col
+from ..engine.predicates import And, Comparison, InList, Or
 from ..engine.query import Query
 from ..engine.schema import Column, ColumnType, Schema
 from ..engine.sql import parse_query
 from ..engine.table import Table
+from ..errors import (
+    AquaError,
+    GuardViolationError,
+    StaleSynopsisError,
+    SynopsisCorruptError,
+    SynopsisMissingError,
+    TableNotRegisteredError,
+)
 from ..estimators.errors import (
     DEFAULT_CONFIDENCE,
     chebyshev_halfwidth,
     hoeffding_halfwidth_stratified_sum,
+    relative_halfwidth,
 )
-from ..estimators.point import estimate
-from ..sampling.groups import finest_group_ids, make_key, project_key
+from ..estimators.point import estimate, group_support
+from ..sampling.groups import GroupKey, finest_group_ids, make_key, project_key
 from ..maintenance.base import SampleMaintainer
 from ..maintenance.onepass import maintainer_for, subsample_to_budget
 from ..rewrite.base import RewriteStrategy
 from ..rewrite.nested_integrated import NestedIntegrated
 from ..sampling.stratified import StratifiedSample
+from .guard import (
+    PROVENANCE_EXACT,
+    PROVENANCE_REPAIRED,
+    PROVENANCE_SYNOPSIS,
+    GuardPolicy,
+    GuardReport,
+    RefreshPolicy,
+    SynopsisHealth,
+    validate_sample,
+)
 from .synopsis import Synopsis
 
-__all__ = ["AquaSystem", "ApproximateAnswer", "AquaError", "ComparisonReport"]
+__all__ = [
+    "AquaSystem",
+    "ApproximateAnswer",
+    "AquaError",
+    "ComparisonReport",
+    "GuardPolicy",
+    "GuardReport",
+    "RefreshPolicy",
+    "SynopsisHealth",
+]
 
-
-class AquaError(RuntimeError):
-    """Raised for misconfiguration: unknown tables, missing synopses, etc."""
+_SCALED_AGGREGATES = ("sum", "count", "avg")
 
 
 @dataclass
@@ -58,16 +94,30 @@ class ApproximateAnswer:
         result: the answer table; each aggregate alias ``a`` is accompanied
             by an ``a_error`` column -- the half-width of the confidence
             interval at ``confidence`` (Chebyshev over the stratified
-            variance estimate), mirroring Figure 4.
+            variance estimate), mirroring Figure 4.  Guarded answers also
+            carry a per-group provenance column
+            (``synopsis`` / ``repaired`` / ``exact``).
         confidence: the confidence level of the error columns.
         synopsis: the synopsis used.
         elapsed_seconds: wall-clock execution time of the rewritten plan.
+        guard: what the guard did (``None`` for unguarded answers).
     """
 
     result: Table
     confidence: float
     synopsis: Synopsis
     elapsed_seconds: float
+    guard: Optional[GuardReport] = None
+
+    @property
+    def provenance_counts(self) -> Dict[str, int]:
+        """Answer groups per provenance tag (empty when unguarded)."""
+        return self.guard.counts if self.guard is not None else {}
+
+
+def _fmt_pct(value: float) -> str:
+    """Render a percentage, degrading NaN/inf to ``n/a``."""
+    return f"{value:.2f}%" if math.isfinite(value) else "n/a"
 
 
 @dataclass
@@ -78,6 +128,7 @@ class ComparisonReport:
     exact: Table
     exact_elapsed_seconds: float
     errors: Dict[str, "GroupByError"]  # per aggregate alias
+    stale_inserts: int = 0
 
     @property
     def speedup(self) -> float:
@@ -88,14 +139,22 @@ class ComparisonReport:
         return self.exact_elapsed_seconds / approx_time
 
     def describe(self) -> str:
+        speedup = self.speedup
+        speedup_text = f"{speedup:.1f}x" if math.isfinite(speedup) else "n/a"
         lines = [
-            f"speedup: {self.speedup:.1f}x "
+            f"speedup: {speedup_text} "
             f"(exact {self.exact_elapsed_seconds * 1000:.1f} ms, "
             f"approx {self.approximate.elapsed_seconds * 1000:.1f} ms)"
         ]
+        if self.stale_inserts:
+            lines.append(
+                f"note: synopsis was stale by {self.stale_inserts} inserts "
+                "at answer time"
+            )
         for alias, error in self.errors.items():
             lines.append(
-                f"{alias}: mean {error.eps_l1:.2f}%  worst {error.eps_inf:.2f}%  "
+                f"{alias}: mean {_fmt_pct(error.eps_l1)}  "
+                f"worst {_fmt_pct(error.eps_inf)}  "
                 f"coverage {error.coverage:.0%}"
             )
         return "\n".join(lines)
@@ -107,6 +166,9 @@ class _TableState:
     grouping_columns: Tuple[str, ...]
     maintainer: Optional[SampleMaintainer] = None
     pending_rows: List[Tuple] = field(default_factory=list)
+    inserts_since_refresh: int = 0
+    rows_at_refresh: int = 0
+    refresh_policy: Optional[RefreshPolicy] = None
 
 
 class AquaSystem:
@@ -120,6 +182,7 @@ class AquaSystem:
         confidence: float = DEFAULT_CONFIDENCE,
         bound_method: str = "chebyshev",
         rng: Optional[np.random.Generator] = None,
+        guard_policy: Union[GuardPolicy, bool, None] = None,
     ):
         """Args:
         space_budget: sample tuples per synopsis (the paper's ``X``).
@@ -132,6 +195,9 @@ class AquaSystem:
             per-stratum value ranges precomputed from the base table --
             applies to SUM/COUNT; AVG always falls back to Chebyshev).
         rng: numpy generator for sampling.
+        guard_policy: default serve-time guard for :meth:`answer`.
+            ``None``/``True`` installs the default :class:`GuardPolicy`;
+            ``False`` disables guarding unless a policy is passed per call.
         """
         if space_budget < 1:
             raise AquaError(f"space budget must be >= 1, got {space_budget}")
@@ -149,12 +215,32 @@ class AquaSystem:
         self._rng = rng if rng is not None else np.random.default_rng()
         self._tables: Dict[str, _TableState] = {}
         self._synopses: Dict[str, Synopsis] = {}
+        if guard_policy is False:
+            self._guard: Optional[GuardPolicy] = None
+        elif guard_policy is None or guard_policy is True:
+            self._guard = GuardPolicy()
+        elif isinstance(guard_policy, GuardPolicy):
+            self._guard = guard_policy
+        else:
+            raise AquaError(
+                "guard_policy must be a GuardPolicy, True, False, or None; "
+                f"got {guard_policy!r}"
+            )
 
     # -- administration ------------------------------------------------------
 
     @property
     def space_budget(self) -> int:
         return self._budget
+
+    @property
+    def guard_policy(self) -> Optional[GuardPolicy]:
+        """The default guard applied by :meth:`answer` (None = unguarded)."""
+        return self._guard
+
+    def table_names(self) -> List[str]:
+        """Registered base-table names (synopsis relations excluded)."""
+        return sorted(self._tables)
 
     def register_table(
         self,
@@ -213,55 +299,580 @@ class AquaSystem:
             installed=installed,
         )
         self._synopses[name] = synopsis
+        state = self._tables.get(name)
+        if state is not None:
+            state.inserts_since_refresh = 0
+            state.rows_at_refresh = state.table.num_rows + len(
+                state.pending_rows
+            )
         return synopsis
 
     def synopsis(self, name: str) -> Synopsis:
         try:
             return self._synopses[name]
         except KeyError:
-            raise AquaError(f"no synopsis built for table {name!r}") from None
+            if name not in self._tables:
+                raise TableNotRegisteredError(
+                    f"table {name!r} is not registered"
+                ) from None
+            raise SynopsisMissingError(
+                f"no synopsis built for table {name!r}"
+            ) from None
 
     def _state(self, name: str) -> _TableState:
         try:
             return self._tables[name]
         except KeyError:
-            raise AquaError(f"table {name!r} is not registered") from None
+            raise TableNotRegisteredError(
+                f"table {name!r} is not registered"
+            ) from None
+
+    # -- health & staleness --------------------------------------------------
+
+    def set_refresh_policy(
+        self, name: str, policy: Optional[RefreshPolicy]
+    ) -> None:
+        """Attach (or clear) an auto-refresh drift policy for a table."""
+        state = self._state(name)
+        state.refresh_policy = policy
+        self._maybe_auto_refresh(name)
+
+    def health(
+        self, name: str, stale_after_fraction: float = 0.1
+    ) -> SynopsisHealth:
+        """Health report: sample ratio, strata coverage, drift, validity."""
+        state = self._state(name)
+        synopsis = self._synopses.get(name)
+        maintained = state.maintainer is not None
+        maintainer_inserts = (
+            getattr(state.maintainer, "inserts_seen", 0) if maintained else 0
+        )
+        if synopsis is None:
+            return SynopsisHealth(
+                table=name,
+                built=False,
+                base_rows=state.table.num_rows,
+                pending_rows=len(state.pending_rows),
+                sample_size=0,
+                budget=self._budget,
+                strata_total=0,
+                strata_covered=0,
+                inserts_since_refresh=state.inserts_since_refresh,
+                rows_at_refresh=state.rows_at_refresh,
+                maintained=maintained,
+                maintainer_inserts=maintainer_inserts,
+                issues=("no synopsis built",),
+                stale_after_fraction=stale_after_fraction,
+            )
+        strata = synopsis.sample.strata
+        total = sum(1 for s in strata.values() if s.population > 0)
+        covered = sum(
+            1 for s in strata.values() if s.population > 0 and s.sample_size > 0
+        )
+        return SynopsisHealth(
+            table=name,
+            built=True,
+            base_rows=state.table.num_rows,
+            pending_rows=len(state.pending_rows),
+            sample_size=synopsis.sample_size,
+            budget=self._budget,
+            strata_total=total,
+            strata_covered=covered,
+            inserts_since_refresh=state.inserts_since_refresh,
+            rows_at_refresh=state.rows_at_refresh,
+            maintained=maintained,
+            maintainer_inserts=maintainer_inserts,
+            issues=tuple(self._synopsis_issues(state, synopsis)),
+            stale_after_fraction=stale_after_fraction,
+        )
+
+    def _synopsis_issues(
+        self, state: _TableState, synopsis: Synopsis
+    ) -> List[str]:
+        """Structural validation plus base-coverage bookkeeping."""
+        issues = validate_sample(synopsis.sample)
+        covered = synopsis.sample.total_population
+        if state.rows_at_refresh and covered != state.rows_at_refresh:
+            issues.append(
+                f"synopsis strata cover {covered} rows but "
+                f"{state.rows_at_refresh} were present at the last refresh"
+            )
+        return issues
+
+    def _maybe_auto_refresh(self, name: str) -> None:
+        state = self._tables.get(name)
+        if (
+            state is None
+            or state.refresh_policy is None
+            or name not in self._synopses
+        ):
+            return
+        if state.refresh_policy.should_refresh(
+            state.inserts_since_refresh, state.rows_at_refresh
+        ):
+            self.refresh_synopsis(name)
 
     # -- query answering -------------------------------------------------
 
-    def answer(self, sql: Union[str, Query]) -> ApproximateAnswer:
+    def _resolve_guard(
+        self, guard: Union[GuardPolicy, bool, None]
+    ) -> Optional[GuardPolicy]:
+        if guard is None:
+            return self._guard
+        if guard is False:
+            return None
+        if guard is True:
+            return self._guard if self._guard is not None else GuardPolicy()
+        if isinstance(guard, GuardPolicy):
+            return guard
+        raise AquaError(
+            f"guard must be a GuardPolicy, True, False, or None; got {guard!r}"
+        )
+
+    def answer(
+        self,
+        sql: Union[str, Query],
+        guard: Union[GuardPolicy, bool, None] = None,
+    ) -> ApproximateAnswer:
         """Rewrite and execute a user query against the synopsis.
 
         The query must aggregate over a single registered base table.  The
         result carries an ``<alias>_error`` column per SUM/COUNT/AVG
         aggregate: the Chebyshev half-width at the configured confidence.
+
+        When a guard policy is active (the default), the answer is served
+        through an escalation ladder: the synopsis answer is checked group
+        by group; groups with too little sample support, non-finite
+        aggregates, or unusable error bounds are *repaired* from the base
+        table; and structurally corrupt or overly stale synopses degrade to
+        a full exact answer (or a typed error, per the policy).  Guarded
+        results carry a per-group provenance column.
+
+        Args:
+            sql: SQL text or a :class:`~repro.engine.query.Query`.
+            guard: per-call guard override -- a :class:`GuardPolicy`,
+                ``False`` to serve unguarded, or ``None`` to use the
+                system's default policy.
         """
         query = parse_query(sql) if isinstance(sql, str) else sql
+        policy = self._resolve_guard(guard)
         base_name = query.base_table_name()
+        state = self._state(base_name)
+        self._maybe_auto_refresh(base_name)
         synopsis = self.synopsis(base_name)
 
+        stale = state.inserts_since_refresh
+        if (
+            policy is not None
+            and policy.staleness_limit is not None
+            and stale > policy.staleness_limit
+        ):
+            if policy.on_stale == "refresh":
+                synopsis = self.refresh_synopsis(base_name)
+                stale = 0
+            elif policy.on_stale == "raise":
+                raise StaleSynopsisError(
+                    f"synopsis for {base_name!r} is stale: {stale} inserts "
+                    f"since the last refresh exceed the limit of "
+                    f"{policy.staleness_limit}; call refresh_synopsis() or "
+                    "relax the guard policy"
+                )
+            elif policy.on_stale == "exact":
+                return self._exact_answer(
+                    query,
+                    synopsis,
+                    policy,
+                    reason=f"stale synopsis ({stale} inserts over the "
+                    f"limit of {policy.staleness_limit})",
+                    stale=stale,
+                )
+            # "serve": accept the staleness and continue.
+
+        if policy is not None:
+            issues = self._synopsis_issues(state, synopsis)
+            if issues:
+                detail = "; ".join(issues)
+                if policy.on_corrupt == "raise" or not policy.exact_fallback:
+                    raise SynopsisCorruptError(
+                        f"synopsis for {base_name!r} failed validation: "
+                        f"{detail}"
+                    )
+                return self._exact_answer(
+                    query,
+                    synopsis,
+                    policy,
+                    reason=f"corrupt synopsis: {detail}",
+                    stale=stale,
+                    issues=tuple(issues),
+                )
+
         start = time.perf_counter()
-        plan = self._rewrite.plan(query, synopsis.installed)
-        result = plan.execute(self.catalog)
+        try:
+            plan = self._rewrite.plan(query, synopsis.installed)
+            result = plan.execute(self.catalog)
+        except CatalogError as exc:
+            raise SynopsisCorruptError(
+                f"synopsis relations for {base_name!r} are missing from "
+                f"the catalog: {exc}"
+            ) from exc
         elapsed = time.perf_counter() - start
 
         result = self._attach_error_bounds(query, synopsis, result)
-        return ApproximateAnswer(
+        answer = ApproximateAnswer(
             result=result,
             confidence=self._confidence,
             synopsis=synopsis,
             elapsed_seconds=elapsed,
         )
+        if policy is None:
+            return answer
+        return self._guard_answer(query, synopsis, answer, policy, stale)
 
-    def compare(self, sql: Union[str, Query]) -> "ComparisonReport":
+    # -- the guard ladder ---------------------------------------------------
+
+    def _result_keys(
+        self, table: Table, group_by: Sequence[str]
+    ) -> List[GroupKey]:
+        if not group_by:
+            return [() for __ in range(table.num_rows)]
+        arrays = [table.column(name) for name in group_by]
+        return [
+            make_key(tuple(arr[i] for arr in arrays))
+            for i in range(table.num_rows)
+        ]
+
+    def _missing_groups(
+        self,
+        query: Query,
+        synopsis: Synopsis,
+        group_by: Sequence[str],
+        present: set,
+    ) -> List[GroupKey]:
+        """Answer groups the synopsis knows exist but failed to estimate.
+
+        Only detectable when the query groups by a subset of the
+        stratification columns: then every populated stratum projects onto
+        an expected answer group.  (A WHERE clause may legitimately empty a
+        group -- the repair query settles that against the base table.)
+        HAVING and LIMIT legitimately drop groups from the answer, so no
+        absence is diagnosable under them.
+        """
+        if query.having is not None or query.limit is not None:
+            return []
+        if not group_by or not set(group_by) <= set(synopsis.grouping_columns):
+            return []
+        expected = set()
+        for key, stratum in synopsis.sample.strata.items():
+            if stratum.population > 0:
+                expected.add(
+                    project_key(key, synopsis.grouping_columns, group_by)
+                )
+        return sorted(expected - present)
+
+    def _flag_groups(
+        self,
+        query: Query,
+        result: Table,
+        keys: List[GroupKey],
+        support: Dict[GroupKey, int],
+        policy: GuardPolicy,
+    ) -> Dict[GroupKey, str]:
+        """Per-row threshold checks: support, finiteness, bound quality."""
+        error_columns = {
+            a.alias: f"{a.alias}_error"
+            for a in query.aggregates()
+            if a.func in _SCALED_AGGREGATES
+        }
+        flagged: Dict[GroupKey, str] = {}
+        for i, key in enumerate(keys):
+            reasons = []
+            group_support_count = support.get(key, 0)
+            if group_support_count < policy.min_group_support:
+                reasons.append(
+                    f"sample support {group_support_count} below minimum "
+                    f"{policy.min_group_support}"
+                )
+            for aggregate in query.aggregates():
+                try:
+                    value = float(result.column(aggregate.alias)[i])
+                except (TypeError, ValueError):
+                    continue  # non-numeric aggregate (e.g. MIN over strings)
+                if not math.isfinite(value):
+                    reasons.append(f"{aggregate.alias} is not finite")
+                    continue
+                error_name = error_columns.get(aggregate.alias)
+                if error_name is None:
+                    continue
+                halfwidth = float(result.column(error_name)[i])
+                if math.isnan(halfwidth):
+                    reasons.append(f"{error_name} is NaN")
+                elif policy.max_relative_halfwidth is not None:
+                    relative = relative_halfwidth(halfwidth, value)
+                    if relative > policy.max_relative_halfwidth:
+                        reasons.append(
+                            f"{aggregate.alias} relative half-width "
+                            f"{relative:.3g} exceeds "
+                            f"{policy.max_relative_halfwidth:.3g}"
+                        )
+            if reasons:
+                flagged[key] = "; ".join(reasons)
+        return flagged
+
+    def _guard_answer(
+        self,
+        query: Query,
+        synopsis: Synopsis,
+        answer: ApproximateAnswer,
+        policy: GuardPolicy,
+        stale: int,
+    ) -> ApproximateAnswer:
+        result = answer.result
+        group_by = list(query.group_by)
+        keys = self._result_keys(result, group_by)
+        support = group_support(
+            synopsis.sample, predicate=query.where, group_by=group_by
+        )
+        flagged = self._flag_groups(query, result, keys, support, policy)
+        missing = self._missing_groups(query, synopsis, group_by, set(keys))
+
+        needy = len(flagged) + len(missing)
+        if needy == 0:
+            provenance = {key: PROVENANCE_SYNOPSIS for key in keys}
+            tagged = self._attach_provenance(
+                result, [PROVENANCE_SYNOPSIS] * len(keys), policy
+            )
+            report = GuardReport(
+                policy=policy, provenance=provenance, stale_inserts=stale
+            )
+            return ApproximateAnswer(
+                result=tagged,
+                confidence=answer.confidence,
+                synopsis=synopsis,
+                elapsed_seconds=answer.elapsed_seconds,
+                guard=report,
+            )
+
+        total = len(keys) + len(missing)
+        repair_unsupported = (
+            query.having is not None or query.limit is not None or not group_by
+        )
+        if (
+            not policy.repair
+            or repair_unsupported
+            or needy / max(total, 1) > policy.max_repair_fraction
+        ):
+            reason = (
+                f"{needy} of {total} answer groups failed the guard "
+                f"({'; '.join(sorted(set(flagged.values())) or ['missing groups'])})"
+            )
+            if not policy.exact_fallback:
+                raise GuardViolationError(
+                    f"cannot serve {query.base_table_name()!r}: {reason} and "
+                    "exact fallback is disabled by the guard policy"
+                )
+            return self._exact_answer(
+                query, synopsis, policy, reason=reason, stale=stale,
+                flagged=flagged,
+            )
+        return self._repair_answer(
+            query, synopsis, answer, policy, stale, keys, flagged, missing
+        )
+
+    def _repair_answer(
+        self,
+        query: Query,
+        synopsis: Synopsis,
+        answer: ApproximateAnswer,
+        policy: GuardPolicy,
+        stale: int,
+        keys: List[GroupKey],
+        flagged: Dict[GroupKey, str],
+        missing: List[GroupKey],
+    ) -> ApproximateAnswer:
+        """Patch only the failing groups from the base table.
+
+        This is the paper's small-group problem handled at serve time: the
+        synopsis answer is kept for well-supported groups, while flagged and
+        missing groups are recomputed exactly over just their base rows.
+        """
+        result = answer.result
+        group_by = list(query.group_by)
+        repair_keys = sorted(set(flagged) | set(missing))
+        repair_query = self._restrict_to_groups(query, group_by, repair_keys)
+
+        start = time.perf_counter()
+        repair = self.exact(repair_query)
+        repair_elapsed = time.perf_counter() - start
+
+        repair_rows: Dict[GroupKey, Dict[str, object]] = {}
+        for i, key in enumerate(self._result_keys(repair, group_by)):
+            repair_rows[key] = {
+                name: repair.column(name)[i] for name in repair.schema.names
+            }
+
+        error_names = {
+            f"{a.alias}_error"
+            for a in query.aggregates()
+            if a.func in _SCALED_AGGREGATES
+        }
+        names = result.schema.names
+        rows: List[Tuple] = []
+        tags: List[str] = []
+        provenance: Dict[GroupKey, str] = {}
+        dropped: List[GroupKey] = []
+        for i, key in enumerate(keys):
+            if key in flagged:
+                fixed = repair_rows.get(key)
+                if fixed is None:
+                    # The base table has no qualifying rows for this group:
+                    # the flagged estimate was a phantom; drop it.
+                    dropped.append(key)
+                    continue
+                rows.append(
+                    tuple(
+                        0.0 if name in error_names else fixed[name]
+                        for name in names
+                    )
+                )
+                tags.append(PROVENANCE_REPAIRED)
+                provenance[key] = PROVENANCE_REPAIRED
+            else:
+                rows.append(tuple(result.column(name)[i] for name in names))
+                tags.append(PROVENANCE_SYNOPSIS)
+                provenance[key] = PROVENANCE_SYNOPSIS
+        for key in missing:
+            fixed = repair_rows.get(key)
+            if fixed is None:
+                continue  # group has no qualifying base rows after all
+            rows.append(
+                tuple(
+                    0.0 if name in error_names else fixed[name]
+                    for name in names
+                )
+            )
+            tags.append(PROVENANCE_REPAIRED)
+            provenance[key] = PROVENANCE_REPAIRED
+
+        merged = Table.from_rows(result.schema, rows)
+        merged = self._attach_provenance(merged, tags, policy)
+        if query.order_by:
+            merged = merged.sort_by(list(query.order_by))
+        report = GuardReport(
+            policy=policy,
+            provenance=provenance,
+            flagged=dict(flagged),
+            dropped=tuple(dropped),
+            stale_inserts=stale,
+        )
+        return ApproximateAnswer(
+            result=merged,
+            confidence=answer.confidence,
+            synopsis=synopsis,
+            elapsed_seconds=answer.elapsed_seconds + repair_elapsed,
+            guard=report,
+        )
+
+    def _restrict_to_groups(
+        self, query: Query, group_by: Sequence[str], keys: Sequence[GroupKey]
+    ) -> Query:
+        """The original query, restricted to the given answer groups."""
+        if len(group_by) == 1:
+            key_predicate = InList.of(
+                Col(group_by[0]), [key[0] for key in keys]
+            )
+        else:
+            terms = []
+            for key in keys:
+                equalities = [
+                    Comparison.of(Col(column), "=", value)
+                    for column, value in zip(group_by, key)
+                ]
+                terms.append(reduce(And, equalities))
+            key_predicate = reduce(Or, terms)
+        where = (
+            key_predicate
+            if query.where is None
+            else And(query.where, key_predicate)
+        )
+        return dataclass_replace(query, where=where, order_by=(), limit=None)
+
+    def _attach_provenance(
+        self, table: Table, tags: Sequence[str], policy: GuardPolicy
+    ) -> Table:
+        name = policy.provenance_column
+        if name in table.schema:
+            return table  # user query already owns the name; don't clobber
+        return table.with_column(Column(name, ColumnType.STR), list(tags))
+
+    def _exact_answer(
+        self,
+        query: Query,
+        synopsis: Synopsis,
+        policy: GuardPolicy,
+        reason: str,
+        stale: int,
+        issues: Tuple[str, ...] = (),
+        flagged: Optional[Dict[GroupKey, str]] = None,
+    ) -> ApproximateAnswer:
+        """Full exact fallback, shaped like an approximate answer.
+
+        Error columns are attached as zeros (an exact answer has no
+        sampling error) and every group is tagged ``exact``.
+        """
+        start = time.perf_counter()
+        result = self.exact(query)
+        elapsed = time.perf_counter() - start
+        for aggregate in query.aggregates():
+            if aggregate.func not in _SCALED_AGGREGATES:
+                continue
+            result = result.with_column(
+                Column(f"{aggregate.alias}_error", ColumnType.FLOAT),
+                np.zeros(result.num_rows),
+            )
+        keys = self._result_keys(result, list(query.group_by))
+        result = self._attach_provenance(
+            result, [PROVENANCE_EXACT] * len(keys), policy
+        )
+        report = GuardReport(
+            policy=policy,
+            provenance={key: PROVENANCE_EXACT for key in keys},
+            flagged=dict(flagged or {}),
+            issues=issues,
+            stale_inserts=stale,
+            fallback_reason=reason,
+        )
+        return ApproximateAnswer(
+            result=result,
+            confidence=self._confidence,
+            synopsis=synopsis,
+            elapsed_seconds=elapsed,
+            guard=report,
+        )
+
+    # -- calibration & ground truth -----------------------------------------
+
+    def compare(
+        self,
+        sql: Union[str, Query],
+        guard: Union[GuardPolicy, bool, None] = None,
+    ) -> "ComparisonReport":
         """Answer approximately *and* exactly, and score the difference.
 
         Intended for calibration sessions: the administrator samples a few
         representative queries to decide whether the space budget is
-        adequate (the paper's Section 7 protocol, as an API).
+        adequate (the paper's Section 7 protocol, as an API).  Pending
+        inserts are flushed first so the approximate and exact answers are
+        scored against the same relation; any synopsis staleness at answer
+        time is recorded honestly in the report instead of silently skewing
+        the error metrics.
         """
         query = parse_query(sql) if isinstance(sql, str) else sql
-        answer = self.answer(query)
+        base_name = query.base_table_name()
+        state = self._state(base_name)
+        self._flush_pending(base_name)
+        answer = self.answer(query, guard=guard)
+        # Read staleness after answering: a guard-triggered refresh clears it.
+        stale_inserts = state.inserts_since_refresh
         start = time.perf_counter()
         exact = self.exact(query)
         exact_elapsed = time.perf_counter() - start
@@ -279,6 +890,7 @@ class AquaSystem:
             exact=exact,
             exact_elapsed_seconds=exact_elapsed,
             errors=per_aggregate,
+            stale_inserts=stale_inserts,
         )
 
     def explain(self, sql: Union[str, Query]) -> str:
@@ -292,7 +904,10 @@ class AquaSystem:
         """Execute the query against the base relation (ground truth)."""
         query = parse_query(sql) if isinstance(sql, str) else sql
         self._flush_pending(query.base_table_name())
-        return execute(query, self.catalog)
+        try:
+            return execute(query, self.catalog)
+        except CatalogError as exc:
+            raise TableNotRegisteredError(str(exc)) from exc
 
     def _attach_error_bounds(
         self, query: Query, synopsis: Synopsis, result: Table
@@ -300,7 +915,7 @@ class AquaSystem:
         group_by = list(query.group_by)
         key_arrays = [result.column(name) for name in group_by]
         for aggregate in query.aggregates():
-            if aggregate.func not in ("sum", "count", "avg"):
+            if aggregate.func not in _SCALED_AGGREGATES:
                 continue
             use_hoeffding = (
                 self._bound_method == "hoeffding"
@@ -420,8 +1035,11 @@ class AquaSystem:
         """Insert one tuple into a table (buffered) and its maintainer."""
         state = self._state(name)
         state.pending_rows.append(tuple(row))
+        state.inserts_since_refresh += 1
         if state.maintainer is not None:
             state.maintainer.insert(row)
+            state.maintainer.inserts_seen += 1
+        self._maybe_auto_refresh(name)
 
     def insert_many(self, name: str, rows: Sequence[Sequence]) -> None:
         for row in rows:

@@ -1,0 +1,45 @@
+"""Typed error taxonomy for the Aqua middleware.
+
+Every failure mode the middleware can detect maps to a distinct
+:class:`AquaError` subclass, so callers (and the CLI shell) can react to
+*what* went wrong instead of pattern-matching message strings or -- worse --
+catching ``KeyError`` and masking real bugs.  The taxonomy lives at the
+package root so low-level layers (e.g. :mod:`repro.rewrite`) can raise typed
+errors without importing the :mod:`repro.aqua` package and creating an
+import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AquaError",
+    "TableNotRegisteredError",
+    "SynopsisMissingError",
+    "StaleSynopsisError",
+    "SynopsisCorruptError",
+    "GuardViolationError",
+]
+
+
+class AquaError(RuntimeError):
+    """Base class for all Aqua middleware failures."""
+
+
+class TableNotRegisteredError(AquaError):
+    """A query or admin call referenced a table Aqua does not know about."""
+
+
+class SynopsisMissingError(AquaError):
+    """The table is registered but no synopsis has been built for it."""
+
+
+class StaleSynopsisError(AquaError):
+    """The synopsis has drifted past the guard policy's staleness limit."""
+
+
+class SynopsisCorruptError(AquaError):
+    """Synopsis state failed validation (bad scale factors, indices, ...)."""
+
+
+class GuardViolationError(AquaError):
+    """An answer failed the guard policy and every fallback is disabled."""

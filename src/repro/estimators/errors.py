@@ -28,6 +28,7 @@ __all__ = [
     "hoeffding_halfwidth_stratified_sum",
     "chebyshev_halfwidth",
     "chebyshev_from_variance",
+    "relative_halfwidth",
 ]
 
 DEFAULT_CONFIDENCE = 0.90  # Aqua's example confidence level (Figure 4)
@@ -165,6 +166,24 @@ def chebyshev_halfwidth(
         raise ValueError(f"std error must be >= 0, got {std_error}")
     delta = 1.0 - confidence
     return std_error / math.sqrt(delta)
+
+
+def relative_halfwidth(halfwidth: float, estimate: float) -> float:
+    """Half-width as a fraction of the estimate's magnitude.
+
+    Used by the serve-time guard to decide whether a bound is tight enough
+    to be useful.  ``NaN`` half-widths pass through as ``NaN`` (the guard
+    treats them separately); a zero estimate with a nonzero half-width
+    yields ``inf`` (the bound says nothing relative to the value), while a
+    zero half-width is ``0.0`` regardless of the estimate.
+    """
+    if math.isnan(halfwidth):
+        return float("nan")
+    if halfwidth == 0.0:
+        return 0.0
+    if estimate == 0.0:
+        return float("inf")
+    return abs(halfwidth) / abs(estimate)
 
 
 def chebyshev_from_variance(

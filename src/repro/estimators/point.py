@@ -32,7 +32,7 @@ from ..engine.table import Table
 from ..sampling.groups import GroupKey, make_key
 from ..sampling.stratified import StratifiedSample
 
-__all__ = ["GroupEstimate", "estimate", "estimate_single"]
+__all__ = ["GroupEstimate", "estimate", "estimate_single", "group_support"]
 
 
 @dataclass(frozen=True)
@@ -178,6 +178,52 @@ def estimate_single(
     """Estimate a no-group-by aggregate; ``None`` if nothing qualifies."""
     result = estimate(sample, func, column, predicate=predicate, group_by=())
     return result.get(())
+
+
+def group_support(
+    sample: StratifiedSample,
+    predicate: Optional[Predicate] = None,
+    group_by: Sequence[str] = (),
+) -> Dict[GroupKey, int]:
+    """Qualifying sample tuples per answer group.
+
+    The serve-time guard uses this to decide whether an answer group has
+    enough sample support for its estimate to be trusted (the paper's
+    small-group problem, observed at answer time).  Groups with zero
+    qualifying tuples are absent, mirroring :func:`estimate`.
+    """
+    strata = [s for s in sample.strata.values() if s.sample_size > 0]
+    if not strata:
+        return {}
+
+    base = sample.base_table
+    indices = np.concatenate([s.row_indices for s in strata])
+    rows = base.take(indices)
+    qualifies = (
+        predicate.evaluate(rows)
+        if predicate is not None
+        else np.ones(rows.num_rows, dtype=bool)
+    )
+
+    group_cols = list(group_by)
+    if group_cols:
+        from ..engine.groupby import group_ids_for
+
+        answer_ids, raw_keys, num_answers = group_ids_for(rows, group_cols)
+        answer_keys = [make_key(k) for k in raw_keys]
+    else:
+        answer_ids = np.zeros(rows.num_rows, dtype=np.int64)
+        answer_keys = [()]
+        num_answers = 1
+
+    counts = np.bincount(
+        answer_ids[qualifies], minlength=num_answers
+    )
+    return {
+        answer_keys[aid]: int(counts[aid])
+        for aid in range(num_answers)
+        if counts[aid] > 0
+    }
 
 
 def _expansion(

@@ -51,6 +51,11 @@ class MaintainedSample:
     def total_sample_size(self) -> int:
         return sum(len(rows) for rows in self.rows_by_group.values())
 
+    @property
+    def total_population(self) -> int:
+        """Total rows observed on the stream across all groups."""
+        return sum(int(p) for p in self.populations.values())
+
     def sample_sizes(self) -> Dict[GroupKey, int]:
         return {key: len(rows) for key, rows in self.rows_by_group.items()}
 
@@ -85,6 +90,9 @@ class SampleMaintainer(ABC):
         self.schema = schema
         self.grouping_columns = tuple(grouping_columns)
         self._key_of = KeyExtractor(schema, grouping_columns)
+        #: Rows consumed so far; :class:`~repro.aqua.guard.SynopsisHealth`
+        #: reports it to show how far the maintainer tracks the stream.
+        self.inserts_seen = 0
 
     @abstractmethod
     def insert(self, row: Sequence) -> None:
@@ -93,6 +101,7 @@ class SampleMaintainer(ABC):
     def insert_many(self, rows: Iterable[Sequence]) -> None:
         for row in rows:
             self.insert(row)
+            self.inserts_seen += 1
 
     def insert_table(self, table: Table) -> None:
         """Stream an entire table through the maintainer."""

@@ -18,6 +18,7 @@ from ..engine.aggregates import Aggregate
 from ..engine.catalog import Catalog
 from ..engine.expressions import Col
 from ..engine.query import Projection, Query
+from ..errors import AquaError
 from ..sampling.stratified import SF_COLUMN, StratifiedSample
 
 __all__ = [
@@ -28,8 +29,13 @@ __all__ = [
 ]
 
 
-class RewriteError(ValueError):
-    """Raised when a user query cannot be rewritten."""
+class RewriteError(AquaError, ValueError):
+    """Raised when a user query cannot be rewritten.
+
+    Part of the :class:`~repro.errors.AquaError` taxonomy so middleware
+    callers can catch one base class; still a :class:`ValueError` for
+    backwards compatibility with pre-taxonomy callers.
+    """
 
 
 @dataclass(frozen=True)

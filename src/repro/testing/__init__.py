@@ -1,0 +1,5 @@
+"""Deterministic fault injection for exercising the guarded answer path."""
+
+from .faults import FAULT_KINDS, FaultInjector, InjectedFault, inject
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "InjectedFault", "inject"]

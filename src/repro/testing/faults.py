@@ -1,0 +1,232 @@
+"""Deterministic fault injection for Aqua synopses.
+
+The guarded answer path (:mod:`repro.aqua.guard`) promises that a damaged
+synopsis never surfaces as ``NaN`` aggregates or a bare crash -- every fault
+either degrades to a valid guarded answer (with honest per-group provenance)
+or raises a typed :class:`~repro.errors.AquaError`.  This module manufactures
+the damage, deterministically, so the promise can be tested:
+
+* **drop_stratum** -- a stratum vanishes wholesale (as if its sample
+  relation partition were lost); detected by the base-coverage check.
+* **corrupt_scale_factor** -- a stratum's population is zeroed while its
+  sampled rows remain, driving the scale factor to zero (the classic
+  "stale statistics" corruption); caught by structural validation.
+* **truncate_sample** -- a stratum is cut to a handful of rows but keeps
+  its population, starving one group of support; caught by the per-group
+  support threshold and repaired from the base table.
+* **empty_allocation** -- a stratum keeps its population but loses every
+  sample row, making its group invisible to the synopsis; caught by
+  missing-group detection and repaired.
+* **corrupt_row_indices** -- sample row indices point outside the base
+  table (torn metadata); caught by structural validation.
+* **stale** -- inserts accumulate without a refresh; caught by the
+  staleness limit / drift tracking.
+
+Faults are injected through :meth:`AquaSystem._install` where the mutated
+sample can still be materialized, so the synopsis relations in the catalog
+really reflect the damage; unmaterializable faults (out-of-bounds indices)
+are patched directly onto the installed :class:`~repro.aqua.synopsis.Synopsis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..aqua.system import AquaSystem
+from ..errors import AquaError
+from ..sampling.groups import GroupKey
+from ..sampling.stratified import StratifiedSample, Stratum
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "InjectedFault", "inject"]
+
+#: Every fault kind :func:`inject` understands, for parametrized tests.
+FAULT_KINDS = (
+    "drop_stratum",
+    "corrupt_scale_factor",
+    "truncate_sample",
+    "empty_allocation",
+    "corrupt_row_indices",
+    "stale",
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A record of one injected fault, for test assertions and logging."""
+
+    kind: str
+    table: str
+    key: Optional[GroupKey]
+    detail: str
+
+
+class FaultInjector:
+    """Deterministically damage an :class:`AquaSystem`'s synopses."""
+
+    def __init__(self, system: AquaSystem):
+        self.system = system
+
+    # -- fault constructors --------------------------------------------------
+
+    def drop_stratum(
+        self, name: str, key: Optional[GroupKey] = None
+    ) -> InjectedFault:
+        """Remove one stratum from the synopsis entirely."""
+        sample = self.system.synopsis(name).sample
+        key = self._target_key(sample, key)
+        strata = sample.strata
+        del strata[key]
+        self._reinstall(name, sample, strata)
+        return InjectedFault(
+            "drop_stratum", name, key, f"stratum {key} removed"
+        )
+
+    def corrupt_scale_factor(
+        self, name: str, key: Optional[GroupKey] = None, population: int = 0
+    ) -> InjectedFault:
+        """Zero (or otherwise corrupt) one stratum's population.
+
+        The scale factor is population / sample size, so a zeroed population
+        with surviving sample rows yields a zero scale factor -- every
+        estimate touching the stratum silently shrinks unless caught.
+        """
+        sample = self.system.synopsis(name).sample
+        key = self._target_key(sample, key)
+        strata = sample.strata
+        old = strata[key]
+        strata[key] = Stratum(key, population, old.row_indices)
+        self._reinstall(name, sample, strata)
+        return InjectedFault(
+            "corrupt_scale_factor",
+            name,
+            key,
+            f"population {old.population} -> {population} with "
+            f"{old.sample_size} sampled rows",
+        )
+
+    def truncate_sample(
+        self, name: str, key: Optional[GroupKey] = None, keep: int = 1
+    ) -> InjectedFault:
+        """Cut one stratum's sample to ``keep`` rows, keeping its population."""
+        sample = self.system.synopsis(name).sample
+        key = self._target_key(sample, key)
+        strata = sample.strata
+        old = strata[key]
+        strata[key] = Stratum(key, old.population, old.row_indices[:keep])
+        self._reinstall(name, sample, strata)
+        return InjectedFault(
+            "truncate_sample",
+            name,
+            key,
+            f"sample cut from {old.sample_size} to "
+            f"{min(keep, old.sample_size)} rows",
+        )
+
+    def empty_allocation(
+        self, name: str, key: Optional[GroupKey] = None
+    ) -> InjectedFault:
+        """Strip every sample row from one stratum, keeping its population."""
+        sample = self.system.synopsis(name).sample
+        key = self._target_key(sample, key)
+        strata = sample.strata
+        old = strata[key]
+        strata[key] = Stratum(
+            key, old.population, np.empty(0, dtype=np.int64)
+        )
+        self._reinstall(name, sample, strata)
+        return InjectedFault(
+            "empty_allocation",
+            name,
+            key,
+            f"all {old.sample_size} sampled rows removed "
+            f"(population {old.population} kept)",
+        )
+
+    def corrupt_row_indices(
+        self, name: str, key: Optional[GroupKey] = None
+    ) -> InjectedFault:
+        """Point one stratum's sample rows outside the base table."""
+        sample = self.system.synopsis(name).sample
+        key = self._target_key(sample, key)
+        strata = sample.strata
+        old = strata[key]
+        num_base = sample.base_table.num_rows
+        strata[key] = Stratum(
+            key, old.population, old.row_indices + num_base
+        )
+        self._reinstall(name, sample, strata)
+        return InjectedFault(
+            "corrupt_row_indices",
+            name,
+            key,
+            f"row indices shifted past the {num_base}-row base table",
+        )
+
+    def make_stale(self, name: str, rows: int = 25) -> InjectedFault:
+        """Insert ``rows`` duplicates of the first base row, no refresh."""
+        state = self.system._state(name)
+        first = next(iter(state.table.iter_rows()))
+        for __ in range(rows):
+            self.system.insert(name, first)
+        return InjectedFault(
+            "stale", name, None, f"{rows} inserts buffered without refresh"
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _target_key(
+        self, sample: StratifiedSample, key: Optional[GroupKey]
+    ) -> GroupKey:
+        """Resolve the target stratum: explicit, else first sampled in order."""
+        if key is not None:
+            if key not in sample.strata:
+                raise AquaError(f"no stratum {key!r} to inject a fault into")
+            return key
+        for candidate, stratum in sorted(sample.strata.items()):
+            if stratum.sample_size > 0:
+                return candidate
+        raise AquaError("sample has no nonempty stratum to inject a fault into")
+
+    def _reinstall(
+        self,
+        name: str,
+        sample: StratifiedSample,
+        strata: Dict[GroupKey, Stratum],
+    ) -> None:
+        """Install the mutated sample, materializing it when possible.
+
+        Faults that cannot be materialized (e.g. out-of-bounds row indices
+        make ``base.take`` fail) are instead patched onto the installed
+        synopsis object -- the damage then lives in the synopsis metadata,
+        which is exactly where validation must catch it.
+        """
+        mutated = StratifiedSample(
+            sample.base_table, sample.grouping_columns, strata
+        )
+        try:
+            self.system._install(name, mutated)
+        except Exception:
+            self.system.synopsis(name).sample = mutated
+
+
+def inject(system: AquaSystem, kind: str, table: str) -> InjectedFault:
+    """Inject one fault by kind name (see :data:`FAULT_KINDS`)."""
+    injector = FaultInjector(system)
+    if kind == "drop_stratum":
+        return injector.drop_stratum(table)
+    if kind == "corrupt_scale_factor":
+        return injector.corrupt_scale_factor(table)
+    if kind == "truncate_sample":
+        return injector.truncate_sample(table)
+    if kind == "empty_allocation":
+        return injector.empty_allocation(table)
+    if kind == "corrupt_row_indices":
+        return injector.corrupt_row_indices(table)
+    if kind == "stale":
+        return injector.make_stale(table)
+    raise AquaError(
+        f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+    )

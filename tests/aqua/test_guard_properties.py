@@ -1,0 +1,62 @@
+"""Property test: guarded answers never surface NaN, whatever the damage."""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import AquaSystem, GuardPolicy  # noqa: E402
+from repro.engine import Column, ColumnType, Schema, Table  # noqa: E402
+from repro.errors import AquaError  # noqa: E402
+from repro.testing import FAULT_KINDS, inject  # noqa: E402
+
+SQL = "select g, sum(v) s, count(*) c, avg(v) m from rel group by g order by g"
+
+
+def build_system(seed, group_sizes, budget):
+    rng = np.random.default_rng(seed)
+    g = np.concatenate(
+        [np.full(size, f"g{i}") for i, size in enumerate(group_sizes)]
+    )
+    v = rng.normal(10.0, 3.0, len(g))
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    table = Table.from_columns(schema, g=g, v=v)
+    system = AquaSystem(space_budget=budget, rng=np.random.default_rng(seed))
+    system.register_table("rel", table)
+    return system
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    group_sizes=st.lists(
+        st.integers(min_value=1, max_value=200), min_size=1, max_size=5
+    ),
+    budget=st.integers(min_value=1, max_value=80),
+    kind=st.sampled_from((None,) + FAULT_KINDS),
+)
+def test_guarded_answer_is_never_nan(seed, group_sizes, budget, kind):
+    system = build_system(seed, group_sizes, budget)
+    if kind is not None:
+        inject(system, kind, "rel")
+    policy = GuardPolicy(staleness_limit=10)
+    try:
+        answer = system.answer(SQL, guard=policy)
+    except AquaError:
+        return  # a typed error is within the contract
+    assert answer.guard is not None
+    for alias in ("s", "c", "m"):
+        values = np.asarray(answer.result.column(alias), dtype=float)
+        assert not np.isnan(values).any(), f"NaN {alias} for fault {kind}"
+        errors = np.asarray(
+            answer.result.column(f"{alias}_error"), dtype=float
+        )
+        assert not np.isnan(errors).any(), f"NaN {alias}_error for {kind}"
+    tags = set(answer.result.column(policy.provenance_column))
+    assert tags <= {"synopsis", "repaired", "exact"}

@@ -1,0 +1,137 @@
+"""Refresh/insert edge cases: maintained vs. rebuild paths, zero-budget
+strata, and groups born after the synopsis was built."""
+
+import numpy as np
+import pytest
+
+from repro import AquaSystem, House
+from repro.engine import Column, ColumnType, Schema, Table
+
+
+def two_group_table(n_big=900, n_small=100, seed=3):
+    rng = np.random.default_rng(seed)
+    g = np.array(["big"] * n_big + ["small"] * n_small)
+    v = rng.normal(50.0, 5.0, n_big + n_small)
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    return Table.from_columns(schema, g=g, v=v)
+
+
+SQL = "select g, sum(v) s from rel group by g order by g"
+
+
+@pytest.fixture
+def system():
+    system = AquaSystem(space_budget=100, rng=np.random.default_rng(2))
+    system.register_table("rel", two_group_table())
+    return system
+
+
+class TestRefreshWithoutMaintainer:
+    def test_refresh_flushes_and_rebuilds(self, system):
+        for __ in range(50):
+            system.insert("rel", ("small", 1000.0))
+        assert system._state("rel").inserts_since_refresh == 50
+        synopsis = system.refresh_synopsis("rel")
+        assert system._state("rel").inserts_since_refresh == 0
+        assert not system._state("rel").pending_rows
+        assert synopsis.sample.total_population == 1050
+
+    def test_new_group_visible_after_refresh(self, system):
+        for __ in range(40):
+            system.insert("rel", ("brand_new", 7.0))
+        system.refresh_synopsis("rel")
+        keys = set(system.synopsis("rel").sample.strata)
+        assert ("brand_new",) in keys
+        answer = system.answer(SQL)
+        assert "brand_new" in set(answer.result.column("g"))
+
+    def test_answer_before_refresh_misses_new_group_guarded(self, system):
+        """A group living only in pending rows is invisible to the synopsis
+        -- the guard cannot conjure it (missing-group detection is synopsis-
+        side), but the answer it serves must still be NaN-free."""
+        for __ in range(5):
+            system.insert("rel", ("brand_new", 7.0))
+        answer = system.answer(SQL)
+        errors = np.asarray(answer.result.column("s_error"), dtype=float)
+        assert not np.isnan(errors).any()
+
+
+class TestRefreshWithMaintainer:
+    def test_refresh_uses_maintainer_stream(self, system):
+        system.enable_maintenance("rel")
+        for __ in range(50):
+            system.insert("rel", ("small", 1000.0))
+        synopsis = system.refresh_synopsis("rel")
+        assert system._state("rel").inserts_since_refresh == 0
+        assert synopsis.sample.total_population == 1050
+        assert synopsis.sample_size <= system.space_budget
+
+    def test_maintainer_insert_counter(self, system):
+        system.enable_maintenance("rel")
+        assert system._state("rel").maintainer.inserts_seen == 1000
+        for __ in range(7):
+            system.insert("rel", ("small", 1.0))
+        assert system._state("rel").maintainer.inserts_seen == 1007
+        assert system.health("rel").maintainer_inserts == 1007
+
+    def test_group_only_in_inserted_rows(self, system):
+        system.enable_maintenance("rel")
+        for __ in range(30):
+            system.insert("rel", ("late", 3.0))
+        system.refresh_synopsis("rel")
+        strata = system.synopsis("rel").sample.strata
+        assert ("late",) in strata
+        assert strata[("late",)].population == 30
+        answer = system.answer(SQL)
+        assert "late" in set(answer.result.column("g"))
+
+    def test_exact_and_guarded_agree_after_refresh(self, system):
+        system.enable_maintenance("rel")
+        for __ in range(50):
+            system.insert("rel", ("small", 100.0))
+        system.refresh_synopsis("rel")
+        answer = system.answer(SQL)
+        exact = {r["g"]: r["s"] for r in system.exact(SQL).to_dicts()}
+        for row in answer.result.to_dicts():
+            assert row["s"] == pytest.approx(exact[row["g"]], rel=0.5)
+
+
+class TestZeroBudgetStrata:
+    def test_house_starves_small_group_health_degraded(self):
+        """House allocation with a tight budget can give a group zero
+        tuples; health reports the coverage gap and the guard repairs the
+        group instead of dropping it."""
+        system = AquaSystem(
+            space_budget=8,
+            allocation_strategy=House(),
+            rng=np.random.default_rng(4),
+        )
+        system.register_table("rel", two_group_table(n_big=990, n_small=10))
+        strata = system.synopsis("rel").sample.strata
+        if strata[("small",)].sample_size > 0:
+            pytest.skip("allocation gave the small group tuples after all")
+        assert system.health("rel").status == "degraded"
+        answer = system.answer(SQL)
+        assert "small" in set(answer.result.column("g"))
+        errors = np.asarray(answer.result.column("s_error"), dtype=float)
+        assert not np.isnan(errors).any()
+
+    def test_compare_reports_staleness_honestly(self, system):
+        for __ in range(25):
+            system.insert("rel", ("small", 9.0))
+        report = system.compare(SQL)
+        # compare() flushes pending rows so both sides see the same data;
+        # the synopsis itself is still 25 inserts behind, and says so.
+        assert report.stale_inserts == 25
+        assert "stale" in report.describe()
+        assert not system._state("rel").pending_rows
+
+    def test_compare_describe_handles_inf_speedup(self, system):
+        report = system.compare(SQL)
+        report.approximate.elapsed_seconds = 0.0
+        assert "n/a" in report.describe()
