@@ -11,6 +11,7 @@ Scale: benches run at ``REPRO_SCALE`` x 1M tuples (default 0.2).  Set
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -28,5 +29,23 @@ def save_result():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a machine-readable result to benchmarks/results/<name>.json.
+
+    The consolidated JSON results (e.g. ``BENCH_pipeline.json``) are what
+    downstream tooling and trend tracking consume; the ``.txt`` tables
+    remain the human-readable view.
+    """
+
+    def _save(name: str, payload) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[saved to {path}]")
 
     return _save

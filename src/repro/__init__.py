@@ -82,6 +82,13 @@ from .maintenance import (
     construct_congress_topup,
 )
 from .metrics import GroupByError, groupby_error, mean_errors
+from .obs import (
+    MetricsRegistry,
+    QueryTrace,
+    Span,
+    Telemetry,
+    Tracer,
+)
 from .rewrite import (
     Integrated,
     KeyNormalized,
@@ -132,16 +139,19 @@ __all__ = [
     "Integrated",
     "KeyNormalized",
     "LineitemConfig",
+    "MetricsRegistry",
     "MultiCriteriaCongress",
     "Measure",
     "NestedIntegrated",
     "Normalized",
     "QueryLog",
+    "QueryTrace",
     "RangeBiasCriterion",
     "RefreshPolicy",
     "Schema",
     "Senate",
     "SenateMaintainer",
+    "Span",
     "StaleSynopsisError",
     "StarSchema",
     "StratifiedSample",
@@ -151,6 +161,8 @@ __all__ = [
     "SynopsisMissingError",
     "Table",
     "TableNotRegisteredError",
+    "Telemetry",
+    "Tracer",
     "VarianceCriterion",
     "WorkloadCongress",
     "allocate_from_table",

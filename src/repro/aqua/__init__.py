@@ -15,8 +15,10 @@ from .guard import (
     GuardReport,
     RefreshPolicy,
     SynopsisHealth,
+    observe_guard,
     validate_sample,
 )
+from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from .olap import CubeExplorer, Measure
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
@@ -29,8 +31,13 @@ __all__ = [
     "ComparisonReport",
     "GuardPolicy",
     "GuardReport",
+    "MetricsRegistry",
+    "QueryTrace",
     "RefreshPolicy",
     "SynopsisHealth",
+    "Telemetry",
+    "Tracer",
+    "observe_guard",
     "PROVENANCE_COLUMN",
     "PROVENANCE_SYNOPSIS",
     "PROVENANCE_REPAIRED",

@@ -41,6 +41,8 @@ _HELP = """commands:
   .exact <SQL>     exact answer from the base table
   .explain <SQL>   show the rewritten query (the paper's Figure 2 view)
   .compare <SQL>   run approximately AND exactly; report error + speedup
+  .trace <SQL>     answer AND show the per-stage span tree (timings)
+  .stats [json|prom]  metrics so far (human, JSON, or Prometheus text)
   .synopsis        describe the installed synopsis
   .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
@@ -80,6 +82,39 @@ class AquaShell:
         if isinstance(value, float):
             return f"{value:.6g}" if math.isfinite(value) else "n/a"
         return str(value)
+
+    def _print_stats(self, mode: str) -> None:
+        metrics = self._aqua.metrics
+        if mode == "json":
+            self._print(metrics.to_json(indent=2))
+            return
+        if mode in ("prom", "prometheus"):
+            self._print(metrics.to_prometheus().rstrip("\n"))
+            return
+        if mode:
+            self._print("usage: .stats [json|prom]")
+            return
+        snapshot = metrics.snapshot()
+        if not snapshot:
+            if not metrics.enabled:
+                self._print("metrics registry is disabled")
+            else:
+                self._print("no metrics recorded yet")
+            return
+        for name, data in snapshot.items():
+            for sample in data["values"]:
+                labels = ",".join(
+                    f"{key}={value}"
+                    for key, value in sample["labels"].items()
+                )
+                rendered = f"{name}{{{labels}}}" if labels else name
+                if data["type"] == "histogram":
+                    self._print(
+                        f"{rendered}  count={sample['count']} "
+                        f"sum={sample['sum']:.6g}"
+                    )
+                else:
+                    self._print(f"{rendered}  {sample['value']:.6g}")
 
     def execute_line(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
@@ -126,6 +161,16 @@ class AquaShell:
                     self._print("usage: .compare <SQL>")
                 else:
                     self._print(self._aqua.compare(sql).describe())
+            elif line.startswith(".trace"):
+                sql = line[len(".trace"):].strip()
+                if not sql:
+                    self._print("usage: .trace <SQL>")
+                else:
+                    answer = self._aqua.trace_answer(sql)
+                    self._print_table(answer.result)
+                    self._print(answer.trace.render())
+            elif line.startswith(".stats"):
+                self._print_stats(line[len(".stats"):].strip())
             elif line.startswith("."):
                 self._print(f"unknown command {line.split()[0]!r}; try .help")
             else:
@@ -160,9 +205,15 @@ class AquaShell:
 
 
 def build_system(args: argparse.Namespace) -> AquaSystem:
-    """Construct the AquaSystem described by the CLI arguments."""
+    """Construct the AquaSystem described by the CLI arguments.
+
+    The shell runs with telemetry enabled (``.trace`` and ``.stats`` would
+    otherwise have nothing to show) unless ``--no-telemetry`` is given.
+    """
     aqua = AquaSystem(
-        space_budget=args.budget, allocation_strategy=Congress()
+        space_budget=args.budget,
+        allocation_strategy=Congress(),
+        telemetry=not getattr(args, "no_telemetry", False),
     )
     if args.csv:
         if not args.table or not args.grouping:
@@ -189,6 +240,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--budget", type=int, default=5000, help="sample tuples to keep"
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable tracing/metrics (.trace and .stats go dark)",
     )
     parser.add_argument(
         "--execute", "-e", action="append", default=None,

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import MetricsRegistry
 from ..sampling.groups import GroupKey
 from ..sampling.stratified import StratifiedSample
 
@@ -46,6 +47,7 @@ __all__ = [
     "RefreshPolicy",
     "GuardReport",
     "SynopsisHealth",
+    "observe_guard",
     "validate_sample",
 ]
 
@@ -303,6 +305,50 @@ class SynopsisHealth:
         if self.issues:
             text += "\n  issues: " + "; ".join(self.issues)
         return text
+
+
+def observe_guard(
+    metrics: MetricsRegistry, table: str, report: GuardReport
+) -> None:
+    """Record one :class:`GuardReport` into a metrics registry.
+
+    Emits per-provenance answer-group counters (``synopsis`` / ``repaired``
+    / ``exact``), flagged/dropped group counters, whole-answer fallback
+    counts, and the staleness-drift gauge observed at answer time.  A
+    disabled registry makes this a no-op.
+    """
+    if not metrics.enabled:
+        return
+    groups = metrics.counter(
+        "aqua_guard_groups_total",
+        "Answer groups served, by table and provenance tag.",
+        ("table", "provenance"),
+    )
+    for tag, count in report.counts.items():
+        groups.inc(count, table=table, provenance=tag)
+    if report.flagged:
+        metrics.counter(
+            "aqua_guard_flagged_groups_total",
+            "Answer groups that failed a guard threshold.",
+            ("table",),
+        ).inc(len(report.flagged), table=table)
+    if report.dropped:
+        metrics.counter(
+            "aqua_guard_dropped_groups_total",
+            "Flagged groups dropped as phantoms (no qualifying base rows).",
+            ("table",),
+        ).inc(len(report.dropped), table=table)
+    if report.fallback_reason is not None:
+        metrics.counter(
+            "aqua_guard_fallbacks_total",
+            "Whole answers escalated to the exact fallback.",
+            ("table",),
+        ).inc(table=table)
+    metrics.gauge(
+        "aqua_stale_inserts",
+        "Inserts the serving synopsis was behind by at answer time.",
+        ("table",),
+    ).set(report.stale_inserts, table=table)
 
 
 def validate_sample(sample: StratifiedSample) -> List[str]:

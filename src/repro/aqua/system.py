@@ -54,6 +54,7 @@ from ..estimators.errors import (
     relative_halfwidth,
 )
 from ..estimators.point import estimate, group_support
+from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from ..sampling.groups import GroupKey, finest_group_ids, make_key, project_key
 from ..maintenance.base import SampleMaintainer
 from ..maintenance.onepass import maintainer_for, subsample_to_budget
@@ -68,9 +69,11 @@ from .guard import (
     GuardReport,
     RefreshPolicy,
     SynopsisHealth,
+    observe_guard,
     validate_sample,
 )
 from .synopsis import Synopsis
+from .workload_log import QueryLog
 
 __all__ = [
     "AquaSystem",
@@ -81,6 +84,7 @@ __all__ = [
     "GuardReport",
     "RefreshPolicy",
     "SynopsisHealth",
+    "Telemetry",
 ]
 
 _SCALED_AGGREGATES = ("sum", "count", "avg")
@@ -101,6 +105,8 @@ class ApproximateAnswer:
         synopsis: the synopsis used.
         elapsed_seconds: wall-clock execution time of the rewritten plan.
         guard: what the guard did (``None`` for unguarded answers).
+        trace: the per-stage :class:`~repro.obs.QueryTrace` (``None`` when
+            the system's tracer is disabled).
     """
 
     result: Table
@@ -108,11 +114,20 @@ class ApproximateAnswer:
     synopsis: Synopsis
     elapsed_seconds: float
     guard: Optional[GuardReport] = None
+    trace: Optional[QueryTrace] = None
 
     @property
     def provenance_counts(self) -> Dict[str, int]:
         """Answer groups per provenance tag (empty when unguarded)."""
         return self.guard.counts if self.guard is not None else {}
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end answer time: the traced total when available,
+        otherwise the plan execution time."""
+        if self.trace is not None:
+            return self.trace.total_seconds
+        return self.elapsed_seconds
 
 
 def _fmt_pct(value: float) -> str:
@@ -132,8 +147,13 @@ class ComparisonReport:
 
     @property
     def speedup(self) -> float:
-        """Exact time over approximate time (>1 = approximation faster)."""
-        approx_time = self.approximate.elapsed_seconds
+        """Exact time over approximate time (>1 = approximation faster).
+
+        Uses the *traced* end-to-end approximate total when the answer
+        carries a trace -- the plan-execution time alone understates what
+        the user actually waited for (parse, bounds, guard work).
+        """
+        approx_time = self.approximate.total_seconds
         if approx_time <= 0:
             return float("inf")
         return self.exact_elapsed_seconds / approx_time
@@ -144,8 +164,16 @@ class ComparisonReport:
         lines = [
             f"speedup: {speedup_text} "
             f"(exact {self.exact_elapsed_seconds * 1000:.1f} ms, "
-            f"approx {self.approximate.elapsed_seconds * 1000:.1f} ms)"
+            f"approx {self.approximate.total_seconds * 1000:.1f} ms)"
         ]
+        trace = self.approximate.trace
+        if trace is not None:
+            stages = "; ".join(
+                f"{name} {seconds * 1000:.2f} ms"
+                for name, seconds in trace.stage_seconds().items()
+            )
+            if stages:
+                lines.append(f"approx stages: {stages}")
         if self.stale_inserts:
             lines.append(
                 f"note: synopsis was stale by {self.stale_inserts} inserts "
@@ -183,6 +211,7 @@ class AquaSystem:
         bound_method: str = "chebyshev",
         rng: Optional[np.random.Generator] = None,
         guard_policy: Union[GuardPolicy, bool, None] = None,
+        telemetry: Union[Telemetry, bool, None] = None,
     ):
         """Args:
         space_budget: sample tuples per synopsis (the paper's ``X``).
@@ -198,6 +227,12 @@ class AquaSystem:
         guard_policy: default serve-time guard for :meth:`answer`.
             ``None``/``True`` installs the default :class:`GuardPolicy`;
             ``False`` disables guarding unless a policy is passed per call.
+        telemetry: a :class:`~repro.obs.Telemetry` bundle (tracer +
+            metrics registry), ``True`` for an enabled bundle, or
+            ``None``/``False`` for a disabled one (the default; a disabled
+            bundle's overhead on :meth:`answer` is a no-op check per call
+            site).  The bundle can be enabled/disabled later through
+            :attr:`telemetry`.
         """
         if space_budget < 1:
             raise AquaError(f"space budget must be >= 1, got {space_budget}")
@@ -215,6 +250,18 @@ class AquaSystem:
         self._rng = rng if rng is not None else np.random.default_rng()
         self._tables: Dict[str, _TableState] = {}
         self._synopses: Dict[str, Synopsis] = {}
+        self._query_logs: Dict[str, QueryLog] = {}
+        if telemetry is None or telemetry is False:
+            self.telemetry = Telemetry.disabled()
+        elif telemetry is True:
+            self.telemetry = Telemetry.enabled()
+        elif isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        else:
+            raise AquaError(
+                "telemetry must be a Telemetry bundle, True, False, or "
+                f"None; got {telemetry!r}"
+            )
         if guard_policy is False:
             self._guard: Optional[GuardPolicy] = None
         elif guard_policy is None or guard_policy is True:
@@ -276,16 +323,29 @@ class AquaSystem:
     def build_synopsis(self, name: str) -> Synopsis:
         """(Re)build the sample synopsis for a registered table."""
         state = self._state(name)
-        allocation = allocate_from_table(
-            self._allocation, state.table, state.grouping_columns, self._budget
-        )
-        sample = StratifiedSample.build(
-            state.table,
-            state.grouping_columns,
-            allocation.rounded(),
-            rng=self._rng,
-        )
-        return self._install(name, sample)
+        start = time.perf_counter()
+        with self.telemetry.tracer.span("build_synopsis", table=name):
+            allocation = allocate_from_table(
+                self._allocation,
+                state.table,
+                state.grouping_columns,
+                self._budget,
+            )
+            sample = StratifiedSample.build(
+                state.table,
+                state.grouping_columns,
+                allocation.rounded(),
+                rng=self._rng,
+            )
+            synopsis = self._install(name, sample)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "aqua_synopsis_build_seconds",
+                "Wall time to (re)build one synopsis from the base table.",
+                ("table",),
+            ).observe(time.perf_counter() - start, table=name)
+        return synopsis
 
     def _install(self, name: str, sample: StratifiedSample) -> Synopsis:
         installed = self._rewrite.install(sample, name, self.catalog, replace=True)
@@ -410,7 +470,60 @@ class AquaSystem:
         if state.refresh_policy.should_refresh(
             state.inserts_since_refresh, state.rows_at_refresh
         ):
-            self.refresh_synopsis(name)
+            self.refresh_synopsis(name, trigger="auto")
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The system's span tracer (disabled by default)."""
+        return self.telemetry.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The system's metrics registry (disabled by default)."""
+        return self.telemetry.metrics
+
+    def query_log(self, name: str) -> QueryLog:
+        """The auto-recorded workload log for a registered table.
+
+        Every query served by :meth:`answer` is recorded automatically, so
+        :meth:`~repro.aqua.workload_log.QueryLog.to_preferences` can mine
+        grouping preferences without any manual logging.
+        """
+        state = self._state(name)
+        log = self._query_logs.get(name)
+        if log is None:
+            log = QueryLog(name, state.grouping_columns)
+            self._query_logs[name] = log
+        return log
+
+    def _observe_answer(
+        self, answer: ApproximateAnswer, wall_seconds: float
+    ) -> None:
+        """Record one served answer into the metrics registry."""
+        metrics = self.telemetry.metrics
+        table = answer.synopsis.base_name
+        metrics.counter(
+            "aqua_queries_total",
+            "Queries served by AquaSystem.answer(), per table.",
+            ("table",),
+        ).inc(table=table)
+        metrics.histogram(
+            "aqua_answer_seconds",
+            "End-to-end answer() latency in seconds.",
+            ("table",),
+        ).observe(wall_seconds, table=table)
+        if answer.trace is not None:
+            stage_latency = metrics.histogram(
+                "aqua_stage_seconds",
+                "Per-pipeline-stage answer latency in seconds.",
+                ("stage",),
+            )
+            for stage, seconds in answer.trace.stage_seconds().items():
+                stage_latency.observe(seconds, stage=stage)
+        if answer.guard is not None:
+            observe_guard(metrics, table, answer.guard)
 
     # -- query answering -------------------------------------------------
 
@@ -448,76 +561,119 @@ class AquaSystem:
         a full exact answer (or a typed error, per the policy).  Guarded
         results carry a per-group provenance column.
 
+        When the system's tracer is enabled, the returned answer carries a
+        :class:`~repro.obs.QueryTrace` whose top-level stages (``parse``,
+        ``validate``, ``rewrite``, ``execute``, ``error_bounds``,
+        ``guard``) account for the pipeline's wall time; when the metrics
+        registry is enabled, query counters, per-stage latency histograms,
+        and guard provenance counters are updated.  The query is always
+        recorded in the table's :meth:`query_log` for workload mining.
+
         Args:
             sql: SQL text or a :class:`~repro.engine.query.Query`.
             guard: per-call guard override -- a :class:`GuardPolicy`,
                 ``False`` to serve unguarded, or ``None`` to use the
                 system's default policy.
         """
-        query = parse_query(sql) if isinstance(sql, str) else sql
-        policy = self._resolve_guard(guard)
-        base_name = query.base_table_name()
-        state = self._state(base_name)
-        self._maybe_auto_refresh(base_name)
-        synopsis = self.synopsis(base_name)
+        tracer = self.telemetry.tracer
+        measure = self.telemetry.metrics.enabled
+        wall_start = time.perf_counter() if measure else 0.0
+        root = tracer.span("answer")
+        with root:
+            answer = self._answer_pipeline(sql, guard, tracer, root)
+        if root.is_recording:
+            answer.trace = QueryTrace(root)
+        if measure:
+            self._observe_answer(answer, time.perf_counter() - wall_start)
+        return answer
 
-        stale = state.inserts_since_refresh
-        if (
-            policy is not None
-            and policy.staleness_limit is not None
-            and stale > policy.staleness_limit
-        ):
-            if policy.on_stale == "refresh":
-                synopsis = self.refresh_synopsis(base_name)
-                stale = 0
-            elif policy.on_stale == "raise":
-                raise StaleSynopsisError(
-                    f"synopsis for {base_name!r} is stale: {stale} inserts "
-                    f"since the last refresh exceed the limit of "
-                    f"{policy.staleness_limit}; call refresh_synopsis() or "
-                    "relax the guard policy"
-                )
-            elif policy.on_stale == "exact":
-                return self._exact_answer(
-                    query,
-                    synopsis,
-                    policy,
-                    reason=f"stale synopsis ({stale} inserts over the "
-                    f"limit of {policy.staleness_limit})",
-                    stale=stale,
-                )
-            # "serve": accept the staleness and continue.
+    def _answer_pipeline(
+        self,
+        sql: Union[str, Query],
+        guard: Union[GuardPolicy, bool, None],
+        tracer: Tracer,
+        root,
+    ) -> ApproximateAnswer:
+        """The staged answer pipeline, one span per stage."""
+        with tracer.span("parse"):
+            query = parse_query(sql) if isinstance(sql, str) else sql
+            policy = self._resolve_guard(guard)
+            base_name = query.base_table_name()
+            state = self._state(base_name)
+            self.query_log(base_name).record(query)
+        root.set(table=base_name, guarded=policy is not None)
 
-        if policy is not None:
-            issues = self._synopsis_issues(state, synopsis)
-            if issues:
-                detail = "; ".join(issues)
-                if policy.on_corrupt == "raise" or not policy.exact_fallback:
-                    raise SynopsisCorruptError(
-                        f"synopsis for {base_name!r} failed validation: "
-                        f"{detail}"
+        with tracer.span("validate") as validate_span:
+            self._maybe_auto_refresh(base_name)
+            synopsis = self.synopsis(base_name)
+            stale = state.inserts_since_refresh
+            validate_span.set(stale_inserts=stale)
+            if (
+                policy is not None
+                and policy.staleness_limit is not None
+                and stale > policy.staleness_limit
+            ):
+                if policy.on_stale == "refresh":
+                    synopsis = self.refresh_synopsis(
+                        base_name, trigger="guard"
                     )
-                return self._exact_answer(
-                    query,
-                    synopsis,
-                    policy,
-                    reason=f"corrupt synopsis: {detail}",
-                    stale=stale,
-                    issues=tuple(issues),
-                )
+                    stale = 0
+                elif policy.on_stale == "raise":
+                    raise StaleSynopsisError(
+                        f"synopsis for {base_name!r} is stale: {stale} "
+                        f"inserts since the last refresh exceed the limit "
+                        f"of {policy.staleness_limit}; call "
+                        "refresh_synopsis() or relax the guard policy"
+                    )
+                elif policy.on_stale == "exact":
+                    return self._exact_answer(
+                        query,
+                        synopsis,
+                        policy,
+                        reason=f"stale synopsis ({stale} inserts over the "
+                        f"limit of {policy.staleness_limit})",
+                        stale=stale,
+                    )
+                # "serve": accept the staleness and continue.
+
+            if policy is not None:
+                issues = self._synopsis_issues(state, synopsis)
+                if issues:
+                    detail = "; ".join(issues)
+                    if (
+                        policy.on_corrupt == "raise"
+                        or not policy.exact_fallback
+                    ):
+                        raise SynopsisCorruptError(
+                            f"synopsis for {base_name!r} failed validation: "
+                            f"{detail}"
+                        )
+                    return self._exact_answer(
+                        query,
+                        synopsis,
+                        policy,
+                        reason=f"corrupt synopsis: {detail}",
+                        stale=stale,
+                        issues=tuple(issues),
+                    )
+
+        with tracer.span("rewrite", strategy=self._rewrite.name):
+            plan = self._rewrite.plan(query, synopsis.installed)
 
         start = time.perf_counter()
-        try:
-            plan = self._rewrite.plan(query, synopsis.installed)
-            result = plan.execute(self.catalog)
-        except CatalogError as exc:
-            raise SynopsisCorruptError(
-                f"synopsis relations for {base_name!r} are missing from "
-                f"the catalog: {exc}"
-            ) from exc
+        with tracer.span("execute") as execute_span:
+            try:
+                result = plan.execute(self.catalog, tracer=tracer)
+            except CatalogError as exc:
+                raise SynopsisCorruptError(
+                    f"synopsis relations for {base_name!r} are missing from "
+                    f"the catalog: {exc}"
+                ) from exc
+            execute_span.set(rows=result.num_rows)
         elapsed = time.perf_counter() - start
 
-        result = self._attach_error_bounds(query, synopsis, result)
+        with tracer.span("error_bounds"):
+            result = self._attach_error_bounds(query, synopsis, result)
         answer = ApproximateAnswer(
             result=result,
             confidence=self._confidence,
@@ -526,7 +682,13 @@ class AquaSystem:
         )
         if policy is None:
             return answer
-        return self._guard_answer(query, synopsis, answer, policy, stale)
+        with tracer.span("guard") as guard_span:
+            guarded = self._guard_answer(
+                query, synopsis, answer, policy, stale
+            )
+            if guarded.guard is not None:
+                guard_span.set(**guarded.guard.counts)
+        return guarded
 
     # -- the guard ladder ---------------------------------------------------
 
@@ -626,12 +788,23 @@ class AquaSystem:
         policy: GuardPolicy,
         stale: int,
     ) -> ApproximateAnswer:
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         result = answer.result
         group_by = list(query.group_by)
         keys = self._result_keys(result, group_by)
-        support = group_support(
-            synopsis.sample, predicate=query.where, group_by=group_by
-        )
+        with tracer.span("support"):
+            support = group_support(
+                synopsis.sample, predicate=query.where, group_by=group_by
+            )
+        if metrics.enabled:
+            support_histogram = metrics.histogram(
+                "aqua_group_support_tuples",
+                "Sample tuples backing each answer group.",
+                buckets=(0, 1, 2, 5, 10, 25, 50, 100, 250, 1000, 10000),
+            )
+            for key in keys:
+                support_histogram.observe(support.get(key, 0))
         flagged = self._flag_groups(query, result, keys, support, policy)
         missing = self._missing_groups(query, synopsis, group_by, set(keys))
 
@@ -701,7 +874,10 @@ class AquaSystem:
         repair_query = self._restrict_to_groups(query, group_by, repair_keys)
 
         start = time.perf_counter()
-        repair = self.exact(repair_query)
+        with self.telemetry.tracer.span(
+            "repair", groups=len(repair_keys)
+        ):
+            repair = self.exact(repair_query)
         repair_elapsed = time.perf_counter() - start
 
         repair_rows: Dict[GroupKey, Dict[str, object]] = {}
@@ -820,7 +996,8 @@ class AquaSystem:
         sampling error) and every group is tagged ``exact``.
         """
         start = time.perf_counter()
-        result = self.exact(query)
+        with self.telemetry.tracer.span("exact_fallback", reason=reason):
+            result = self.exact(query)
         elapsed = time.perf_counter() - start
         for aggregate in query.aggregates():
             if aggregate.func not in _SCALED_AGGREGATES:
@@ -893,12 +1070,40 @@ class AquaSystem:
             stale_inserts=stale_inserts,
         )
 
-    def explain(self, sql: Union[str, Query]) -> str:
-        """Show the rewritten plan (the paper's Figure 2/8-11 view)."""
+    def explain(self, sql: Union[str, Query], analyze: bool = False) -> str:
+        """Show the rewritten plan (the paper's Figure 2/8-11 view).
+
+        With ``analyze=True`` the query is also *executed* with the tracer
+        temporarily enabled, and the per-stage span tree is appended --
+        the ``EXPLAIN ANALYZE`` of the approximate pipeline.
+        """
         query = parse_query(sql) if isinstance(sql, str) else sql
         synopsis = self.synopsis(query.base_table_name())
         plan = self._rewrite.plan(query, synopsis.installed)
-        return plan.describe()
+        text = plan.describe()
+        if analyze:
+            trace = self.trace_answer(query).trace
+            text += "\n-- analyze:\n" + trace.render()
+        return text
+
+    def trace_answer(
+        self,
+        sql: Union[str, Query],
+        guard: Union[GuardPolicy, bool, None] = None,
+    ) -> ApproximateAnswer:
+        """:meth:`answer` with the tracer force-enabled for this one call.
+
+        The tracer's previous enabled state is restored afterwards, so a
+        library user can trace a single query without reconfiguring the
+        system.  The returned answer always carries a ``trace``.
+        """
+        tracer = self.telemetry.tracer
+        was_enabled = tracer.enabled
+        tracer.enable()
+        try:
+            return self.answer(sql, guard=guard)
+        finally:
+            tracer.enabled = was_enabled
 
     def exact(self, sql: Union[str, Query]) -> Table:
         """Execute the query against the base relation (ground truth)."""
@@ -912,6 +1117,7 @@ class AquaSystem:
     def _attach_error_bounds(
         self, query: Query, synopsis: Synopsis, result: Table
     ) -> Table:
+        metrics = self.telemetry.metrics
         group_by = list(query.group_by)
         key_arrays = [result.column(name) for name in group_by]
         for aggregate in query.aggregates():
@@ -954,6 +1160,25 @@ class AquaSystem:
                         halfwidths[i] = chebyshev_halfwidth(
                             group_estimate.std_error, self._confidence
                         )
+            if metrics.enabled:
+                halfwidth_histogram = metrics.histogram(
+                    "aqua_relative_halfwidth",
+                    "Error-bound half-width over estimate magnitude, per "
+                    "answer group and aggregate.",
+                    buckets=(
+                        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                        0.25, 0.5, 1.0, 2.5,
+                    ),
+                )
+                values = result.column(aggregate.alias)
+                for i in range(result.num_rows):
+                    if not math.isfinite(halfwidths[i]):
+                        continue
+                    relative = relative_halfwidth(
+                        halfwidths[i], float(values[i])
+                    )
+                    if math.isfinite(relative):
+                        halfwidth_histogram.observe(relative)
             result = result.with_column(
                 Column(f"{aggregate.alias}_error", ColumnType.FLOAT), halfwidths
             )
@@ -1039,28 +1264,89 @@ class AquaSystem:
         if state.maintainer is not None:
             state.maintainer.insert(row)
             state.maintainer.inserts_seen += 1
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "aqua_inserts_total",
+                "Tuples inserted through AquaSystem.insert(), per table.",
+                ("table",),
+            ).inc(table=name)
+            metrics.gauge(
+                "aqua_pending_rows",
+                "Inserted rows buffered but not yet flushed to the base "
+                "relation.",
+                ("table",),
+            ).set(len(state.pending_rows), table=name)
         self._maybe_auto_refresh(name)
 
     def insert_many(self, name: str, rows: Sequence[Sequence]) -> None:
         for row in rows:
             self.insert(name, row)
 
-    def refresh_synopsis(self, name: str) -> Synopsis:
-        """Re-materialize the synopsis from the maintainer's current state."""
+    def refresh_synopsis(self, name: str, trigger: str = "manual") -> Synopsis:
+        """Re-materialize the synopsis from the maintainer's current state.
+
+        Args:
+            name: the table whose synopsis to refresh.
+            trigger: provenance of the refresh for telemetry: ``"manual"``
+                (API call), ``"auto"`` (drift policy), or ``"guard"``
+                (stale-synopsis escalation).
+        """
         state = self._state(name)
-        if state.maintainer is None:
-            # No maintainer: fall back to a full rebuild from base data.
-            self._flush_pending(name)
-            return self.build_synopsis(name)
-        maintained = state.maintainer.snapshot()
-        maintained = subsample_to_budget(maintained, self._budget, self._rng)
-        return self._install(name, maintained.to_stratified())
+        metrics = self.telemetry.metrics
+        start = time.perf_counter()
+        with self.telemetry.tracer.span(
+            "refresh_synopsis", table=name, trigger=trigger
+        ):
+            if state.maintainer is None:
+                # No maintainer: fall back to a full rebuild from base data.
+                self._flush_pending(name)
+                synopsis = self.build_synopsis(name)
+            else:
+                maintained = state.maintainer.snapshot()
+                maintained = subsample_to_budget(
+                    maintained, self._budget, self._rng
+                )
+                synopsis = self._install(name, maintained.to_stratified())
+        if metrics.enabled:
+            metrics.counter(
+                "aqua_refreshes_total",
+                "Synopsis refreshes, by table and trigger "
+                "(manual/auto/guard).",
+                ("table", "trigger"),
+            ).inc(table=name, trigger=trigger)
+            metrics.histogram(
+                "aqua_refresh_seconds",
+                "Wall time of one synopsis refresh.",
+                ("table",),
+            ).observe(time.perf_counter() - start, table=name)
+        return synopsis
 
     def _flush_pending(self, name: str) -> None:
         state = self._tables.get(name)
         if state is None or not state.pending_rows:
             return
-        appended = Table.from_rows(state.table.schema, state.pending_rows)
-        state.table = state.table.concat(appended)
-        state.pending_rows.clear()
-        self.catalog.register(name, state.table, replace=True)
+        flushed = len(state.pending_rows)
+        with self.telemetry.tracer.span("flush", table=name, rows=flushed):
+            appended = Table.from_rows(state.table.schema, state.pending_rows)
+            state.table = state.table.concat(appended)
+            state.pending_rows.clear()
+            self.catalog.register(name, state.table, replace=True)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "aqua_flushes_total",
+                "Pending-row flushes into the base relation, per table.",
+                ("table",),
+            ).inc(table=name)
+            metrics.counter(
+                "aqua_flushed_rows_total",
+                "Rows moved from the pending buffer to the base relation.",
+                ("table",),
+            ).inc(flushed, table=name)
+            metrics.gauge(
+                "aqua_pending_rows",
+                "Inserted rows buffered but not yet flushed to the base "
+                "relation.",
+                ("table",),
+            ).set(0, table=name)

@@ -29,6 +29,7 @@ from ..engine.catalog import Catalog
 from ..engine.executor import execute
 from ..engine.table import Table
 from ..metrics.groupby_error import GroupByError, groupby_error
+from ..obs import Telemetry
 from ..rewrite.base import RewriteStrategy
 from ..rewrite.integrated import Integrated
 from ..sampling.stratified import StratifiedSample
@@ -83,6 +84,10 @@ class Testbed:
         catalog: catalog holding the base table (samples are installed on
             demand by :meth:`install`).
         samples: per-strategy stratified samples.
+        telemetry: optional tracing/metrics bundle; when enabled, sample
+            builds and every exact/approximate execution are traced and
+            recorded (``testbed_build_seconds``, ``testbed_query_seconds``,
+            ``testbed_query_error_pct``).
     """
 
     __test__ = False  # not a pytest test class
@@ -91,6 +96,7 @@ class Testbed:
     table: Table
     catalog: Catalog
     samples: Dict[str, StratifiedSample] = field(default_factory=dict)
+    telemetry: Telemetry = field(default_factory=Telemetry.disabled)
 
     @classmethod
     def create(
@@ -99,6 +105,7 @@ class Testbed:
         sample_fraction: float,
         strategies: Optional[Mapping[str, AllocationStrategy]] = None,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Testbed":
         """Generate data and draw one sample per allocation strategy."""
         if not 0 < sample_fraction <= 1:
@@ -106,22 +113,53 @@ class Testbed:
                 f"sample_fraction must be in (0, 1], got {sample_fraction}"
             )
         rng = rng if rng is not None else np.random.default_rng(config.seed + 1)
-        table = generate_lineitem(config)
+        telemetry = (
+            telemetry if telemetry is not None else Telemetry.disabled()
+        )
+        with telemetry.tracer.span("testbed_generate"):
+            table = generate_lineitem(config)
         catalog = Catalog()
         catalog.register("lineitem", table)
         budget = int(round(sample_fraction * table.num_rows))
+        build_seconds = telemetry.metrics.histogram(
+            "testbed_build_seconds",
+            "Wall time to allocate and draw one strategy's sample.",
+            ("strategy",),
+        )
         samples: Dict[str, StratifiedSample] = {}
         for name, strategy in (strategies or standard_strategies()).items():
-            allocation = allocate_from_table(
-                strategy, table, list(GROUPING_COLUMNS), budget
+            start = time.perf_counter()
+            with telemetry.tracer.span("testbed_build", strategy=name):
+                allocation = allocate_from_table(
+                    strategy, table, list(GROUPING_COLUMNS), budget
+                )
+                samples[name] = StratifiedSample.build(
+                    table, GROUPING_COLUMNS, allocation.rounded(), rng=rng
+                )
+            build_seconds.observe(
+                time.perf_counter() - start, strategy=name
             )
-            samples[name] = StratifiedSample.build(
-                table, GROUPING_COLUMNS, allocation.rounded(), rng=rng
-            )
-        return cls(config=config, table=table, catalog=catalog, samples=samples)
+        return cls(
+            config=config,
+            table=table,
+            catalog=catalog,
+            samples=samples,
+            telemetry=telemetry,
+        )
+
+    def _observe_query(self, kind: str, strategy: str, seconds: float) -> None:
+        self.telemetry.metrics.histogram(
+            "testbed_query_seconds",
+            "Per-query execution latency on the experiments testbed.",
+            ("strategy", "kind"),
+        ).observe(seconds, strategy=strategy, kind=kind)
 
     def exact(self, query: QueryClass) -> Table:
-        return execute(query.query, self.catalog)
+        start = time.perf_counter()
+        with self.telemetry.tracer.span("testbed_exact"):
+            result = execute(query.query, self.catalog)
+        self._observe_query("exact", "none", time.perf_counter() - start)
+        return result
 
     def approximate(
         self,
@@ -132,9 +170,21 @@ class Testbed:
         """Answer ``query`` from the named strategy's sample."""
         rewrite = rewrite or Integrated()
         sample = self.samples[strategy_name]
-        synopsis = rewrite.install(sample, "lineitem", self.catalog, replace=True)
-        plan = rewrite.plan(query.query, synopsis)
-        return plan.execute(self.catalog)
+        start = time.perf_counter()
+        with self.telemetry.tracer.span(
+            "testbed_approximate", strategy=strategy_name
+        ):
+            synopsis = rewrite.install(
+                sample, "lineitem", self.catalog, replace=True
+            )
+            plan = rewrite.plan(query.query, synopsis)
+            result = plan.execute(
+                self.catalog, tracer=self.telemetry.tracer
+            )
+        self._observe_query(
+            "approx", strategy_name, time.perf_counter() - start
+        )
+        return result
 
     def query_error(
         self,
@@ -155,7 +205,14 @@ class Testbed:
             groupby_error(exact, approx, key_columns, value_column)
             for value_column in value_columns
         ]
-        return float(np.mean([e.eps_l1 for e in errors]))
+        error = float(np.mean([e.eps_l1 for e in errors]))
+        self.telemetry.metrics.histogram(
+            "testbed_query_error_pct",
+            "The paper's mean percentage error per query.",
+            ("strategy",),
+            buckets=(0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
+        ).observe(error, strategy=strategy_name)
+        return error
 
     def install(
         self, strategy_name: str, rewrite: RewriteStrategy

@@ -13,6 +13,7 @@ Two routes to a congressional sample without a precomputed data cube:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -20,6 +21,7 @@ import numpy as np
 from ..core.allocation import AllocationStrategy
 from ..engine.schema import Schema
 from ..engine.table import Table
+from ..obs import Telemetry
 from ..sampling.bernoulli import subsample_exact
 from ..sampling.groups import GroupKey
 from ..sampling.rounding import largest_remainder_round
@@ -103,21 +105,47 @@ def construct_one_pass(
     grouping_columns: Sequence[str],
     budget: int,
     rng: Optional[np.random.Generator] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> StratifiedSample:
     """Build a sample in one pass over ``source`` without a data cube.
 
     Runs the strategy's maintainer with ``Y = budget`` and subsamples the
     result to exactly ``budget`` tuples (when it overshoots).
+
+    Args:
+        telemetry: optional :class:`~repro.obs.Telemetry`; when enabled,
+            the stream and subsample phases get spans and the construction
+            is recorded under ``aqua_onepass_construct_seconds`` /
+            ``aqua_onepass_rows_total``.
     """
     rng = rng if rng is not None else np.random.default_rng()
+    telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+    tracer = telemetry.tracer
+    start = time.perf_counter()
     maintainer = maintainer_for(strategy_name, schema, grouping_columns, budget, rng)
-    if isinstance(source, Table):
-        maintainer.insert_table(source)
-    else:
-        maintainer.insert_many(source)
-    maintained = maintainer.snapshot()
-    maintained = subsample_to_budget(maintained, budget, rng)
-    return maintained.to_stratified()
+    with tracer.span("onepass_stream", strategy=strategy_name) as stream_span:
+        if isinstance(source, Table):
+            maintainer.insert_table(source)
+        else:
+            maintainer.insert_many(source)
+        stream_span.set(rows=maintainer.inserts_seen)
+    with tracer.span("onepass_subsample", strategy=strategy_name):
+        maintained = maintainer.snapshot()
+        maintained = subsample_to_budget(maintained, budget, rng)
+        sample = maintained.to_stratified()
+    metrics = telemetry.metrics
+    if metrics.enabled:
+        metrics.histogram(
+            "aqua_onepass_construct_seconds",
+            "Wall time of one-pass sample construction.",
+            ("strategy",),
+        ).observe(time.perf_counter() - start, strategy=strategy_name)
+        metrics.counter(
+            "aqua_onepass_rows_total",
+            "Stream rows consumed by one-pass construction.",
+            ("strategy",),
+        ).inc(maintainer.inserts_seen, strategy=strategy_name)
+    return sample
 
 
 def construct_from_cube(

@@ -1,0 +1,76 @@
+"""Observability for the Aqua query pipeline: tracing + metrics.
+
+Two zero-dependency pillars, both off-by-default cheap:
+
+* :class:`Tracer` / :class:`Span` / :class:`QueryTrace` -- span-based
+  tracing of every stage of :meth:`repro.aqua.system.AquaSystem.answer`
+  (parse, validate, rewrite, execute/scan/scale-up, error bounds, guard
+  escalation and repair);
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` -- cumulative counters for queries, inserts, flushes,
+  refreshes and guard provenance, plus latency/error-bound/support
+  histograms, exportable as ``snapshot()`` dicts, JSON, or Prometheus text
+  exposition format.
+
+:class:`Telemetry` bundles one tracer and one registry so they can be
+threaded through the stack as a single handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import NULL_TRACER, QueryTrace, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "QueryTrace",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]
+
+
+@dataclass
+class Telemetry:
+    """One tracer plus one metrics registry, threaded as a unit."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """Both pillars off (the default for library use)."""
+        return cls(Tracer(enabled=False), MetricsRegistry(enabled=False))
+
+    @classmethod
+    def enabled(cls) -> "Telemetry":
+        """Both pillars on (what the shell and benchmarks use)."""
+        return cls(Tracer(enabled=True), MetricsRegistry(enabled=True))
+
+    @property
+    def active(self) -> bool:
+        """True when either pillar is recording."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    def enable(self) -> "Telemetry":
+        self.tracer.enable()
+        self.metrics.enable()
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.tracer.disable()
+        self.metrics.disable()
+        return self

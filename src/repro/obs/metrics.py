@@ -1,0 +1,410 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Models the Prometheus data model closely enough that
+:meth:`MetricsRegistry.to_prometheus` emits valid text exposition format
+(``name{label="value"} 1.0`` lines with HELP/TYPE headers, cumulative
+``le`` histogram buckets, and proper escaping), while
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_json` serve
+programmatic consumers (tests, the benchmarks harness, the shell's
+``.stats`` command).
+
+Design constraints:
+
+* **off-by-default cheap** -- every write path starts with one ``enabled``
+  check against the owning registry, so a disabled registry adds no
+  measurable overhead to ``AquaSystem.answer()``;
+* **get-or-create handles** -- ``registry.counter(name, ...)`` returns the
+  existing metric when called twice, so independent modules can instrument
+  against the same registry without coordinating;
+* **fixed-bucket histograms** -- bucket upper bounds are inclusive
+  (Prometheus ``le`` semantics): an observation equal to a bound lands in
+  that bound's bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Seconds-scale latency buckets (0.1 ms .. 10 s), suitable for both the
+#: in-memory engine's sub-millisecond scans and paper-scale exact runs.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus HELP escaping: backslash and newline."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, declared label names."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Mapping[str, Any]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple((name, str(labels[name])) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """A monotonically-increasing count (queries served, rows flushed...)."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help_text, labelnames):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (staleness drift, pending rows...)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help_text, labelnames):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` (inclusive) semantics."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry,
+        name,
+        help_text,
+        labelnames,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(registry, name, help_text, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs >= 1 bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {self.name!r} buckets must be strictly "
+                f"increasing, got {bounds}"
+            )
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # +Inf bucket is implicit
+        self.buckets = bounds
+        # per label set: [per-bucket counts..., overflow], sum, count
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        value = float(value)
+        key = self._key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        # bisect_left gives the first bound >= value: inclusive `le` edges.
+        counts[bisect_left(self.buckets, value)] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def bucket_counts(self, **labels: Any) -> Dict[float, int]:
+        """Cumulative counts per upper bound, including ``inf``."""
+        key = self._key(labels)
+        counts = self._counts.get(key, [0] * (len(self.buckets) + 1))
+        out: Dict[float, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out[bound] = running
+        out[float("inf")] = running + counts[-1]
+        return out
+
+    def collect(self) -> List[Dict[str, Any]]:
+        out = []
+        for key in sorted(self._counts):
+            labels = dict(key)
+            out.append(
+                {
+                    "labels": labels,
+                    "count": self._totals[key],
+                    "sum": self._sums[key],
+                    "buckets": {
+                        _format_value(bound): count
+                        for bound, count in self.bucket_counts(
+                            **labels
+                        ).items()
+                    },
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Holds every metric and renders snapshots/exports.
+
+    Disabled (the default) the registry still hands out metric objects --
+    their write methods return immediately -- so instrumented code never
+    branches on configuration.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- switches ------------------------------------------------------------
+
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        self.enabled = False
+        return self
+
+    # -- metric handles ------------------------------------------------------
+
+    def _get_or_create(self, cls, name, help_text, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            if tuple(labelnames) != existing.labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        metric = cls(self, name, help_text, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Recorded registry state as plain dicts (stable across exports).
+
+        Metrics that have never recorded a sample (e.g. handles created
+        while the registry was disabled) are omitted.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            values = metric.collect()
+            if not values:
+                continue
+            out[name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "values": values,
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if not metric.collect():
+                continue  # never-written metrics would emit headers only
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for sample in metric.collect():
+                    labels = sample["labels"]
+                    for bound, count in sample["buckets"].items():
+                        lines.append(
+                            _sample_line(
+                                f"{name}_bucket",
+                                {**labels, "le": bound},
+                                count,
+                            )
+                        )
+                    lines.append(
+                        _sample_line(f"{name}_sum", labels, sample["sum"])
+                    )
+                    lines.append(
+                        _sample_line(f"{name}_count", labels, sample["count"])
+                    )
+            else:
+                for sample in metric.collect():
+                    lines.append(
+                        _sample_line(name, sample["labels"], sample["value"])
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop all recorded values and registered metrics."""
+        self._metrics.clear()
+
+
+def _sample_line(name: str, labels: Mapping[str, Any], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"'
+            for key, val in labels.items()
+        )
+        return f"{name}{{{rendered}}} {_format_value(float(value))}"
+    return f"{name} {_format_value(float(value))}"

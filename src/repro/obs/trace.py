@@ -1,0 +1,295 @@
+"""Span-based tracing for the Aqua query pipeline.
+
+The paper's value claim is quantitative -- per-query speedup and per-group
+error -- yet a single end-to-end wall time cannot say *where* an answer's
+time went: parsing, rewrite, the synopsis scan, aggregate scale-up, error
+bounds, or a guard escalation.  AQP systems such as BlinkDB and VerdictDB
+treat per-stage telemetry as first class; this module is the Aqua
+equivalent, with zero third-party dependencies.
+
+Three pieces:
+
+* :class:`Span` -- one timed pipeline stage (``perf_counter`` wall time,
+  free-form attributes, nested children, error status).  Spans are context
+  managers and exception-safe: an exception closes the span, marks it
+  ``status="error"``, and propagates.
+* :class:`Tracer` -- hands out spans and maintains the nesting stack.  A
+  disabled tracer (the default) returns a shared no-op span, so tracing
+  costs one attribute check per call site when off.
+* :class:`QueryTrace` -- the finished root span of one query, with stage
+  accessors and a renderable tree (the shell's ``.trace`` view).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "QueryTrace", "NULL_TRACER"]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    is_recording = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, attributed, nestable stage of the query pipeline."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "status",
+        "error",
+        "_start",
+        "_end",
+        "_tracer",
+    )
+
+    is_recording = True
+
+    def __init__(self, name: str, tracer: "Tracer", **attributes: Any):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes)
+        self.children: List[Span] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+        self._tracer = tracer
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._end = perf_counter()
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+        return False  # never swallow
+
+    # -- recording ----------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes (row counts, strategy names, ...)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._start is not None
+
+    @property
+    def finished(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall time; 0.0 until the span has both started and finished."""
+        if self._start is None or self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (depth-first) with the given name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-line-per-span tree with millisecond durations."""
+        millis = self.duration_seconds * 1000
+        attrs = "".join(
+            f" {key}={value}" for key, value in sorted(self.attributes.items())
+        )
+        flag = "" if self.status == "ok" else f" !{self.status}: {self.error}"
+        lines = [f"{'  ' * indent}{self.name:<24s} {millis:9.3f} ms{attrs}{flag}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1000:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Hands out :class:`Span` objects and tracks their nesting.
+
+    Usage (context manager or decorator)::
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("answer") as root:
+            with tracer.span("parse"):
+                ...
+        trace = QueryTrace(root)
+
+        @tracer.traced("hot_path")
+        def hot_path(...): ...
+
+    A disabled tracer returns a shared no-op span: the cost of an
+    instrumented call site is one ``enabled`` check.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._stack: List[Span] = []
+
+    # -- switches ------------------------------------------------------------
+
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A new span, nested under the currently-open span (if any)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, self, **attributes)
+
+    def traced(self, name: Optional[str] = None, **attributes: Any):
+        """Decorator form: wrap every call of ``fn`` in a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name if name is not None else fn.__qualname__
+
+            def wrapper(*args: Any, **kwargs: Any):
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__qualname__ = fn.__qualname__
+            wrapper.__doc__ = fn.__doc__
+            wrapper.__wrapped__ = fn
+            return wrapper
+
+        return decorate
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span (None outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    # -- stack maintenance (called by Span) ----------------------------------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Exception safety: close any children left open by a non-local
+        # exit, then remove this span wherever it sits on the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+
+#: Shared disabled tracer for call sites given no tracer of their own.
+NULL_TRACER = Tracer(enabled=False)
+
+
+class QueryTrace:
+    """The completed trace of one answered query.
+
+    Wraps the root span with stage-level accessors: the root's direct
+    children are the pipeline stages (``parse``, ``validate``, ``rewrite``,
+    ``execute``, ``error_bounds``, ``guard``, ...).
+    """
+
+    def __init__(self, root: Span):
+        self.root = root
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time of the traced pipeline."""
+        return self.root.duration_seconds
+
+    @property
+    def stages(self) -> List[Span]:
+        """Top-level pipeline stages, in execution order."""
+        return list(self.root.children)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall time, summed over same-named top-level spans."""
+        out: Dict[str, float] = {}
+        for span in self.root.children:
+            out[span.name] = out.get(span.name, 0.0) + span.duration_seconds
+        return out
+
+    def stage(self, name: str) -> Optional[Span]:
+        """First stage (or nested span) with the given name."""
+        if self.root.name == name:
+            return self.root
+        return self.root.find(name)
+
+    @property
+    def unaccounted_seconds(self) -> float:
+        """Root time not covered by any top-level stage (should be ~0)."""
+        return self.total_seconds - sum(self.stage_seconds().values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.root.to_dict()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render(self) -> str:
+        """The shell's ``.trace`` view: an indented span tree."""
+        return self.root.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryTrace({self.root.name!r}, "
+            f"{self.total_seconds * 1000:.3f} ms, "
+            f"{len(self.stages)} stages)"
+        )

@@ -25,6 +25,7 @@ from ..engine.predicates import Predicate
 from ..engine.query import Query
 from ..engine.schema import Column, ColumnType, Schema
 from ..engine.table import Table
+from ..obs.trace import NULL_TRACER
 
 __all__ = ["JoinSpec", "RatioColumn", "RewrittenPlan"]
 
@@ -108,19 +109,35 @@ class RewrittenPlan:
             lines.append(f"-- then LIMIT {self.limit}")
         return "\n".join(lines)
 
-    def execute(self, catalog: Catalog) -> Table:
-        """Run the plan against ``catalog`` and return the answer table."""
-        if self.join is not None:
-            joined = hash_join(
-                catalog.get(self.join.left),
-                catalog.get(self.join.right),
-                list(self.join.left_on),
-                list(self.join.right_on),
-            )
-            result = execute_on_table(self.query, joined)
-        else:
-            result = execute(self.query, catalog)
+    def execute(self, catalog: Catalog, tracer=None) -> Table:
+        """Run the plan against ``catalog`` and return the answer table.
 
+        Args:
+            catalog: the catalog holding the synopsis relations.
+            tracer: optional :class:`~repro.obs.Tracer`; when enabled, the
+                sample scan and the scale-up/finalize step get their own
+                spans (``scan`` / ``scale_up``) nested under the caller's
+                current span.
+        """
+        if tracer is None:
+            tracer = NULL_TRACER
+        with tracer.span("scan", strategy=self.strategy) as scan_span:
+            if self.join is not None:
+                joined = hash_join(
+                    catalog.get(self.join.left),
+                    catalog.get(self.join.right),
+                    list(self.join.left_on),
+                    list(self.join.right_on),
+                )
+                result = execute_on_table(self.query, joined)
+            else:
+                result = execute(self.query, catalog)
+            scan_span.set(rows=result.num_rows)
+        with tracer.span("scale_up"):
+            return self._finalize(result)
+
+    def _finalize(self, result: Table) -> Table:
+        """Scale-up ratios plus HAVING / ORDER BY / LIMIT finishing."""
         if self.ratios:
             columns = dict(result.columns())
             schema_cols = {c.name: c for c in result.schema}

@@ -151,3 +151,103 @@ class TestExplainCompareCommands:
         text = out.getvalue()
         assert "usage: .explain" in text
         assert "usage: .compare" in text
+
+
+class TestObservabilityCommands:
+    @pytest.fixture
+    def telemetry_shell(self, skewed_table, rng):
+        import io
+
+        from repro.obs import Telemetry
+
+        aqua = AquaSystem(
+            space_budget=500, rng=rng, telemetry=Telemetry.enabled()
+        )
+        aqua.register_table("rel", skewed_table)
+        out = io.StringIO()
+        return AquaShell(aqua, out=out), out
+
+    def test_trace_prints_result_and_span_tree(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line(".trace select a, sum(q) s from rel group by a")
+        text = out.getvalue()
+        assert "s_error" in text  # the answer table itself
+        for stage in ("answer", "parse", "execute", "scan"):
+            assert stage in text
+        assert "ms" in text
+
+    def test_trace_works_when_telemetry_disabled(self, shell):
+        sh, out = shell
+        sh.execute_line(".trace select a, sum(q) s from rel group by a")
+        assert "answer" in out.getvalue()
+        assert not sh._aqua.tracer.enabled  # restored afterwards
+
+    def test_trace_usage(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line(".trace")
+        assert "usage: .trace" in out.getvalue()
+
+    def test_stats_human_view(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".stats")
+        text = out.getvalue()
+        assert "aqua_queries_total{table=rel}  1" in text
+        assert "aqua_answer_seconds" in text
+
+    def test_stats_json(self, telemetry_shell):
+        import json
+
+        sh, out = telemetry_shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        out.truncate(0)
+        out.seek(0)
+        sh.execute_line(".stats json")
+        data = json.loads(out.getvalue())
+        assert data["aqua_queries_total"]["type"] == "counter"
+
+    def test_stats_prometheus(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".stats prom")
+        text = out.getvalue()
+        assert "# TYPE aqua_queries_total counter" in text
+        assert 'aqua_queries_total{table="rel"} 1' in text
+
+    def test_stats_before_any_activity(self):
+        import io
+
+        from repro.obs import Telemetry
+
+        aqua = AquaSystem(space_budget=100, telemetry=Telemetry.enabled())
+        out = io.StringIO()
+        AquaShell(aqua, out=out).execute_line(".stats")
+        assert "no metrics recorded yet" in out.getvalue()
+
+    def test_stats_shows_synopsis_build(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line(".stats")
+        assert "aqua_synopsis_build_seconds" in out.getvalue()
+
+    def test_stats_when_registry_disabled(self, shell):
+        sh, out = shell
+        sh.execute_line(".stats")
+        assert "metrics registry is disabled" in out.getvalue()
+
+    def test_stats_usage(self, telemetry_shell):
+        sh, out = telemetry_shell
+        sh.execute_line(".stats xml")
+        assert "usage: .stats" in out.getvalue()
+
+    def test_build_system_telemetry_flag(self):
+        import argparse
+
+        on = build_system(argparse.Namespace(
+            csv=None, table=None, grouping=None, budget=100,
+        ))
+        assert on.tracer.enabled and on.metrics.enabled
+        off = build_system(argparse.Namespace(
+            csv=None, table=None, grouping=None, budget=100,
+            no_telemetry=True,
+        ))
+        assert not off.tracer.enabled and not off.metrics.enabled

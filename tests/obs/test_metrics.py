@@ -1,0 +1,207 @@
+"""Counters, gauges, histogram bucket edges, and Prometheus exposition."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self, registry):
+        counter = registry.counter("queries_total", "Queries.", ("table",))
+        counter.inc(table="lineitem")
+        counter.inc(2, table="lineitem")
+        counter.inc(table="census")
+        assert counter.value(table="lineitem") == 3
+        assert counter.value(table="census") == 1
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_label_set_must_match_declaration(self, registry):
+        counter = registry.counter("c_total", "", ("table",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc(shard="x")
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc()
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_name", "", ("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("pending_rows", "Pending.", ("table",))
+        gauge.set(10, table="rel")
+        gauge.inc(5, table="rel")
+        gauge.dec(3, table="rel")
+        assert gauge.value(table="rel") == 12
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_bound_lands_in_that_bucket(self, registry):
+        hist = registry.histogram("h", "", (), buckets=(1.0, 2.0, 5.0))
+        hist.observe(1.0)  # le="1" is inclusive
+        hist.observe(1.5)
+        hist.observe(5.0)
+        hist.observe(7.0)  # overflow -> +Inf only
+        buckets = hist.bucket_counts()
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 2  # cumulative
+        assert buckets[5.0] == 3
+        assert buckets[float("inf")] == 4
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(14.5)
+
+    def test_cumulative_counts_are_monotone(self, registry):
+        hist = registry.histogram("lat", "", (), buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        counts = list(hist.bucket_counts().values())
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_explicit_inf_bucket_is_folded_into_implicit(self, registry):
+        hist = registry.histogram(
+            "h2", "", (), buckets=(1.0, float("inf"))
+        )
+        assert hist.buckets == (1.0,)
+
+    def test_non_increasing_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="strictly"):
+            registry.histogram("h3", "", (), buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly"):
+            registry.histogram("h4", "", (), buckets=(2.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self, registry):
+        hist = registry.histogram("seconds")
+        assert hist.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("n_total", "Help.", ("table",))
+        second = registry.counter("n_total", "ignored", ("table",))
+        assert first is second
+
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("metric_one")
+        with pytest.raises(ValueError, match="already registered as"):
+            registry.gauge("metric_one")
+
+    def test_label_conflict_is_an_error(self, registry):
+        registry.counter("metric_two", "", ("a",))
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.counter("metric_two", "", ("b",))
+
+    def test_snapshot_and_json(self, registry):
+        registry.counter("q_total", "Queries.", ("table",)).inc(
+            table="lineitem"
+        )
+        registry.histogram("h_seconds", "", (), buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["q_total"]["type"] == "counter"
+        assert snapshot["q_total"]["values"] == [
+            {"labels": {"table": "lineitem"}, "value": 1.0}
+        ]
+        assert snapshot["h_seconds"]["values"][0]["count"] == 1
+        assert json.loads(registry.to_json()) == snapshot
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("gone_total").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.to_prometheus() == ""
+
+
+class TestDisabledRegistry:
+    def test_writes_are_noops_until_enabled(self):
+        registry = MetricsRegistry()  # disabled by default
+        counter = registry.counter("c_total")
+        hist = registry.histogram("h", "", (), buckets=(1.0,))
+        counter.inc()
+        hist.observe(0.5)
+        assert counter.value() == 0
+        assert hist.count() == 0
+        registry.enable()
+        counter.inc()
+        hist.observe(0.5)
+        assert counter.value() == 1
+        assert hist.count() == 1
+
+    def test_handles_still_typed_when_disabled(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("a_total"), Counter)
+        assert isinstance(registry.histogram("b"), Histogram)
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("q_total", "Queries answered.", ("table",)).inc(
+            3, table="lineitem"
+        )
+        registry.gauge("pending", "Pending rows.").set(1.5)
+        text = registry.to_prometheus()
+        assert "# HELP q_total Queries answered.\n" in text
+        assert "# TYPE q_total counter\n" in text
+        assert 'q_total{table="lineitem"} 3\n' in text
+        assert "# TYPE pending gauge\n" in text
+        assert "pending 1.5\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_shape(self, registry):
+        hist = registry.histogram(
+            "lat_seconds", "Latency.", ("stage",), buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05, stage="parse")
+        hist.observe(0.5, stage="parse")
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{stage="parse",le="0.1"} 1\n' in text
+        assert 'lat_seconds_bucket{stage="parse",le="1"} 2\n' in text
+        assert 'lat_seconds_bucket{stage="parse",le="+Inf"} 2\n' in text
+        assert 'lat_seconds_sum{stage="parse"} 0.55\n' in text
+        assert 'lat_seconds_count{stage="parse"} 2\n' in text
+
+    def test_label_value_escaping(self, registry):
+        registry.counter("esc_total", "", ("path",)).inc(
+            path='back\\slash "quote"\nnewline'
+        )
+        text = registry.to_prometheus()
+        assert (
+            'esc_total{path="back\\\\slash \\"quote\\"\\nnewline"} 1' in text
+        )
+        # The physical line must not contain a raw newline mid-sample.
+        sample_lines = [l for l in text.splitlines() if "esc_total{" in l]
+        assert len(sample_lines) == 1
+
+    def test_help_escaping(self, registry):
+        registry.counter("h_total", "line one\nline two \\ done").inc()
+        text = registry.to_prometheus()
+        assert "# HELP h_total line one\\nline two \\\\ done\n" in text
+
+    def test_every_sample_line_is_well_formed(self, registry):
+        registry.counter("a_total", "A.", ("t",)).inc(t="x")
+        registry.gauge("b_gauge").set(2)
+        registry.histogram("c_seconds", "", (), buckets=(1.0,)).observe(0.5)
+        line_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+            r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+        )
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert line_re.match(line), line

@@ -1,0 +1,189 @@
+"""Span nesting, exception safety, and the QueryTrace accessors."""
+
+import json
+
+import pytest
+
+from repro.obs import QueryTrace, Span, Tracer
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpanNesting:
+    def test_children_nest_in_execution_order(self, tracer):
+        with tracer.span("answer") as root:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("scan"):
+                    pass
+                with tracer.span("scale_up"):
+                    pass
+            with tracer.span("guard"):
+                pass
+        assert [s.name for s in root.children] == [
+            "parse", "execute", "guard",
+        ]
+        execute = root.children[1]
+        assert [s.name for s in execute.children] == ["scan", "scale_up"]
+
+    def test_durations_are_positive_and_nested(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(1000))
+        assert inner.duration_seconds > 0.0
+        assert outer.duration_seconds >= inner.duration_seconds
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_attributes_at_creation_and_via_set(self, tracer):
+        with tracer.span("scan", strategy="integrated") as span:
+            span.set(rows=42)
+        assert span.attributes == {"strategy": "integrated", "rows": 42}
+
+    def test_find_searches_depth_first(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        assert root.find("leaf").name == "leaf"
+        assert root.find("missing") is None
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_marks_error(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("answer") as root:
+                with tracer.span("execute") as execute:
+                    raise ValueError("boom")
+        assert execute.finished
+        assert execute.status == "error"
+        assert execute.error == "ValueError: boom"
+        assert root.finished
+        assert root.status == "error"
+        # The stack is fully unwound; the tracer is reusable.
+        assert tracer.current is None
+        with tracer.span("again") as again:
+            pass
+        assert again.children == []
+
+    def test_pop_closes_spans_abandoned_by_nonlocal_exit(self, tracer):
+        # Simulate a child left open (e.g. a generator that never resumed):
+        root = tracer.span("root")
+        root.__enter__()
+        child = tracer.span("child")
+        child.__enter__()
+        root.__exit__(None, None, None)
+        assert tracer.current is None
+        assert root.children == [child]
+
+    def test_error_flag_appears_in_render(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage") as span:
+                raise RuntimeError("bad")
+        assert "!error: RuntimeError: bad" in span.render()
+
+
+class TestDecorator:
+    def test_traced_decorator_records_calls(self, tracer):
+        @tracer.traced("compute", kind="test")
+        def compute(x):
+            """Docs."""
+            return x * 2
+
+        with tracer.span("root") as root:
+            assert compute(21) == 42
+        assert [s.name for s in root.children] == ["compute"]
+        assert root.children[0].attributes == {"kind": "test"}
+        assert compute.__name__ == "compute"
+        assert compute.__doc__ == "Docs."
+
+    def test_traced_defaults_to_qualname(self, tracer):
+        @tracer.traced()
+        def helper():
+            return 1
+
+        with tracer.span("root") as root:
+            helper()
+        assert root.children[0].name.endswith("helper")
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", rows=1)
+        assert span is NULL_SPAN
+        assert span is NULL_TRACER.span("other")
+        assert not span.is_recording
+        with span as entered:
+            assert entered.set(rows=2) is span
+
+    def test_enable_disable_roundtrip(self):
+        tracer = Tracer()
+        assert tracer.span("x") is NULL_SPAN
+        tracer.enable()
+        assert isinstance(tracer.span("x"), Span)
+        tracer.disable()
+        assert tracer.span("x") is NULL_SPAN
+
+
+class TestQueryTrace:
+    def _make_trace(self, tracer):
+        with tracer.span("answer") as root:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("scan"):
+                    pass
+            # repeated stage name: stage_seconds must sum both
+            with tracer.span("execute"):
+                pass
+        return QueryTrace(root)
+
+    def test_stages_and_stage_seconds(self, tracer):
+        trace = self._make_trace(tracer)
+        assert [s.name for s in trace.stages] == [
+            "parse", "execute", "execute",
+        ]
+        seconds = trace.stage_seconds()
+        assert set(seconds) == {"parse", "execute"}
+        both = sum(
+            s.duration_seconds for s in trace.stages if s.name == "execute"
+        )
+        assert seconds["execute"] == pytest.approx(both)
+
+    def test_unaccounted_is_small_and_nonnegative(self, tracer):
+        trace = self._make_trace(tracer)
+        assert 0.0 <= trace.unaccounted_seconds <= trace.total_seconds
+
+    def test_stage_lookup_reaches_nested_spans(self, tracer):
+        trace = self._make_trace(tracer)
+        assert trace.stage("answer") is trace.root
+        assert trace.stage("scan").name == "scan"
+        assert trace.stage("nope") is None
+
+    def test_to_json_roundtrips(self, tracer):
+        trace = self._make_trace(tracer)
+        data = json.loads(trace.to_json())
+        assert data["name"] == "answer"
+        assert [c["name"] for c in data["children"]] == [
+            "parse", "execute", "execute",
+        ]
+
+    def test_render_indents_children(self, tracer):
+        trace = self._make_trace(tracer)
+        lines = trace.render().splitlines()
+        assert lines[0].startswith("answer")
+        assert lines[1].startswith("  parse")
+        assert any(line.startswith("    scan") for line in lines)
