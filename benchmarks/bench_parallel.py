@@ -1,0 +1,154 @@
+"""Partition-parallel aggregate scan benchmark: serial vs K workers.
+
+Times a skewed group-by aggregate (the paper's Zipf-skewed data shape,
+Section 7.1.1) over a ``REPRO_SCALE`` x 1M-row table executed serially and
+through the :class:`~repro.engine.executor.ParallelExecutor` at several
+worker counts, plus the answer-cache hit path.  Emits
+``benchmarks/results/BENCH_parallel.json`` with median latencies and
+speedups, and records ``cpu_count`` alongside -- thread-parallel speedup is
+bounded by the physical cores of the host, so a 1-core container honestly
+reports ~1.0x.
+
+Protocol: five runs per configuration, first discarded, medians reported.
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.engine import (
+    Catalog,
+    Column,
+    ColumnType,
+    ParallelConfig,
+    ParallelExecutor,
+    Schema,
+    Table,
+    execute,
+    parse_query,
+)
+from repro.experiments import default_table_size
+from repro.synthetic.zipf import zipf_choice, zipf_sizes
+
+REPEATS = 5
+WORKER_COUNTS = (1, 2, 4, 8)
+SQL = "select a, sum(v) s, avg(v) m, var(v) s2 from zipf group by a"
+
+
+def _zipf_table(rows: int) -> Table:
+    rng = np.random.default_rng(42)
+    groups = 100
+    sizes = zipf_sizes(rows, groups, z=1.0)
+    a = np.repeat([f"g{i:03d}" for i in range(groups)], sizes)
+    v = zipf_choice(np.linspace(1.0, 1000.0, 500), z=0.86, size=rows, rng=rng)
+    schema = Schema(
+        [
+            Column("a", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    return Table(schema, {"a": a, "v": v})
+
+
+def _median_seconds(fn) -> float:
+    runs = []
+    for i in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if i > 0:  # paper protocol: discard the warm-up run
+            runs.append(elapsed)
+    return statistics.median(runs)
+
+
+def test_parallel_scan_speedup(save_result, save_json):
+    rows = default_table_size()
+    table = _zipf_table(rows)
+    catalog = Catalog()
+    catalog.register("zipf", table)
+    query = parse_query(SQL)
+
+    serial_median = _median_seconds(lambda: execute(query, catalog))
+
+    per_workers = {}
+    for workers in WORKER_COUNTS:
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=workers, min_partition_rows=10_000)
+        )
+        median = _median_seconds(
+            lambda: execute(query, catalog, parallel=executor)
+        )
+        per_workers[workers] = {
+            "median_seconds": median,
+            "speedup_vs_serial": serial_median / median if median else 0.0,
+            "partitions": executor.partition_count(rows),
+        }
+
+    # The answer cache: cost of a repeated identical query through the full
+    # pipeline vs the first (uncached) answer.
+    aqua = AquaSystem(
+        space_budget=max(1000, rows // 100), rng=np.random.default_rng(7)
+    )
+    aqua.register_table("zipf", table)
+    aqua_sql = "SELECT a, SUM(v) AS s FROM zipf GROUP BY a"
+    start = time.perf_counter()
+    aqua.answer(aqua_sql)
+    miss_seconds = time.perf_counter() - start
+    hit_seconds = _median_seconds(lambda: aqua.answer(aqua_sql))
+    stats = aqua.answer_cache.stats
+
+    lines = [
+        f"parallel aggregate scan, {rows} Zipf rows "
+        f"(host has {os.cpu_count()} cpu cores)",
+        f"{'workers':>8}  {'median ms':>10}  {'speedup':>8}  {'parts':>6}",
+        f"{'serial':>8}  {serial_median * 1000:>10.1f}  {'1.00x':>8}  "
+        f"{'-':>6}",
+    ]
+    for workers, data in per_workers.items():
+        lines.append(
+            f"{workers:>8}  {data['median_seconds'] * 1000:>10.1f}  "
+            f"{data['speedup_vs_serial']:>7.2f}x  {data['partitions']:>6}"
+        )
+    lines.append(
+        f"answer cache: miss {miss_seconds * 1000:.1f} ms -> "
+        f"hit {hit_seconds * 1000:.2f} ms "
+        f"({miss_seconds / max(hit_seconds, 1e-9):.0f}x), "
+        f"{stats.hits} hits / {stats.misses} misses"
+    )
+    save_result("BENCH_parallel", "\n".join(lines))
+    save_json(
+        "BENCH_parallel",
+        {
+            "rows": rows,
+            "cpu_count": os.cpu_count(),
+            "query": SQL,
+            "serial_median_seconds": serial_median,
+            "parallel": {
+                str(workers): data for workers, data in per_workers.items()
+            },
+            "cache": {
+                "miss_seconds": miss_seconds,
+                "hit_median_seconds": hit_seconds,
+                "hit_speedup": miss_seconds / max(hit_seconds, 1e-9),
+            },
+        },
+    )
+
+    fastest = min(
+        data["median_seconds"] for data in per_workers.values()
+    )
+    # Thread scaling cannot beat the host's core count; on multi-core hosts
+    # the 4-worker scan should win clearly, on 1-core hosts just not lose.
+    if (os.cpu_count() or 1) >= 4:
+        assert per_workers[4]["speedup_vs_serial"] >= 1.5, (
+            "expected >= 1.5x with 4 workers on a multi-core host"
+        )
+    else:
+        assert fastest <= serial_median * 1.35, (
+            "parallel overhead should stay modest even on a 1-core host"
+        )
+    assert stats.hits >= REPEATS - 1

@@ -18,17 +18,23 @@ from .guard import (
     observe_guard,
     validate_sample,
 )
+from ..engine.executor import ParallelConfig, ParallelExecutor
 from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
+from .cache import AnswerCache, CacheStats
 from .olap import CubeExplorer, Measure
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
 from .workload_log import QueryLog
 
 __all__ = [
+    "AnswerCache",
     "ApproximateAnswer",
     "AquaError",
     "AquaSystem",
+    "CacheStats",
     "ComparisonReport",
+    "ParallelConfig",
+    "ParallelExecutor",
     "GuardPolicy",
     "GuardReport",
     "MetricsRegistry",

@@ -1,0 +1,150 @@
+"""Bounded LRU cache for served approximate answers.
+
+Identical aggregate queries are common in dashboard-style workloads; the
+synopsis scan is already fast, but parse + rewrite + scan + error bounds +
+guard still cost a pipeline per call.  :class:`AnswerCache` memoizes whole
+:class:`~repro.aqua.system.ApproximateAnswer` objects.
+
+Correctness is carried by the key, not by heuristics:
+
+* the key includes the base table's *data version*, a counter
+  :class:`~repro.aqua.system.AquaSystem` bumps on every ``insert()``,
+  pending-row flush, synopsis build/refresh, and re-registration -- so any
+  mutation invalidates all prior entries for that table at lookup time;
+* the query is normalized through the SQL renderer, so two differently
+  constructed but identical plans share an entry;
+* serve-time knobs that change the answer (guard policy thresholds,
+  confidence, bound method) are folded into the key as a fingerprint;
+* guard-*degraded* answers (repairs, exact fallbacks, dropped groups) are
+  never stored: a degraded answer reflects transient synopsis trouble and
+  must not be replayed as a clean one.
+
+Hit/miss counts are tracked locally and (when a registry is supplied)
+mirrored to ``aqua_answer_cache_{hits,misses,evictions}_total``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..obs import MetricsRegistry
+
+__all__ = ["AnswerCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"answer cache: {self.size}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.evictions} evicted"
+        )
+
+
+class AnswerCache:
+    """A bounded least-recently-used answer store.
+
+    Keys are opaque hashables built by the caller (see
+    :meth:`AquaSystem._cache_key`): ``(table, version, normalized SQL,
+    policy fingerprint)``.  ``get`` promotes on hit; ``put`` evicts the
+    least-recently-used entry once ``capacity`` is exceeded.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._metrics = metrics
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """(Re)bind the registry the cache mirrors its counters into."""
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """The cached value for ``key`` (promoted to most-recent), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            self._count("aqua_answer_cache_misses_total")
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        self._count("aqua_answer_cache_hits_total")
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value``, evicting the LRU entry when over capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            self._count("aqua_answer_cache_evictions_total")
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Drop entries (all, or those whose key starts with ``table``).
+
+        Version-keyed lookups make explicit invalidation unnecessary for
+        correctness; this exists to reclaim memory eagerly (the shell's
+        ``.cache clear``) and returns the number of entries dropped.
+        """
+        if table is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        doomed = [
+            key
+            for key in self._entries
+            if isinstance(key, tuple) and key and key[0] == table
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def _count(self, name: str) -> None:
+        if self._metrics is None or not self._metrics.enabled:
+            return
+        self._metrics.counter(
+            name,
+            "Answer-cache lookups by outcome (see repro.aqua.cache).",
+        ).inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnswerCache({len(self._entries)}/{self.capacity})"

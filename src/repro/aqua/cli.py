@@ -32,6 +32,7 @@ from ..core.congress import Congress
 from ..engine.io import read_csv
 from ..engine.sql import SqlError
 from ..synthetic.census import CensusConfig, generate_census
+from ..engine.executor import ParallelConfig
 from .system import AquaError, AquaSystem
 
 __all__ = ["AquaShell", "main"]
@@ -43,6 +44,8 @@ _HELP = """commands:
   .compare <SQL>   run approximately AND exactly; report error + speedup
   .trace <SQL>     answer AND show the per-stage span tree (timings)
   .stats [json|prom]  metrics so far (human, JSON, or Prometheus text)
+  .parallel [N|off]   show / set parallel scan workers (off = serial)
+  .cache [N|off|clear]  show / size / disable / clear the answer cache
   .synopsis        describe the installed synopsis
   .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
@@ -116,6 +119,58 @@ class AquaShell:
                 else:
                     self._print(f"{rendered}  {sample['value']:.6g}")
 
+    def _handle_parallel(self, arg: str) -> None:
+        if not arg:
+            config = self._aqua.parallel_config
+            if config is None:
+                self._print("parallel scans: off (serial execution)")
+            else:
+                self._print(
+                    f"parallel scans: {config.workers} workers "
+                    f"({config.backend}), min {config.min_partition_rows} "
+                    "rows per partition"
+                )
+            return
+        if arg in ("off", "serial", "0"):
+            self._aqua.set_parallel(False)
+            self._print("parallel scans: off")
+            return
+        try:
+            workers = int(arg)
+        except ValueError:
+            self._print("usage: .parallel [N|off]")
+            return
+        self._aqua.set_parallel(ParallelConfig(max_workers=workers))
+        self._print(
+            f"parallel scans: {self._aqua.parallel_config.workers} workers"
+        )
+
+    def _handle_cache(self, arg: str) -> None:
+        cache = self._aqua.answer_cache
+        if not arg:
+            if cache is None:
+                self._print("answer cache: off")
+            else:
+                self._print(cache.stats.describe())
+            return
+        if arg in ("off", "0"):
+            self._aqua.set_cache(False)
+            self._print("answer cache: off")
+            return
+        if arg == "clear":
+            if cache is None:
+                self._print("answer cache: off")
+            else:
+                self._print(f"dropped {cache.invalidate()} cached answers")
+            return
+        try:
+            capacity = int(arg)
+        except ValueError:
+            self._print("usage: .cache [N|off|clear]")
+            return
+        self._aqua.set_cache(capacity)
+        self._print(self._aqua.answer_cache.stats.describe())
+
     def execute_line(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
         line = line.strip()
@@ -171,6 +226,10 @@ class AquaShell:
                     self._print(answer.trace.render())
             elif line.startswith(".stats"):
                 self._print_stats(line[len(".stats"):].strip())
+            elif line.startswith(".parallel"):
+                self._handle_parallel(line[len(".parallel"):].strip())
+            elif line.startswith(".cache"):
+                self._handle_cache(line[len(".cache"):].strip())
             elif line.startswith("."):
                 self._print(f"unknown command {line.split()[0]!r}; try .help")
             else:
@@ -210,10 +269,14 @@ def build_system(args: argparse.Namespace) -> AquaSystem:
     The shell runs with telemetry enabled (``.trace`` and ``.stats`` would
     otherwise have nothing to show) unless ``--no-telemetry`` is given.
     """
+    workers = getattr(args, "workers", None)
     aqua = AquaSystem(
         space_budget=args.budget,
         allocation_strategy=Congress(),
         telemetry=not getattr(args, "no_telemetry", False),
+        parallel=(
+            ParallelConfig(max_workers=workers) if workers else None
+        ),
     )
     if args.csv:
         if not args.table or not args.grouping:
@@ -240,6 +303,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--budget", type=int, default=5000, help="sample tuples to keep"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel scan workers for base-table work (default: env/auto)",
     )
     parser.add_argument(
         "--no-telemetry", action="store_true",

@@ -32,10 +32,11 @@ import numpy as np
 from ..core.allocation import AllocationStrategy, allocate_from_table
 from ..core.congress import Congress
 from ..engine.catalog import Catalog, CatalogError
-from ..engine.executor import execute
+from ..engine.executor import ParallelConfig, ParallelExecutor, execute
 from ..engine.expressions import Col
 from ..engine.predicates import And, Comparison, InList, Or
 from ..engine.query import Query
+from ..engine.render import render_query
 from ..engine.schema import Column, ColumnType, Schema
 from ..engine.sql import parse_query
 from ..engine.table import Table
@@ -61,6 +62,7 @@ from ..maintenance.onepass import maintainer_for, subsample_to_budget
 from ..rewrite.base import RewriteStrategy
 from ..rewrite.nested_integrated import NestedIntegrated
 from ..sampling.stratified import StratifiedSample
+from .cache import AnswerCache, CacheStats
 from .guard import (
     PROVENANCE_EXACT,
     PROVENANCE_REPAIRED,
@@ -76,12 +78,15 @@ from .synopsis import Synopsis
 from .workload_log import QueryLog
 
 __all__ = [
+    "AnswerCache",
     "AquaSystem",
     "ApproximateAnswer",
     "AquaError",
+    "CacheStats",
     "ComparisonReport",
     "GuardPolicy",
     "GuardReport",
+    "ParallelConfig",
     "RefreshPolicy",
     "SynopsisHealth",
     "Telemetry",
@@ -197,6 +202,10 @@ class _TableState:
     inserts_since_refresh: int = 0
     rows_at_refresh: int = 0
     refresh_policy: Optional[RefreshPolicy] = None
+    # Monotonic data version: bumped on every insert, flush, synopsis
+    # (re)build and re-registration.  Answer-cache keys embed it, so any
+    # mutation invalidates all prior cached answers for this table.
+    version: int = 0
 
 
 class AquaSystem:
@@ -212,6 +221,8 @@ class AquaSystem:
         rng: Optional[np.random.Generator] = None,
         guard_policy: Union[GuardPolicy, bool, None] = None,
         telemetry: Union[Telemetry, bool, None] = None,
+        parallel: Union[ParallelConfig, bool, None] = None,
+        cache: Union[AnswerCache, int, bool, None] = None,
     ):
         """Args:
         space_budget: sample tuples per synopsis (the paper's ``X``).
@@ -233,6 +244,21 @@ class AquaSystem:
             bundle's overhead on :meth:`answer` is a no-op check per call
             site).  The bundle can be enabled/disabled later through
             :attr:`telemetry`.
+        parallel: partition-parallel scan configuration for base-table
+            work (exact answers, guard fallbacks, synopsis construction).
+            A :class:`~repro.engine.executor.ParallelConfig`, ``True`` for
+            defaults, ``False`` to force serial execution, or ``None``
+            (default) to honour the ``REPRO_PARALLEL_WORKERS`` environment
+            variable and otherwise use defaults (which still run serially
+            on small inputs or single-CPU hosts -- see
+            :class:`ParallelConfig`).  Results are group-for-group
+            identical to serial execution.
+        cache: the answer cache for :meth:`answer`.  ``None``/``True``
+            installs a default 128-entry LRU, an ``int`` sets the
+            capacity, an :class:`AnswerCache` is used as-is, and ``False``
+            disables caching.  Entries are keyed by table data version and
+            normalized plan, so inserts and refreshes invalidate; guard-
+            degraded answers are never cached.
         """
         if space_budget < 1:
             raise AquaError(f"space budget must be >= 1, got {space_budget}")
@@ -273,6 +299,35 @@ class AquaSystem:
                 "guard_policy must be a GuardPolicy, True, False, or None; "
                 f"got {guard_policy!r}"
             )
+        if parallel is False:
+            self._executor: Optional[ParallelExecutor] = None
+        elif parallel is None or parallel is True:
+            config = (
+                ParallelConfig.from_env() if parallel is None else None
+            ) or ParallelConfig()
+            self._executor = ParallelExecutor(config, self.telemetry)
+        elif isinstance(parallel, ParallelConfig):
+            self._executor = ParallelExecutor(parallel, self.telemetry)
+        else:
+            raise AquaError(
+                "parallel must be a ParallelConfig, True, False, or None; "
+                f"got {parallel!r}"
+            )
+        if cache is False:
+            self._cache: Optional[AnswerCache] = None
+        elif cache is None or cache is True:
+            self._cache = AnswerCache()
+        elif isinstance(cache, AnswerCache):
+            self._cache = cache
+        elif isinstance(cache, int):
+            self._cache = AnswerCache(capacity=cache)
+        else:
+            raise AquaError(
+                "cache must be an AnswerCache, int capacity, True, False, "
+                f"or None; got {cache!r}"
+            )
+        if self._cache is not None:
+            self._cache.attach_metrics(self.telemetry.metrics)
 
     # -- administration ------------------------------------------------------
 
@@ -284,6 +339,61 @@ class AquaSystem:
     def guard_policy(self) -> Optional[GuardPolicy]:
         """The default guard applied by :meth:`answer` (None = unguarded)."""
         return self._guard
+
+    @property
+    def executor(self) -> Optional[ParallelExecutor]:
+        """The partitioned scan executor (None = forced serial)."""
+        return self._executor
+
+    @property
+    def parallel_config(self) -> Optional[ParallelConfig]:
+        """The active parallel-scan configuration (None = forced serial)."""
+        return self._executor.config if self._executor is not None else None
+
+    def set_parallel(
+        self, parallel: Union[ParallelConfig, bool, None]
+    ) -> None:
+        """Reconfigure parallel scanning at runtime (the shell's ``.parallel``)."""
+        if parallel is False:
+            self._executor = None
+        elif parallel is True or parallel is None:
+            self._executor = ParallelExecutor(ParallelConfig(), self.telemetry)
+        elif isinstance(parallel, ParallelConfig):
+            self._executor = ParallelExecutor(parallel, self.telemetry)
+        else:
+            raise AquaError(
+                "parallel must be a ParallelConfig, True, False, or None; "
+                f"got {parallel!r}"
+            )
+
+    @property
+    def answer_cache(self) -> Optional[AnswerCache]:
+        """The answer cache (None = caching disabled)."""
+        return self._cache
+
+    def set_cache(
+        self, cache: Union[AnswerCache, int, bool, None]
+    ) -> None:
+        """Replace, resize, enable, or disable the answer cache."""
+        if cache is False:
+            self._cache = None
+            return
+        if cache is True or cache is None:
+            self._cache = AnswerCache()
+        elif isinstance(cache, AnswerCache):
+            self._cache = cache
+        elif isinstance(cache, int):
+            self._cache = AnswerCache(capacity=cache)
+        else:
+            raise AquaError(
+                "cache must be an AnswerCache, int capacity, True, False, "
+                f"or None; got {cache!r}"
+            )
+        self._cache.attach_metrics(self.telemetry.metrics)
+
+    def table_version(self, name: str) -> int:
+        """The table's monotonic data version (cache-invalidation token)."""
+        return self._state(name).version
 
     def table_names(self) -> List[str]:
         """Registered base-table names (synopsis relations excluded)."""
@@ -315,7 +425,14 @@ class AquaSystem:
         for column in grouping_columns:
             table.schema.column(column)
         self.catalog.register(name, table, replace=True)
-        self._tables[name] = _TableState(table, tuple(grouping_columns))
+        previous = self._tables.get(name)
+        self._tables[name] = _TableState(
+            table,
+            tuple(grouping_columns),
+            # Re-registration continues the version sequence so cached
+            # answers for the replaced data can never be served again.
+            version=previous.version + 1 if previous is not None else 0,
+        )
         if build:
             return self.build_synopsis(name)
         return None
@@ -325,17 +442,24 @@ class AquaSystem:
         state = self._state(name)
         start = time.perf_counter()
         with self.telemetry.tracer.span("build_synopsis", table=name):
+            # Both full-table passes of the one-pass construction -- the
+            # allocation's group-count scan and the per-stratum membership
+            # scan -- run partitioned when an executor is configured; the
+            # merged counts and member lists are identical to a serial
+            # scan's, so the drawn sample is bit-for-bit the same.
             allocation = allocate_from_table(
                 self._allocation,
                 state.table,
                 state.grouping_columns,
                 self._budget,
+                scan=self._executor,
             )
             sample = StratifiedSample.build(
                 state.table,
                 state.grouping_columns,
                 allocation.rounded(),
                 rng=self._rng,
+                scan=self._executor,
             )
             synopsis = self._install(name, sample)
         metrics = self.telemetry.metrics
@@ -365,6 +489,7 @@ class AquaSystem:
             state.rows_at_refresh = state.table.num_rows + len(
                 state.pending_rows
             )
+            state.version += 1  # new synopsis -> new answers
         return synopsis
 
     def synopsis(self, name: str) -> Synopsis:
@@ -587,6 +712,30 @@ class AquaSystem:
             self._observe_answer(answer, time.perf_counter() - wall_start)
         return answer
 
+    def _cache_key(
+        self, query: Query, base_name: str, policy: Optional[GuardPolicy]
+    ):
+        """The answer-cache key for this (query, serving configuration).
+
+        ``None`` when caching is disabled.  The key embeds the table's
+        *current* data version, the renderer-normalized plan text, and every
+        serve-time knob that changes the answer (guard policy -- hashable
+        because it is frozen -- confidence, bound method).  Reads the
+        version at call time: lookups use the pre-pipeline version, stores
+        the post-pipeline one, so a mid-pipeline refresh stores under the
+        version whose synopsis actually produced the answer.
+        """
+        if self._cache is None:
+            return None
+        return (
+            base_name,
+            self._state(base_name).version,
+            render_query(query),
+            policy,
+            self._confidence,
+            self._bound_method,
+        )
+
     def _answer_pipeline(
         self,
         sql: Union[str, Query],
@@ -594,7 +743,13 @@ class AquaSystem:
         tracer: Tracer,
         root,
     ) -> ApproximateAnswer:
-        """The staged answer pipeline, one span per stage."""
+        """Cache front-end around the staged pipeline.
+
+        A hit must be indistinguishable from recomputation: the key carries
+        the data version (so any insert/flush/refresh/re-register since the
+        entry was stored forces a miss) and guard-degraded answers are never
+        stored, so a cached answer is always a clean one for current data.
+        """
         with tracer.span("parse"):
             query = parse_query(sql) if isinstance(sql, str) else sql
             policy = self._resolve_guard(guard)
@@ -603,6 +758,35 @@ class AquaSystem:
             self.query_log(base_name).record(query)
         root.set(table=base_name, guarded=policy is not None)
 
+        key = self._cache_key(query, base_name, policy)
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                root.set(cache="hit")
+                # Shallow copy: the caller attaches this call's trace to the
+                # returned object, which must not leak into the cache.
+                return dataclass_replace(cached, trace=None)
+            root.set(cache="miss")
+
+        answer = self._answer_stages(query, policy, base_name, state, tracer)
+        if key is not None and (
+            answer.guard is None or not answer.guard.degraded
+        ):
+            self._cache.put(
+                self._cache_key(query, base_name, policy),
+                dataclass_replace(answer, trace=None),
+            )
+        return answer
+
+    def _answer_stages(
+        self,
+        query: Query,
+        policy: Optional[GuardPolicy],
+        base_name: str,
+        state: _TableState,
+        tracer: Tracer,
+    ) -> ApproximateAnswer:
+        """The staged answer pipeline, one span per stage."""
         with tracer.span("validate") as validate_span:
             self._maybe_auto_refresh(base_name)
             synopsis = self.synopsis(base_name)
@@ -1106,11 +1290,18 @@ class AquaSystem:
             tracer.enabled = was_enabled
 
     def exact(self, sql: Union[str, Query]) -> Table:
-        """Execute the query against the base relation (ground truth)."""
+        """Execute the query against the base relation (ground truth).
+
+        Aggregate scans run partition-parallel when the system has an
+        executor and the relation is large enough -- this is the same
+        machinery the guard's exact fallback and per-group repairs use, so
+        degraded service keeps up with base tables the synopsis was built
+        to avoid scanning.
+        """
         query = parse_query(sql) if isinstance(sql, str) else sql
         self._flush_pending(query.base_table_name())
         try:
-            return execute(query, self.catalog)
+            return execute(query, self.catalog, parallel=self._executor)
         except CatalogError as exc:
             raise TableNotRegisteredError(str(exc)) from exc
 
@@ -1261,6 +1452,7 @@ class AquaSystem:
         state = self._state(name)
         state.pending_rows.append(tuple(row))
         state.inserts_since_refresh += 1
+        state.version += 1  # invalidates cached answers for this table
         if state.maintainer is not None:
             state.maintainer.insert(row)
             state.maintainer.inserts_seen += 1
@@ -1331,6 +1523,7 @@ class AquaSystem:
             appended = Table.from_rows(state.table.schema, state.pending_rows)
             state.table = state.table.concat(appended)
             state.pending_rows.clear()
+            state.version += 1
             self.catalog.register(name, state.table, replace=True)
         metrics = self.telemetry.metrics
         if metrics.enabled:

@@ -118,9 +118,15 @@ def allocate_from_table(
     table: Table,
     grouping_columns: Sequence[str],
     budget: float,
+    scan=None,
 ) -> Allocation:
-    """Convenience: compute group counts from ``table`` and allocate."""
-    counts = group_counts(table, grouping_columns)
+    """Convenience: compute group counts from ``table`` and allocate.
+
+    ``scan`` optionally runs the counting pass partition-parallel (see
+    :func:`repro.sampling.groups.group_counts`); the allocation itself is
+    identical either way since merged integer counts are exact.
+    """
+    counts = group_counts(table, grouping_columns, scan=scan)
     return strategy.allocate(counts, grouping_columns, budget)
 
 

@@ -6,12 +6,29 @@ here, and the rewriting strategies (:mod:`repro.rewrite`) produce logical
 queries that this engine executes.
 """
 
-from .aggregates import Aggregate, AggregateFunction, grouped_reduce
+from .aggregates import (
+    Aggregate,
+    AggregateFunction,
+    AggregateState,
+    finalize_state,
+    grouped_reduce,
+    merge_states,
+    partial_reduce,
+)
 from .catalog import Catalog, CatalogError
 from .dates import date_to_ordinal, format_date, ordinal_to_date, parse_date
-from .executor import execute, execute_on_table
+from .executor import ParallelConfig, ParallelExecutor, execute, execute_on_table
 from .expressions import BinaryOp, Col, Expression, Func, Lit, UnaryOp, col, lit
-from .groupby import distinct, group_by, group_ids_for
+from .groupby import (
+    GroupByPartial,
+    distinct,
+    finalize_group_by,
+    group_by,
+    group_ids_for,
+    merge_group_partials,
+    partial_group_by,
+)
+from .partition import Partition, Partitioner
 from .io import infer_schema, read_csv, write_csv
 from .join import hash_join
 from .predicates import (
@@ -33,6 +50,7 @@ from .table import Table, TableBuilder
 __all__ = [
     "Aggregate",
     "AggregateFunction",
+    "AggregateState",
     "And",
     "Between",
     "BinaryOp",
@@ -44,10 +62,15 @@ __all__ = [
     "Comparison",
     "Expression",
     "Func",
+    "GroupByPartial",
     "InList",
     "Lit",
     "Not",
     "Or",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "Partition",
+    "Partitioner",
     "Predicate",
     "Projection",
     "Query",
@@ -64,10 +87,16 @@ __all__ = [
     "distinct",
     "execute",
     "execute_on_table",
+    "finalize_group_by",
+    "finalize_state",
     "format_date",
     "group_by",
     "group_ids_for",
     "grouped_reduce",
+    "merge_group_partials",
+    "merge_states",
+    "partial_group_by",
+    "partial_reduce",
     "hash_join",
     "infer_schema",
     "lit",

@@ -3,19 +3,41 @@
 Implements the engine's multi-key, multi-aggregate GROUP BY: compute a dense
 group-id per row for the key columns, then reduce each aggregate input per
 group (see :mod:`repro.engine.aggregates`).
+
+The reduction is split into a *partial* phase (:func:`partial_group_by`:
+local group keys plus mergeable :class:`~repro.engine.aggregates.AggregateState`
+moments) and a *finalize* phase (:func:`finalize_group_by`).  The serial
+:func:`group_by` is one partial immediately finalized; the parallel executor
+runs one partial per partition and merges them with
+:func:`merge_group_partials` first -- both paths share the same arithmetic.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from .aggregates import Aggregate, grouped_reduce
+from .aggregates import (
+    Aggregate,
+    AggregateState,
+    finalize_state,
+    merge_states,
+    partial_reduce,
+)
 from .schema import Column, ColumnType, Schema
 from .table import Table
 
-__all__ = ["group_ids_for", "group_by", "distinct"]
+__all__ = [
+    "group_ids_for",
+    "group_by",
+    "distinct",
+    "GroupByPartial",
+    "partial_group_by",
+    "merge_group_partials",
+    "finalize_group_by",
+]
 
 
 def group_ids_for(
@@ -43,6 +65,101 @@ def group_ids_for(
     return ids.astype(np.int64), keys, len(keys)
 
 
+@dataclass
+class GroupByPartial:
+    """The mergeable result of grouping one partition.
+
+    Attributes:
+        key_columns: the grouping columns.
+        group_keys: local group keys in dense-id order (sorted, as produced
+            by :func:`group_ids_for`).
+        states: per-aggregate-alias partial states, arrays aligned with
+            ``group_keys``.
+    """
+
+    key_columns: Tuple[str, ...]
+    group_keys: List[Tuple]
+    states: Dict[str, AggregateState]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_keys)
+
+
+def partial_group_by(
+    table: Table,
+    key_columns: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> GroupByPartial:
+    """Group one partition into mergeable per-aggregate states."""
+    group_ids, group_keys, num_groups = group_ids_for(table, key_columns)
+    states = {}
+    for agg in aggregates:
+        values = agg.evaluate_input(table)
+        states[agg.alias] = partial_reduce(
+            agg.func, values, group_ids, num_groups
+        )
+    return GroupByPartial(tuple(key_columns), group_keys, states)
+
+
+def merge_group_partials(
+    partials: Sequence[GroupByPartial],
+) -> GroupByPartial:
+    """Merge partition-local partials over the union of their group keys.
+
+    The merged key order is the sorted union, matching the sorted order
+    :func:`group_ids_for` gives a single whole-table scan, so the parallel
+    path emits groups in exactly the serial order.
+    """
+    if not partials:
+        raise ValueError("merge_group_partials needs at least one partial")
+    key_columns = partials[0].key_columns
+    merged_keys = sorted({key for p in partials for key in p.group_keys})
+    index_of = {key: i for i, key in enumerate(merged_keys)}
+    index_maps = [
+        np.fromiter(
+            (index_of[key] for key in p.group_keys),
+            dtype=np.int64,
+            count=p.num_groups,
+        )
+        for p in partials
+    ]
+    aliases = list(partials[0].states)
+    states = {
+        alias: merge_states(
+            [p.states[alias] for p in partials],
+            index_maps,
+            len(merged_keys),
+        )
+        for alias in aliases
+    }
+    return GroupByPartial(key_columns, merged_keys, states)
+
+
+def finalize_group_by(
+    partial: GroupByPartial,
+    schema: Schema,
+    aggregates: Sequence[Aggregate],
+) -> Table:
+    """Finalize a (merged) partial into the GROUP BY result table.
+
+    ``schema`` is the *input* table's schema, used to type the key columns.
+    """
+    out_columns = {}
+    key_schema_cols = []
+    for pos, name in enumerate(partial.key_columns):
+        src = schema.column(name)
+        key_schema_cols.append(Column(name, src.ctype))
+        out_columns[name] = src.ctype.coerce(
+            [key[pos] for key in partial.group_keys]
+        )
+    agg_schema_cols = []
+    for agg in aggregates:
+        agg_schema_cols.append(Column(agg.alias, ColumnType.FLOAT))
+        out_columns[agg.alias] = finalize_state(partial.states[agg.alias])
+    return Table(Schema(key_schema_cols + agg_schema_cols), out_columns)
+
+
 def group_by(
     table: Table,
     key_columns: Sequence[str],
@@ -54,24 +171,11 @@ def group_by(
     FLOAT column per aggregate, named by its alias.  With empty
     ``key_columns`` the result has a single row.
     """
-    group_ids, group_keys, num_groups = group_ids_for(table, key_columns)
-
-    out_columns = {}
-    key_schema_cols = []
-    for pos, name in enumerate(key_columns):
-        src = table.schema.column(name)
-        key_schema_cols.append(Column(name, src.ctype))
-        out_columns[name] = src.ctype.coerce([key[pos] for key in group_keys])
-
-    agg_schema_cols = []
-    for agg in aggregates:
-        values = agg.evaluate_input(table)
-        reduced = grouped_reduce(agg.func, values, group_ids, num_groups)
-        agg_schema_cols.append(Column(agg.alias, ColumnType.FLOAT))
-        out_columns[agg.alias] = reduced
-
-    schema = Schema(key_schema_cols + agg_schema_cols)
-    return Table(schema, out_columns)
+    return finalize_group_by(
+        partial_group_by(table, key_columns, aggregates),
+        table.schema,
+        aggregates,
+    )
 
 
 def distinct(table: Table, key_columns: Sequence[str]) -> Table:

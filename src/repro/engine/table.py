@@ -142,6 +142,16 @@ class Table:
         """First ``n`` rows."""
         return self.take(np.arange(min(n, self._num_rows)))
 
+    def slice(self, start: int, stop: int) -> "Table":
+        """Rows ``[start, stop)`` as zero-copy numpy views.
+
+        Unlike :meth:`take`, no data is copied: each column of the result is
+        a read-only view into this table's arrays, so partition-parallel
+        scans (:mod:`repro.engine.partition`) can split a table for free.
+        """
+        data = {n: arr[start:stop] for n, arr in self._columns.items()}
+        return Table(self._schema, data)
+
     def project(self, names: Sequence[str]) -> "Table":
         """Column subset, in the given order."""
         schema = self._schema.project(names)

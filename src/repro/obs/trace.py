@@ -45,6 +45,11 @@ class _NullSpan:
     def set(self, **attributes: Any) -> "_NullSpan":
         return self
 
+    def add_child_timing(
+        self, name: str, seconds: float, **attributes: Any
+    ) -> "_NullSpan":
+        return self
+
 
 NULL_SPAN = _NullSpan()
 
@@ -96,6 +101,23 @@ class Span:
         """Attach attributes (row counts, strategy names, ...)."""
         self.attributes.update(attributes)
         return self
+
+    def add_child_timing(
+        self, name: str, seconds: float, **attributes: Any
+    ) -> "Span":
+        """Attach an already-measured child span.
+
+        The tracer's nesting stack is not thread-safe, so work fanned out to
+        a worker pool (e.g. the parallel executor's per-partition scans)
+        measures its own wall time and the coordinating thread records it
+        here after the fact.  The child is closed on arrival and never
+        touches the stack.
+        """
+        child = Span(name, self._tracer, **attributes)
+        child._start = 0.0
+        child._end = float(seconds)
+        self.children.append(child)
+        return child
 
     @property
     def started(self) -> bool:

@@ -80,12 +80,31 @@ def finest_group_ids(
 
 
 def group_counts(
-    table: Table, grouping_columns: Sequence[str]
+    table: Table, grouping_columns: Sequence[str], scan=None
 ) -> Dict[GroupKey, int]:
-    """Tuple counts ``n_g`` per finest group ``g`` (all groups non-empty)."""
-    ids, keys = finest_group_ids(table, grouping_columns)
-    counts = np.bincount(ids, minlength=len(keys))
-    return {key: int(count) for key, count in zip(keys, counts)}
+    """Tuple counts ``n_g`` per finest group ``g`` (all groups non-empty).
+
+    ``scan`` (optionally) is a partitioned-scan runner exposing
+    ``map_partitions(table, fn)`` -- e.g. a
+    :class:`~repro.engine.executor.ParallelExecutor` -- in which case the
+    counting pass runs partition-parallel and the integer counts are merged
+    by addition (exact, order-independent).
+    """
+    if scan is None:
+        ids, keys = finest_group_ids(table, grouping_columns)
+        counts = np.bincount(ids, minlength=len(keys))
+        return {key: int(count) for key, count in zip(keys, counts)}
+    merged: Dict[GroupKey, int] = {}
+    partials = scan.map_partitions(
+        table, lambda part: group_counts(part.table, grouping_columns)
+    )
+    for partial in partials:
+        for key, count in partial.items():
+            merged[key] = merged.get(key, 0) + count
+    # Sorted key order matches the serial np.unique order, so downstream
+    # order-sensitive consumers (e.g. largest-remainder rounding ties)
+    # behave identically either way.
+    return {key: merged[key] for key in sorted(merged)}
 
 
 def project_key(

@@ -251,3 +251,52 @@ class TestObservabilityCommands:
             no_telemetry=True,
         ))
         assert not off.tracer.enabled and not off.metrics.enabled
+
+
+class TestParallelAndCacheCommands:
+    def test_parallel_show_and_set(self, shell):
+        sh, out = shell
+        sh.execute_line(".parallel")
+        assert "parallel scans:" in out.getvalue()
+        sh.execute_line(".parallel 4")
+        assert sh._aqua.parallel_config.workers == 4
+        sh.execute_line(".parallel off")
+        assert sh._aqua.executor is None
+        assert "parallel scans: off" in out.getvalue()
+
+    def test_parallel_usage(self, shell):
+        sh, out = shell
+        sh.execute_line(".parallel lots")
+        assert "usage: .parallel" in out.getvalue()
+
+    def test_cache_stats_and_clear(self, shell):
+        sh, out = shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".cache")
+        assert "1 hits / 1 misses" in out.getvalue()
+        sh.execute_line(".cache clear")
+        assert "dropped 1 cached answers" in out.getvalue()
+
+    def test_cache_resize_and_off(self, shell):
+        sh, out = shell
+        sh.execute_line(".cache 5")
+        assert sh._aqua.answer_cache.capacity == 5
+        sh.execute_line(".cache off")
+        assert sh._aqua.answer_cache is None
+        assert "answer cache: off" in out.getvalue()
+        sh.execute_line(".cache")  # showing the disabled cache is fine
+        sh.execute_line(".cache clear")
+
+    def test_cache_usage(self, shell):
+        sh, out = shell
+        sh.execute_line(".cache everything")
+        assert "usage: .cache" in out.getvalue()
+
+    def test_build_system_workers_flag(self):
+        import argparse
+
+        aqua = build_system(argparse.Namespace(
+            csv=None, table=None, grouping=None, budget=100, workers=2,
+        ))
+        assert aqua.parallel_config.workers == 2

@@ -1,0 +1,200 @@
+"""Edge cases of mergeable aggregate states.
+
+The invariants: merging must agree with a single serial pass; empty
+partitions and groups absent from a partition contribute nothing (and in
+particular never inject NaN/inf); single-row groups finalize to VAR 0.0,
+never NaN; genuine NaN *data* propagates exactly as in the serial reducers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    AggregateState,
+    ColumnType,
+    GroupByPartial,
+    Schema,
+    Table,
+    col,
+    finalize_state,
+    group_by,
+    grouped_reduce,
+    merge_group_partials,
+    merge_states,
+    partial_group_by,
+    partial_reduce,
+)
+
+FUNCS = ["count", "sum", "avg", "min", "max", "var"]
+
+
+def _merge_chunks(func, chunks, num_groups):
+    """Partial-reduce each (values, ids) chunk and merge over num_groups."""
+    partials = [
+        partial_reduce(func, np.asarray(values, dtype=np.float64),
+                       np.asarray(ids, dtype=np.int64), num_groups)
+        for values, ids in chunks
+    ]
+    identity = np.arange(num_groups)
+    return merge_states(partials, [identity] * len(partials), num_groups)
+
+
+class TestEmptyPartitions:
+    @pytest.mark.parametrize("func", FUNCS)
+    def test_empty_partition_is_identity(self, func):
+        values = np.array([1.0, 5.0, 2.0, 8.0])
+        ids = np.array([0, 0, 1, 1])
+        serial = grouped_reduce(func, values, ids, 2)
+        merged = _merge_chunks(
+            func,
+            [(values, ids), (np.empty(0), np.empty(0, dtype=np.int64))],
+            2,
+        )
+        np.testing.assert_array_equal(finalize_state(merged), serial)
+
+    @pytest.mark.parametrize("func", FUNCS)
+    def test_all_partitions_empty(self, func):
+        empty = (np.empty(0), np.empty(0, dtype=np.int64))
+        out = finalize_state(_merge_chunks(func, [empty, empty], 2))
+        serial = grouped_reduce(
+            func, np.empty(0), np.empty(0, dtype=np.int64), 2
+        )
+        np.testing.assert_array_equal(out, serial)
+        assert not np.isinf(out).any()
+
+    @pytest.mark.parametrize("func", ["min", "max", "avg", "var"])
+    def test_group_absent_from_one_partition(self, func):
+        """A group missing from a partition must not poison the merge."""
+        values = np.array([3.0, 7.0])
+        ids = np.array([0, 1])
+        serial = grouped_reduce(func, values, ids, 2)
+        merged = _merge_chunks(
+            func,
+            [(values[:1], ids[:1]), (values[1:], ids[1:] * 0 + 1)],
+            2,
+        )
+        np.testing.assert_array_equal(finalize_state(merged), serial)
+
+
+class TestNaNData:
+    @pytest.mark.parametrize("func", FUNCS)
+    def test_all_nan_column_matches_serial(self, func):
+        values = np.full(6, np.nan)
+        ids = np.array([0, 0, 0, 1, 1, 1])
+        serial = grouped_reduce(func, values, ids, 2)
+        merged = finalize_state(
+            _merge_chunks(func, [(values[:2], ids[:2]), (values[2:], ids[2:])], 2)
+        )
+        np.testing.assert_array_equal(merged, serial)
+        # COUNT still counts NaN rows; nothing becomes infinite.
+        if func == "count":
+            np.testing.assert_array_equal(merged, [3.0, 3.0])
+        assert not np.isinf(merged).any()
+
+    @pytest.mark.parametrize("func", ["min", "max", "sum", "avg"])
+    def test_nan_propagates_only_into_its_group(self, func):
+        values = np.array([1.0, np.nan, 4.0, 6.0])
+        ids = np.array([0, 0, 1, 1])
+        serial = grouped_reduce(func, values, ids, 2)
+        merged = finalize_state(
+            _merge_chunks(
+                func, [(values[:1], ids[:1]), (values[1:], ids[1:])], 2
+            )
+        )
+        np.testing.assert_array_equal(merged, serial)
+        assert np.isnan(merged[0]) and not np.isnan(merged[1])
+
+
+class TestSingleRowGroups:
+    def test_var_of_single_row_group_is_zero(self):
+        values = np.array([5.0, 1.0, 2.0, 3.0])
+        ids = np.array([0, 1, 1, 1])
+        merged = finalize_state(
+            _merge_chunks(
+                "var", [(values[:2], ids[:2]), (values[2:], ids[2:])], 2
+            )
+        )
+        assert merged[0] == 0.0
+        assert np.isfinite(merged).all()
+
+    def test_single_row_strata_split_across_partitions(self):
+        """Every group has one row and every partition has one group."""
+        values = np.array([2.0, 4.0, 8.0])
+        chunks = [(values[i : i + 1], np.array([i])) for i in range(3)]
+        for func in FUNCS:
+            serial = grouped_reduce(func, values, np.arange(3), 3)
+            merged = finalize_state(_merge_chunks(func, chunks, 3))
+            np.testing.assert_array_equal(merged, serial)
+            assert not np.isinf(merged).any()
+
+    def test_avg_is_not_average_of_averages(self):
+        """Skewed split: merged AVG must weight by count, not partitions."""
+        chunk_a = (np.array([10.0] * 9), np.zeros(9, dtype=np.int64))
+        chunk_b = (np.array([0.0]), np.zeros(1, dtype=np.int64))
+        merged = finalize_state(_merge_chunks("avg", [chunk_a, chunk_b], 1))
+        assert merged[0] == pytest.approx(9.0)  # not (10 + 0) / 2 = 5
+
+
+class TestStateMerging:
+    def test_merge_remaps_group_indices(self):
+        """Partials over different key universes merge via index maps."""
+        a = partial_reduce("sum", np.array([1.0, 2.0]), np.array([0, 1]), 2)
+        b = partial_reduce("sum", np.array([10.0]), np.array([0]), 1)
+        # a's groups map to merged slots (0, 2); b's group to slot 2.
+        merged = merge_states(
+            [a, b], [np.array([0, 2]), np.array([2])], 3
+        )
+        np.testing.assert_array_equal(finalize_state(merged), [1.0, 0.0, 12.0])
+
+    def test_merge_rejects_mixed_functions(self):
+        a = partial_reduce("sum", np.array([1.0]), np.array([0]), 1)
+        b = partial_reduce("avg", np.array([1.0]), np.array([0]), 1)
+        with pytest.raises(ValueError):
+            merge_states([a, b], [np.array([0]), np.array([0])], 1)
+
+    def test_merge_group_partials_sorted_key_union(self):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        left = Table.from_columns(schema, g=["c", "a"], v=[1.0, 2.0])
+        right = Table.from_columns(schema, g=["b", "a"], v=[3.0, 4.0])
+        aggregates = [Aggregate("sum", col("v"), "s")]
+        merged = merge_group_partials(
+            [
+                partial_group_by(left, ["g"], aggregates),
+                partial_group_by(right, ["g"], aggregates),
+            ]
+        )
+        assert merged.group_keys == [("a",), ("b",), ("c",)]
+        out = finalize_state(merged.states["s"])
+        np.testing.assert_array_equal(out, [6.0, 3.0, 1.0])
+
+    def test_empty_partial_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_group_partials([])
+
+    def test_state_num_groups(self):
+        state = partial_reduce(
+            "min", np.array([1.0, 2.0]), np.array([0, 1]), 2
+        )
+        assert isinstance(state, AggregateState)
+        assert state.num_groups == 2
+
+
+class TestGroupByEndToEnd:
+    def test_group_by_equals_partial_then_finalize(self, skewed_table):
+        """The serial group_by is literally the K=1 partial/merge path."""
+        aggregates = [
+            Aggregate("avg", col("q"), "m"),
+            Aggregate("var", col("q"), "s2"),
+        ]
+        serial = group_by(skewed_table, ["a", "b"], aggregates)
+        from repro.engine import finalize_group_by
+
+        partial = partial_group_by(skewed_table, ["a", "b"], aggregates)
+        rebuilt = finalize_group_by(
+            merge_group_partials([partial]), skewed_table.schema, aggregates
+        )
+        for name in serial.schema.names:
+            np.testing.assert_array_equal(
+                serial.column(name), rebuilt.column(name)
+            )

@@ -1,0 +1,232 @@
+"""The parallel executor must be indistinguishable from the serial one."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Catalog,
+    ColumnType,
+    ParallelConfig,
+    ParallelExecutor,
+    Schema,
+    Table,
+    execute,
+    parse_query,
+)
+from repro.obs import Telemetry
+
+QUERIES = [
+    "select g, count(*) c from t group by g",
+    "select g, sum(v) s from t group by g",
+    "select g, avg(v) m from t group by g",
+    "select g, min(v) lo, max(v) hi from t group by g",
+    "select g, var(v) vv from t group by g",
+    "select g, h, sum(v) s, avg(v) m from t group by g, h",
+    "select g, sum(v) s from t where v > 0 group by g",
+    "select g, count(*) c from t group by g having c > 50",
+    "select g, sum(v) s from t group by g order by s limit 3",
+    "select count(*) c, avg(v) m from t",
+    "select sum(v) s from t where v > 1e9",  # empty after filter
+]
+
+
+def _catalog(rng, n=4000):
+    schema = Schema.of(
+        ("g", ColumnType.STR), ("h", ColumnType.INT), ("v", ColumnType.FLOAT)
+    )
+    table = Table.from_columns(
+        schema,
+        g=rng.choice(["a", "b", "c", "d", "e"], size=n, p=[0.5, 0.3, 0.1, 0.05, 0.05]),
+        h=rng.integers(0, 4, size=n),
+        v=rng.exponential(10.0, size=n) - 5.0,
+    )
+    catalog = Catalog()
+    catalog.register("t", table)
+    return catalog
+
+
+def _assert_tables_match(left: Table, right: Table, rtol=1e-9):
+    assert left.schema.names == right.schema.names
+    assert left.num_rows == right.num_rows
+    for name in left.schema.names:
+        a, b = left.column(name), right.column(name)
+        if np.asarray(a).dtype.kind == "f":
+            np.testing.assert_allclose(a, b, rtol=rtol, equal_nan=True)
+        else:
+            assert np.array_equal(a, b)
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_range_partitions(self, rng, sql, k):
+        catalog = _catalog(rng)
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=k, min_partition_rows=1)
+        )
+        serial = execute(parse_query(sql), catalog)
+        parallel = execute(parse_query(sql), catalog, parallel=executor)
+        _assert_tables_match(serial, parallel)
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_hash_partitions(self, rng, sql):
+        catalog = _catalog(rng)
+        executor = ParallelExecutor(
+            ParallelConfig(
+                max_workers=4, min_partition_rows=1, partition_mode="hash"
+            )
+        )
+        serial = execute(parse_query(sql), catalog)
+        parallel = execute(parse_query(sql), catalog, parallel=executor)
+        _assert_tables_match(serial, parallel)
+
+    def test_serial_backend_matches_threads(self, rng):
+        catalog = _catalog(rng)
+        sql = "select g, avg(v) m, var(v) s2 from t group by g"
+        threads = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1)
+        )
+        inline = ParallelExecutor(
+            ParallelConfig(
+                max_workers=4, min_partition_rows=1, backend="serial"
+            )
+        )
+        _assert_tables_match(
+            execute(parse_query(sql), catalog, parallel=threads),
+            execute(parse_query(sql), catalog, parallel=inline),
+            rtol=0,  # same partitioning, same merge order: bit-identical
+        )
+
+    def test_subquery_from_item(self, rng):
+        catalog = _catalog(rng)
+        sql = (
+            "select g, sum(s) total from "
+            "(select g, h, sum(v) s from t group by g, h) sub group by g"
+        )
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=3, min_partition_rows=1)
+        )
+        _assert_tables_match(
+            execute(parse_query(sql), catalog),
+            execute(parse_query(sql), catalog, parallel=executor),
+        )
+
+
+class TestEligibility:
+    def test_partition_count_respects_min_rows(self):
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=8, min_partition_rows=100)
+        )
+        assert executor.partition_count(0) == 1
+        assert executor.partition_count(150) == 1
+        assert executor.partition_count(250) == 2
+        assert executor.partition_count(10_000) == 8
+
+    def test_min_rows_zero_always_partitions(self):
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=0)
+        )
+        assert executor.partition_count(5) == 4
+
+    def test_small_input_falls_back_serially(self, rng):
+        telemetry = Telemetry.enabled()
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1_000_000),
+            telemetry,
+        )
+        catalog = _catalog(rng)
+        execute(
+            parse_query("select g, sum(v) s from t group by g"),
+            catalog,
+            parallel=executor,
+        )
+        text = telemetry.metrics.to_prometheus()
+        assert (
+            'engine_parallel_fallbacks_total{reason="small_input"} 1' in text
+        )
+        assert "engine_parallel_scans_total" not in text
+
+    def test_projection_plan_falls_back_serially(self, rng):
+        telemetry = Telemetry.enabled()
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1), telemetry
+        )
+        catalog = _catalog(rng)
+        execute(
+            parse_query("select g, v from t where v > 0"),
+            catalog,
+            parallel=executor,
+        )
+        text = telemetry.metrics.to_prometheus()
+        assert (
+            'engine_parallel_fallbacks_total{reason="unsupported_plan"} 1'
+            in text
+        )
+
+    def test_parallel_scan_metrics_and_spans(self, rng):
+        telemetry = Telemetry.enabled()
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1), telemetry
+        )
+        catalog = _catalog(rng)
+        with telemetry.tracer.span("root") as root:
+            execute(
+                parse_query("select g, sum(v) s from t group by g"),
+                catalog,
+                parallel=executor,
+            )
+        scan = root.children[0]
+        assert scan.name == "parallel_scan"
+        assert scan.attributes["partitions"] == 4
+        children = [c for c in scan.children if c.name == "partition_scan"]
+        assert len(children) == 4
+        assert sum(c.attributes["rows"] for c in children) == 4000
+        text = telemetry.metrics.to_prometheus()
+        assert 'engine_parallel_scans_total{backend="threads"} 1' in text
+        assert "engine_partitions_scanned_total 4" in text
+
+
+class TestParallelConfig:
+    def test_from_env_opt_in(self):
+        assert ParallelConfig.from_env({}) is None
+        assert ParallelConfig.from_env({"REPRO_PARALLEL_WORKERS": ""}) is None
+        assert (
+            ParallelConfig.from_env({"REPRO_PARALLEL_WORKERS": "bogus"})
+            is None
+        )
+        assert ParallelConfig.from_env({"REPRO_PARALLEL_WORKERS": "0"}) is None
+
+    def test_from_env_full(self):
+        config = ParallelConfig.from_env(
+            {
+                "REPRO_PARALLEL_WORKERS": "4",
+                "REPRO_PARALLEL_MIN_ROWS": "123",
+                "REPRO_PARALLEL_BACKEND": "serial",
+            }
+        )
+        assert config.workers == 4
+        assert config.min_partition_rows == 123
+        assert config.backend == "serial"
+
+    def test_env_default_forces_partitioning(self):
+        config = ParallelConfig.from_env({"REPRO_PARALLEL_WORKERS": "2"})
+        assert config.min_partition_rows == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="processes")
+        with pytest.raises(ValueError):
+            ParallelConfig(partition_mode="radix")
+        with pytest.raises(ValueError):
+            ParallelConfig(max_workers=-1)
+
+    def test_map_partitions_preserves_order(self, rng):
+        catalog = _catalog(rng)
+        table = catalog.get("t")
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1)
+        )
+        firsts = executor.map_partitions(
+            table, lambda part: part.row_offset
+        )
+        assert firsts == sorted(firsts)

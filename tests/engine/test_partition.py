@@ -1,0 +1,123 @@
+"""Unit tests for table partitioning (range and hash modes)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ColumnType, Partition, Partitioner, Schema, Table
+
+
+@pytest.fixture
+def table(rng):
+    schema = Schema.of(
+        ("g", ColumnType.STR), ("h", ColumnType.INT), ("v", ColumnType.FLOAT)
+    )
+    n = 1000
+    return Table.from_columns(
+        schema,
+        g=rng.choice(["a", "b", "c", "d"], size=n),
+        h=rng.integers(0, 7, size=n),
+        v=rng.normal(size=n),
+    )
+
+
+class TestRangePartitioner:
+    def test_covers_all_rows_in_order(self, table):
+        for k in (1, 2, 3, 7, 16):
+            parts = Partitioner("range").split(table, k)
+            assert len(parts) == k
+            assert sum(p.num_rows for p in parts) == table.num_rows
+            rebuilt = np.concatenate([p.table.column("v") for p in parts])
+            assert np.array_equal(rebuilt, table.column("v"))
+
+    def test_row_offsets_are_parent_indices(self, table):
+        parts = Partitioner("range").split(table, 4)
+        v = table.column("v")
+        for part in parts:
+            stop = part.row_offset + part.num_rows
+            assert np.array_equal(
+                part.table.column("v"), v[part.row_offset : stop]
+            )
+        assert parts[0].row_offset == 0
+        assert [p.index for p in parts] == [0, 1, 2, 3]
+
+    def test_partitions_are_views_not_copies(self, table):
+        parts = Partitioner("range").split(table, 4)
+        for part in parts:
+            assert part.table.column("v").base is not None
+
+    def test_even_split(self, table):
+        parts = Partitioner("range").split(table, 3)
+        sizes = [p.num_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_partitions_than_rows(self):
+        schema = Schema.of(("v", ColumnType.FLOAT))
+        tiny = Table.from_columns(schema, v=[1.0, 2.0, 3.0])
+        parts = Partitioner("range").split(tiny, 10)
+        assert len(parts) == 3
+        assert all(p.num_rows == 1 for p in parts)
+
+    def test_empty_table_yields_single_empty_partition(self):
+        schema = Schema.of(("v", ColumnType.FLOAT))
+        empty = Table.from_columns(schema, v=[])
+        parts = Partitioner("range").split(empty, 5)
+        assert len(parts) == 1
+        assert parts[0].num_rows == 0
+        assert parts[0].row_offset == 0
+
+    def test_invalid_k(self, table):
+        with pytest.raises(ValueError):
+            Partitioner("range").split(table, 0)
+
+
+class TestHashPartitioner:
+    def test_covers_all_rows(self, table):
+        parts = Partitioner("hash", hash_columns=["g"]).split(table, 3)
+        assert sum(p.num_rows for p in parts) == table.num_rows
+
+    def test_groups_never_straddle_partitions(self, table):
+        parts = Partitioner("hash", hash_columns=["g", "h"]).split(table, 4)
+        seen = {}
+        for part in parts:
+            g = part.table.column("g")
+            h = part.table.column("h")
+            for key in {(g[i], int(h[i])) for i in range(part.num_rows)}:
+                assert key not in seen, f"group {key} in two partitions"
+                seen[key] = part.index
+        assert len(seen) > 0
+
+    def test_hash_partitions_have_no_offset(self, table):
+        parts = Partitioner("hash", hash_columns=["g"]).split(table, 3)
+        assert all(p.row_offset == -1 for p in parts)
+
+    def test_empty_buckets_dropped(self):
+        schema = Schema.of(("g", ColumnType.STR), ("v", ColumnType.FLOAT))
+        two_groups = Table.from_columns(
+            schema, g=["a", "a", "b"], v=[1.0, 2.0, 3.0]
+        )
+        parts = Partitioner("hash", hash_columns=["g"]).split(two_groups, 16)
+        assert 1 <= len(parts) <= 2
+        assert all(p.num_rows > 0 for p in parts)
+        # Partition indices stay dense even when buckets are dropped.
+        assert [p.index for p in parts] == list(range(len(parts)))
+
+    def test_requires_hash_columns(self):
+        with pytest.raises(ValueError):
+            Partitioner("hash")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Partitioner("radix")
+
+
+class TestTableSlice:
+    def test_slice_matches_take(self, table):
+        sliced = table.slice(100, 250)
+        assert sliced.num_rows == 150
+        assert np.array_equal(
+            sliced.column("v"), table.column("v")[100:250]
+        )
+
+    def test_slice_is_zero_copy(self, table):
+        sliced = table.slice(0, 10)
+        assert np.shares_memory(sliced.column("v"), table.column("v"))

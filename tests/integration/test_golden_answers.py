@@ -1,0 +1,190 @@
+"""Golden regression suite for Expt-1-style allocations and answers.
+
+A seeded Zipf-skewed table (Section 7.1.1 shape: Zipf group sizes, skewed
+measure column) is pushed through every allocation strategy and through the
+full approximate-answering pipeline.  Every number -- fractional
+allocations, rounded sample sizes, per-group estimates, error-bound
+half-widths, and the exact answers -- is compared against a checked-in
+golden file; any drift beyond 1e-9 relative fails.
+
+The goldens pin the *implementation's* reproducibility, not the paper's
+ground truth: they catch silent numerical drift from refactors (e.g. the
+partial/merge aggregate rewrite) the ordinary assertions are too loose to
+see.
+
+Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_answers.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.core import BasicCongress, Congress, House, Senate
+from repro.core.allocation import allocate_from_table
+from repro.engine import Column, ColumnType, Schema, Table
+from repro.synthetic.zipf import zipf_choice, zipf_sizes
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "expt1_zipf.json"
+TOLERANCE = 1e-9
+
+STRATEGIES = {
+    "house": House,
+    "senate": Senate,
+    "basic_congress": BasicCongress,
+    "congress": Congress,
+}
+
+QUERIES = [
+    "SELECT a, SUM(v) AS s FROM zipf GROUP BY a",
+    "SELECT a, COUNT(*) AS c FROM zipf GROUP BY a",
+    "SELECT a, b, AVG(v) AS m FROM zipf GROUP BY a, b",
+    "SELECT b, SUM(v) AS s FROM zipf WHERE v > 50 GROUP BY b",
+]
+
+BUDGET = 600
+SEED = 20260806
+
+
+def _zipf_table() -> Table:
+    """12 Zipf(1.0)-sized groups x 2 subgroups, Zipf(0.86) measure values."""
+    rng = np.random.default_rng(SEED)
+    n = 10_000
+    sizes = zipf_sizes(n, 12, z=1.0)
+    a = np.repeat([f"g{i:02d}" for i in range(12)], sizes)
+    b = rng.choice(["u", "w"], size=n, p=[0.8, 0.2])
+    v = zipf_choice(
+        np.linspace(1.0, 1000.0, 200), z=0.86, size=n, rng=rng
+    )
+    schema = Schema(
+        [
+            Column("a", ColumnType.STR, "grouping"),
+            Column("b", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    return Table(schema, {"a": a, "b": b, "v": v})
+
+
+def _key_str(key) -> str:
+    return "|".join(str(part) for part in key)
+
+
+def _table_payload(table: Table) -> dict:
+    out = {}
+    for name in table.schema.names:
+        values = table.column(name)
+        if np.asarray(values).dtype.kind == "f":
+            out[name] = [float(x) for x in values]
+        else:
+            out[name] = [str(x) for x in values]
+    return out
+
+
+def compute_golden() -> dict:
+    table = _zipf_table()
+    payload = {"seed": SEED, "budget": BUDGET, "allocations": {}, "queries": {}}
+
+    for name, strategy in STRATEGIES.items():
+        allocation = allocate_from_table(
+            strategy(), table, ["a", "b"], BUDGET
+        )
+        payload["allocations"][name] = {
+            "fractional": {
+                _key_str(k): v for k, v in sorted(allocation.fractional.items())
+            },
+            "rounded": {
+                _key_str(k): v for k, v in sorted(allocation.rounded().items())
+            },
+            "scale_down_factor": allocation.scale_down_factor,
+        }
+
+    # Full pipeline under Congress: estimates, error bounds, exact truth.
+    # Guard off: goldens pin the raw estimator output, not repair behaviour.
+    system = AquaSystem(
+        space_budget=BUDGET,
+        allocation_strategy=Congress(),
+        rng=np.random.default_rng(SEED + 1),
+        guard_policy=False,
+    )
+    system.register_table("zipf", table)
+    for sql in QUERIES:
+        answer = system.answer(sql)
+        exact = system.exact(sql)
+        payload["queries"][sql] = {
+            "approximate": _table_payload(answer.result),
+            "exact": _table_payload(exact),
+        }
+    return payload
+
+
+def _assert_close(expected, actual, path):
+    assert type(expected) is type(actual) or (
+        isinstance(expected, (int, float)) and isinstance(actual, (int, float))
+    ), f"{path}: type changed {type(expected)} -> {type(actual)}"
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{path}: keys drifted"
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: length drifted"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        if np.isnan(expected):
+            assert np.isnan(actual), f"{path}: {actual} != NaN"
+        else:
+            assert actual == pytest.approx(
+                expected, rel=TOLERANCE, abs=TOLERANCE
+            ), f"{path}: {actual} drifted from golden {expected}"
+    else:
+        assert expected == actual, f"{path}: {actual} != {expected}"
+
+
+class TestGoldenAnswers:
+    def test_matches_golden_file(self):
+        actual = compute_golden()
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(actual, indent=1, sort_keys=True))
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing; regenerate with REPRO_REGEN_GOLDENS=1 "
+            f"({GOLDEN_PATH})"
+        )
+        expected = json.loads(GOLDEN_PATH.read_text())
+        _assert_close(expected, actual, "golden")
+
+    def test_golden_is_deterministic(self):
+        """Two fresh computations agree exactly (seeded end to end)."""
+        first = compute_golden()
+        second = compute_golden()
+        _assert_close(first, second, "repeat")
+
+    def test_parallel_execution_reproduces_golden_exact_answers(self):
+        """The parallel executor reproduces the goldens' exact answers."""
+        from repro.engine import ParallelConfig
+
+        table = _zipf_table()
+        system = AquaSystem(
+            space_budget=BUDGET,
+            allocation_strategy=Congress(),
+            rng=np.random.default_rng(SEED + 1),
+            guard_policy=False,
+            parallel=ParallelConfig(max_workers=4, min_partition_rows=1),
+        )
+        system.register_table("zipf", table)
+        if not GOLDEN_PATH.exists():
+            pytest.skip("golden file not generated yet")
+        expected = json.loads(GOLDEN_PATH.read_text())
+        for sql in QUERIES:
+            actual = _table_payload(system.exact(sql))
+            _assert_close(
+                expected["queries"][sql]["exact"], actual, f"parallel {sql}"
+            )
