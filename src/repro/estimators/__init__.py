@@ -8,9 +8,11 @@ from .errors import (
     hoeffding_halfwidth_mean,
     hoeffding_halfwidth_stratified_sum,
     hoeffding_halfwidth_sum,
+    normal_halfwidth,
+    normal_quantile,
     standard_error,
 )
-from .point import GroupEstimate, estimate, estimate_single
+from .point import GroupEstimate, estimate, estimate_single, group_support
 
 __all__ = [
     "DEFAULT_CONFIDENCE",
@@ -21,7 +23,10 @@ __all__ = [
     "estimate",
     "estimate_single",
     "hoeffding_halfwidth_mean",
+    "group_support",
     "hoeffding_halfwidth_stratified_sum",
     "hoeffding_halfwidth_sum",
+    "normal_halfwidth",
+    "normal_quantile",
     "standard_error",
 ]

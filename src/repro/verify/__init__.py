@@ -1,0 +1,65 @@
+"""Seeded statistical verification of the estimator/bound pipeline.
+
+The subsystem behind ``python -m repro.verify`` and the ``statistical``
+pytest marker:
+
+* :mod:`~repro.verify.calibration` -- replication-based CI-coverage and
+  unbiasedness calibration over the allocation x rewrite x bound grid;
+* :mod:`~repro.verify.metamorphic` -- exact invariants (scale invariance,
+  group permutation, subset-sum consistency, parallel == serial == cached);
+* :mod:`~repro.verify.stats` -- Wilson tolerance bands and bias
+  t-statistics that make the checks themselves statistically sound;
+* :mod:`~repro.verify.testbed` -- the seeded Zipf relation and the
+  paper's query classes used as ground truth;
+* :mod:`~repro.verify.report` -- the JSON artifact
+  (``benchmarks/results/CALIBRATION.json``) and pass/fail roll-up.
+"""
+
+from .calibration import (
+    ALLOCATION_REGISTRY,
+    BiasResult,
+    CalibrationConfig,
+    CalibrationResult,
+    CalibrationRunner,
+    CellResult,
+    PairSummary,
+    allocation_by_name,
+    negative_control,
+)
+from .metamorphic import MetamorphicResult, run_metamorphic
+from .report import (
+    DEFAULT_REPORT_PATH,
+    VerificationReport,
+    run_verification,
+)
+from .stats import (
+    CoverageCheck,
+    bias_t_statistic,
+    check_coverage,
+    wilson_interval,
+)
+from .testbed import Testbed, TestbedConfig, qmix
+
+__all__ = [
+    "ALLOCATION_REGISTRY",
+    "BiasResult",
+    "CalibrationConfig",
+    "CalibrationResult",
+    "CalibrationRunner",
+    "CellResult",
+    "CoverageCheck",
+    "DEFAULT_REPORT_PATH",
+    "MetamorphicResult",
+    "PairSummary",
+    "Testbed",
+    "TestbedConfig",
+    "VerificationReport",
+    "allocation_by_name",
+    "bias_t_statistic",
+    "check_coverage",
+    "negative_control",
+    "qmix",
+    "run_metamorphic",
+    "run_verification",
+    "wilson_interval",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` -- see :mod:`repro.verify.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

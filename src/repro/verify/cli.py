@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.verify [--quick|--full]``.
+
+Runs the statistical verification suite -- replication calibration,
+metamorphic invariants, negative control -- prints a summary, writes the
+JSON artifact, and exits nonzero on any defect.  ``--quick`` is the CI
+campaign (seconds); ``--full`` is the nightly-sized one (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..obs import Telemetry
+from .report import DEFAULT_REPORT_PATH, run_verification
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Statistical verification of the estimator/bound "
+        "pipeline: CI coverage calibration, bias tests, metamorphic "
+        "invariants, and a deliberately biased negative control.",
+    )
+    size = parser.add_mutually_exclusive_group()
+    size.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized campaign (default): full allocation x rewrite grid "
+        "on the small Zipf testbed",
+    )
+    size.add_argument(
+        "--full",
+        action="store_true",
+        help="nightly-sized campaign: more replications, larger relation",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2026, help="master seed (default 2026)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(DEFAULT_REPORT_PATH),
+        help=f"JSON report path (default {DEFAULT_REPORT_PATH}); "
+        "'-' to skip writing",
+    )
+    parser.add_argument(
+        "--no-control",
+        action="store_true",
+        help="skip the negative control campaign",
+    )
+    parser.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic invariant sweep",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry on the calibration runner and print the "
+        "metrics dump",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    telemetry = Telemetry.enabled() if args.trace else None
+    report = run_verification(
+        mode="full" if args.full else "quick",
+        seed=args.seed,
+        telemetry=telemetry,
+        with_control=not args.no_control,
+        with_metamorphic=not args.no_metamorphic,
+    )
+    print(report.summary())
+    if args.output != "-":
+        path = report.save(args.output)
+        print(f"report written to {path}")
+    if telemetry is not None:
+        for name, data in sorted(telemetry.metrics.snapshot().items()):
+            print(f"{name}: {data}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,307 @@
+"""Metamorphic invariants of the answer pipeline.
+
+Calibration (:mod:`repro.verify.calibration`) measures *statistical*
+properties over replications.  The checks here are exact, deterministic
+relations that must hold on a single seeded sample -- violations are
+always defects, never noise:
+
+* **Scale invariance** -- multiplying an aggregate column by a constant
+  scales every per-group SUM estimate and its standard error by the same
+  constant, so relative errors are unchanged.
+* **Group permutation invariance** -- permuting the order of the GROUP BY
+  columns only transposes the group keys, and relabelling the group
+  values only renames the groups; estimates follow the renaming exactly.
+* **Subset-sum consistency** -- under a congressional sample, the
+  per-group SUM estimates add up to the no-GROUP-BY SUM estimate of the
+  same query (both are the same sum over scaled sample tuples).
+* **Execution equivalence** -- partition-parallel execution, serial
+  execution, and a cache hit all return the identical answer table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aqua.system import AquaSystem, ParallelConfig
+from ..core import Congress, build_sample
+from ..engine.table import Table
+from ..estimators.point import estimate
+from ..sampling.groups import GroupKey
+from ..sampling.stratified import StratifiedSample, Stratum
+from ..synthetic.queries import qg2
+from .testbed import TABLE_NAME, Testbed, TestbedConfig, result_by_group
+
+__all__ = ["MetamorphicResult", "run_metamorphic"]
+
+_RTOL = 1e-9
+_BUDGET = 600
+
+
+@dataclass
+class MetamorphicResult:
+    """Outcome of one metamorphic sweep: which checks ran, what broke."""
+
+    seed: int
+    checks: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "checks": list(self.checks),
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_RTOL, abs_tol=1e-9)
+
+
+def _congress_sample(testbed: Testbed, seed: int) -> StratifiedSample:
+    return build_sample(
+        Congress(),
+        testbed.table,
+        testbed.grouping_columns,
+        _BUDGET,
+        rng=np.random.default_rng(seed),
+    )
+
+
+_SUM_ALIAS = {"l_quantity": "sum_qty", "l_extendedprice": "sum_price"}
+
+
+def _sum_estimates(
+    sample: StratifiedSample,
+    testbed: Testbed,
+    column: str,
+    group_by: Sequence[str],
+):
+    query = qg2().query
+    expr = next(
+        a.expr for a in query.aggregates() if a.alias == _SUM_ALIAS[column]
+    )
+    return estimate(sample, "sum", expr, group_by=group_by)
+
+
+def check_scale_invariance(
+    testbed: Testbed, seed: int, scale: float = 8.0
+) -> List[str]:
+    """Scaling ``l_quantity`` by a constant scales estimates and standard
+    errors by the same constant, leaving relative errors unchanged."""
+    out: List[str] = []
+    sample = _congress_sample(testbed, seed)
+    base = _sum_estimates(
+        sample, testbed, "l_quantity", testbed.grouping_columns[:2]
+    )
+    columns = testbed.table.columns()
+    columns["l_quantity"] = columns["l_quantity"] * scale
+    scaled_table = Table(testbed.table.schema, columns)
+    # Same strata (row indices are label-independent), scaled values.
+    scaled_sample = StratifiedSample(
+        scaled_table,
+        testbed.grouping_columns,
+        {key: sample.strata[key] for key in sample.strata},
+    )
+    scaled = _sum_estimates(
+        scaled_sample, testbed, "l_quantity", testbed.grouping_columns[:2]
+    )
+    if set(base) != set(scaled):
+        return [
+            "scale_invariance: scaling the aggregate column changed the "
+            f"group set ({len(base)} vs {len(scaled)} groups)"
+        ]
+    for key, left in base.items():
+        right = scaled[key]
+        if not _close(left.value * scale, right.value):
+            out.append(
+                f"scale_invariance: group {key} estimate "
+                f"{left.value!r} * {scale} != {right.value!r}"
+            )
+        if not _close(left.std_error * scale, right.std_error):
+            out.append(
+                f"scale_invariance: group {key} std error "
+                f"{left.std_error!r} * {scale} != {right.std_error!r}"
+            )
+    return out
+
+
+def check_group_permutation(testbed: Testbed, seed: int) -> List[str]:
+    """Permuting GROUP BY column order transposes keys; permuting group
+    labels renames groups.  Estimates must follow exactly."""
+    out: List[str] = []
+    sample = _congress_sample(testbed, seed)
+    cols = testbed.grouping_columns[:2]
+    forward = _sum_estimates(sample, testbed, "l_quantity", cols)
+    swapped = _sum_estimates(
+        sample, testbed, "l_quantity", (cols[1], cols[0])
+    )
+    for key, left in forward.items():
+        right = swapped.get((key[1], key[0]))
+        if right is None or not _close(left.value, right.value):
+            out.append(
+                f"group_permutation: GROUP BY {cols} group {key} = "
+                f"{left.value!r} but swapped order gives "
+                f"{right.value if right else None!r}"
+            )
+
+    # Label permutation: relabel l_returnflag by an order-reversing map.
+    flags = testbed.table.column(cols[0])
+    low, high = int(flags.min()), int(flags.max())
+    relabel: Callable[[int], int] = lambda v: low + high - v
+    columns = testbed.table.columns()
+    columns[cols[0]] = (low + high) - columns[cols[0]]
+    relabeled_table = Table(testbed.table.schema, columns)
+    position = testbed.grouping_columns.index(cols[0])
+
+    def permuted_key(key: GroupKey) -> GroupKey:
+        return tuple(
+            relabel(part) if i == position else part
+            for i, part in enumerate(key)
+        )
+
+    relabeled_sample = StratifiedSample(
+        relabeled_table,
+        testbed.grouping_columns,
+        {
+            permuted_key(key): Stratum(
+                permuted_key(key), stratum.population, stratum.row_indices
+            )
+            for key, stratum in sample.strata.items()
+        },
+    )
+    relabeled = _sum_estimates(
+        relabeled_sample, testbed, "l_quantity", cols
+    )
+    for key, left in forward.items():
+        image = (relabel(key[0]), key[1])
+        right = relabeled.get(image)
+        if right is None or not _close(left.value, right.value):
+            out.append(
+                f"group_permutation: relabelled group {image} should equal "
+                f"group {key} = {left.value!r}, got "
+                f"{right.value if right else None!r}"
+            )
+    return out
+
+
+def check_subset_sum(testbed: Testbed, seed: int) -> List[str]:
+    """Per-group SUM estimates add up to the no-GROUP-BY estimate -- both
+    are the same scaled sum over the congressional sample."""
+    out: List[str] = []
+    sample = _congress_sample(testbed, seed)
+    for column in ("l_quantity", "l_extendedprice"):
+        grouped = _sum_estimates(
+            sample, testbed, column, testbed.grouping_columns[:2]
+        )
+        total = _sum_estimates(sample, testbed, column, ())
+        grouped_total = sum(e.value for e in grouped.values())
+        ungrouped = total[()].value
+        if not math.isclose(grouped_total, ungrouped, rel_tol=_RTOL):
+            out.append(
+                f"subset_sum: SUM({column}) per-group estimates add to "
+                f"{grouped_total!r} but the no-GROUP-BY estimate is "
+                f"{ungrouped!r}"
+            )
+    return out
+
+
+def _answer_columns(answer) -> Dict[str, np.ndarray]:
+    return answer.result.columns()
+
+
+def _compare_answers(label: str, left, right) -> List[str]:
+    out: List[str] = []
+    lcols, rcols = _answer_columns(left), _answer_columns(right)
+    if set(lcols) != set(rcols):
+        return [
+            f"{label}: answer columns differ: "
+            f"{sorted(lcols)} vs {sorted(rcols)}"
+        ]
+    for name in sorted(lcols):
+        a, b = lcols[name], rcols[name]
+        if len(a) != len(b):
+            out.append(
+                f"{label}: column {name} has {len(a)} vs {len(b)} rows"
+            )
+        elif not (
+            np.array_equal(a, b)
+            or (
+                np.issubdtype(a.dtype, np.floating)
+                and np.allclose(a, b, rtol=_RTOL, atol=1e-9, equal_nan=True)
+            )
+        ):
+            out.append(f"{label}: column {name} differs between answers")
+    return out
+
+
+def check_execution_equivalence(
+    testbed: Testbed, seed: int
+) -> List[str]:
+    """Serial, partition-parallel, and cached execution return the same
+    answer table for the same synopsis."""
+    out: List[str] = []
+    sql = qg2().sql
+
+    def system(parallel) -> AquaSystem:
+        sys_ = AquaSystem(
+            _BUDGET,
+            allocation_strategy=Congress(),
+            rng=np.random.default_rng(seed),
+            parallel=parallel,
+            cache=True,
+        )
+        sys_.register_table(
+            TABLE_NAME, testbed.table, testbed.grouping_columns
+        )
+        return sys_
+
+    serial = system(False)
+    parallel = system(
+        ParallelConfig(max_workers=2, min_partition_rows=0)
+    )
+    first = serial.answer(sql)
+    out.extend(
+        _compare_answers(
+            "parallel_vs_serial", first, parallel.answer(sql)
+        )
+    )
+    cached = serial.answer(sql)
+    stats = serial.answer_cache.stats
+    if stats.hits < 1:
+        out.append(
+            "parallel_serial_cached: repeated answer was not served from "
+            f"the cache (stats: {stats!r})"
+        )
+    out.extend(_compare_answers("cached_vs_fresh", first, cached))
+    return out
+
+
+_CHECKS: Tuple[Tuple[str, Callable[[Testbed, int], List[str]]], ...] = (
+    ("scale_invariance", check_scale_invariance),
+    ("group_permutation", check_group_permutation),
+    ("subset_sum", check_subset_sum),
+    ("execution_equivalence", check_execution_equivalence),
+)
+
+
+def run_metamorphic(
+    seed: int = 2026,
+    testbed: Optional[Testbed] = None,
+) -> MetamorphicResult:
+    """Run every metamorphic check on one seeded testbed."""
+    if testbed is None:
+        testbed = Testbed(TestbedConfig())
+    result = MetamorphicResult(seed=seed)
+    for name, check in _CHECKS:
+        result.checks.append(name)
+        result.violations.extend(check(testbed, seed))
+    return result

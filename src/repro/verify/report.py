@@ -1,0 +1,175 @@
+"""Assemble, summarize, and persist one verification run.
+
+A :class:`VerificationReport` bundles the three sub-results -- the
+replication calibration campaign, the metamorphic sweep, and the
+negative-control campaign (which must *fail*, proving the harness has
+power) -- and writes the JSON artifact that CI and the benchmarks
+directory track (``benchmarks/results/CALIBRATION.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..obs import Telemetry
+from .calibration import (
+    CalibrationConfig,
+    CalibrationResult,
+    CalibrationRunner,
+    negative_control,
+)
+from .metamorphic import MetamorphicResult, run_metamorphic
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "VerificationReport",
+    "run_verification",
+]
+
+DEFAULT_REPORT_PATH = Path("benchmarks") / "results" / "CALIBRATION.json"
+
+
+@dataclass
+class VerificationReport:
+    """Everything ``python -m repro.verify`` measured, in one artifact."""
+
+    mode: str
+    seed: int
+    calibration: CalibrationResult
+    metamorphic: MetamorphicResult
+    control: Optional[CalibrationResult]
+    generated_at: float
+
+    @property
+    def control_flagged(self) -> Optional[bool]:
+        """Did the negative control trip both detectors?  ``None`` when the
+        control was skipped."""
+        if self.control is None:
+            return None
+        flags = self.control.flags
+        return any(
+            f.startswith(("pair ", "cell ")) for f in flags
+        ) and any(f.startswith("bias ") for f in flags)
+
+    @property
+    def failures(self) -> List[str]:
+        out = list(self.calibration.flags)
+        out.extend(self.metamorphic.violations)
+        if self.control_flagged is False:
+            out.append(
+                "negative control: the deliberately biased estimator was "
+                "NOT flagged by both the coverage and bias detectors -- "
+                "the harness has no power"
+            )
+        return out
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "generated_at": self.generated_at,
+            "passed": self.passed,
+            "failures": self.failures,
+            "calibration": self.calibration.to_dict(),
+            "metamorphic": self.metamorphic.to_dict(),
+            "negative_control": (
+                None
+                if self.control is None
+                else {
+                    "flagged": self.control_flagged,
+                    "flags": self.control.flags,
+                    "tamper_scale": self.control.config.tamper_scale,
+                }
+            ),
+        }
+
+    def save(self, path: Union[str, Path] = DEFAULT_REPORT_PATH) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def summary(self) -> str:
+        cells = self.calibration.cells
+        lines = [
+            f"verification {self.mode} (seed {self.seed}): "
+            f"{'PASS' if self.passed else 'FAIL'}",
+            f"  calibration: {len(self.calibration.pairs)} allocation x "
+            f"rewrite pairs, {len(cells)} cells, "
+            f"{self.calibration.config.replications} replications, "
+            f"{self.calibration.elapsed_seconds:.1f}s",
+        ]
+        for pair in self.calibration.pairs:
+            check = pair.check
+            lines.append(
+                f"    {pair.allocation} x {pair.rewrite}: "
+                f"{pair.bound}-bound coverage {check.coverage:.4f} "
+                f"(nominal {check.nominal}, band "
+                f"[{check.band_low:.4f}, {check.band_high:.4f}]) "
+                f"{check.verdict}"
+            )
+        lines.append(
+            f"  metamorphic: {len(self.metamorphic.checks)} checks, "
+            f"{len(self.metamorphic.violations)} violations"
+        )
+        if self.control is not None:
+            lines.append(
+                "  negative control: biased estimator "
+                + (
+                    "flagged (harness has power)"
+                    if self.control_flagged
+                    else "NOT FLAGGED"
+                )
+            )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def run_verification(
+    mode: str = "quick",
+    seed: int = 2026,
+    telemetry: Union[Telemetry, bool, None] = None,
+    with_control: bool = True,
+    with_metamorphic: bool = True,
+) -> VerificationReport:
+    """Run the full verification suite and bundle the results.
+
+    Args:
+        mode: ``"quick"`` (the CI campaign) or ``"full"`` (nightly-sized).
+        seed: master seed for every sub-run.
+        telemetry: optional :class:`~repro.obs.Telemetry` for the
+            calibration runner's spans and metrics.
+        with_control: also run the deliberately biased negative control
+            (and fail the report if it is *not* flagged).
+        with_metamorphic: also run the metamorphic sweep.
+    """
+    if mode == "quick":
+        config = CalibrationConfig.quick(seed)
+    elif mode == "full":
+        config = CalibrationConfig.full(seed)
+    else:
+        raise ValueError(f"mode must be quick or full, got {mode!r}")
+    calibration = CalibrationRunner(config, telemetry=telemetry).run()
+    metamorphic = (
+        run_metamorphic(seed)
+        if with_metamorphic
+        else MetamorphicResult(seed=seed)
+    )
+    control = negative_control(seed) if with_control else None
+    return VerificationReport(
+        mode=mode,
+        seed=seed,
+        calibration=calibration,
+        metamorphic=metamorphic,
+        control=control,
+        generated_at=time.time(),
+    )

@@ -217,3 +217,41 @@ class TestCacheMechanics:
         system.answer(SQL)
         system.answer(SQL)
         assert system.answer_cache.stats.hits == 1
+
+
+class TestCachedBounds:
+    """A cache hit is indistinguishable from recomputation: the stored
+    answer keeps the original error bounds and guard provenance."""
+
+    def test_cached_answer_carries_original_error_bounds(self):
+        system = _system()
+        first = system.answer(SQL)
+        hit = system.answer(SQL)
+        assert system.answer_cache.stats.hits == 1
+        np.testing.assert_array_equal(
+            first.result.column("s_error"), hit.result.column("s_error")
+        )
+        errors = hit.result.column("s_error")
+        assert np.all(np.isfinite(errors)) and np.all(errors > 0.0)
+        assert hit.confidence == first.confidence
+
+    def test_cached_answer_keeps_provenance_and_guard(self):
+        system = _system()
+        first = system.answer(SQL)
+        hit = system.answer(SQL)
+        assert hit.guard is not None
+        assert hit.provenance_counts == first.provenance_counts
+        np.testing.assert_array_equal(
+            first.result.column("provenance"),
+            hit.result.column("provenance"),
+        )
+
+    def test_bounds_recomputed_after_invalidation(self):
+        """After an insert the cache misses and bounds come from the new
+        synopsis state -- never from the stale entry."""
+        system = _system()
+        before = system.answer(SQL)
+        system.insert("t", ("a", 10_000.0))
+        after = system.answer(SQL)
+        assert system.answer_cache.stats.hits == 0
+        assert before.result.num_rows == after.result.num_rows

@@ -1,0 +1,128 @@
+"""Statistical contract of the guard's escalation ladder.
+
+A repaired or exact-served group is computed from the base table, so its
+answer is *exact* -- the guard must say so honestly: provenance tags name
+the path each group took, and the error columns of repaired/exact groups
+are zeroed rather than reusing the synopsis's now-stale bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AquaSystem, GuardPolicy
+from repro.aqua import (
+    PROVENANCE_COLUMN,
+    PROVENANCE_EXACT,
+    PROVENANCE_REPAIRED,
+    PROVENANCE_SYNOPSIS,
+)
+from repro.engine import Column, ColumnType, Schema, Table
+
+SQL = "select g, sum(v) s from t group by g order by g"
+
+
+def table_with_tiny_group(n=4000, seed=5):
+    """Two big groups plus one single-row group (the paper's small-group
+    problem in miniature: support 1 < the default min_group_support 2)."""
+    rng = np.random.default_rng(seed)
+    g = np.where(rng.random(n) < 0.5, "big1", "big2")
+    g[0] = "tiny"
+    v = rng.normal(100.0, 15.0, n)
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    return Table.from_columns(schema, g=g, v=v)
+
+
+@pytest.fixture
+def system():
+    system = AquaSystem(space_budget=200, rng=np.random.default_rng(17))
+    system.register_table("t", table_with_tiny_group())
+    return system
+
+
+def _row(answer, group):
+    i = list(answer.result.column("g")).index(group)
+    return {
+        name: answer.result.column(name)[i]
+        for name in answer.result.schema.names
+    }
+
+
+class TestRepairedStatistics:
+    def test_tiny_group_is_repaired_with_provenance(self, system):
+        answer = system.answer(SQL)
+        assert answer.guard is not None
+        assert _row(answer, "tiny")[PROVENANCE_COLUMN] == (
+            PROVENANCE_REPAIRED
+        )
+        assert answer.provenance_counts[PROVENANCE_REPAIRED] == 1
+        assert answer.provenance_counts[PROVENANCE_SYNOPSIS] == 2
+
+    def test_repaired_group_is_exact(self, system):
+        answer = system.answer(SQL)
+        base = system.catalog.get("t")
+        truth = float(
+            base.column("v")[base.column("g") == "tiny"].sum()
+        )
+        assert _row(answer, "tiny")["s"] == pytest.approx(truth)
+
+    def test_repaired_group_never_reuses_stale_bounds(self, system):
+        """The synopsis bound described a discarded estimate; the repaired
+        value is exact, so its error half-width must be exactly zero."""
+        answer = system.answer(SQL)
+        assert _row(answer, "tiny")["s_error"] == 0.0
+
+    def test_synopsis_groups_keep_their_bounds(self, system):
+        answer = system.answer(SQL)
+        for group in ("big1", "big2"):
+            row = _row(answer, group)
+            assert row[PROVENANCE_COLUMN] == PROVENANCE_SYNOPSIS
+            assert np.isfinite(row["s_error"])
+            assert row["s_error"] > 0.0
+
+    def test_flag_reason_recorded(self, system):
+        answer = system.answer(SQL)
+        assert ("tiny",) in answer.guard.flagged
+        assert "support" in answer.guard.flagged[("tiny",)]
+
+
+class TestExactFallbackStatistics:
+    @pytest.fixture
+    def fallback(self, system):
+        # Forbid per-group repair so the guard escalates to a full exact
+        # answer for the same failing group.
+        return system.answer(
+            SQL,
+            guard=GuardPolicy(max_repair_fraction=0.0),
+        )
+
+    def test_all_groups_exact(self, fallback):
+        tags = fallback.result.column(PROVENANCE_COLUMN)
+        assert all(tag == PROVENANCE_EXACT for tag in tags)
+        assert fallback.guard.degraded
+        assert fallback.guard.fallback_reason
+
+    def test_exact_answer_reports_zero_error(self, fallback):
+        errors = fallback.result.column("s_error")
+        assert np.all(errors == 0.0)
+
+    def test_exact_values_match_base_table(self, fallback, system):
+        base = system.catalog.get("t")
+        for group in ("big1", "big2", "tiny"):
+            truth = float(
+                base.column("v")[base.column("g") == group].sum()
+            )
+            assert _row(fallback, group)["s"] == pytest.approx(truth)
+
+
+class TestUnguardedPath:
+    def test_unguarded_answer_keeps_raw_bounds(self, system):
+        """guard=False serves the raw synopsis estimate: no provenance, no
+        repair -- the tiny group keeps whatever bound the estimator gave."""
+        answer = system.answer(SQL, guard=False)
+        assert answer.guard is None
+        assert PROVENANCE_COLUMN not in answer.result.schema

@@ -1,0 +1,180 @@
+"""Property-based tests for the error-bound families.
+
+Hypothesis sweeps the bound helpers over their whole domains for the
+guarantees the math promises: non-negativity, monotonicity in the sample
+size and confidence level, and the dominance relations between families
+(Chebyshev can never be tighter than the normal bound at the same
+confidence, because ``1/sqrt(delta) >= z_{1-delta/2}`` for every
+``delta``).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import (
+    chebyshev_halfwidth,
+    hoeffding_halfwidth_mean,
+    hoeffding_halfwidth_stratified_sum,
+    hoeffding_halfwidth_sum,
+    normal_halfwidth,
+    normal_quantile,
+    standard_error,
+)
+
+confidences = st.floats(
+    min_value=0.5, max_value=0.999, allow_nan=False, allow_infinity=False
+)
+std_errors = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+value_ranges = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_sizes = st.integers(min_value=1, max_value=10**9)
+
+
+class TestNonNegativity:
+    @given(std_error=std_errors, confidence=confidences)
+    def test_normal(self, std_error, confidence):
+        assert normal_halfwidth(std_error, confidence) >= 0.0
+
+    @given(std_error=std_errors, confidence=confidences)
+    def test_chebyshev(self, std_error, confidence):
+        assert chebyshev_halfwidth(std_error, confidence) >= 0.0
+
+    @given(
+        value_range=value_ranges,
+        sample_size=sample_sizes,
+        confidence=confidences,
+    )
+    def test_hoeffding(self, value_range, sample_size, confidence):
+        assert (
+            hoeffding_halfwidth_mean(value_range, sample_size, confidence)
+            >= 0.0
+        )
+
+
+class TestMonotoneInSampleSize:
+    @given(
+        value_range=st.floats(min_value=1e-6, max_value=1e9),
+        sample_size=st.integers(min_value=1, max_value=10**8),
+        growth=st.integers(min_value=1, max_value=10**8),
+        confidence=confidences,
+    )
+    def test_hoeffding_shrinks(
+        self, value_range, sample_size, growth, confidence
+    ):
+        smaller = hoeffding_halfwidth_mean(
+            value_range, sample_size + growth, confidence
+        )
+        larger = hoeffding_halfwidth_mean(
+            value_range, sample_size, confidence
+        )
+        assert smaller <= larger
+
+    @given(
+        population_std=st.floats(min_value=1e-6, max_value=1e9),
+        sample_size=st.integers(min_value=1, max_value=10**6 - 1),
+        growth=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_standard_error_shrinks(
+        self, population_std, sample_size, growth
+    ):
+        population = 2 * 10**6
+        smaller = standard_error(
+            population_std, sample_size + growth, population
+        )
+        larger = standard_error(population_std, sample_size, population)
+        assert smaller <= larger
+
+    @given(population_std=st.floats(min_value=0.0, max_value=1e9))
+    def test_full_enumeration_has_zero_error(self, population_std):
+        assert standard_error(population_std, 1000, 1000) == 0.0
+
+
+class TestFamilyDominance:
+    @given(std_error=std_errors, confidence=confidences)
+    def test_chebyshev_never_tighter_than_normal(
+        self, std_error, confidence
+    ):
+        """``1/sqrt(delta) >= Phi^{-1}(1 - delta/2)`` for all ``delta``:
+        the distribution-free bound pays for its generality."""
+        assert chebyshev_halfwidth(
+            std_error, confidence
+        ) >= normal_halfwidth(std_error, confidence)
+
+    @given(confidence=confidences)
+    def test_higher_confidence_is_wider(self, confidence):
+        tighter = normal_halfwidth(1.0, confidence)
+        wider = normal_halfwidth(1.0, 0.5 + (confidence - 0.5) / 2 + 0.0005)
+        if confidence > 0.501:
+            assert wider <= tighter
+
+
+class TestNormalQuantile:
+    @given(p=st.floats(min_value=1e-9, max_value=1 - 1e-9))
+    def test_antisymmetric(self, p):
+        assert math.isclose(
+            normal_quantile(p),
+            -normal_quantile(1.0 - p),
+            rel_tol=1e-6,
+            abs_tol=1e-7,
+        )
+
+    @given(
+        p=st.floats(min_value=1e-9, max_value=1 - 2e-9),
+        step=st.floats(min_value=1e-9, max_value=0.5),
+    )
+    def test_monotone(self, p, step):
+        q = min(p + step, 1 - 1e-9)
+        assert normal_quantile(p) <= normal_quantile(q) + 1e-9
+
+    @settings(max_examples=30)
+    @given(p=st.floats(min_value=0.5, max_value=1 - 1e-9))
+    def test_upper_half_is_non_negative(self, p):
+        assert normal_quantile(p) >= -1e-12
+
+
+class TestStratifiedHoeffding:
+    @given(
+        value_range=value_ranges,
+        population=st.integers(min_value=1, max_value=10**6),
+        sample_size=st.integers(min_value=1, max_value=10**4),
+        confidence=confidences,
+    )
+    def test_single_stratum_reduces_to_sum_bound(
+        self, value_range, population, sample_size, confidence
+    ):
+        stratified = hoeffding_halfwidth_stratified_sum(
+            [value_range], [population], [sample_size], confidence
+        )
+        flat = hoeffding_halfwidth_sum(
+            value_range, sample_size, population, confidence
+        )
+        assert math.isclose(
+            stratified, flat, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(
+        ranges=st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=1,
+            max_size=8,
+        ),
+        confidence=confidences,
+        data=st.data(),
+    )
+    def test_more_samples_never_widen(self, ranges, confidence, data):
+        populations = [10**4] * len(ranges)
+        small = [
+            data.draw(st.integers(min_value=1, max_value=100))
+            for __ in ranges
+        ]
+        big = [n * 2 for n in small]
+        assert hoeffding_halfwidth_stratified_sum(
+            ranges, populations, big, confidence
+        ) <= hoeffding_halfwidth_stratified_sum(
+            ranges, populations, small, confidence
+        )

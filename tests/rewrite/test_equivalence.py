@@ -1,0 +1,129 @@
+"""Rewrite equivalence on the paper's query classes.
+
+All four rewriting strategies are algebraically equivalent (Section 5.2):
+over the *same* congressional sample they must produce identical answers,
+group for group, on every query class of Table 2 -- including the
+no-GROUP-BY form -- and agree with the direct stratified estimator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Congress, build_sample
+from repro.engine import Catalog
+from repro.estimators import estimate
+from repro.rewrite import ALL_STRATEGIES
+from repro.synthetic.queries import QueryClass, qg0, qg2, qg3
+from repro.synthetic.tpcd import (
+    GROUPING_COLUMNS,
+    LineitemConfig,
+    generate_lineitem,
+)
+
+TABLE = "lineitem"
+
+STRATEGIES = tuple(cls() for cls in ALL_STRATEGIES)
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    return generate_lineitem(
+        LineitemConfig(table_size=3000, num_groups=27, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def sample(lineitem):
+    return build_sample(
+        Congress(),
+        lineitem,
+        GROUPING_COLUMNS,
+        500,
+        rng=np.random.default_rng(42),
+    )
+
+
+def no_group_by() -> QueryClass:
+    return QueryClass(
+        "Qtotal", f"SELECT sum(l_quantity) AS sum_qty FROM {TABLE}"
+    )
+
+
+PAPER_QUERIES = [qg2(), qg3(), qg0(900, 600), no_group_by()]
+
+
+def _answers(strategy, sample, lineitem, query):
+    catalog = Catalog()
+    catalog.register(TABLE, lineitem)
+    synopsis = strategy.install(sample, TABLE, catalog, replace=True)
+    result = strategy.plan(query, synopsis).execute(catalog)
+    group_by = list(query.group_by)
+    keys = (
+        [
+            tuple(result.column(c)[i] for c in group_by)
+            for i in range(result.num_rows)
+        ]
+        if group_by
+        else [()] * result.num_rows
+    )
+    return {
+        alias: {
+            key: float(result.column(alias)[i])
+            for i, key in enumerate(keys)
+        }
+        for alias in (a.alias for a in query.aggregates())
+    }
+
+
+@pytest.mark.parametrize(
+    "query_class", PAPER_QUERIES, ids=lambda qc: qc.name
+)
+def test_all_rewrites_identical(query_class, sample, lineitem):
+    query = query_class.query
+    reference_name = STRATEGIES[0].name
+    reference = _answers(STRATEGIES[0], sample, lineitem, query)
+    for strategy in STRATEGIES[1:]:
+        other = _answers(strategy, sample, lineitem, query)
+        for alias, groups in reference.items():
+            assert set(groups) == set(other[alias]), (
+                f"{strategy.name} and {reference_name} disagree on the "
+                f"group set of {query_class.name}/{alias}"
+            )
+            for key, value in groups.items():
+                assert math.isclose(
+                    value, other[alias][key], rel_tol=1e-9, abs_tol=1e-9
+                ), (
+                    f"{strategy.name} vs {reference_name} on "
+                    f"{query_class.name}/{alias} group {key}: "
+                    f"{other[alias][key]!r} != {value!r}"
+                )
+
+
+@pytest.mark.parametrize(
+    "query_class", PAPER_QUERIES, ids=lambda qc: qc.name
+)
+def test_rewrites_match_direct_estimator(query_class, sample, lineitem):
+    query = query_class.query
+    for strategy in STRATEGIES:
+        executed = _answers(strategy, sample, lineitem, query)
+        for aggregate in query.aggregates():
+            direct = estimate(
+                sample,
+                aggregate.func,
+                None if aggregate.func == "count" else aggregate.expr,
+                predicate=query.where,
+                group_by=query.group_by,
+            )
+            for key, value in executed[aggregate.alias].items():
+                assert math.isclose(
+                    value,
+                    direct[key].value,
+                    rel_tol=1e-9,
+                    abs_tol=1e-9,
+                ), (
+                    f"{strategy.name} {query_class.name}/"
+                    f"{aggregate.alias} group {key}: executed {value!r} "
+                    f"!= direct {direct[key].value!r}"
+                )

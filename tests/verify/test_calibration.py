@@ -1,0 +1,152 @@
+"""The statistical acceptance suite: seeded calibration campaigns.
+
+Everything here is marked ``statistical`` and excluded from the default
+test tier (see ``pyproject.toml``); the CI ``statistical`` job and
+``python -m repro.verify --quick`` run it on a fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.verify import (
+    CalibrationConfig,
+    CalibrationRunner,
+    negative_control,
+    run_verification,
+)
+
+pytestmark = pytest.mark.statistical
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One quick verification run shared by the module's assertions."""
+    return run_verification(mode="quick", seed=2026)
+
+
+class TestQuickCampaign:
+    def test_acceptance_criterion(self, report):
+        """Every allocation x rewrite pair's pooled 95% normal-bound
+        coverage sits inside the Wilson tolerance band."""
+        pairs = report.calibration.pairs
+        grid = CalibrationConfig.quick()
+        assert len(pairs) == len(grid.allocations) * len(grid.rewrites)
+        for pair in pairs:
+            assert pair.check.verdict == "ok", (
+                f"{pair.allocation}×{pair.rewrite}: coverage "
+                f"{pair.check.coverage:.4f} outside "
+                f"[{pair.check.band_low:.4f}, {pair.check.band_high:.4f}]"
+            )
+
+    def test_no_defects_flagged(self, report):
+        assert report.calibration.flags == []
+        assert report.calibration.passed
+
+    def test_rewrites_agree_with_direct_estimator(self, report):
+        assert report.calibration.rewrite_mismatches == []
+
+    def test_unbiasedness(self, report):
+        for result in report.calibration.bias:
+            assert not result.flagged_groups, (
+                f"{result.allocation} {result.query}/{result.aggregate}: "
+                f"max |t| = {result.max_abs_t:.2f}"
+            )
+            if result.func in ("sum", "count"):
+                assert result.max_abs_t <= (
+                    report.calibration.config.bias_t_threshold
+                )
+
+    def test_exact_level_cells_have_trials(self, report):
+        """The normal-bound acceptance evidence is not vacuous: every
+        allocation x rewrite pair pools hundreds of trials."""
+        for pair in report.calibration.pairs:
+            assert pair.check.trials >= 300
+
+    def test_metamorphic_invariants_hold(self, report):
+        assert report.metamorphic.violations == []
+        assert set(report.metamorphic.checks) == {
+            "scale_invariance",
+            "group_permutation",
+            "subset_sum",
+            "execution_equivalence",
+        }
+
+    def test_overall_pass(self, report):
+        assert report.passed
+        assert report.failures == []
+
+    def test_report_artifact_roundtrip(self, report, tmp_path):
+        path = report.save(tmp_path / "CALIBRATION.json")
+        data = json.loads(path.read_text())
+        assert data["passed"] is True
+        assert data["mode"] == "quick"
+        assert data["negative_control"]["flagged"] is True
+        assert len(data["calibration"]["pairs"]) == 16
+        assert data["calibration"]["config"]["seed"] == 2026
+
+
+class TestNegativeControl:
+    """The harness must have power: a deliberately biased estimator
+    (every estimate scaled by 1.1) is flagged by both detectors."""
+
+    @pytest.fixture(scope="class")
+    def control(self):
+        return negative_control(seed=2026, tamper_scale=1.1)
+
+    def test_biased_estimator_fails(self, control):
+        assert not control.passed
+
+    def test_coverage_detector_trips(self, control):
+        assert any(
+            flag.startswith(("pair ", "cell ")) for flag in control.flags
+        )
+
+    def test_bias_detector_trips(self, control):
+        bias_flags = [f for f in control.flags if f.startswith("bias ")]
+        assert bias_flags
+        flagged = [b for b in control.bias if b.flagged_groups]
+        assert flagged
+        assert all(b.mean_relative_bias > 0.05 for b in flagged)
+
+    def test_untampered_baseline_passes(self):
+        """Same campaign, tamper_scale 1.0: nothing is flagged, so the
+        control's failure is attributable to the injected bias alone."""
+        baseline = negative_control(seed=2026, tamper_scale=1.0)
+        assert baseline.passed
+
+
+class TestHarnessMechanics:
+    def test_runner_emits_telemetry(self):
+        telemetry = Telemetry.enabled()
+        config = CalibrationConfig(
+            replications=2,
+            allocations=("congress",),
+            rewrites=("integrated",),
+            bounds=("normal",),
+        )
+        CalibrationRunner(config, telemetry=telemetry).run()
+        snapshot = telemetry.metrics.snapshot()
+        assert "verify_replications_total" in snapshot
+        assert "verify_cells_total" in snapshot
+
+    def test_zero_halfwidth_with_error_fails_coverage(self):
+        """An overconfident bound (zero halfwidth, real error) is counted
+        as an uncovered trial, not excused as 'exact'."""
+        config = CalibrationConfig(
+            replications=4,
+            allocations=("senate",),
+            rewrites=("integrated",),
+            bounds=("normal",),
+            tamper_scale=1.5,
+        )
+        result = CalibrationRunner(config).run()
+        # Unfiltered COUNT gives zero halfwidths; tampering makes the
+        # value wrong, so those trials must fail coverage.
+        cnt_cells = [c for c in result.cells if c.aggregate == "cnt"]
+        assert cnt_cells
+        for cell in cnt_cells:
+            assert cell.exact == 0
+            assert cell.check.trials > 0
+            assert cell.check.covered == 0

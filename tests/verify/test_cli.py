@@ -1,0 +1,28 @@
+"""End-to-end test of ``python -m repro.verify`` (statistical tier)."""
+
+import json
+
+import pytest
+
+from repro.verify.cli import main
+
+pytestmark = pytest.mark.statistical
+
+
+def test_quick_cli_passes_and_writes_report(tmp_path, capsys):
+    out = tmp_path / "CALIBRATION.json"
+    code = main(
+        ["--quick", "--output", str(out), "--no-metamorphic", "--no-control"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in captured
+    data = json.loads(out.read_text())
+    assert data["passed"] is True
+    assert data["negative_control"] is None
+
+
+def test_mutually_exclusive_sizes(capsys):
+    with pytest.raises(SystemExit):
+        main(["--quick", "--full"])
+    capsys.readouterr()

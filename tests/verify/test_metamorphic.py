@@ -1,0 +1,46 @@
+"""Metamorphic invariants on the seeded testbed (statistical tier)."""
+
+import pytest
+
+from repro.verify import Testbed, TestbedConfig, run_metamorphic
+from repro.verify.metamorphic import (
+    check_execution_equivalence,
+    check_group_permutation,
+    check_scale_invariance,
+    check_subset_sum,
+)
+
+pytestmark = pytest.mark.statistical
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(TestbedConfig())
+
+
+class TestInvariants:
+    def test_scale_invariance(self, testbed):
+        assert check_scale_invariance(testbed, seed=2026) == []
+
+    def test_scale_invariance_other_constant(self, testbed):
+        assert check_scale_invariance(testbed, seed=2026, scale=3.0) == []
+
+    def test_group_permutation(self, testbed):
+        assert check_group_permutation(testbed, seed=2026) == []
+
+    def test_subset_sum(self, testbed):
+        assert check_subset_sum(testbed, seed=2026) == []
+
+    def test_execution_equivalence(self, testbed):
+        assert check_execution_equivalence(testbed, seed=2026) == []
+
+    def test_sweep_aggregates_all_checks(self, testbed):
+        result = run_metamorphic(seed=7, testbed=testbed)
+        assert result.passed
+        assert len(result.checks) == 4
+        assert result.to_dict()["violations"] == []
+
+    def test_invariants_are_seed_independent(self, testbed):
+        for seed in (1, 99, 4242):
+            result = run_metamorphic(seed=seed, testbed=testbed)
+            assert result.passed, (seed, result.violations)

@@ -1,0 +1,125 @@
+"""Unit tests for the verification harness's own statistics."""
+
+import math
+
+import pytest
+
+from repro.estimators import normal_quantile
+from repro.verify import bias_t_statistic, check_coverage, wilson_interval
+from repro.verify.stats import (
+    VERDICT_CONSERVATIVE,
+    VERDICT_OK,
+    VERDICT_UNDER,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_observed_proportion(self):
+        low, high = wilson_interval(90, 100)
+        assert low <= 0.9 <= high
+
+    def test_within_unit_interval(self):
+        for k, m in ((0, 10), (10, 10), (5, 10), (999, 1000)):
+            low, high = wilson_interval(k, m)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(900, 1000)
+        wide = wilson_interval(9, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_no_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_higher_band_confidence_is_wider(self):
+        tight = wilson_interval(90, 100, band_confidence=0.9)
+        loose = wilson_interval(90, 100, band_confidence=0.999)
+        assert loose[0] < tight[0] and loose[1] > tight[1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 3, band_confidence=1.5)
+
+
+class TestCheckCoverage:
+    def test_nominal_inside_band_is_ok(self):
+        check = check_coverage(95, 100, 0.95, "normal")
+        assert check.verdict == VERDICT_OK
+        assert not check.failed
+
+    def test_far_below_nominal_is_under(self):
+        check = check_coverage(600, 1000, 0.95, "normal")
+        assert check.verdict == VERDICT_UNDER
+        assert check.failed
+
+    def test_full_coverage_of_large_sample_is_conservative(self):
+        check = check_coverage(1000, 1000, 0.95, "chebyshev")
+        assert check.verdict == VERDICT_CONSERVATIVE
+        assert not check.failed  # conservative is fine for Chebyshev
+
+    def test_no_trials_is_ok(self):
+        assert check_coverage(0, 0, 0.95, "normal").verdict == VERDICT_OK
+
+    def test_to_dict_roundtrips_fields(self):
+        data = check_coverage(95, 100, 0.95, "normal").to_dict()
+        assert data["trials"] == 100
+        assert data["covered"] == 95
+        assert data["coverage"] == pytest.approx(0.95)
+        assert len(data["wilson"]) == 2
+
+
+class TestBiasTStatistic:
+    def test_too_few_replications_is_nan(self):
+        assert math.isnan(bias_t_statistic(1.0, 1.0, 1))
+
+    def test_constant_zero_error_is_zero(self):
+        assert bias_t_statistic(0.0, 0.0, 20) == 0.0
+
+    def test_constant_nonzero_error_is_infinite(self):
+        # e_r = 2.0 for all r: sum = 2R, sum of squares = 4R.
+        t = bias_t_statistic(40.0, 80.0, 20)
+        assert math.isinf(t) and t > 0
+
+    def test_matches_direct_computation(self):
+        errors = [1.0, -1.0, 2.0, 0.5, -0.5, 1.5]
+        n = len(errors)
+        mean = sum(errors) / n
+        sd = math.sqrt(
+            sum((e - mean) ** 2 for e in errors) / (n - 1)
+        )
+        expected = mean / (sd / math.sqrt(n))
+        got = bias_t_statistic(
+            sum(errors), sum(e * e for e in errors), n
+        )
+        assert got == pytest.approx(expected)
+
+    def test_sign_follows_bias_direction(self):
+        positive = bias_t_statistic(10.0, 30.0, 10)
+        negative = bias_t_statistic(-10.0, 30.0, 10)
+        assert positive > 0 > negative
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.95) == pytest.approx(1.644854, abs=1e-5)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.1, 0.3, 0.49):
+            assert normal_quantile(p) == pytest.approx(
+                -normal_quantile(1.0 - p), abs=1e-8
+            )
+
+    def test_tail_region(self):
+        # Below the p_low switch point of the approximation.
+        assert normal_quantile(0.001) == pytest.approx(-3.090232, abs=1e-4)
+
+    def test_domain(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                normal_quantile(bad)
