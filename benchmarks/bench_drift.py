@@ -5,7 +5,6 @@ bursts to 40% of inserts), the stale synopsis misses the group entirely
 while the Eq. 8-maintained synopsis tracks a from-scratch rebuild.
 """
 
-import pytest
 
 from repro.experiments import run_drift
 

@@ -8,7 +8,6 @@ Senate and Congress stay roughly flat.
 
 import math
 
-import pytest
 
 from repro.experiments import run_group_size_profile
 

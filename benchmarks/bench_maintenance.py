@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.core import Congress, allocate_from_table
-from repro.engine import ColumnType, Schema
 from repro.experiments import format_mapping_table
 from repro.maintenance import maintainer_for, subsample_to_budget
 from repro.metrics import groupby_error

@@ -17,7 +17,6 @@ import statistics
 import time
 
 import numpy as np
-import pytest
 
 from repro.aqua import AquaSystem
 from repro.engine import (

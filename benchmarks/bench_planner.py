@@ -1,0 +1,156 @@
+"""Planner benchmark: optimized vs naive plans, plan-cache hit latency.
+
+Runs a selective-predicate workload (the Q_g0 shape of Table 2: a 7%
+``l_id`` range over the Expt-1 Zipf ``lineitem`` data) through the plan IR
+twice per query -- once lowered naively, once through the rule-based
+optimizer -- and measures the speedup that predicate pushdown plus
+projection pruning buy on execution.  A second section times the
+``plan_optimize`` stage of the answer path on a plan-cache miss vs hit.
+
+Emits ``benchmarks/results/BENCH_planner.json`` (machine-readable, the
+trajectory downstream tooling tracks) plus the usual ``.txt`` table.
+
+Protocol: seven runs per measurement, first discarded, medians reported.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro import AquaSystem, Telemetry
+from repro.engine import Catalog, parse_query
+from repro.experiments import default_table_size
+from repro.plan import execute_plan, lower_query, optimize, render_plan
+from repro.synthetic import LineitemConfig, generate_lineitem
+from repro.synthetic.tpcd import GROUPING_COLUMNS
+
+REPEATS = 7
+SELECTIVITY = 0.07
+
+
+def _median_seconds(fn, repeats=REPEATS):
+    """Median wall seconds of ``fn()`` over ``repeats`` runs, first
+    discarded (the paper's timing protocol)."""
+    times = []
+    for i in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if i > 0:
+            times.append(elapsed)
+    return statistics.median(times)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    table_size = default_table_size()
+    table = generate_lineitem(
+        LineitemConfig(table_size=table_size, num_groups=1000, seed=0)
+    )
+    catalog = Catalog()
+    catalog.register("lineitem", table)
+    def _range(selectivity):
+        count = max(1, int(round(selectivity * table_size)))
+        start = (table_size - count) // 2
+        return f"WHERE l_id BETWEEN {start} AND {start + count}"
+
+    # Qg0_paper is the paper's 7%-selectivity query; the two half-range
+    # queries are where pushdown + pruning pay: the filter (naively) copies
+    # every column of every selected row, so the wider the selection and
+    # the narrower the needed column set, the bigger the win.
+    queries = {
+        "Qg0_paper": (
+            "SELECT sum(l_quantity) AS sum_qty FROM lineitem "
+            + _range(SELECTIVITY)
+        ),
+        "range_sum": (
+            "SELECT sum(l_quantity) AS sum_qty FROM lineitem " + _range(0.5)
+        ),
+        "range_scan": (
+            "SELECT l_id, l_quantity FROM lineitem " + _range(0.5)
+        ),
+    }
+    return table_size, catalog, queries
+
+
+def test_planner_bench_json(testbed, save_json, save_result):
+    table_size, catalog, queries = testbed
+
+    per_query = {}
+    for name, sql in queries.items():
+        query = parse_query(sql)
+        naive = lower_query(query, catalog)
+        optimized = optimize(naive)
+        # Same rows either way -- the speedup must not come from skipping
+        # work that changes the answer.
+        assert execute_plan(optimized, catalog) == execute_plan(naive, catalog)
+        naive_s = _median_seconds(lambda: execute_plan(naive, catalog))
+        optimized_s = _median_seconds(lambda: execute_plan(optimized, catalog))
+        per_query[name] = {
+            "naive_ms": naive_s * 1000,
+            "optimized_ms": optimized_s * 1000,
+            "speedup": naive_s / optimized_s,
+            "optimized_plan": render_plan(optimized).splitlines(),
+        }
+
+    # The acceptance bar: pushdown + pruning are worth >= 1.3x on the
+    # selective-predicate workload.
+    best = max(data["speedup"] for data in per_query.values())
+    assert best >= 1.3, f"optimized plans only {best:.2f}x faster than naive"
+
+    # -- plan-cache hit latency, measured on the answer path ------------------
+    aqua = AquaSystem(
+        space_budget=int(round(SELECTIVITY * table_size)),
+        rng=np.random.default_rng(1),
+        telemetry=Telemetry.enabled(),
+        cache=False,  # the answer cache would absorb the repeat queries
+    )
+    aqua.register_table(
+        "lineitem",
+        catalog.get("lineitem"),
+        grouping_columns=list(GROUPING_COLUMNS),
+    )
+    sql = queries["Qg0_paper"]
+    miss_s = aqua.answer(sql).trace.stage_seconds()["plan_optimize"]
+    hit_runs = [
+        aqua.answer(sql).trace.stage_seconds()["plan_optimize"]
+        for __ in range(REPEATS)
+    ]
+    hit_s = statistics.median(hit_runs)
+    assert aqua.plan_cache.stats.hits >= REPEATS
+    assert hit_s <= miss_s, "a plan-cache hit must not cost more than a miss"
+
+    payload = {
+        "schema_version": 1,
+        "config": {
+            "table_size": table_size,
+            "selectivity": SELECTIVITY,
+            "repeats": REPEATS,
+        },
+        "queries": per_query,
+        "plan_cache": {
+            "miss_ms": miss_s * 1000,
+            "hit_ms": hit_s * 1000,
+            "stats": {
+                "hits": aqua.plan_cache.stats.hits,
+                "misses": aqua.plan_cache.stats.misses,
+            },
+        },
+    }
+    save_json("BENCH_planner", payload)
+
+    lines = [
+        f"{'query':<10s} {'naive ms':>9s} {'optimized ms':>13s} {'speedup':>8s}"
+    ]
+    for name, data in per_query.items():
+        lines.append(
+            f"{name:<10s} {data['naive_ms']:>9.2f} "
+            f"{data['optimized_ms']:>13.2f} {data['speedup']:>7.2f}x"
+        )
+    lines.append(
+        f"plan cache: miss {miss_s * 1000:.3f} ms, "
+        f"hit {hit_s * 1000:.3f} ms"
+    )
+    save_result("planner_speedup", "\n".join(lines))

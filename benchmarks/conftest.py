@@ -12,7 +12,6 @@ Scale: benches run at ``REPRO_SCALE`` x 1M tuples (default 0.2).  Set
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 import pytest

@@ -12,14 +12,7 @@ Run:  python examples/tpcd_q1_demo.py
 
 import numpy as np
 
-from repro import (
-    AquaSystem,
-    Congress,
-    House,
-    LineitemConfig,
-    generate_lineitem,
-    groupby_error,
-)
+from repro import AquaSystem, Congress, House, groupby_error
 from repro.engine import Column, ColumnType, Schema, Table
 
 

@@ -40,7 +40,7 @@ __all__ = ["AquaShell", "main"]
 _HELP = """commands:
   <SQL>            approximate answer from the synopsis
   .exact <SQL>     exact answer from the base table
-  .explain <SQL>   show the rewritten query (the paper's Figure 2 view)
+  .explain <SQL>   rewrite strategy, synopsis tables, and operator tree
   .compare <SQL>   run approximately AND exactly; report error + speedup
   .trace <SQL>     answer AND show the per-stage span tree (timings)
   .stats [json|prom]  metrics so far (human, JSON, or Prometheus text)

@@ -17,7 +17,7 @@ which the ordinary congressional machinery applies (including grouping on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ consults when a user query arrives (Figure 1's "Statistics Collector" +
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..rewrite.base import InstalledSynopsis
 from ..sampling.groups import GroupKey

@@ -29,15 +29,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.allocation import AllocationStrategy, allocate_from_table
+from ..core.allocation import AllocationStrategy
 from ..core.congress import Congress
+from ..engine.aggregates import Aggregate
 from ..engine.catalog import Catalog, CatalogError
-from ..engine.executor import ParallelConfig, ParallelExecutor, execute
-from ..engine.expressions import Col
+from ..engine.executor import ParallelConfig, ParallelExecutor
+from ..engine.expressions import Col, Lit
 from ..engine.predicates import And, Comparison, InList, Or
-from ..engine.query import Query
+from ..engine.query import Projection, Query
 from ..engine.render import render_query
-from ..engine.schema import Column, ColumnType, Schema
+from ..engine.schema import Column, ColumnType
 from ..engine.sql import parse_query
 from ..engine.table import Table
 from ..errors import (
@@ -56,6 +57,14 @@ from ..estimators.errors import (
 )
 from ..estimators.point import estimate, group_support
 from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
+from ..plan import (
+    PlanCache,
+    execute_plan,
+    lower_query,
+    lower_rewritten,
+    optimize as optimize_plan,
+    render_plan,
+)
 from ..sampling.groups import GroupKey, finest_group_ids, make_key, project_key
 from ..maintenance.base import SampleMaintainer
 from ..maintenance.onepass import maintainer_for, subsample_to_budget
@@ -87,6 +96,7 @@ __all__ = [
     "GuardPolicy",
     "GuardReport",
     "ParallelConfig",
+    "PlanCache",
     "RefreshPolicy",
     "SynopsisHealth",
     "Telemetry",
@@ -223,6 +233,7 @@ class AquaSystem:
         telemetry: Union[Telemetry, bool, None] = None,
         parallel: Union[ParallelConfig, bool, None] = None,
         cache: Union[AnswerCache, int, bool, None] = None,
+        plan_cache: Union[PlanCache, int, bool, None] = None,
     ):
         """Args:
         space_budget: sample tuples per synopsis (the paper's ``X``).
@@ -259,6 +270,12 @@ class AquaSystem:
             disables caching.  Entries are keyed by table data version and
             normalized plan, so inserts and refreshes invalidate; guard-
             degraded answers are never cached.
+        plan_cache: the optimized-logical-plan cache (see
+            :class:`~repro.plan.PlanCache`).  ``None``/``True`` installs a
+            default 256-entry LRU, an ``int`` sets the capacity, a
+            :class:`~repro.plan.PlanCache` is used as-is, and ``False``
+            plans every query from scratch.  Keys embed the table data
+            version and rewrite strategy, so mutations invalidate.
         """
         if space_budget < 1:
             raise AquaError(f"space budget must be >= 1, got {space_budget}")
@@ -328,6 +345,21 @@ class AquaSystem:
             )
         if self._cache is not None:
             self._cache.attach_metrics(self.telemetry.metrics)
+        if plan_cache is False:
+            self._plan_cache: Optional[PlanCache] = None
+        elif plan_cache is None or plan_cache is True:
+            self._plan_cache = PlanCache()
+        elif isinstance(plan_cache, PlanCache):
+            self._plan_cache = plan_cache
+        elif isinstance(plan_cache, int):
+            self._plan_cache = PlanCache(capacity=plan_cache)
+        else:
+            raise AquaError(
+                "plan_cache must be a PlanCache, int capacity, True, False, "
+                f"or None; got {plan_cache!r}"
+            )
+        if self._plan_cache is not None:
+            self._plan_cache.attach_metrics(self.telemetry.metrics)
 
     # -- administration ------------------------------------------------------
 
@@ -370,6 +402,11 @@ class AquaSystem:
     def answer_cache(self) -> Optional[AnswerCache]:
         """The answer cache (None = caching disabled)."""
         return self._cache
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The optimized-plan cache (None = planning is never memoized)."""
+        return self._plan_cache
 
     def set_cache(
         self, cache: Union[AnswerCache, int, bool, None]
@@ -443,16 +480,15 @@ class AquaSystem:
         start = time.perf_counter()
         with self.telemetry.tracer.span("build_synopsis", table=name):
             # Both full-table passes of the one-pass construction -- the
-            # allocation's group-count scan and the per-stratum membership
-            # scan -- run partitioned when an executor is configured; the
-            # merged counts and member lists are identical to a serial
-            # scan's, so the drawn sample is bit-for-bit the same.
-            allocation = allocate_from_table(
-                self._allocation,
-                state.table,
-                state.grouping_columns,
-                self._budget,
-                scan=self._executor,
+            # allocation's group-count scan (a planner-lowered COUNT(*)
+            # GROUP BY over the base relation) and the per-stratum
+            # membership scan -- run partitioned when an executor is
+            # configured; the merged counts and member lists are identical
+            # to a serial scan's, so the drawn sample is bit-for-bit the
+            # same.
+            counts = self._group_count_scan(name, state.grouping_columns)
+            allocation = self._allocation.allocate(
+                counts, state.grouping_columns, self._budget
             )
             sample = StratifiedSample.build(
                 state.table,
@@ -470,6 +506,40 @@ class AquaSystem:
                 ("table",),
             ).observe(time.perf_counter() - start, table=name)
         return synopsis
+
+    def _group_count_scan(
+        self, name: str, grouping_columns: Tuple[str, ...]
+    ) -> Dict[GroupKey, int]:
+        """Per-finest-group tuple counts ``n_g`` via the plan executor.
+
+        Lowers ``SELECT G..., COUNT(*) FROM name GROUP BY G`` through the
+        planner, so the allocation's counting pass takes the same operator
+        path (and the same parallel GroupBy) as every other scan.  The
+        GroupBy's sorted group order matches
+        :func:`repro.sampling.groups.group_counts` exactly, so downstream
+        order-sensitive consumers (largest-remainder rounding ties) see
+        identical input and the drawn sample stays bit-for-bit the same.
+        """
+        query = Query(
+            select=tuple(
+                Projection(Col(column), column) for column in grouping_columns
+            )
+            + (Aggregate("count", Lit(1), "__count"),),
+            from_item=name,
+            group_by=tuple(grouping_columns),
+        )
+        result = execute_plan(
+            optimize_plan(lower_query(query, self.catalog)),
+            self.catalog,
+            parallel=self._executor,
+            tracer=self.telemetry.tracer,
+        )
+        arrays = [result.column(column) for column in grouping_columns]
+        counts = result.column("__count")
+        return {
+            make_key(tuple(arr[i] for arr in arrays)): int(counts[i])
+            for i in range(result.num_rows)
+        }
 
     def _install(self, name: str, sample: StratifiedSample) -> Synopsis:
         installed = self._rewrite.install(sample, name, self.catalog, replace=True)
@@ -736,6 +806,38 @@ class AquaSystem:
             self._bound_method,
         )
 
+    def _plan_key(self, query: Query, base_name: str, strategy: str):
+        """The plan-cache key: table data version + strategy + plan text.
+
+        ``None`` when plan caching is disabled.  The version covers every
+        mutation that can change synopsis relations (insert, flush,
+        refresh, re-register), so a stale optimized plan can never be
+        replayed against rebuilt samples.
+        """
+        if self._plan_cache is None:
+            return None
+        return (
+            base_name,
+            self._state(base_name).version,
+            strategy,
+            render_query(query),
+        )
+
+    def _optimized_plan(self, query, rewritten, base_name):
+        """Lower + optimize the rewritten query, memoized in the plan cache.
+
+        Returns ``(logical_plan, was_cached)``.
+        """
+        key = self._plan_key(query, base_name, rewritten.strategy)
+        if key is not None:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                return cached, True
+        logical = optimize_plan(lower_rewritten(rewritten, self.catalog))
+        if key is not None:
+            self._plan_cache.put(key, logical)
+        return logical, False
+
     def _answer_pipeline(
         self,
         sql: Union[str, Query],
@@ -844,10 +946,19 @@ class AquaSystem:
         with tracer.span("rewrite", strategy=self._rewrite.name):
             plan = self._rewrite.plan(query, synopsis.installed)
 
+        with tracer.span("plan_optimize") as plan_span:
+            logical, cached_plan = self._optimized_plan(query, plan, base_name)
+            plan_span.set(cache="hit" if cached_plan else "miss")
+
         start = time.perf_counter()
         with tracer.span("execute") as execute_span:
             try:
-                result = plan.execute(self.catalog, tracer=tracer)
+                # Synopsis scans stay serial regardless of the executor:
+                # samples are budget-bounded (small), and serial execution
+                # keeps answers bit-identical across parallel configs.
+                # Base-table scans (exact, guard repair, synopsis builds)
+                # are where the partitioned GroupBy pays off.
+                result = execute_plan(logical, self.catalog, tracer=tracer)
             except CatalogError as exc:
                 raise SynopsisCorruptError(
                     f"synopsis relations for {base_name!r} are missing from "
@@ -1257,18 +1368,47 @@ class AquaSystem:
     def explain(self, sql: Union[str, Query], analyze: bool = False) -> str:
         """Show the rewritten plan (the paper's Figure 2/8-11 view).
 
-        With ``analyze=True`` the query is also *executed* with the tracer
-        temporarily enabled, and the per-stage span tree is appended --
-        the ``EXPLAIN ANALYZE`` of the approximate pipeline.
+        Always includes -- telemetry on or off -- the rewrite strategy,
+        the synopsis relations the rewrite reads (sample-table
+        provenance), and the *optimized* operator tree with estimated
+        per-operator cardinalities.
+
+        With ``analyze=True`` the plan is also *executed*: the operator
+        tree is re-rendered with actual rows and inclusive per-operator
+        timings, and the per-stage span tree of a traced answer is
+        appended -- the ``EXPLAIN ANALYZE`` of the approximate pipeline.
         """
         query = parse_query(sql) if isinstance(sql, str) else sql
-        synopsis = self.synopsis(query.base_table_name())
+        base_name = query.base_table_name()
+        synopsis = self.synopsis(base_name)
         plan = self._rewrite.plan(query, synopsis.installed)
-        text = plan.describe()
+        logical, __ = self._optimized_plan(query, plan, base_name)
+
+        installed = synopsis.installed
+        tables = installed.sample_name
+        if installed.aux_name is not None:
+            tables += f", {installed.aux_name}"
+        lines = [
+            plan.describe(),
+            f"-- synopsis tables: {tables}",
+            f"-- sample: {synopsis.sample_size} of "
+            f"{synopsis.sample.total_population} rows "
+            f"(budget {synopsis.budget}, "
+            f"allocation {synopsis.allocation_strategy})",
+            "-- plan:",
+            render_plan(logical, catalog=self.catalog),
+        ]
         if analyze:
+            collect: Dict[Tuple[int, ...], Tuple[int, float]] = {}
+            execute_plan(logical, self.catalog, collect=collect)
+            lines.append("-- plan (actual):")
+            lines.append(
+                render_plan(logical, catalog=self.catalog, actuals=collect)
+            )
             trace = self.trace_answer(query).trace
-            text += "\n-- analyze:\n" + trace.render()
-        return text
+            lines.append("-- analyze:")
+            lines.append(trace.render())
+        return "\n".join(lines)
 
     def trace_answer(
         self,
@@ -1292,8 +1432,10 @@ class AquaSystem:
     def exact(self, sql: Union[str, Query]) -> Table:
         """Execute the query against the base relation (ground truth).
 
-        Aggregate scans run partition-parallel when the system has an
-        executor and the relation is large enough -- this is the same
+        The query is lowered and optimized through the same plan IR that
+        serves approximate answers, then executed by the physical plan
+        executor; aggregate scans run partition-parallel when the system
+        has an executor and the relation is large enough.  This is the
         machinery the guard's exact fallback and per-group repairs use, so
         degraded service keeps up with base tables the synopsis was built
         to avoid scanning.
@@ -1301,7 +1443,13 @@ class AquaSystem:
         query = parse_query(sql) if isinstance(sql, str) else sql
         self._flush_pending(query.base_table_name())
         try:
-            return execute(query, self.catalog, parallel=self._executor)
+            logical = optimize_plan(lower_query(query, self.catalog))
+            return execute_plan(
+                logical,
+                self.catalog,
+                parallel=self._executor,
+                tracer=self.telemetry.tracer,
+            )
         except CatalogError as exc:
             raise TableNotRegisteredError(str(exc)) from exc
 

@@ -21,7 +21,7 @@ Laplace smoothing keeps never-seen groupings from being starved entirely
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.workload import GroupPreferences
 from ..engine.expressions import Col, Lit

@@ -26,17 +26,12 @@ All criteria emit plain weight vectors, so applications can add their own.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence
 
 import numpy as np
 
 from ..engine.table import Table
-from ..sampling.groups import (
-    GroupKey,
-    finest_group_ids,
-    project_key,
-    projected_counts,
-)
+from ..sampling.groups import GroupKey, finest_group_ids, project_key
 from .allocation import Allocation, _validate
 from .senate import senate_share
 

@@ -17,7 +17,7 @@ analytically from counts, so the bound can be checked empirically
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 from ..sampling.groups import GroupKey
 from .congress import Congress

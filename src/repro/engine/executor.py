@@ -25,7 +25,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from .table import Table
 __all__ = [
     "execute",
     "execute_on_table",
+    "infer_expression_type",
     "ParallelConfig",
     "ParallelExecutor",
 ]
@@ -251,8 +252,27 @@ class ParallelExecutor:
         produces; the caller applies select-list shaping, HAVING, ORDER BY
         and LIMIT exactly as in the serial path.
         """
-        key_columns = list(query.group_by)
-        aggregates = query.aggregates()
+        return self.aggregate_table(
+            table, list(query.group_by), query.aggregates(), where=query.where
+        )
+
+    def aggregate_table(
+        self,
+        table: Table,
+        key_columns: Sequence[str],
+        aggregates: Sequence,
+        where=None,
+    ) -> Table:
+        """The Query-free partitioned aggregation core.
+
+        Splits ``table``, optionally filters each partition by ``where``
+        (fused into the per-partition scan), runs a partial group-by per
+        partition, merges, and finalizes.  This is the entry point the plan
+        executor's GroupBy operator binds to -- predicates there have
+        already been pushed into the Scan, so it passes ``where=None``.
+        """
+        key_columns = list(key_columns)
+        aggregates = list(aggregates)
         k = self.partition_count(table.num_rows)
         if self.config.partition_mode == "hash" and key_columns:
             partitioner = Partitioner("hash", hash_columns=key_columns)
@@ -263,8 +283,8 @@ class ParallelExecutor:
         def scan(part: Partition) -> Tuple[GroupByPartial, float, int, int]:
             start = perf_counter()
             rows = part.table
-            if query.where is not None:
-                rows = rows.filter(query.where.evaluate(rows))
+            if where is not None:
+                rows = rows.filter(where.evaluate(rows))
             partial = partial_group_by(rows, key_columns, aggregates)
             return partial, perf_counter() - start, part.num_rows, rows.num_rows
 
@@ -314,14 +334,19 @@ class ParallelExecutor:
 
     def note_serial_fallback(self, query: Query, table: Table) -> None:
         """Record that an aggregate plan ran serially despite this executor."""
-        metrics = self.telemetry.metrics
-        if not metrics.enabled:
-            return
         reason = (
             "unsupported_plan"
             if not (query.has_aggregates() or query.group_by)
             else "small_input"
         )
+        self.note_plan_serial_fallback(reason)
+
+    def note_plan_serial_fallback(self, reason: str = "small_input") -> None:
+        """Record a serial fallback without a Query (the plan executor's
+        GroupBy operator only knows the input was too small to split)."""
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
         metrics.counter(
             "engine_parallel_fallbacks_total",
             "Aggregate scans that fell back to the serial executor.",
@@ -391,11 +416,18 @@ def _apply_where(query: Query, input_table: Table) -> Table:
     return input_table.filter(query.where.evaluate(input_table))
 
 
-def _infer_type(values: np.ndarray, expr, table: Table) -> ColumnType:
-    """Infer the output type of a projected expression."""
+def infer_expression_type(values: np.ndarray, expr, table: Table) -> ColumnType:
+    """Infer the output type of a projected expression.
+
+    Shared by the serial executor and the plan executor's compute-mode
+    Project so both type projected columns identically.
+    """
     if isinstance(expr, Col):
         return table.schema.column(expr.name).ctype
     kind = np.asarray(values).dtype.kind
     if kind in ("i", "u"):
         return ColumnType.INT
     return ColumnType.FLOAT if kind == "f" else ColumnType.STR
+
+
+_infer_type = infer_expression_type

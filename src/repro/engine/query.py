@@ -12,7 +12,7 @@ nested FROM subqueries, which is why ``from_item`` may itself be a query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple, Union
 
 from .aggregates import Aggregate

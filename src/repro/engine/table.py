@@ -9,11 +9,11 @@ separate :class:`TableBuilder` which accumulates rows and freezes into a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from .schema import Column, ColumnType, Schema, SchemaError
+from .schema import Column, Schema, SchemaError
 
 __all__ = ["Table", "TableBuilder"]
 

@@ -22,13 +22,12 @@ equivalence is asserted in the integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..engine.expressions import Expression
 from ..engine.predicates import Predicate
-from ..engine.table import Table
 from ..sampling.groups import GroupKey, make_key
 from ..sampling.stratified import StratifiedSample
 

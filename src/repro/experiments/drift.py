@@ -17,7 +17,7 @@ old ones; maintained tracks rebuilt closely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -8,7 +8,7 @@ including the intermediate ``s_{g,T}`` columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core.basic_congress import BasicCongress
 from ..core.congress import Congress

@@ -13,7 +13,7 @@ sample count is proportional to size); Senate/Congress stay flat.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -6,7 +6,7 @@ this module keeps the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 __all__ = ["format_table", "format_mapping_table"]
 

@@ -11,15 +11,10 @@ exactly the bookkeeping the Eq. 8 Congress maintainer needs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from ..engine.table import Table
-from ..sampling.groups import (
-    GroupKey,
-    all_groupings,
-    group_counts,
-    project_key,
-)
+from ..sampling.groups import GroupKey, all_groupings, group_counts
 
 __all__ = ["CountDataCube"]
 

@@ -1,0 +1,138 @@
+"""Bounded LRU cache for optimized logical plans.
+
+Planning is cheap next to scanning, but dashboard workloads re-issue the
+same queries, and the optimizer's fixpoint driver re-walks the tree on
+every pass; memoizing the *optimized plan* (not the answer -- that is
+:class:`~repro.aqua.cache.AnswerCache`'s job) removes lower + optimize from
+the hot path entirely.
+
+The key mirrors the answer-cache discipline: it embeds the base table's
+data version, so a refresh or re-registration -- which may change synopsis
+schemas and therefore correct plans -- invalidates at lookup time, plus the
+rewrite-strategy name and renderer-normalized query text.  Stats mirror to
+``aqua_plan_cache_{hits,misses,evictions}_total`` when a metrics registry
+is attached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..obs import MetricsRegistry
+from .logical import Plan
+
+__all__ = ["PlanCache", "PlanCacheStats"]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Cumulative plan-cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"plan cache: {self.size}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.evictions} evicted"
+        )
+
+
+class PlanCache:
+    """A bounded least-recently-used optimized-plan store.
+
+    Keys are opaque hashables built by the caller (see
+    :meth:`~repro.aqua.system.AquaSystem._plan_key`): ``(table, version,
+    strategy, normalized SQL)``.  ``get`` promotes on hit; ``put`` evicts
+    the least-recently-used entry once ``capacity`` is exceeded.  Plans are
+    immutable (frozen dataclasses), so entries are shared safely.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Plan]" = OrderedDict()
+        self._metrics = metrics
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """(Re)bind the registry the cache mirrors its counters into."""
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Plan]:
+        """The cached plan for ``key`` (promoted to most-recent), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            self._count("aqua_plan_cache_misses_total")
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        self._count("aqua_plan_cache_hits_total")
+        return entry
+
+    def put(self, key: Hashable, plan: Plan) -> None:
+        """Store ``plan``, evicting the LRU entry when over capacity."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            self._count("aqua_plan_cache_evictions_total")
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Drop entries (all, or those whose key starts with ``table``)."""
+        if table is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        doomed = [
+            key
+            for key in self._entries
+            if isinstance(key, tuple) and key and key[0] == table
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def _count(self, name: str) -> None:
+        if self._metrics is None or not self._metrics.enabled:
+            return
+        self._metrics.counter(
+            name,
+            "Plan-cache lookups by outcome (see repro.plan.cache).",
+        ).inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCache({len(self._entries)}/{self.capacity})"

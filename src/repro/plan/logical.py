@@ -1,0 +1,450 @@
+"""Logical plan IR: the relational operator tree all execution paths share.
+
+The paper's Aqua middleware answers every query -- approximate, exact
+fallback, or guard-repaired -- by running *some* query over *some* relation
+(Section 5).  This module gives those queries one common shape: an
+immutable tree of relational operators that the planner
+(:mod:`repro.plan.planner`) produces, the rule-based optimizer
+(:mod:`repro.plan.optimizer`) rewrites, and the physical executor
+(:mod:`repro.plan.physical`) runs against the engine's catalog.
+
+Operators (leaf first):
+
+* :class:`Scan` -- read a catalog relation, optionally applying a pushed-down
+  predicate and materializing only the listed numpy columns.
+* :class:`Filter` -- drop rows failing a predicate.
+* :class:`Project` -- shape the select list: ``"view"`` mode reorders /
+  renames existing columns, ``"compute"`` mode evaluates scalar expressions
+  into fresh columns.
+* :class:`Join` -- inner hash equi-join of two subplans.
+* :class:`GroupBy` -- hash aggregation producing keys-then-aggregates.
+* :class:`ScaleUp` -- post-aggregation ratio columns (the ``sum(Q*SF) /
+  sum(SF)`` of AVG rewrites) plus final output projection.
+* :class:`Sort` / :class:`Limit` -- output ordering and row cap.
+
+Every node is a frozen dataclass, so plans are hashable, comparable (the
+optimizer's fixpoint test), and safe to cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Tuple
+
+from ..engine.aggregates import Aggregate
+from ..engine.predicates import Predicate
+from ..engine.query import Projection
+from ..errors import AquaError
+
+__all__ = [
+    "Filter",
+    "GroupBy",
+    "Join",
+    "Limit",
+    "Plan",
+    "PlanError",
+    "Project",
+    "Ratio",
+    "ScaleUp",
+    "Scan",
+    "Sort",
+    "output_columns",
+    "render_plan",
+    "walk",
+]
+
+
+class PlanError(AquaError, ValueError):
+    """Raised for structurally invalid logical plans."""
+
+
+@dataclass(frozen=True)
+class Ratio:
+    """A post-aggregation derived column ``alias = numerator / denominator``."""
+
+    alias: str
+    numerator: str
+    denominator: str
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Base class for logical operators."""
+
+    kind = "plan"
+
+    @property
+    def children(self) -> Tuple["Plan", ...]:
+        return ()
+
+    def with_children(self, children: Tuple["Plan", ...]) -> "Plan":
+        if children:
+            raise PlanError(f"{type(self).__name__} takes no children")
+        return self
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Read catalog relation ``table``.
+
+    Attributes:
+        table: catalog name of the relation.
+        predicate: optional pushed-down row filter, applied after the
+            column projection (so it may only reference kept columns --
+            the pruning rule guarantees this).
+        columns: optional column subset to materialize (projection
+            pruning); ``None`` keeps every column.
+        table_columns: planner hint -- the relation's full column list at
+            planning time.  Purely informational: rules that need schema
+            knowledge (join-side pushdown, pruning) are no-ops without it,
+            which keeps every rule a pure ``Plan -> Plan`` function.
+    """
+
+    table: str
+    predicate: Optional[Predicate] = None
+    columns: Optional[Tuple[str, ...]] = None
+    table_columns: Optional[Tuple[str, ...]] = None
+
+    kind = "scan"
+
+
+@dataclass(frozen=True)
+class Filter(Plan):
+    """Keep only rows of ``child`` satisfying ``predicate``."""
+
+    child: Plan
+    predicate: Predicate
+
+    kind = "filter"
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "Filter":
+        (child,) = children
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Shape the select list of ``child``.
+
+    ``mode="view"`` requires every item to be a bare column reference and
+    executes as a zero-copy reorder/rename of existing columns (preserving
+    schema roles) -- the shaping step after a GROUP BY.  ``mode="compute"``
+    evaluates each item's expression into a fresh column -- a plain
+    (non-aggregate) SELECT list.
+    """
+
+    child: Plan
+    items: Tuple[Projection, ...]
+    mode: str = "view"
+
+    kind = "project"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("view", "compute"):
+            raise PlanError(
+                f"Project mode must be view or compute, got {self.mode!r}"
+            )
+        if not self.items:
+            raise PlanError("Project needs at least one item")
+        if self.mode == "view":
+            from ..engine.expressions import Col
+
+            for item in self.items:
+                if not isinstance(item.expr, Col):
+                    raise PlanError(
+                        "view-mode Project items must be bare columns; "
+                        f"got {item.expr!r}"
+                    )
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "Project":
+        (child,) = children
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Inner hash equi-join of ``left`` and ``right``.
+
+    Mirrors :func:`repro.engine.join.hash_join`: the output carries all
+    left columns plus non-key right columns (collisions suffixed).
+    """
+
+    left: Plan
+    right: Plan
+    left_on: Tuple[str, ...]
+    right_on: Tuple[str, ...]
+    suffix: str = "_r"
+
+    kind = "join"
+
+    def __post_init__(self) -> None:
+        if len(self.left_on) != len(self.right_on) or not self.left_on:
+            raise PlanError(
+                f"join keys mismatch: {self.left_on} vs {self.right_on}"
+            )
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "Join":
+        left, right = children
+        return replace(self, left=left, right=right)
+
+
+@dataclass(frozen=True)
+class GroupBy(Plan):
+    """Hash aggregation: output columns are ``keys`` then aggregate aliases."""
+
+    child: Plan
+    keys: Tuple[str, ...]
+    aggregates: Tuple[Aggregate, ...]
+
+    kind = "group_by"
+
+    def __post_init__(self) -> None:
+        if not self.keys and not self.aggregates:
+            raise PlanError("GroupBy needs keys or aggregates")
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "GroupBy":
+        (child,) = children
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class ScaleUp(Plan):
+    """Compute ratio columns and project to the final ``output`` aliases."""
+
+    child: Plan
+    ratios: Tuple[Ratio, ...]
+    output: Tuple[str, ...]
+
+    kind = "scale_up"
+
+    def __post_init__(self) -> None:
+        if not self.output:
+            raise PlanError("ScaleUp needs output columns")
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "ScaleUp":
+        (child,) = children
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    """Stable lexicographic sort by ``keys``."""
+
+    child: Plan
+    keys: Tuple[str, ...]
+
+    kind = "sort"
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise PlanError("Sort needs at least one key")
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "Sort":
+        (child,) = children
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    """First ``count`` rows of ``child``."""
+
+    child: Plan
+    count: int
+
+    kind = "limit"
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise PlanError(f"Limit must be >= 0, got {self.count}")
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Plan, ...]) -> "Limit":
+        (child,) = children
+        return replace(self, child=child)
+
+
+# -- traversal ---------------------------------------------------------------
+
+
+def walk(plan: Plan, path: Tuple[int, ...] = ()) -> Iterator[
+    Tuple[Tuple[int, ...], Plan]
+]:
+    """Yield ``(path, node)`` pairs depth-first, parents before children.
+
+    ``path`` is the child-index route from the root (``()`` for the root
+    itself); it identifies a node stably across the logical tree and its
+    physical execution, which is how ``explain(analyze=True)`` matches
+    measured per-operator rows/timings back to rendered tree lines.
+    """
+    yield path, plan
+    for i, child in enumerate(plan.children):
+        yield from walk(child, path + (i,))
+
+
+def output_columns(plan: Plan) -> Optional[Tuple[str, ...]]:
+    """The column names ``plan`` produces, or None when unknown.
+
+    Scans only know their output when the planner attached a
+    ``table_columns`` hint; everything above propagates structurally.
+    """
+    if isinstance(plan, Scan):
+        if plan.columns is not None:
+            return plan.columns
+        return plan.table_columns
+    if isinstance(plan, (Filter, Sort, Limit)):
+        return output_columns(plan.child)
+    if isinstance(plan, Project):
+        return tuple(item.alias for item in plan.items)
+    if isinstance(plan, GroupBy):
+        return plan.keys + tuple(a.alias for a in plan.aggregates)
+    if isinstance(plan, ScaleUp):
+        return plan.output
+    if isinstance(plan, Join):
+        left = output_columns(plan.left)
+        right = output_columns(plan.right)
+        if left is None or right is None:
+            return None
+        out: List[str] = list(left)
+        key_set = set(plan.right_on)
+        left_set = set(left)
+        for name in right:
+            if name in key_set:
+                continue
+            out.append(name + plan.suffix if name in left_set else name)
+        return tuple(out)
+    return None
+
+
+# -- cardinality estimation & rendering --------------------------------------
+
+# Rough-cut planner constants: a predicate keeps about a third of its input,
+# a GROUP BY collapses to about the square root of its input.  The numbers
+# only order operators for display -- nothing cost-based hangs off them yet.
+_FILTER_SELECTIVITY = 1 / 3
+
+
+def _estimate(plan: Plan, catalog) -> Optional[int]:
+    """Estimated output rows against ``catalog`` (None if unknowable)."""
+    if isinstance(plan, Scan):
+        try:
+            rows = catalog.get(plan.table).num_rows
+        except Exception:
+            return None
+        if plan.predicate is not None:
+            rows = int(rows * _FILTER_SELECTIVITY)
+        return max(rows, 1)
+    child = [_estimate(c, catalog) for c in plan.children]
+    if any(c is None for c in child):
+        return None
+    if isinstance(plan, Filter):
+        return max(int(child[0] * _FILTER_SELECTIVITY), 1)
+    if isinstance(plan, GroupBy):
+        return max(int(child[0] ** 0.5), 1)
+    if isinstance(plan, Join):
+        return max(child[0], child[1])
+    if isinstance(plan, Limit):
+        return min(child[0], plan.count)
+    return child[0]
+
+
+def _describe(plan: Plan) -> str:
+    """One-line operator description (predicates/expressions rendered)."""
+    from ..engine.render import render_expression, render_predicate
+
+    if isinstance(plan, Scan):
+        parts = [f"Scan {plan.table}"]
+        if plan.predicate is not None:
+            parts.append(f"WHERE {render_predicate(plan.predicate)}")
+        if plan.columns is not None:
+            parts.append("cols=[" + ", ".join(plan.columns) + "]")
+        return " ".join(parts)
+    if isinstance(plan, Filter):
+        return f"Filter {render_predicate(plan.predicate)}"
+    if isinstance(plan, Project):
+        rendered = []
+        for item in plan.items:
+            expr = render_expression(item.expr)
+            rendered.append(
+                expr if expr == item.alias else f"{expr} AS {item.alias}"
+            )
+        return f"Project[{plan.mode}] " + ", ".join(rendered)
+    if isinstance(plan, Join):
+        on = ", ".join(
+            f"{l} = {r}" for l, r in zip(plan.left_on, plan.right_on)
+        )
+        return f"Join ON {on}"
+    if isinstance(plan, GroupBy):
+        aggs = ", ".join(
+            f"{a.func}({render_expression(a.expr)}) AS {a.alias}"
+            for a in plan.aggregates
+        )
+        keys = ", ".join(plan.keys) if plan.keys else "()"
+        return f"GroupBy [{keys}] {aggs}"
+    if isinstance(plan, ScaleUp):
+        ratios = ", ".join(
+            f"{r.alias} = {r.numerator} / {r.denominator}" for r in plan.ratios
+        )
+        out = ", ".join(plan.output)
+        return f"ScaleUp {ratios or '(no ratios)'} -> [{out}]"
+    if isinstance(plan, Sort):
+        return "Sort [" + ", ".join(plan.keys) + "]"
+    if isinstance(plan, Limit):
+        return f"Limit {plan.count}"
+    return type(plan).__name__
+
+
+def render_plan(
+    plan: Plan,
+    catalog=None,
+    actuals=None,
+) -> str:
+    """Render the operator tree, one indented line per node.
+
+    Args:
+        plan: the tree to render.
+        catalog: when given, each line carries an estimated output
+            cardinality (``~rows=N``) derived from catalog row counts and
+            fixed selectivity heuristics.
+        actuals: optional mapping of node path (see :func:`walk`) to a
+            ``(rows, seconds)`` pair -- the ``explain(analyze=True)`` view
+            of what each operator actually produced and cost.
+    """
+    lines = []
+    for path, node in walk(plan):
+        line = "  " * len(path) + _describe(node)
+        if catalog is not None:
+            estimate = _estimate(node, catalog)
+            if estimate is not None:
+                line += f"  ~rows={estimate}"
+        if actuals is not None and path in actuals:
+            rows, seconds = actuals[path]
+            line += f"  rows={rows} time={seconds * 1000:.2f}ms"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Lower logical queries and rewrite specs into the plan IR.
+
+Two entry points:
+
+* :func:`lower_query` -- an :class:`~repro.engine.query.Query` (possibly
+  nested, the Nested-integrated shape) becomes a ``Scan -> Filter ->
+  GroupBy -> Project -> ...`` tree with exactly the serial executor's
+  operation order, so plan execution is value-identical to
+  :func:`repro.engine.executor.execute`.
+* :func:`lower_rewritten` -- a rewrite strategy's
+  :class:`~repro.rewrite.plan.RewrittenPlan` (sample-relation query,
+  optional pre-aggregation join, post-aggregation ratios, user HAVING /
+  ORDER BY / LIMIT) becomes one tree ending in :class:`ScaleUp`.
+
+Both accept an optional catalog purely to stamp ``table_columns`` hints
+onto :class:`Scan` leaves; optimizer rules that need schema knowledge
+(join-side pushdown, projection pruning) stay pure ``Plan -> Plan``
+functions by reading the hint instead of a live catalog.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..engine.expressions import Col
+from ..engine.query import Projection, Query
+from .logical import (
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Ratio,
+    ScaleUp,
+    Scan,
+    Sort,
+)
+
+__all__ = ["lower_query", "lower_rewritten"]
+
+
+def _scan(table: str, catalog) -> Scan:
+    """A Scan leaf, with the relation's column list attached when known."""
+    table_columns: Optional[Tuple[str, ...]] = None
+    if catalog is not None:
+        try:
+            table_columns = tuple(catalog.get(table).schema.names)
+        except Exception:
+            table_columns = None
+    return Scan(table, table_columns=table_columns)
+
+
+def lower_query(query: Query, catalog=None) -> Plan:
+    """Lower a logical query (and any nested FROM subqueries) to a plan."""
+    if isinstance(query.from_item, Query):
+        source = lower_query(query.from_item, catalog)
+    else:
+        source = _scan(query.from_item, catalog)
+    return lower_query_onto(query, source)
+
+
+def lower_query_onto(query: Query, source: Plan) -> Plan:
+    """Lower ``query``'s clauses onto an already-planned input relation.
+
+    Mirrors :func:`repro.engine.executor._run` clause for clause: WHERE,
+    then aggregation with select-list shaping and HAVING (or a plain
+    computed projection), then ORDER BY and LIMIT.
+    """
+    plan = source
+    if query.where is not None:
+        plan = Filter(plan, query.where)
+    if query.has_aggregates() or query.group_by:
+        plan = GroupBy(
+            plan, tuple(query.group_by), tuple(query.aggregates())
+        )
+        # group_by emits keys-then-aggregates; restore select-list order
+        # and apply key aliases, exactly as the serial executor does.
+        items: List[Projection] = []
+        for item in query.select:
+            if isinstance(item, Projection):
+                items.append(item)  # bare Col, enforced by Query
+            else:
+                items.append(Projection(Col(item.alias), item.alias))
+        plan = Project(plan, tuple(items), mode="view")
+        if query.having is not None:
+            plan = Filter(plan, query.having)
+    else:
+        plan = Project(plan, tuple(query.select), mode="compute")
+    if query.order_by:
+        plan = Sort(plan, tuple(query.order_by))
+    if query.limit is not None:
+        plan = Limit(plan, query.limit)
+    return plan
+
+
+def lower_rewritten(rewritten, catalog=None) -> Plan:
+    """Lower a :class:`~repro.rewrite.plan.RewrittenPlan` to a plan tree.
+
+    The spec is duck-typed (``query`` / ``join`` / ``ratios`` / ``output``
+    / ``having`` / ``order_by`` / ``limit`` attributes) so this module has
+    no import dependency on :mod:`repro.rewrite`.
+    """
+    query: Query = rewritten.query
+    if rewritten.join is not None:
+        join = rewritten.join
+        source: Plan = Join(
+            _scan(join.left, catalog),
+            _scan(join.right, catalog),
+            tuple(join.left_on),
+            tuple(join.right_on),
+        )
+        plan = lower_query_onto(query, source)
+    else:
+        plan = lower_query(query, catalog)
+
+    # Always a ScaleUp, even with no ratios (it degenerates to the output
+    # projection): every rewritten plan carries the paper's scale-up stage
+    # as an explicit operator, which explain() and the span tree surface.
+    plan = ScaleUp(
+        plan,
+        tuple(
+            Ratio(r.alias, r.numerator, r.denominator)
+            for r in rewritten.ratios
+        ),
+        tuple(rewritten.output),
+    )
+    if rewritten.having is not None:
+        plan = Filter(plan, rewritten.having)
+    if rewritten.order_by:
+        plan = Sort(plan, tuple(rewritten.order_by))
+    if rewritten.limit is not None:
+        plan = Limit(plan, rewritten.limit)
+    return plan

@@ -16,9 +16,14 @@ ALL_STRATEGIES = (Integrated, NestedIntegrated, Normalized, KeyNormalized)
 
 
 def strategy_by_name(name: str) -> RewriteStrategy:
-    """Instantiate a rewrite strategy from its paper name."""
+    """Instantiate a rewrite strategy from its paper name.
+
+    Lookup is case-insensitive and ignores surrounding whitespace, so
+    shell / config spellings like ``"Integrated"`` work.
+    """
+    wanted = name.strip().lower()
     for cls in ALL_STRATEGIES:
-        if cls.name == name:
+        if cls.name.lower() == wanted:
             return cls()
     raise ValueError(
         f"unknown rewrite strategy {name!r}; "

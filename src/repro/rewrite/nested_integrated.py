@@ -17,7 +17,7 @@ inner per-group count (Figure 13).
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import List, Union
 
 from ..engine.aggregates import Aggregate
 from ..engine.catalog import Catalog

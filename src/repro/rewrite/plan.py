@@ -13,19 +13,13 @@ compare.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..engine.catalog import Catalog
-from ..engine.executor import execute, execute_on_table
-from ..engine.join import hash_join
 from ..engine.predicates import Predicate
 from ..engine.query import Query
-from ..engine.schema import Column, ColumnType, Schema
 from ..engine.table import Table
-from ..obs.trace import NULL_TRACER
 
 __all__ = ["JoinSpec", "RatioColumn", "RewrittenPlan"]
 
@@ -109,55 +103,36 @@ class RewrittenPlan:
             lines.append(f"-- then LIMIT {self.limit}")
         return "\n".join(lines)
 
-    def execute(self, catalog: Catalog, tracer=None) -> Table:
+    def to_logical(self, catalog: Optional[Catalog] = None):
+        """Lower this spec to a logical :class:`~repro.plan.logical.Plan`.
+
+        Passing the catalog stamps ``table_columns`` hints onto the Scan
+        leaves, which is what lets the optimizer push predicates through
+        the pre-aggregation join and prune unreferenced sample columns.
+        """
+        from ..plan.planner import lower_rewritten
+
+        return lower_rewritten(self, catalog)
+
+    def execute(
+        self, catalog: Catalog, tracer=None, parallel=None
+    ) -> Table:
         """Run the plan against ``catalog`` and return the answer table.
+
+        The spec is lowered to the shared plan IR, optimized, and executed
+        by the physical plan executor, so strategy execution takes exactly
+        the same operator path as exact answers and guard fallbacks.
 
         Args:
             catalog: the catalog holding the synopsis relations.
-            tracer: optional :class:`~repro.obs.Tracer`; when enabled, the
-                sample scan and the scale-up/finalize step get their own
-                spans (``scan`` / ``scale_up``) nested under the caller's
-                current span.
+            tracer: optional :class:`~repro.obs.Tracer`; each operator gets
+                an ``op_<kind>`` span nested under the caller's span.
+            parallel: optional
+                :class:`~repro.engine.executor.ParallelExecutor` for
+                partitioned GroupBy execution.
         """
-        if tracer is None:
-            tracer = NULL_TRACER
-        with tracer.span("scan", strategy=self.strategy) as scan_span:
-            if self.join is not None:
-                joined = hash_join(
-                    catalog.get(self.join.left),
-                    catalog.get(self.join.right),
-                    list(self.join.left_on),
-                    list(self.join.right_on),
-                )
-                result = execute_on_table(self.query, joined)
-            else:
-                result = execute(self.query, catalog)
-            scan_span.set(rows=result.num_rows)
-        with tracer.span("scale_up"):
-            return self._finalize(result)
+        from ..plan.optimizer import optimize
+        from ..plan.physical import execute_plan
 
-    def _finalize(self, result: Table) -> Table:
-        """Scale-up ratios plus HAVING / ORDER BY / LIMIT finishing."""
-        if self.ratios:
-            columns = dict(result.columns())
-            schema_cols = {c.name: c for c in result.schema}
-            for ratio in self.ratios:
-                num = np.asarray(columns[ratio.numerator], dtype=np.float64)
-                den = np.asarray(columns[ratio.denominator], dtype=np.float64)
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    values = np.where(den != 0, num / den, np.nan)
-                columns[ratio.alias] = values
-                schema_cols[ratio.alias] = Column(ratio.alias, ColumnType.FLOAT)
-            schema = Schema([schema_cols[name] for name in self.output])
-            result = Table(
-                schema, {name: columns[name] for name in self.output}
-            )
-        else:
-            result = result.project(list(self.output))
-        if self.having is not None:
-            result = result.filter(self.having.evaluate(result))
-        if self.order_by:
-            result = result.sort_by(list(self.order_by))
-        if self.limit is not None:
-            result = result.head(self.limit)
-        return result
+        plan = optimize(self.to_logical(catalog))
+        return execute_plan(plan, catalog, parallel=parallel, tracer=tracer)

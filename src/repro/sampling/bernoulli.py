@@ -9,7 +9,7 @@ per-group probability, and when that probability later *decreases* from
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, TypeVar
 
 import numpy as np
 

@@ -11,7 +11,6 @@ column, and log-normal incomes whose location varies mildly by state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

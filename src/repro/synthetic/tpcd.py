@@ -23,8 +23,7 @@ aggregate-column skew fixed at z = 0.86.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 import numpy as np
 

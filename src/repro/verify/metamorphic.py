@@ -33,7 +33,7 @@ from ..estimators.point import estimate
 from ..sampling.groups import GroupKey
 from ..sampling.stratified import StratifiedSample, Stratum
 from ..synthetic.queries import qg2
-from .testbed import TABLE_NAME, Testbed, TestbedConfig, result_by_group
+from .testbed import TABLE_NAME, Testbed, TestbedConfig
 
 __all__ = ["MetamorphicResult", "run_metamorphic"]
 

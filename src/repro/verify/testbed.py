@@ -10,14 +10,12 @@ reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from ..engine.catalog import Catalog
 from ..engine.executor import execute
-from ..engine.query import Query
 from ..engine.table import Table
 from ..sampling.groups import GroupKey, make_key
 from ..synthetic.queries import QueryClass, qg0, qg2, qg3

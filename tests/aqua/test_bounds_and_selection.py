@@ -100,5 +100,14 @@ class TestRecommendStrategy:
         assert isinstance(recommend_strategy(10_000.0), KeyNormalized)
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="must be >= 0"):
             recommend_strategy(-1.0)
+
+    def test_boundaries(self):
+        # 1000 updates/query is still "moderate"; just above tips over.
+        assert isinstance(recommend_strategy(1000.0, 50_000), Integrated)
+        assert isinstance(recommend_strategy(1000.01), KeyNormalized)
+        # num_groups_hint boundary: 1000 groups still favors per-group
+        # scaling, 1001 favors plain Integrated.
+        assert isinstance(recommend_strategy(0.0, 1000), NestedIntegrated)
+        assert isinstance(recommend_strategy(0.0, 1001), Integrated)

@@ -131,11 +131,18 @@ class TestMain:
 
 class TestExplainCompareCommands:
     def test_explain(self, shell):
+        # The `shell` fixture runs with telemetry disabled: strategy name,
+        # sample-table provenance, and the operator tree must show anyway.
         sh, out = shell
         sh.execute_line(".explain select a, sum(q) s from rel group by a")
         text = out.getvalue()
         assert "rewrite strategy" in text
         assert "bs_rel" in text
+        assert "-- synopsis tables: bs_rel" in text
+        assert "-- sample:" in text
+        assert "-- plan:" in text
+        assert "Scan bs_rel" in text
+        assert "GroupBy" in text
 
     def test_compare(self, shell):
         sh, out = shell

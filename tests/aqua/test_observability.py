@@ -11,7 +11,7 @@ from repro.aqua import (
     PROVENANCE_REPAIRED,
     PROVENANCE_SYNOPSIS,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry
 from repro.testing import FaultInjector
 
 SQL = "select a, b, sum(q) s from rel group by a, b order by a, b"
@@ -53,11 +53,20 @@ class TestTracedAnswer:
         trace = system.answer(SQL).trace
         names = [span.name for span in trace.stages]
         assert names.index("parse") < names.index("rewrite")
-        assert names.index("rewrite") < names.index("execute")
+        assert names.index("rewrite") < names.index("plan_optimize")
+        assert names.index("plan_optimize") < names.index("execute")
         execute = trace.stage("execute")
-        child_names = [span.name for span in execute.children]
-        assert "scan" in child_names
-        assert "scale_up" in child_names
+        descendants = []
+        stack = list(execute.children)
+        while stack:
+            span = stack.pop()
+            descendants.append(span.name)
+            stack.extend(span.children)
+        # The execute stage runs the physical operator tree: one op_* span
+        # per plan node, nested to match the tree shape.
+        assert "op_scan" in descendants
+        assert "op_scale_up" in descendants
+        assert "op_group_by" in descendants
 
     def test_root_records_table_and_guard_attributes(self, system):
         trace = system.answer(SQL).trace

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.aqua import AquaError, AquaSystem
-from repro.core import House, Senate
+from repro.core import Senate
 from repro.rewrite import Integrated
 
 

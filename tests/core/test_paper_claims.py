@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (
-    BasicCongress,
-    Congress,
-    House,
-    Senate,
-    allocate_from_table,
-    senate_share,
-)
+from repro.core import BasicCongress, Congress, House, Senate, senate_share
 from repro.sampling import all_groupings, projected_counts
 
 

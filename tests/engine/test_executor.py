@@ -1,6 +1,5 @@
 """Unit tests for query execution against the catalog."""
 
-import numpy as np
 import pytest
 
 from repro.engine import (

@@ -1,6 +1,5 @@
 """Unit tests for the hash group-by executor."""
 
-import numpy as np
 import pytest
 
 from repro.engine import (

@@ -13,7 +13,6 @@ from repro.engine import (
     Aggregate,
     AggregateState,
     ColumnType,
-    GroupByPartial,
     Schema,
     Table,
     col,

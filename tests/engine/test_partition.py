@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import ColumnType, Partition, Partitioner, Schema, Table
+from repro.engine import ColumnType, Partitioner, Schema, Table
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the predicate AST."""
 
-import numpy as np
 import pytest
 
 from repro.engine import (
@@ -9,7 +8,6 @@ from repro.engine import (
     ColumnType,
     Comparison,
     InList,
-    Not,
     Or,
     Schema,
     Table,

@@ -3,17 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import (
-    Catalog,
-    ColumnType,
-    Schema,
-    Table,
-    execute,
-    parse_query,
-    render_expression,
-    render_predicate,
-    render_query,
-)
+from repro.engine import Catalog, ColumnType, Schema, Table, execute, parse_query, render_query
 
 
 @pytest.fixture(scope="module")

@@ -6,11 +6,9 @@ from repro.engine import (
     Aggregate,
     Between,
     BinaryOp,
-    Col,
     Comparison,
     InList,
     Lit,
-    Projection,
     Query,
     SqlError,
     parse_query,

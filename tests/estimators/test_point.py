@@ -105,7 +105,6 @@ class TestVarianceEstimates:
         """Empirical spread of estimates matches the estimated std error."""
         rng_values = []
         reported = []
-        exact = float(np.sum(skewed_table.column("q")))
         for seed in range(40):
             rng = np.random.default_rng(100 + seed)
             sample = build_sample(

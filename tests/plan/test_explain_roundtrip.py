@@ -1,0 +1,87 @@
+"""explain() round-trips the optimized operator tree for every query class.
+
+The acceptance bar: for Qg0 / Qg2 / Qg3 / Qmix over the paper's lineitem
+testbed, the tree ``explain()`` renders is exactly the tree the answer
+path plans -- one line per :func:`repro.plan.walk` node, indented by tree
+depth -- and ``explain(analyze=True)`` annotates every operator with the
+rows it actually produced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.engine import parse_query
+from repro.plan import lower_rewritten, optimize, render_plan, walk
+from repro.synthetic.queries import qg0, qg2, qg3
+from repro.synthetic.tpcd import LineitemConfig, generate_lineitem
+from repro.verify.testbed import qmix
+
+QUERY_CLASSES = {
+    "Qg0": qg0(100, 600),
+    "Qg2": qg2(),
+    "Qg3": qg3(),
+    "Qmix": qmix(),
+}
+
+
+@pytest.fixture(scope="module")
+def system():
+    table = generate_lineitem(
+        LineitemConfig(table_size=3000, num_groups=27, seed=7)
+    )
+    aqua = AquaSystem(space_budget=600, rng=np.random.default_rng(7))
+    aqua.register_table("lineitem", table)
+    return aqua
+
+
+def _plan_section(text: str, marker: str = "-- plan:"):
+    lines = text.splitlines()
+    start = lines.index(marker) + 1
+    section = []
+    for line in lines[start:]:
+        if line.startswith("--"):
+            break
+        section.append(line)
+    return section
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+class TestExplainRoundTrip:
+    def test_rendered_tree_matches_planned_tree(self, system, name):
+        qc = QUERY_CLASSES[name]
+        text = system.explain(qc.sql)
+        rendered = _plan_section(text)
+
+        # Rebuild the logical plan exactly as the answer path does.
+        query = parse_query(qc.sql)
+        installed = system.synopsis("lineitem").installed
+        rewritten = system._rewrite.plan(query, installed)
+        logical = optimize(lower_rewritten(rewritten, system.catalog))
+
+        assert rendered == render_plan(
+            logical, catalog=system.catalog
+        ).splitlines()
+
+        # One line per node, indentation = tree depth: the text and the
+        # tree are interconvertible.
+        nodes = list(walk(logical))
+        assert len(rendered) == len(nodes)
+        for line, (path, __) in zip(rendered, nodes):
+            indent = len(line) - len(line.lstrip(" "))
+            assert indent == 2 * len(path)
+
+    def test_header_names_strategy_and_provenance(self, system, name):
+        text = system.explain(QUERY_CLASSES[name].sql)
+        assert "-- rewrite strategy:" in text
+        assert "-- synopsis tables:" in text
+        assert "-- sample:" in text
+        assert "~rows=" in text  # estimated cardinalities on the tree
+
+    def test_analyze_annotates_every_operator(self, system, name):
+        text = system.explain(QUERY_CLASSES[name].sql, analyze=True)
+        actual = _plan_section(text, marker="-- plan (actual):")
+        assert actual  # the section exists and is non-empty
+        for line in actual:
+            assert " rows=" in line and "time=" in line
+        assert "-- analyze:" in text

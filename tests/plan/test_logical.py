@@ -1,0 +1,181 @@
+"""Plan IR structure: validation, traversal, output schema, rendering."""
+
+import pytest
+
+from repro.engine import Aggregate, Col, Comparison, Lit, Projection
+from repro.plan import (
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    PlanError,
+    Project,
+    Ratio,
+    ScaleUp,
+    Scan,
+    Sort,
+    output_columns,
+    render_plan,
+    walk,
+)
+
+PRED = Comparison(">", Col("q"), Lit(1.0))
+
+
+def _tree():
+    """Scan -> Filter -> GroupBy -> Project, the canonical shape."""
+    scan = Scan("rel", table_columns=("a", "b", "q", "id"))
+    grouped = GroupBy(
+        Filter(scan, PRED), ("a",), (Aggregate("sum", Col("q"), "s"),)
+    )
+    return Project(
+        grouped,
+        (Projection(Col("a"), "a"), Projection(Col("s"), "s")),
+        mode="view",
+    )
+
+
+class TestValidation:
+    def test_project_rejects_bad_mode(self):
+        with pytest.raises(PlanError, match="view or compute"):
+            Project(Scan("rel"), (Projection(Col("a"), "a"),), mode="lazy")
+
+    def test_project_rejects_empty_items(self):
+        with pytest.raises(PlanError, match="at least one item"):
+            Project(Scan("rel"), (), mode="view")
+
+    def test_view_project_rejects_expressions(self):
+        item = Projection(Lit(1), "one")
+        with pytest.raises(PlanError, match="bare columns"):
+            Project(Scan("rel"), (item,), mode="view")
+        Project(Scan("rel"), (item,), mode="compute")  # compute is fine
+
+    def test_join_rejects_key_mismatch(self):
+        with pytest.raises(PlanError, match="join keys"):
+            Join(Scan("l"), Scan("r"), ("a", "b"), ("a",))
+        with pytest.raises(PlanError, match="join keys"):
+            Join(Scan("l"), Scan("r"), (), ())
+
+    def test_group_by_needs_keys_or_aggregates(self):
+        with pytest.raises(PlanError, match="keys or aggregates"):
+            GroupBy(Scan("rel"), (), ())
+
+    def test_scale_up_needs_output(self):
+        with pytest.raises(PlanError, match="output columns"):
+            ScaleUp(Scan("rel"), (), ())
+
+    def test_sort_needs_keys(self):
+        with pytest.raises(PlanError, match="at least one key"):
+            Sort(Scan("rel"), ())
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(PlanError, match=">= 0"):
+            Limit(Scan("rel"), -1)
+        assert Limit(Scan("rel"), 0).count == 0
+
+    def test_leaf_takes_no_children(self):
+        with pytest.raises(PlanError, match="no children"):
+            Scan("rel").with_children((Scan("other"),))
+
+
+class TestStructure:
+    def test_plans_are_hashable_and_comparable(self):
+        assert _tree() == _tree()
+        assert hash(_tree()) == hash(_tree())
+        assert _tree() != Limit(_tree(), 5)
+
+    def test_with_children_rebuilds(self):
+        tree = _tree()
+        other = tree.with_children((Scan("other"),))
+        assert other.children == (Scan("other"),)
+        assert other.items == tree.items
+
+    def test_walk_yields_parents_before_children(self):
+        paths = [path for path, __ in walk(_tree())]
+        assert paths == [(), (0,), (0, 0), (0, 0, 0)]
+
+    def test_walk_join_paths_branch(self):
+        join = Join(Scan("l"), Filter(Scan("r"), PRED), ("k",), ("k",))
+        nodes = dict(walk(join))
+        assert nodes[()] is join
+        assert nodes[(0,)] == Scan("l")
+        assert nodes[(1, 0)] == Scan("r")
+
+
+class TestOutputColumns:
+    def test_scan_uses_hint_or_pruned_columns(self):
+        assert output_columns(Scan("rel")) is None
+        hinted = Scan("rel", table_columns=("a", "b"))
+        assert output_columns(hinted) == ("a", "b")
+        assert output_columns(
+            Scan("rel", columns=("b",), table_columns=("a", "b"))
+        ) == ("b",)
+
+    def test_group_by_emits_keys_then_aliases(self):
+        plan = GroupBy(
+            Scan("rel", table_columns=("a", "q")),
+            ("a",),
+            (Aggregate("sum", Col("q"), "s"),),
+        )
+        assert output_columns(plan) == ("a", "s")
+
+    def test_project_and_scale_up_define_their_output(self):
+        assert output_columns(_tree()) == ("a", "s")
+        scaled = ScaleUp(_tree(), (Ratio("m", "s", "c"),), ("a", "m"))
+        assert output_columns(scaled) == ("a", "m")
+
+    def test_join_drops_right_keys_and_suffixes_collisions(self):
+        left = Scan("l", table_columns=("k", "v"))
+        right = Scan("r", table_columns=("k", "v", "w"))
+        plan = Join(left, right, ("k",), ("k",))
+        assert output_columns(plan) == ("k", "v", "v_r", "w")
+
+    def test_join_unknown_side_is_unknown(self):
+        plan = Join(Scan("l"), Scan("r", table_columns=("k",)), ("k",), ("k",))
+        assert output_columns(plan) is None
+
+
+class TestRendering:
+    def test_one_line_per_node_with_indentation(self):
+        tree = _tree()
+        lines = render_plan(tree).splitlines()
+        nodes = list(walk(tree))
+        assert len(lines) == len(nodes)
+        for line, (path, __) in zip(lines, nodes):
+            indent = len(line) - len(line.lstrip(" "))
+            assert indent == 2 * len(path)
+
+    def test_describes_each_operator(self):
+        text = render_plan(_tree())
+        assert "Project[view] a, s" in text
+        assert "GroupBy [a] sum(q) AS s" in text
+        assert "Filter q > 1.0" in text
+        assert "Scan rel" in text
+
+    def test_estimates_with_catalog(self, catalog):
+        text = render_plan(_tree(), catalog=catalog)
+        assert "~rows=" in text
+        # The Scan line carries the full table cardinality.
+        scan_line = [l for l in text.splitlines() if "Scan rel" in l][0]
+        assert "~rows=8" in scan_line
+
+    def test_estimate_unknown_table_omitted(self, catalog):
+        text = render_plan(Scan("nope"), catalog=catalog)
+        assert "~rows" not in text
+
+    def test_actuals_annotation(self):
+        tree = _tree()
+        actuals = {path: (7, 0.002) for path, __ in walk(tree)}
+        text = render_plan(tree, actuals=actuals)
+        for line in text.splitlines():
+            assert "rows=7 time=2.00ms" in line
+
+    def test_scan_renders_pushed_state(self):
+        scan = Scan("rel", predicate=PRED, columns=("a", "q"))
+        assert render_plan(scan) == "Scan rel WHERE q > 1.0 cols=[a, q]"
+
+    def test_scale_up_renders_ratios(self):
+        scaled = ScaleUp(_tree(), (Ratio("m", "s", "c"),), ("a", "m"))
+        assert "ScaleUp m = s / c -> [a, m]" in render_plan(scaled)
+        bare = ScaleUp(_tree(), (), ("a",))
+        assert "ScaleUp (no ratios) -> [a]" in render_plan(bare)

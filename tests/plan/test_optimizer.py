@@ -1,0 +1,372 @@
+"""Optimizer rules: unit behavior, fixpoint, and semantics preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Aggregate,
+    And,
+    Between,
+    BinaryOp,
+    Catalog,
+    Col,
+    Comparison,
+    InList,
+    Lit,
+    Not,
+    Or,
+    Projection,
+    Query,
+    TruePredicate,
+    execute,
+    parse_query,
+)
+from repro.plan import (
+    DEFAULT_RULES,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    execute_plan,
+    fold_constants,
+    fuse_filters,
+    lower_query,
+    optimize,
+    prune_projections,
+    push_down_predicates,
+    transform,
+    walk,
+)
+
+COLS = ("a", "b", "q", "id")
+SCAN = Scan("rel", table_columns=COLS)
+Q_POS = Comparison(">", Col("q"), Lit(1.0))
+ID_SMALL = Comparison("<", Col("id"), Lit(5))
+
+
+def _scans(plan):
+    return [n for __, n in walk(plan) if isinstance(n, Scan)]
+
+
+class TestFoldConstants:
+    def test_folds_arithmetic_in_compute_projects(self):
+        item = Projection(BinaryOp("*", Col("q"), BinaryOp("+", Lit(1), Lit(1))), "d")
+        plan = fold_constants(Project(SCAN, (item,), mode="compute"))
+        assert plan.items[0].expr == BinaryOp("*", Col("q"), Lit(2))
+
+    def test_folds_aggregate_inputs(self):
+        agg = Aggregate("sum", BinaryOp("+", Lit(2), Lit(3)), "s")
+        plan = fold_constants(GroupBy(SCAN, ("a",), (agg,)))
+        assert plan.aggregates[0].expr == Lit(5)
+
+    def test_drops_always_true_filters(self):
+        true_cmp = Comparison("<", Lit(1), Lit(2))
+        assert fold_constants(Filter(SCAN, true_cmp)) == SCAN
+        assert fold_constants(Filter(SCAN, TruePredicate())) == SCAN
+
+    def test_clears_always_true_scan_predicates(self):
+        scan = Scan("rel", predicate=Comparison("=", Lit(3), Lit(3)))
+        assert fold_constants(scan).predicate is None
+
+    def test_false_comparison_becomes_canonical_false(self):
+        plan = fold_constants(Filter(SCAN, Comparison(">", Lit(1), Lit(2))))
+        assert plan == Filter(SCAN, Not(TruePredicate()))
+
+    def test_and_or_simplification(self):
+        true_cmp = Comparison("=", Lit(1), Lit(1))
+        plan = fold_constants(Filter(SCAN, And(true_cmp, Q_POS)))
+        assert plan.predicate == Q_POS
+        plan = fold_constants(Filter(SCAN, Or(Not(true_cmp), Q_POS)))
+        assert plan.predicate == Q_POS
+
+    def test_double_negation_removed(self):
+        plan = fold_constants(Filter(SCAN, Not(Not(Q_POS))))
+        assert plan.predicate == Q_POS
+
+    def test_never_folds_division_by_zero(self):
+        expr = BinaryOp("/", Lit(1), Lit(0))
+        item = Projection(expr, "d")
+        plan = fold_constants(Project(SCAN, (item,), mode="compute"))
+        assert plan.items[0].expr == expr
+
+    def test_never_folds_mixed_type_comparisons(self):
+        cmp = Comparison("=", Lit(1), Lit("1"))
+        assert fold_constants(Filter(SCAN, cmp)).predicate == cmp
+
+    def test_folds_inside_between(self):
+        pred = Between(Col("id"), Lit(1), BinaryOp("+", Lit(2), Lit(2)))
+        plan = fold_constants(Filter(SCAN, pred))
+        assert plan.predicate == Between(Col("id"), Lit(1), Lit(4))
+
+
+class TestFuseFilters:
+    def test_stacks_collapse_to_one_conjunction(self):
+        plan = fuse_filters(Filter(Filter(SCAN, Q_POS), ID_SMALL))
+        assert plan == Filter(SCAN, And(Q_POS, ID_SMALL))
+
+    def test_triple_stack(self):
+        third = InList(Col("a"), ("x",))
+        plan = Filter(Filter(Filter(SCAN, Q_POS), ID_SMALL), third)
+        fused = optimize(plan, rules=(fuse_filters,))
+        assert isinstance(fused, Filter) and fused.child == SCAN
+
+    def test_single_filter_untouched(self):
+        plan = Filter(SCAN, Q_POS)
+        assert fuse_filters(plan) == plan
+
+
+class TestPushDownPredicates:
+    def test_filter_merges_into_scan(self):
+        plan = push_down_predicates(Filter(SCAN, Q_POS))
+        assert plan == Scan("rel", predicate=Q_POS, table_columns=COLS)
+
+    def test_second_filter_conjoins(self):
+        scan = Scan("rel", predicate=Q_POS, table_columns=COLS)
+        plan = push_down_predicates(Filter(scan, ID_SMALL))
+        assert plan.predicate == And(Q_POS, ID_SMALL)
+
+    def test_join_routes_conjuncts_by_side(self):
+        left = Scan("l", table_columns=("k", "v"))
+        right = Scan("r", table_columns=("k", "w"))
+        join = Join(left, right, ("k",), ("k",))
+        pred = And(Comparison(">", Col("v"), Lit(1)),
+                   Comparison("<", Col("w"), Lit(2)))
+        plan = push_down_predicates(Filter(join, pred))
+        # Both conjuncts pushed through (and then into the scans).
+        assert isinstance(plan, Join)
+        assert plan.left.predicate == Comparison(">", Col("v"), Lit(1))
+        assert plan.right.predicate == Comparison("<", Col("w"), Lit(2))
+
+    def test_cross_side_conjunct_stays_above(self):
+        left = Scan("l", table_columns=("k", "v"))
+        right = Scan("r", table_columns=("k", "w"))
+        join = Join(left, right, ("k",), ("k",))
+        cross = Comparison("=", Col("v"), Col("w"))
+        plan = push_down_predicates(Filter(join, cross))
+        assert isinstance(plan, Filter) and plan.predicate == cross
+
+    def test_suffixed_collision_column_not_pushed_right(self):
+        # Right "v" is renamed "v_r" in the join output, so a filter on
+        # "v_r" cannot be routed to the right input (where no such column
+        # exists) and a filter on "v" refers to the LEFT column only.
+        left = Scan("l", table_columns=("k", "v"))
+        right = Scan("r", table_columns=("k", "v"))
+        join = Join(left, right, ("k",), ("k",))
+        on_suffixed = Comparison(">", Col("v_r"), Lit(0))
+        plan = push_down_predicates(Filter(join, on_suffixed))
+        assert isinstance(plan, Filter)  # stayed above
+        on_left = Comparison(">", Col("v"), Lit(0))
+        plan = push_down_predicates(Filter(join, on_left))
+        assert isinstance(plan, Join)
+        assert plan.left.predicate == on_left
+        assert plan.right.predicate is None
+
+    def test_no_hint_is_a_noop(self):
+        join = Join(Scan("l"), Scan("r"), ("k",), ("k",))
+        plan = Filter(join, Comparison(">", Col("v"), Lit(1)))
+        assert push_down_predicates(plan) == plan
+
+
+class TestPruneProjections:
+    def test_scan_restricted_to_referenced_columns(self):
+        plan = GroupBy(SCAN, ("a",), (Aggregate("sum", Col("q"), "s"),))
+        pruned = prune_projections(plan)
+        assert _scans(pruned)[0].columns == ("a", "q")
+
+    def test_kept_in_table_order(self):
+        plan = GroupBy(SCAN, ("q",), (Aggregate("sum", Col("a"), "s"),))
+        assert _scans(prune_projections(plan))[0].columns == ("a", "q")
+
+    def test_predicate_columns_survive_pruning(self):
+        scan = Scan("rel", predicate=ID_SMALL, table_columns=COLS)
+        plan = GroupBy(scan, ("a",), (Aggregate("sum", Col("q"), "s"),))
+        assert _scans(prune_projections(plan))[0].columns == ("a", "q", "id")
+
+    def test_count_star_keeps_one_column(self):
+        plan = GroupBy(SCAN, (), (Aggregate.count_star("c"),))
+        assert _scans(prune_projections(plan))[0].columns == ("a",)
+
+    def test_no_pruning_when_everything_used(self):
+        items = tuple(Projection(Col(c), c) for c in COLS)
+        plan = Project(SCAN, items, mode="view")
+        assert prune_projections(plan) == plan
+
+    def test_no_hint_is_a_noop(self):
+        bare = Scan("rel")
+        plan = GroupBy(bare, ("a",), (Aggregate("sum", Col("q"), "s"),))
+        assert prune_projections(plan) == plan
+
+    def test_join_prunes_each_side_keeping_keys(self):
+        left = Scan("l", table_columns=("k", "v", "junk"))
+        right = Scan("r", table_columns=("k", "w", "junk2"))
+        join = Join(left, right, ("k",), ("k",))
+        plan = Project(
+            join,
+            (Projection(Col("v"), "v"), Projection(Col("w"), "w")),
+            mode="view",
+        )
+        pruned = prune_projections(plan)
+        assert pruned.child.left.columns == ("k", "v")
+        assert pruned.child.right.columns == ("k", "w")
+
+
+class TestFixpointDriver:
+    SQLS = [
+        "select a, sum(q) s from rel where id < 6 group by a order by a",
+        "select a, b, q from rel where q > 1 and id < 7",
+        "select sum(q) s from rel",
+    ]
+
+    @pytest.mark.parametrize("sql", SQLS)
+    def test_optimize_is_idempotent(self, catalog, sql):
+        plan = optimize(lower_query(parse_query(sql), catalog))
+        assert optimize(plan) == plan
+
+    @pytest.mark.parametrize("rule", DEFAULT_RULES, ids=lambda r: r.__name__)
+    @pytest.mark.parametrize("sql", SQLS)
+    def test_each_rule_noop_on_optimal_plans(self, catalog, sql, rule):
+        plan = optimize(lower_query(parse_query(sql), catalog))
+        assert rule(plan) == plan
+
+    def test_max_passes_bounds_runaway_rules(self):
+        def grow(plan):
+            return Limit(plan, 10)  # never reaches a fixpoint
+
+        result = optimize(SCAN, rules=(grow,), max_passes=3)
+        assert len(list(walk(result))) == 4  # 3 Limits + the Scan
+
+    def test_transform_rebuilds_bottom_up(self):
+        plan = Filter(Filter(SCAN, Q_POS), ID_SMALL)
+        seen = []
+        result = transform(plan, lambda n: seen.append(n.kind) or n)
+        assert result == plan
+        assert seen == ["scan", "filter", "filter"]
+
+
+# -- randomized semantics preservation ---------------------------------------
+
+_comparisons = st.sampled_from(
+    [
+        Comparison(">", Col("q"), Lit(2.0)),
+        Comparison("<=", Col("q"), Lit(6.5)),
+        Comparison("<", Col("id"), Lit(6)),
+        Comparison("=", Col("a"), Lit("x")),
+        Comparison("!=", Col("b"), Lit("p")),
+        Between(Col("id"), Lit(2), Lit(7)),
+        InList(Col("a"), ("x",)),
+        Comparison("<", Lit(1), Lit(2)),  # constant-foldable
+        Comparison(">", Lit(1), Lit(2)),  # constant-false
+    ]
+)
+
+
+@st.composite
+def _predicates(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(_comparisons)
+    combiner = draw(st.sampled_from(["and", "or", "not"]))
+    if combiner == "not":
+        return Not(draw(_predicates(depth=depth - 1)))
+    left = draw(_predicates(depth=depth - 1))
+    right = draw(_predicates(depth=depth - 1))
+    return And(left, right) if combiner == "and" else Or(left, right)
+
+
+_AGG_EXPRS = [
+    Col("q"),
+    BinaryOp("*", Col("q"), BinaryOp("+", Lit(1), Lit(1))),
+    Lit(1),
+]
+
+
+@st.composite
+def _queries(draw):
+    group_by = tuple(
+        draw(st.sampled_from([(), ("a",), ("b",), ("a", "b")]))
+    )
+    where = draw(st.none() | _predicates())
+    aggregate = draw(st.booleans()) or bool(group_by)
+    if aggregate:
+        select = tuple(Projection(Col(c), c) for c in group_by)
+        funcs = draw(
+            st.lists(
+                st.sampled_from(["sum", "count", "avg", "min", "max"]),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        select += tuple(
+            Aggregate(func, draw(st.sampled_from(_AGG_EXPRS)), f"{func}_v")
+            for func in funcs
+        )
+        order_by = group_by
+    else:
+        select = (
+            Projection(Col("a"), "a"),
+            Projection(BinaryOp("+", Col("q"), Lit(0.5)), "d"),
+        )
+        order_by = ()
+    limit = draw(st.none() | st.integers(min_value=0, max_value=5))
+    return Query(
+        select=select,
+        from_item="rel",
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _tables_equal(left, right):
+    """Table equality with NaN == NaN (an empty-input avg yields NaN on
+    both the engine and the plan path; ``Table.__eq__`` would call them
+    different)."""
+    import numpy as np
+
+    if left.schema != right.schema or left.num_rows != right.num_rows:
+        return False
+    for name in left.schema.names:
+        a, b = left.column(name), right.column(name)
+        if a.dtype.kind == "f" and b.dtype.kind == "f":
+            if not np.array_equal(a, b, equal_nan=True):
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True
+
+
+class TestRandomizedSemantics:
+    @given(query=_queries())
+    @settings(max_examples=120, deadline=None)
+    def test_optimized_plan_matches_engine(self, query):
+        import numpy as np
+
+        from repro.engine import Column, ColumnType, Schema, Table
+
+        catalog = Catalog()
+        catalog.register(
+            "rel",
+            Table.from_columns(
+                Schema(
+                    [
+                        Column("a", ColumnType.STR, "grouping"),
+                        Column("b", ColumnType.STR, "grouping"),
+                        Column("q", ColumnType.FLOAT, "aggregate"),
+                        Column("id", ColumnType.INT, "key"),
+                    ]
+                ),
+                a=["x", "x", "x", "x", "y", "y", "y", "y"],
+                b=["p", "p", "q", "q", "p", "p", "q", "q"],
+                q=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+                id=np.arange(1, 9),
+            ),
+        )
+        naive = lower_query(query, catalog)
+        optimized = optimize(naive)
+        expected = execute(query, catalog)
+        assert _tables_equal(execute_plan(naive, catalog), expected)
+        assert _tables_equal(execute_plan(optimized, catalog), expected)

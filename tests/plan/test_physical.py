@@ -1,0 +1,190 @@
+"""Physical execution: spans, collected actuals, parallel GroupBy parity."""
+
+import numpy as np
+import pytest
+from dataclasses import dataclass
+
+from repro.engine import (
+    Aggregate,
+    Catalog,
+    Col,
+    ColumnType,
+    Comparison,
+    Lit,
+    ParallelConfig,
+    ParallelExecutor,
+    Projection,
+)
+from repro.obs import Tracer
+from repro.plan import (
+    Filter,
+    GroupBy,
+    Plan,
+    PlanError,
+    Project,
+    Ratio,
+    ScaleUp,
+    Scan,
+    execute_plan,
+    walk,
+)
+
+
+def _grouped(scan=None):
+    scan = scan if scan is not None else Scan("rel")
+    return GroupBy(
+        scan,
+        ("a",),
+        (Aggregate("sum", Col("q"), "s"), Aggregate("count", Lit(1), "c")),
+    )
+
+
+class TestOperatorSpans:
+    def test_one_span_per_node_nested_by_tree_shape(self, catalog):
+        tracer = Tracer().enable()
+        plan = Project(
+            _grouped(),
+            (Projection(Col("a"), "a"), Projection(Col("s"), "s")),
+            mode="view",
+        )
+        with tracer.span("root") as root:
+            execute_plan(plan, catalog, tracer=tracer)
+        (project,) = root.children
+        assert project.name == "op_project"
+        (group,) = project.children
+        assert group.name == "op_group_by"
+        (scan,) = group.children
+        assert scan.name == "op_scan"
+        assert scan.children == []
+
+    def test_spans_carry_depth_rows_and_table(self, catalog):
+        tracer = Tracer().enable()
+        with tracer.span("root") as root:
+            execute_plan(_grouped(), catalog, tracer=tracer)
+        group = root.children[0]
+        scan = group.children[0]
+        assert group.attributes["depth"] == 0
+        assert scan.attributes["depth"] == 1
+        assert scan.attributes["table"] == "rel"
+        assert scan.attributes["rows"] == 8
+        assert group.attributes["rows"] == 2
+
+    def test_no_tracer_still_executes(self, catalog):
+        result = execute_plan(_grouped(), catalog)
+        assert result.num_rows == 2
+
+
+class TestCollectedActuals:
+    def test_every_path_measured(self, catalog):
+        plan = Filter(_grouped(), Comparison(">", Col("s"), Lit(0.0)))
+        collect = {}
+        execute_plan(plan, catalog, collect=collect)
+        assert set(collect) == {path for path, __ in walk(plan)}
+
+    def test_rows_and_inclusive_seconds(self, catalog):
+        plan = _grouped()
+        collect = {}
+        execute_plan(plan, catalog, collect=collect)
+        rows, seconds = collect[()]
+        assert rows == 2 and seconds > 0
+        scan_rows, scan_seconds = collect[(0,)]
+        assert scan_rows == 8
+        # Inclusive timing: a parent's clock covers its children.
+        assert seconds >= scan_seconds
+
+
+class TestParallelGroupBy:
+    @pytest.fixture
+    def big_catalog(self, skewed_table):
+        catalog = Catalog()
+        catalog.register("rel", skewed_table)
+        return catalog
+
+    def _executor(self, **kwargs):
+        return ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=1, **kwargs)
+        )
+
+    def test_parallel_matches_serial(self, big_catalog):
+        plan = _grouped()
+        serial = execute_plan(plan, big_catalog)
+        parallel = execute_plan(
+            plan, big_catalog, parallel=self._executor()
+        )
+        assert list(serial.column("a")) == list(parallel.column("a"))
+        np.testing.assert_array_equal(
+            serial.column("c"), parallel.column("c")
+        )
+        np.testing.assert_allclose(
+            serial.column("s"), parallel.column("s"), rtol=1e-12
+        )
+
+    def test_parallel_mode_recorded_on_span(self, big_catalog):
+        tracer = Tracer().enable()
+        with tracer.span("root") as root:
+            execute_plan(
+                _grouped(), big_catalog, parallel=self._executor(),
+                tracer=tracer,
+            )
+        group = root.children[0]
+        assert group.attributes["mode"] == "parallel"
+
+    def test_small_input_falls_back_to_serial(self, catalog):
+        executor = ParallelExecutor(
+            ParallelConfig(max_workers=4, min_partition_rows=10_000)
+        )
+        tracer = Tracer().enable()
+        with tracer.span("root") as root:
+            execute_plan(_grouped(), catalog, parallel=executor, tracer=tracer)
+        group = root.children[0]
+        assert "mode" not in group.attributes  # serial group_by ran
+
+
+class TestOperatorSemantics:
+    def test_scan_applies_columns_then_predicate(self, catalog):
+        scan = Scan(
+            "rel",
+            predicate=Comparison("=", Col("a"), Lit("x")),
+            columns=("a", "q"),
+        )
+        result = execute_plan(scan, catalog)
+        assert result.schema.names == ["a", "q"]
+        assert result.num_rows == 4
+
+    def test_compute_project_infers_types(self, catalog):
+        plan = Project(
+            Scan("rel"),
+            (Projection(Col("id"), "id"), Projection(Lit(1.5), "w")),
+            mode="compute",
+        )
+        result = execute_plan(plan, catalog)
+        assert result.schema.column("id").ctype == ColumnType.INT
+        assert result.schema.column("w").ctype == ColumnType.FLOAT
+
+    def test_scale_up_divides_and_guards_zero_denominator(self, catalog):
+        grouped = GroupBy(
+            Scan("rel"),
+            ("a",),
+            (
+                Aggregate("sum", Col("q"), "num"),
+                Aggregate("min", Lit(0), "den"),
+            ),
+        )
+        plan = ScaleUp(grouped, (Ratio("m", "num", "den"),), ("a", "m"))
+        result = execute_plan(plan, catalog)
+        assert result.schema.names == ["a", "m"]
+        assert np.isnan(result.column("m")).all()
+        assert result.schema.column("m").ctype == ColumnType.FLOAT
+
+    def test_scale_up_without_ratios_is_a_projection(self, catalog):
+        plan = ScaleUp(_grouped(), (), ("s", "a"))
+        result = execute_plan(plan, catalog)
+        assert result.schema.names == ["s", "a"]
+
+    def test_unknown_operator_raises_plan_error(self, catalog):
+        @dataclass(frozen=True)
+        class Mystery(Plan):
+            kind = "mystery"
+
+        with pytest.raises(PlanError, match="no physical operator"):
+            execute_plan(Mystery(), catalog)

@@ -126,7 +126,7 @@ class TestSchemas:
 
     def test_key_normalized_gid(self, setup):
         catalog, sample = setup
-        synopsis = KeyNormalized().install(sample, "rel", catalog, replace=True)
+        KeyNormalized().install(sample, "rel", catalog, replace=True)
         assert "gid" in catalog.get("bsk_rel").schema
         assert catalog.get("auxk_rel").schema.names == ["gid", "sf"]
 
@@ -185,6 +185,16 @@ class TestStrategyRegistry:
         for cls in ALL_STRATEGIES:
             assert isinstance(strategy_by_name(cls.name), cls)
 
+    def test_lookup_is_case_insensitive(self):
+        for cls in ALL_STRATEGIES:
+            assert isinstance(strategy_by_name(cls.name.upper()), cls)
+            assert isinstance(strategy_by_name(cls.name.title()), cls)
+            assert isinstance(strategy_by_name(f"  {cls.name}  "), cls)
+
     def test_unknown_name(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown rewrite strategy"):
+            strategy_by_name("bogus")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="integrated"):
             strategy_by_name("bogus")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import Between, Query
+from repro.engine import Between
 from repro.sampling import group_counts
 from repro.synthetic import (
     CensusConfig,
