@@ -25,6 +25,7 @@ mirrored to ``aqua_answer_cache_{hits,misses,evictions}_total``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
@@ -64,6 +65,11 @@ class AnswerCache:
     :meth:`AquaSystem._cache_key`): ``(table, version, normalized SQL,
     policy fingerprint)``.  ``get`` promotes on hit; ``put`` evicts the
     least-recently-used entry once ``capacity`` is exceeded.
+
+    Thread-safe: the serving layer's worker pool hits one shared cache
+    concurrently, so every entry-map access (including the LRU
+    ``move_to_end`` that makes even ``get`` a write) runs under one lock.
+    Cached values are treated as immutable by all callers.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class AnswerCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._metrics = metrics
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -85,28 +92,31 @@ class AnswerCache:
         self._metrics = metrics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable):
         """The cached value for ``key`` (promoted to most-recent), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            self._count("aqua_answer_cache_misses_total")
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        self._count("aqua_answer_cache_hits_total")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                self._count("aqua_answer_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._count("aqua_answer_cache_hits_total")
+            return entry
 
     def put(self, key: Hashable, value) -> None:
         """Store ``value``, evicting the LRU entry when over capacity."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-            self._count("aqua_answer_cache_evictions_total")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                self._count("aqua_answer_cache_evictions_total")
 
     def invalidate(self, table: Optional[str] = None) -> int:
         """Drop entries (all, or those whose key starts with ``table``).
@@ -115,28 +125,30 @@ class AnswerCache:
         correctness; this exists to reclaim memory eagerly (the shell's
         ``.cache clear``) and returns the number of entries dropped.
         """
-        if table is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        doomed = [
-            key
-            for key in self._entries
-            if isinstance(key, tuple) and key and key[0] == table
-        ]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            if table is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == table
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def _count(self, name: str) -> None:
         if self._metrics is None or not self._metrics.enabled:

@@ -10,6 +10,7 @@ Commands inside the shell::
 
     <any SQL>          answer approximately from the synopsis
     .exact <SQL>       answer exactly from the base table
+    .serve ...         route queries through the concurrent query service
     .synopsis          describe the installed synopsis
     .health            report synopsis health per table
     .tables            list catalog tables
@@ -46,6 +47,8 @@ _HELP = """commands:
   .stats [json|prom]  metrics so far (human, JSON, or Prometheus text)
   .parallel [N|off]   show / set parallel scan workers (off = serial)
   .cache [N|off|clear]  show / size / disable / clear the answer cache
+  .serve [on [N]|off|<SQL>]  serving stats / start N workers / stop /
+                   answer through the admission-controlled service
   .synopsis        describe the installed synopsis
   .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
@@ -63,9 +66,11 @@ class AquaShell:
         self,
         aqua: AquaSystem,
         out: Optional[IO[str]] = None,
+        service=None,
     ):
         self._aqua = aqua
         self._out = out if out is not None else sys.stdout
+        self._service = service
 
     def _print(self, text: str = "") -> None:
         print(text, file=self._out)
@@ -171,6 +176,60 @@ class AquaShell:
         self._aqua.set_cache(capacity)
         self._print(self._aqua.answer_cache.stats.describe())
 
+    def _handle_serve(self, arg: str) -> None:
+        # Imported here so the shell stays usable without dragging the
+        # serving stack into plain library use.
+        from ..serve.service import QueryService, ServiceConfig
+
+        if not arg:
+            if self._service is None:
+                self._print("serving: off (.serve on [N] to start)")
+            else:
+                self._print(self._service.stats.describe())
+            return
+        if arg == "off":
+            if self._service is not None:
+                self._service.close()
+                self._service = None
+            self._print("serving: off")
+            return
+        if arg == "on" or arg.startswith("on "):
+            if self._service is not None:
+                self._print(self._service.stats.describe())
+                return
+            rest = arg[2:].strip()
+            try:
+                workers = int(rest) if rest else 4
+            except ValueError:
+                self._print("usage: .serve [on [N]|off|<SQL>]")
+                return
+            self._service = QueryService(
+                self._aqua, ServiceConfig(workers=workers)
+            )
+            self._print(
+                f"serving: on ({workers} workers, capacity "
+                f"{self._service.config.capacity})"
+            )
+            return
+        if self._service is None:
+            self._print("serving is off; .serve on [N] first")
+            return
+        served = self._service.query(arg)
+        self._print_table(served.result)
+        state = (
+            f"degraded ({served.degradation})" if served.degraded else "full"
+        )
+        self._print(
+            f"[served: {state}; {served.attempts} attempt(s), "
+            f"{served.served_seconds * 1000:.1f} ms]"
+        )
+
+    def close(self) -> None:
+        """Release shell-owned resources (the .serve worker pool)."""
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
     def execute_line(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
         line = line.strip()
@@ -230,6 +289,8 @@ class AquaShell:
                 self._handle_parallel(line[len(".parallel"):].strip())
             elif line.startswith(".cache"):
                 self._handle_cache(line[len(".cache"):].strip())
+            elif line.startswith(".serve"):
+                self._handle_serve(line[len(".serve"):].strip())
             elif line.startswith("."):
                 self._print(f"unknown command {line.split()[0]!r}; try .help")
             else:
@@ -247,20 +308,23 @@ class AquaShell:
 
     def run(self, lines: Optional[Sequence[str]] = None) -> None:
         """Run over an iterable of lines (or interactively from stdin)."""
-        if lines is None:
-            self._print("aqua> congressional-sample shell; .help for help")
-            while True:
-                try:
-                    line = input("aqua> ")
-                except (EOFError, KeyboardInterrupt):
-                    self._print()
-                    break
-                if not self.execute_line(line):
-                    break
-        else:
-            for line in lines:
-                if not self.execute_line(line):
-                    break
+        try:
+            if lines is None:
+                self._print("aqua> congressional-sample shell; .help for help")
+                while True:
+                    try:
+                        line = input("aqua> ")
+                    except (EOFError, KeyboardInterrupt):
+                        self._print()
+                        break
+                    if not self.execute_line(line):
+                        break
+            else:
+                for line in lines:
+                    if not self.execute_line(line):
+                        break
+        finally:
+            self.close()
 
 
 def build_system(args: argparse.Namespace) -> AquaSystem:

@@ -43,6 +43,7 @@ __all__ = [
     "PROVENANCE_SYNOPSIS",
     "PROVENANCE_REPAIRED",
     "PROVENANCE_EXACT",
+    "PROVENANCE_DEGRADED",
     "GuardPolicy",
     "RefreshPolicy",
     "GuardReport",
@@ -55,6 +56,10 @@ PROVENANCE_COLUMN = "provenance"
 PROVENANCE_SYNOPSIS = "synopsis"
 PROVENANCE_REPAIRED = "repaired"
 PROVENANCE_EXACT = "exact"
+#: Tag applied by the serving layer (:mod:`repro.serve`) when an answer was
+#: produced through the degradation ladder -- the guard ladder was skipped,
+#: so none of the other tags' quality stories apply.
+PROVENANCE_DEGRADED = "degraded"
 
 _ON_STALE = ("refresh", "exact", "raise", "serve")
 _ON_CORRUPT = ("exact", "raise")

@@ -22,6 +22,7 @@ then a full exact fallback -- tagging every group with its provenance.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field, replace as dataclass_replace
 from functools import reduce
@@ -70,6 +71,7 @@ from ..maintenance.base import SampleMaintainer
 from ..maintenance.onepass import maintainer_for, subsample_to_budget
 from ..rewrite.base import RewriteStrategy
 from ..rewrite.nested_integrated import NestedIntegrated
+from ..serve.deadline import Deadline, check_deadline, deadline_scope
 from ..sampling.stratified import StratifiedSample
 from .cache import AnswerCache, CacheStats
 from .guard import (
@@ -216,6 +218,10 @@ class _TableState:
     # (re)build and re-registration.  Answer-cache keys embed it, so any
     # mutation invalidates all prior cached answers for this table.
     version: int = 0
+    # Serializes mutation (insert, pending-row flush, synopsis install)
+    # against concurrent serving workers; reentrant because a flush can
+    # happen inside a locked refresh.
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
 
 class AquaSystem:
@@ -555,11 +561,12 @@ class AquaSystem:
         self._synopses[name] = synopsis
         state = self._tables.get(name)
         if state is not None:
-            state.inserts_since_refresh = 0
-            state.rows_at_refresh = state.table.num_rows + len(
-                state.pending_rows
-            )
-            state.version += 1  # new synopsis -> new answers
+            with state.lock:
+                state.inserts_since_refresh = 0
+                state.rows_at_refresh = state.table.num_rows + len(
+                    state.pending_rows
+                )
+                state.version += 1  # new synopsis -> new answers
         return synopsis
 
     def synopsis(self, name: str) -> Synopsis:
@@ -741,6 +748,7 @@ class AquaSystem:
         self,
         sql: Union[str, Query],
         guard: Union[GuardPolicy, bool, None] = None,
+        deadline: Union[Deadline, float, None] = None,
     ) -> ApproximateAnswer:
         """Rewrite and execute a user query against the synopsis.
 
@@ -764,18 +772,31 @@ class AquaSystem:
         and guard provenance counters are updated.  The query is always
         recorded in the table's :meth:`query_log` for workload mining.
 
+        The pipeline honours an optional per-query *deadline*: a typed
+        :class:`~repro.errors.DeadlineExceeded` (tagged with the stage or
+        plan operator it died in) aborts the answer cooperatively -- stage
+        boundaries here, per-operator in the plan executor, per-partition
+        in the parallel scanner.  With ``deadline=None``, any deadline
+        installed by an enclosing
+        :func:`~repro.serve.deadline.deadline_scope` (e.g. the serving
+        layer's) still applies.
+
         Args:
             sql: SQL text or a :class:`~repro.engine.query.Query`.
             guard: per-call guard override -- a :class:`GuardPolicy`,
                 ``False`` to serve unguarded, or ``None`` to use the
                 system's default policy.
+            deadline: time budget for this answer -- seconds, a
+                :class:`~repro.serve.deadline.Deadline`, or ``None`` to
+                inherit the ambient scope (if any).
         """
         tracer = self.telemetry.tracer
         measure = self.telemetry.metrics.enabled
         wall_start = time.perf_counter() if measure else 0.0
-        root = tracer.span("answer")
-        with root:
-            answer = self._answer_pipeline(sql, guard, tracer, root)
+        with deadline_scope(Deadline.resolve(deadline)):
+            root = tracer.span("answer")
+            with root:
+                answer = self._answer_pipeline(sql, guard, tracer, root)
         if root.is_recording:
             answer.trace = QueryTrace(root)
         if measure:
@@ -852,6 +873,7 @@ class AquaSystem:
         entry was stored forces a miss) and guard-degraded answers are never
         stored, so a cached answer is always a clean one for current data.
         """
+        check_deadline("parse")
         with tracer.span("parse"):
             query = parse_query(sql) if isinstance(sql, str) else sql
             policy = self._resolve_guard(guard)
@@ -888,7 +910,14 @@ class AquaSystem:
         state: _TableState,
         tracer: Tracer,
     ) -> ApproximateAnswer:
-        """The staged answer pipeline, one span per stage."""
+        """The staged answer pipeline, one span per stage.
+
+        Each stage starts with an ambient-deadline check, so an expired
+        query dies at the next stage boundary with the stage name on the
+        typed error; the plan/parallel executors check at finer grain
+        (per operator, per partition) inside the execute stage.
+        """
+        check_deadline("validate")
         with tracer.span("validate") as validate_span:
             self._maybe_auto_refresh(base_name)
             synopsis = self.synopsis(base_name)
@@ -943,13 +972,16 @@ class AquaSystem:
                         issues=tuple(issues),
                     )
 
+        check_deadline("rewrite")
         with tracer.span("rewrite", strategy=self._rewrite.name):
             plan = self._rewrite.plan(query, synopsis.installed)
 
+        check_deadline("plan_optimize")
         with tracer.span("plan_optimize") as plan_span:
             logical, cached_plan = self._optimized_plan(query, plan, base_name)
             plan_span.set(cache="hit" if cached_plan else "miss")
 
+        check_deadline("execute")
         start = time.perf_counter()
         with tracer.span("execute") as execute_span:
             try:
@@ -967,6 +999,7 @@ class AquaSystem:
             execute_span.set(rows=result.num_rows)
         elapsed = time.perf_counter() - start
 
+        check_deadline("error_bounds")
         with tracer.span("error_bounds"):
             result = self._attach_error_bounds(query, synopsis, result)
         answer = ApproximateAnswer(
@@ -977,6 +1010,7 @@ class AquaSystem:
         )
         if policy is None:
             return answer
+        check_deadline("guard")
         with tracer.span("guard") as guard_span:
             guarded = self._guard_answer(
                 query, synopsis, answer, policy, stale
@@ -1598,12 +1632,13 @@ class AquaSystem:
     def insert(self, name: str, row: Sequence) -> None:
         """Insert one tuple into a table (buffered) and its maintainer."""
         state = self._state(name)
-        state.pending_rows.append(tuple(row))
-        state.inserts_since_refresh += 1
-        state.version += 1  # invalidates cached answers for this table
-        if state.maintainer is not None:
-            state.maintainer.insert(row)
-            state.maintainer.inserts_seen += 1
+        with state.lock:
+            state.pending_rows.append(tuple(row))
+            state.inserts_since_refresh += 1
+            state.version += 1  # invalidates cached answers for this table
+            if state.maintainer is not None:
+                state.maintainer.insert(row)
+                state.maintainer.inserts_seen += 1
         metrics = self.telemetry.metrics
         if metrics.enabled:
             metrics.counter(
@@ -1664,15 +1699,22 @@ class AquaSystem:
 
     def _flush_pending(self, name: str) -> None:
         state = self._tables.get(name)
-        if state is None or not state.pending_rows:
+        if state is None:
             return
-        flushed = len(state.pending_rows)
-        with self.telemetry.tracer.span("flush", table=name, rows=flushed):
-            appended = Table.from_rows(state.table.schema, state.pending_rows)
-            state.table = state.table.concat(appended)
-            state.pending_rows.clear()
-            state.version += 1
-            self.catalog.register(name, state.table, replace=True)
+        with state.lock:
+            if not state.pending_rows:
+                return
+            flushed = len(state.pending_rows)
+            with self.telemetry.tracer.span(
+                "flush", table=name, rows=flushed
+            ):
+                appended = Table.from_rows(
+                    state.table.schema, state.pending_rows
+                )
+                state.table = state.table.concat(appended)
+                state.pending_rows.clear()
+                state.version += 1
+                self.catalog.register(name, state.table, replace=True)
         metrics = self.telemetry.metrics
         if metrics.enabled:
             metrics.counter(

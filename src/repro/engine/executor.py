@@ -30,6 +30,7 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import Telemetry
+from ..serve.deadline import current_deadline
 from .catalog import Catalog
 from .expressions import Col
 from .groupby import (
@@ -241,6 +242,16 @@ class ParallelExecutor:
         """
         k = self.partition_count(table.num_rows)
         parts = Partitioner("range").split(table, k)
+        # Pool threads do not inherit the submitting thread's context, so
+        # the ambient deadline is captured here and closed over explicitly.
+        deadline = current_deadline()
+        if deadline is not None:
+            inner = fn
+
+            def fn(part):
+                deadline.check("partition_scan")
+                return inner(part)
+
         return self._map(fn, parts)
 
     # -- the partitioned aggregate scan --------------------------------------
@@ -279,8 +290,14 @@ class ParallelExecutor:
         else:
             partitioner = Partitioner("range")
         parts = partitioner.split(table, k)
+        # Captured on the coordinator thread: the scan closure runs on pool
+        # threads, which do not inherit contextvars, so the ambient deadline
+        # must travel into the closure explicitly.
+        deadline = current_deadline()
 
         def scan(part: Partition) -> Tuple[GroupByPartial, float, int, int]:
+            if deadline is not None:
+                deadline.check("partition_scan")
             start = perf_counter()
             rows = part.table
             if where is not None:

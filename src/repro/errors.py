@@ -11,6 +11,8 @@ import cycle.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "AquaError",
     "TableNotRegisteredError",
@@ -18,6 +20,12 @@ __all__ = [
     "StaleSynopsisError",
     "SynopsisCorruptError",
     "GuardViolationError",
+    "TransientError",
+    "ServeError",
+    "OverloadError",
+    "RateLimitExceeded",
+    "DeadlineExceeded",
+    "CircuitOpenError",
 ]
 
 
@@ -43,3 +51,61 @@ class SynopsisCorruptError(AquaError):
 
 class GuardViolationError(AquaError):
     """An answer failed the guard policy and every fallback is disabled."""
+
+
+class TransientError(AquaError):
+    """A fault expected to clear on retry (torn read, racing refresh, ...).
+
+    The serving layer's retry policy treats this class (and the
+    deterministic fault injector's error bursts, which raise it) as
+    retryable; everything else fails fast.
+    """
+
+
+class ServeError(AquaError):
+    """Base class for failures raised by the concurrent serving layer."""
+
+
+class OverloadError(ServeError):
+    """Admission control rejected the query: the queue is full.
+
+    The 429 of the taxonomy -- the request was never executed, so the
+    caller may safely retry after ``retry_after_seconds``.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.05):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RateLimitExceeded(ServeError):
+    """The tenant's token bucket is empty; the query was not admitted."""
+
+    def __init__(self, message: str, tenant: str = "", retry_after_seconds: float = 0.05):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DeadlineExceeded(ServeError):
+    """A per-query deadline expired; execution aborted cooperatively.
+
+    ``stage`` names the pipeline stage or plan operator the query died in
+    (``"queue"``, ``"validate"``, ``"op_groupby"``, ``"parallel_scan"``,
+    ``"scan"``, ...), so callers can tell a query that never started from
+    one killed mid-scan.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: Optional[str] = None,
+        elapsed_seconds: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed_seconds = elapsed_seconds
+
+
+class CircuitOpenError(ServeError):
+    """The table's circuit breaker is open and degradation is disabled."""

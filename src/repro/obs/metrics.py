@@ -18,13 +18,18 @@ Design constraints:
   against the same registry without coordinating;
 * **fixed-bucket histograms** -- bucket upper bounds are inclusive
   (Prometheus ``le`` semantics): an observation equal to a bound lands in
-  that bound's bucket.
+  that bound's bucket;
+* **thread-safe** -- the serving layer's worker pool writes concurrently,
+  so each metric guards its sample map with a lock and the registry guards
+  get-or-create; a snapshot taken mid-load is internally consistent per
+  metric.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -107,6 +112,7 @@ class _Metric:
         self.name = name
         self.help = help_text
         self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
 
     def _key(self, labels: Mapping[str, Any]) -> LabelKey:
         if set(labels) != set(self.labelnames):
@@ -134,16 +140,17 @@ class Counter(_Metric):
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(self._key(labels), 0.0)
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
 
     def collect(self) -> List[Dict[str, Any]]:
-        return [
-            {"labels": dict(key), "value": value}
-            for key, value in sorted(self._values.items())
-        ]
+        with self._lock:
+            values = sorted(self._values.items())
+        return [{"labels": dict(key), "value": value} for key, value in values]
 
 
 class Gauge(_Metric):
@@ -158,25 +165,28 @@ class Gauge(_Metric):
     def set(self, value: float, **labels: Any) -> None:
         if not self._registry.enabled:
             return
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if not self._registry.enabled:
             return
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(self._key(labels), 0.0)
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
 
     def collect(self) -> List[Dict[str, Any]]:
-        return [
-            {"labels": dict(key), "value": value}
-            for key, value in sorted(self._values.items())
-        ]
+        with self._lock:
+            values = sorted(self._values.items())
+        return [{"labels": dict(key), "value": value} for key, value in values]
 
 
 class Histogram(_Metric):
@@ -214,26 +224,33 @@ class Histogram(_Metric):
             return
         value = float(value)
         key = self._key(labels)
-        counts = self._counts.get(key)
-        if counts is None:
-            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
-            self._sums[key] = 0.0
-            self._totals[key] = 0
-        # bisect_left gives the first bound >= value: inclusive `le` edges.
-        counts[bisect_left(self.buckets, value)] += 1
-        self._sums[key] += value
-        self._totals[key] += 1
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            # bisect_left gives the first bound >= value: inclusive `le`
+            # edges.
+            counts[bisect_left(self.buckets, value)] += 1
+            self._sums[key] += value
+            self._totals[key] += 1
 
     def count(self, **labels: Any) -> int:
-        return self._totals.get(self._key(labels), 0)
+        with self._lock:
+            return self._totals.get(self._key(labels), 0)
 
     def sum(self, **labels: Any) -> float:
-        return self._sums.get(self._key(labels), 0.0)
+        with self._lock:
+            return self._sums.get(self._key(labels), 0.0)
 
     def bucket_counts(self, **labels: Any) -> Dict[float, int]:
         """Cumulative counts per upper bound, including ``inf``."""
         key = self._key(labels)
-        counts = self._counts.get(key, [0] * (len(self.buckets) + 1))
+        with self._lock:
+            counts = list(
+                self._counts.get(key, [0] * (len(self.buckets) + 1))
+            )
         out: Dict[float, int] = {}
         running = 0
         for bound, count in zip(self.buckets, counts):
@@ -243,20 +260,26 @@ class Histogram(_Metric):
         return out
 
     def collect(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            snapshot = {
+                key: (self._totals[key], self._sums[key], list(counts))
+                for key, counts in self._counts.items()
+            }
         out = []
-        for key in sorted(self._counts):
-            labels = dict(key)
+        for key in sorted(snapshot):
+            total, total_sum, counts = snapshot[key]
+            buckets: Dict[str, int] = {}
+            running = 0
+            for bound, count in zip(self.buckets, counts):
+                running += count
+                buckets[_format_value(bound)] = running
+            buckets["+Inf"] = running + counts[-1]
             out.append(
                 {
-                    "labels": labels,
-                    "count": self._totals[key],
-                    "sum": self._sums[key],
-                    "buckets": {
-                        _format_value(bound): count
-                        for bound, count in self.bucket_counts(
-                            **labels
-                        ).items()
-                    },
+                    "labels": dict(key),
+                    "count": total,
+                    "sum": total_sum,
+                    "buckets": buckets,
                 }
             )
         return out
@@ -273,6 +296,7 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     # -- switches ------------------------------------------------------------
 
@@ -287,22 +311,23 @@ class MetricsRegistry:
     # -- metric handles ------------------------------------------------------
 
     def _get_or_create(self, cls, name, help_text, labelnames, **kwargs):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}"
-                )
-            if tuple(labelnames) != existing.labelnames:
-                raise ValueError(
-                    f"metric {name!r} already registered with labels "
-                    f"{existing.labelnames}, not {tuple(labelnames)}"
-                )
-            return existing
-        metric = cls(self, name, help_text, labelnames, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if tuple(labelnames) != existing.labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            metric = cls(self, name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(
         self,
@@ -332,10 +357,12 @@ class MetricsRegistry:
         )
 
     def get(self, name: str) -> Optional[_Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     # -- export --------------------------------------------------------------
 
@@ -345,9 +372,11 @@ class MetricsRegistry:
         Metrics that have never recorded a sample (e.g. handles created
         while the registry was disabled) are omitted.
         """
+        with self._lock:
+            metrics = dict(self._metrics)
         out: Dict[str, Dict[str, Any]] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name in sorted(metrics):
+            metric = metrics[name]
             values = metric.collect()
             if not values:
                 continue
@@ -364,8 +393,10 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
             if not metric.collect():
                 continue  # never-written metrics would emit headers only
             if metric.help:
@@ -397,7 +428,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop all recorded values and registered metrics."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 def _sample_line(name: str, labels: Mapping[str, Any], value: float) -> str:

@@ -23,6 +23,7 @@ Three pieces:
 from __future__ import annotations
 
 import json
+import threading
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
@@ -193,11 +194,25 @@ class Tracer:
 
     A disabled tracer returns a shared no-op span: the cost of an
     instrumented call site is one ``enabled`` check.
+
+    The nesting stack is *per thread*: concurrent serving workers share one
+    tracer, and each worker's spans nest within that worker's own open
+    span, never under another thread's.  (Span objects themselves are still
+    single-writer -- only the thread that opened a span appends children to
+    it, with :meth:`Span.add_child_timing` the explicit cross-thread
+    hand-off for pool work measured elsewhere.)
     """
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
-        self._stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- switches ------------------------------------------------------------
 

@@ -16,6 +16,7 @@ is attached.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
@@ -57,6 +58,10 @@ class PlanCache:
     strategy, normalized SQL)``.  ``get`` promotes on hit; ``put`` evicts
     the least-recently-used entry once ``capacity`` is exceeded.  Plans are
     immutable (frozen dataclasses), so entries are shared safely.
+
+    Thread-safe: concurrent serving workers plan against one shared cache,
+    so all entry-map access (``get`` included -- LRU promotion mutates the
+    order) runs under one lock.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class PlanCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Plan]" = OrderedDict()
         self._metrics = metrics
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -78,53 +84,58 @@ class PlanCache:
         self._metrics = metrics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[Plan]:
         """The cached plan for ``key`` (promoted to most-recent), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            self._count("aqua_plan_cache_misses_total")
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        self._count("aqua_plan_cache_hits_total")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                self._count("aqua_plan_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._count("aqua_plan_cache_hits_total")
+            return entry
 
     def put(self, key: Hashable, plan: Plan) -> None:
         """Store ``plan``, evicting the LRU entry when over capacity."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-            self._count("aqua_plan_cache_evictions_total")
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                self._count("aqua_plan_cache_evictions_total")
 
     def invalidate(self, table: Optional[str] = None) -> int:
         """Drop entries (all, or those whose key starts with ``table``)."""
-        if table is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        doomed = [
-            key
-            for key in self._entries
-            if isinstance(key, tuple) and key and key[0] == table
-        ]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            if table is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == table
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     @property
     def stats(self) -> PlanCacheStats:
-        return PlanCacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def _count(self, name: str) -> None:
         if self._metrics is None or not self._metrics.enabled:

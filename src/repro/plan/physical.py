@@ -31,6 +31,7 @@ from ..engine.join import hash_join
 from ..engine.schema import Column, ColumnType, Schema
 from ..engine.table import Table
 from ..obs.trace import NULL_TRACER
+from ..serve.deadline import check_deadline
 from .logical import (
     Filter,
     GroupBy,
@@ -83,6 +84,9 @@ def _exec(
     tracer,
     collect: Optional[Actuals],
 ) -> Table:
+    # Cooperative cancellation: a query whose deadline expired aborts
+    # before materializing the next operator, tagged with where it died.
+    check_deadline(f"op_{node.kind}")
     start = perf_counter()
     with tracer.span(f"op_{node.kind}", depth=len(path)) as span:
         inputs = [

@@ -1,0 +1,81 @@
+"""Concurrent serving layer for :class:`~repro.aqua.system.AquaSystem`.
+
+The robustness seam between "a correct approximate-answering library" and
+"a service thousands of clients can hit at once":
+
+* :mod:`~repro.serve.deadline` -- per-query deadlines with cooperative,
+  stage-aware cancellation (plus the :class:`ManualClock` the whole layer
+  uses for deterministic tests);
+* :mod:`~repro.serve.limiter` -- per-tenant token buckets;
+* :mod:`~repro.serve.breaker` -- per-table circuit breakers that trigger
+  degradation, not rejection;
+* :mod:`~repro.serve.retry` -- jittered exponential backoff for transient
+  faults;
+* :mod:`~repro.serve.service` -- :class:`QueryService`, the admission-
+  controlled worker pool tying it together;
+* :mod:`~repro.serve.http` -- a stdlib HTTP front-end over the service.
+
+``deadline`` is deliberately import-light (stdlib + the error taxonomy):
+the plan executor and parallel scanner import it on their hot paths.  The
+service/http layers, which import the full Aqua stack, are loaded lazily
+(PEP 562) so ``repro.plan -> repro.serve.deadline`` never drags the
+serving stack -- or a circular ``repro.aqua`` import -- into every query.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from .deadline import (
+    Deadline,
+    ManualClock,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from .limiter import TenantRateLimiter, TokenBucket
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "Deadline",
+    "ManualClock",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "RetryPolicy",
+    # lazily loaded (see __getattr__):
+    "DEFAULT_TENANT",
+    "QueryService",
+    "ServeResult",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServingHTTPServer",
+    "serve_http",
+]
+
+_LAZY = {
+    "DEFAULT_TENANT": "service",
+    "QueryService": "service",
+    "ServeResult": "service",
+    "ServiceConfig": "service",
+    "ServiceStats": "service",
+    "ServingHTTPServer": "http",
+    "serve_http": "http",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+
+def __dir__():
+    return sorted(__all__)

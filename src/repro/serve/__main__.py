@@ -1,0 +1,87 @@
+"""Run a demo serving endpoint over the synthetic census warehouse.
+
+Usage::
+
+    python -m repro.serve                     # 127.0.0.1:8080, census data
+    python -m repro.serve --port 9000 --workers 8 --deadline 2.0
+
+Then::
+
+    curl -s localhost:8080/query -d '{"sql": "SELECT state, SUM(income) AS s
+        FROM census GROUP BY state"}'
+    curl -s localhost:8080/stats
+    curl -s localhost:8080/metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..aqua.system import AquaSystem
+from ..synthetic.census import CensusConfig, generate_census
+from .http import serve_http
+from .service import QueryService, ServiceConfig
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve approximate answers over HTTP (demo warehouse).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--budget", type=int, default=5000, help="sample tuples to keep"
+    )
+    parser.add_argument(
+        "--population", type=int, default=100_000,
+        help="synthetic census rows to generate",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="service worker threads"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admission queue slots beyond the workers",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-query deadline in seconds",
+    )
+    parser.add_argument(
+        "--tenant-rate", type=float, default=None,
+        help="per-tenant rate limit in queries/second (default: unlimited)",
+    )
+    args = parser.parse_args(argv)
+
+    system = AquaSystem(space_budget=args.budget, telemetry=True)
+    census = generate_census(
+        CensusConfig(population=args.population, seed=1)
+    )
+    system.register_table("census", census)
+    service = QueryService(
+        system,
+        ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline_seconds=args.deadline,
+            tenant_rate=args.tenant_rate,
+        ),
+    )
+    server = serve_http(service, host=args.host, port=args.port)
+    print(f"serving census warehouse on {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

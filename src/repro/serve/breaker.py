@@ -1,0 +1,196 @@
+"""Per-table circuit breaker driving graceful degradation.
+
+Unlike the textbook breaker that *rejects* while open, this one feeds the
+service's degradation ladder: an open circuit means "stop exercising the
+expensive escalation machinery for this table" -- serve the raw synopsis
+answer (or a cheaper fallback synopsis) instead of hammering base-table
+repairs and exact fallbacks that are evidently failing or overloaded.
+
+Two signals trip it:
+
+* **failures** -- typed errors out of the answer pipeline (corrupt
+  synopsis, deadline blown mid-scan, ...); ``failure_threshold``
+  consecutive failures open the circuit;
+* **guard escalations** -- answers that *succeeded* but only by repairing
+  groups or falling back to exact.  Each one costs a base-table scan, so
+  ``escalation_threshold`` consecutive escalations also open the circuit:
+  under pressure it is better to serve honest synopsis-only answers than
+  to let every query pay for exactness.
+
+After ``cooldown_seconds`` the breaker goes **half-open** and lets
+``half_open_probes`` requests run the full ladder; a clean success closes
+it, any failure re-opens.  The clock is injectable, so tests step through
+the state machine with a :class:`~repro.serve.deadline.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+Clock = Callable[[], float]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds for one per-table circuit breaker.
+
+    Attributes:
+        failure_threshold: consecutive pipeline failures that open the
+            circuit (0 disables the failure signal).
+        escalation_threshold: consecutive guard escalations (repaired or
+            exact-fallback answers) that open the circuit (0 disables).
+        cooldown_seconds: how long an open circuit waits before probing.
+        half_open_probes: full-ladder probe requests allowed while
+            half-open; the first failed probe re-opens, a success closes.
+    """
+
+    failure_threshold: int = 5
+    escalation_threshold: int = 3
+    cooldown_seconds: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 0:
+            raise ValueError(
+                f"failure_threshold must be >= 0, got {self.failure_threshold}"
+            )
+        if self.escalation_threshold < 0:
+            raise ValueError(
+                "escalation_threshold must be >= 0, "
+                f"got {self.escalation_threshold}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker for one table."""
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.config = config if config is not None else BreakerConfig()
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._escalations = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._open_reason = ""
+        self.transitions = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the cooldown transition lazily."""
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def open_reason(self) -> str:
+        """Why the circuit last opened (empty while closed)."""
+        with self._lock:
+            return self._open_reason if self._state != CLOSED else ""
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.config.cooldown_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self.transitions += 1
+        return self._state
+
+    def _open_locked(self, reason: str) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._escalations = 0
+        self._probes_in_flight = 0
+        self._open_reason = reason
+        self.transitions += 1
+
+    # -- request-time decision ----------------------------------------------
+
+    def allow_full_service(self) -> bool:
+        """Should this request run the full guard ladder?
+
+        True while closed; while half-open, true for up to
+        ``half_open_probes`` concurrent probes (the caller must report the
+        probe's outcome); false while open -- the caller should degrade.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                if self._probes_in_flight < self.config.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self) -> None:
+        """A full-service answer came back clean (pure synopsis answer)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._state = CLOSED
+                self._open_reason = ""
+                self.transitions += 1
+            self._failures = 0
+            self._escalations = 0
+
+    def record_escalation(self) -> None:
+        """A full-service answer needed guard repair or exact fallback."""
+        with self._lock:
+            state = self._state_locked()
+            threshold = self.config.escalation_threshold
+            if state == HALF_OPEN:
+                # A probe that still escalates has not recovered.
+                self._open_locked("probe escalated to base-table work")
+                return
+            self._escalations += 1
+            self._failures = 0
+            if threshold and self._escalations >= threshold:
+                self._open_locked(
+                    f"{self._escalations} consecutive guard escalations"
+                )
+
+    def record_failure(self) -> None:
+        """A full-service answer raised out of the pipeline."""
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._open_locked("probe failed")
+                return
+            threshold = self.config.failure_threshold
+            self._failures += 1
+            self._escalations = 0
+            if threshold and self._failures >= threshold:
+                self._open_locked(f"{self._failures} consecutive failures")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.state})"

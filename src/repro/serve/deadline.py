@@ -1,0 +1,163 @@
+"""Per-query deadlines with cooperative, stage-aware cancellation.
+
+A :class:`Deadline` is an absolute expiry on an injectable monotonic clock
+(tests pass a :class:`ManualClock` so nothing depends on wall time).  The
+active deadline travels through the pipeline in a :mod:`contextvars`
+context variable rather than as a parameter on every engine call:
+
+* :func:`deadline_scope` installs a deadline for a ``with`` block;
+* :func:`current_deadline` reads it anywhere below (the plan executor
+  checks it before every operator, the parallel executor before every
+  partition scan, :meth:`AquaSystem.answer` between pipeline stages);
+* :func:`check_deadline` raises a typed
+  :class:`~repro.errors.DeadlineExceeded` carrying the *stage* the query
+  died in, so a query killed mid-scan is distinguishable from one that
+  expired while queued.
+
+Thread handoff is explicit: worker pools do not inherit the submitting
+thread's context, so coordinators (e.g. the parallel executor) capture
+``current_deadline()`` once and close over it -- which is also what keeps
+per-partition checks cheap.
+
+This module sits *below* the rest of :mod:`repro.serve` (stdlib plus the
+error taxonomy only) so the engine and plan layers can import it without
+pulling the serving stack into every query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional, Union
+
+from ..errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "ManualClock",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A monotonic clock advanced explicitly -- deterministic time for tests.
+
+    Callable (``clock()`` returns the current reading) so it drops in
+    wherever ``time.monotonic`` is expected: deadlines, token buckets,
+    circuit breakers, and the fault injector's slow scans all take a
+    ``clock`` argument.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (never backward) and return the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds}")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+class Deadline:
+    """An absolute time budget for one query on an injectable clock."""
+
+    __slots__ = ("seconds", "_clock", "_started", "_expires")
+
+    def __init__(self, seconds: float, clock: Optional[Clock] = None):
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+        self._expires = self._started + self.seconds
+
+    @classmethod
+    def resolve(
+        cls,
+        value: Union["Deadline", float, int, None],
+        clock: Optional[Clock] = None,
+    ) -> Optional["Deadline"]:
+        """Coerce an API argument (seconds, Deadline, or None) to a Deadline."""
+        if value is None:
+            return None
+        if isinstance(value, Deadline):
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"deadline must be a Deadline, seconds, or None; got {value!r}"
+            )
+        return cls(float(value), clock=clock)
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` tagged with ``stage`` if expired."""
+        now = self._clock()
+        if now >= self._expires:
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds:.3f}s exceeded after "
+                f"{now - self._started:.3f}s (in {stage})",
+                stage=stage,
+                elapsed_seconds=now - self._started,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline({self.seconds}s, remaining={self.remaining:.3f}s)"
+
+
+_CURRENT: ContextVar[Optional[Deadline]] = ContextVar(
+    "repro_serve_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed by the innermost :func:`deadline_scope`."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as the ambient deadline for the ``with`` body.
+
+    ``None`` is accepted and installs nothing, so call sites can wrap
+    unconditionally.  Scopes nest; the inner scope wins until it exits.
+    """
+    if deadline is None:
+        yield None
+        return
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)
+
+
+def check_deadline(stage: str) -> None:
+    """Check the ambient deadline (no-op when none is installed)."""
+    deadline = _CURRENT.get()
+    if deadline is not None:
+        deadline.check(stage)

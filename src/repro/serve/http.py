@@ -1,0 +1,216 @@
+"""A stdlib HTTP front-end over :class:`~repro.serve.service.QueryService`.
+
+``ThreadingHTTPServer`` gives one handler thread per connection; every
+handler forwards into the *shared* :class:`QueryService`, so admission
+control, tenant rate limits, deadlines, and the degradation ladder apply
+identically over HTTP and in-process.  The error taxonomy maps onto HTTP
+status codes the way a load balancer expects:
+
+=============================  ======  =========================
+error                          status  notes
+=============================  ======  =========================
+``OverloadError``              429     ``Retry-After`` header
+``RateLimitExceeded``          429     ``Retry-After`` header
+``DeadlineExceeded``           504     body carries the stage
+``CircuitOpenError``           503
+``SqlError`` / ``QueryError``  400
+table/synopsis missing         404
+any other ``AquaError``        500
+=============================  ======  =========================
+
+Endpoints::
+
+    POST /query    {"sql": ..., "tenant": ..., "deadline_seconds": ...}
+    GET  /stats    service counters as JSON
+    GET  /health   liveness + in-flight count
+    GET  /metrics  Prometheus text exposition of the system registry
+
+Run a demo server with ``python -m repro.serve``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from ..engine.query import QueryError
+from ..engine.sql import SqlError
+from ..errors import (
+    AquaError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    OverloadError,
+    RateLimitExceeded,
+    SynopsisMissingError,
+    TableNotRegisteredError,
+)
+from .service import QueryService, ServeResult
+
+__all__ = ["ServingHTTPServer", "serve_http"]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB of SQL is a client error, not a workload
+
+
+def _json_value(value):
+    """Numpy scalars -> plain Python so ``json`` can serialize rows."""
+    item = getattr(value, "item", None)
+    return item() if callable(item) else value
+
+
+def _result_payload(result: ServeResult) -> dict:
+    table = result.result
+    return {
+        "columns": list(table.schema.names),
+        "rows": [
+            [_json_value(value) for value in row] for row in table.iter_rows()
+        ],
+        "confidence": result.answer.confidence,
+        "degraded": result.degraded,
+        "degradation": result.degradation,
+        "provenance_counts": result.answer.provenance_counts,
+        "attempts": result.attempts,
+        "queued_seconds": result.queued_seconds,
+        "served_seconds": result.served_seconds,
+    }
+
+
+def _status_for(error: BaseException) -> Tuple[int, str]:
+    """(HTTP status, machine-readable error kind) for a taxonomy error."""
+    if isinstance(error, (OverloadError, RateLimitExceeded)):
+        return 429, type(error).__name__
+    if isinstance(error, DeadlineExceeded):
+        return 504, "DeadlineExceeded"
+    if isinstance(error, CircuitOpenError):
+        return 503, "CircuitOpenError"
+    if isinstance(error, (TableNotRegisteredError, SynopsisMissingError)):
+        return 404, type(error).__name__
+    if isinstance(error, (SqlError, QueryError)):
+        return 400, type(error).__name__
+    return 500, type(error).__name__
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging goes through serve_* metrics, not stderr
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, error: BaseException) -> None:
+        status, kind = _status_for(error)
+        payload = {"error": kind, "message": str(error)}
+        headers = []
+        retry_after = getattr(error, "retry_after_seconds", None)
+        if status == 429 and retry_after is not None:
+            headers.append(("Retry-After", f"{max(retry_after, 0.0):.3f}"))
+            payload["retry_after_seconds"] = max(retry_after, 0.0)
+        stage = getattr(error, "stage", None)
+        if stage is not None:
+            payload["stage"] = stage
+        self._send_json(status, payload, headers)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/query":
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            if length > _MAX_BODY_BYTES:
+                raise ValueError(f"request body of {length} bytes is too large")
+            request = json.loads(self.rfile.read(length) or b"{}")
+            sql = request["sql"]
+            if not isinstance(sql, str):
+                raise ValueError("'sql' must be a string")
+            tenant = request.get("tenant", "default")
+            deadline = request.get("deadline_seconds")
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json(
+                400, {"error": "BadRequest", "message": str(exc)}
+            )
+            return
+        try:
+            result = self.service.query(sql, tenant=tenant, deadline=deadline)
+        except (AquaError, SqlError, QueryError, TypeError) as exc:
+            self._send_error_json(exc)
+            return
+        self._send_json(200, _result_payload(result))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.rstrip("/") or "/"
+        if path == "/health":
+            self._send_json(
+                200, {"status": "ok", "pending": self.service.pending}
+            )
+        elif path == "/stats":
+            stats = self.service.stats
+            self._send_json(
+                200,
+                {
+                    "workers": stats.workers,
+                    "capacity": stats.capacity,
+                    "pending": stats.pending,
+                    "admitted": stats.admitted,
+                    "rejected_overload": stats.rejected_overload,
+                    "rejected_rate_limit": stats.rejected_rate_limit,
+                    "retries": stats.retries,
+                    "outcomes": stats.outcomes,
+                    "breakers": stats.breakers,
+                    "tenants": stats.tenants,
+                },
+            )
+        elif path == "/metrics":
+            body = self.service.system.metrics.to_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """One handler thread per connection, all sharing one service."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_http(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind a serving HTTP server (``port=0`` picks a free port).
+
+    The caller owns the loop: ``server.serve_forever()`` to block, or run
+    it in a thread and ``server.shutdown()`` to stop (the tests do the
+    latter).
+    """
+    return ServingHTTPServer((host, port), service)

@@ -1,0 +1,147 @@
+"""Per-tenant token-bucket rate limiting for the query service.
+
+Classic token bucket: each tenant owns a bucket holding up to ``burst``
+tokens refilled at ``rate`` tokens/second; admitting a query spends one
+token, and an empty bucket rejects with a typed
+:class:`~repro.errors.RateLimitExceeded` that carries a retry-after hint.
+Refill is computed lazily from an injectable monotonic clock, so tests
+drive it with a :class:`~repro.serve.deadline.ManualClock` and never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import RateLimitExceeded
+
+__all__ = ["TokenBucket", "TenantRateLimiter"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Clock] = None,
+    ):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0 tokens/s, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0 tokens, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._updated = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are)."""
+        with self._lock:
+            self._refill_locked()
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if self.rate == 0:
+                return float("inf")
+            return deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        """Current token balance (after lazy refill)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class _Limits:
+    rate: float
+    burst: float
+
+
+class TenantRateLimiter:
+    """One token bucket per tenant, created on first sight.
+
+    ``rate``/``burst`` are the defaults for unknown tenants; ``overrides``
+    maps tenant names to ``(rate, burst)`` pairs for per-tenant SLAs.  A
+    ``rate`` of ``None`` disables limiting entirely (every admit succeeds),
+    which is the service default -- limits are opt-in.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: float = 10.0,
+        overrides: Optional[Dict[str, Tuple[float, float]]] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self._default = None if rate is None else _Limits(rate, burst)
+        self._overrides = {
+            tenant: _Limits(r, b)
+            for tenant, (r, b) in (overrides or {}).items()
+        }
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._default is not None or bool(self._overrides)
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        """The tenant's bucket (None when the tenant is unlimited)."""
+        limits = self._overrides.get(tenant, self._default)
+        if limits is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    limits.rate, limits.burst, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Spend one token for ``tenant`` or raise :class:`RateLimitExceeded`."""
+        bucket = self.bucket(tenant)
+        if bucket is None or bucket.try_acquire():
+            return
+        retry_after = bucket.retry_after()
+        raise RateLimitExceeded(
+            f"tenant {tenant!r} exceeded its rate limit of "
+            f"{bucket.rate:g} queries/s (burst {bucket.burst:g}); "
+            f"retry in {retry_after:.3f}s",
+            tenant=tenant,
+            retry_after_seconds=retry_after,
+        )
+
+    def tenants(self) -> Dict[str, float]:
+        """Current token balance per tenant seen so far (for ``.serve``)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: bucket.available for tenant, bucket in buckets.items()}

@@ -1,0 +1,121 @@
+"""Retry with jittered exponential backoff for transient serving faults.
+
+Only errors the policy declares *retryable* (by default the
+:class:`~repro.errors.TransientError` family -- what the deterministic
+fault injector's error bursts raise) are retried; everything else
+propagates immediately.  Backoff is exponential with full jitter
+(AWS-style: ``uniform(0, min(cap, base * mult**attempt))``), and sleeps
+are deadline-aware -- the policy never sleeps past the ambient deadline's
+remaining budget, and gives up with the last error once the budget is
+gone.
+
+Determinism for tests: the jitter source (``random.Random``) and the
+sleep function are both injectable, so tests assert exact backoff
+sequences without waiting on wall time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from ..errors import TransientError
+from .deadline import Deadline
+
+__all__ = ["RetryPolicy", "RetryOutcome"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry transient faults, and how long to wait.
+
+    Attributes:
+        max_attempts: total attempts including the first (1 = no retries).
+        base_delay: backoff scale for the first retry, in seconds.
+        multiplier: exponential growth factor per retry.
+        max_delay: cap on any single backoff sleep.
+        jitter: 0 disables jitter (sleep exactly the exponential delay);
+            1 draws the sleep uniformly from ``[0, delay]`` (full jitter).
+        retryable: exception classes worth retrying.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 1.0
+    retryable: Tuple[Type[BaseException], ...] = (TransientError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """The backoff before retry ``retry_index`` (0-based), with jitter."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier**retry_index
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = rng if rng is not None else random
+        # Full jitter scaled by the jitter fraction: jitter=1 draws from
+        # [0, raw]; jitter=0.5 from [raw/2, raw].
+        floor = raw * (1.0 - self.jitter)
+        return floor + rng.uniform(0.0, raw - floor)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        deadline: Optional[Deadline] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Run ``fn`` with retries; returns its result or raises the last error.
+
+        ``on_retry(retry_index, error)`` fires before each backoff sleep
+        (the service counts retries through it).  With a ``deadline``, a
+        sleep is clamped to the remaining budget and an exhausted budget
+        re-raises the last transient error rather than burning attempts a
+        caller can no longer use.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except self.retryable as exc:  # type: ignore[misc]
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.delay(attempt, rng=rng)
+                if deadline is not None:
+                    remaining = deadline.remaining
+                    if remaining <= 0:
+                        raise
+                    pause = min(pause, remaining)
+                if pause > 0:
+                    sleep(pause)
+        raise last if last is not None else RuntimeError("unreachable")
+
+
+@dataclass
+class RetryOutcome:
+    """Bookkeeping for one retried call (used by the service's stats)."""
+
+    attempts: int = 1
+    retried_errors: list = field(default_factory=list)

@@ -1,0 +1,710 @@
+"""The concurrent query service fronting :class:`AquaSystem`.
+
+:class:`QueryService` is the "millions of users" seam from the ROADMAP: a
+bounded worker pool behind an explicit admission queue, per-tenant token
+buckets, per-query deadlines, retry-with-jittered-backoff for transient
+faults, and a per-table circuit breaker that degrades gracefully under
+pressure instead of queueing without bound.  It is transport-agnostic --
+:meth:`QueryService.query` is the in-process client the tests and shell
+use, and :mod:`repro.serve.http` exposes the same service over HTTP.
+
+The request lifecycle::
+
+    submit ──rate limit──▶ admission queue ──worker──▶ answer
+       │429 RateLimitExceeded   │429 OverloadError        │
+       ▼                        ▼                         ▼
+    rejected                 rejected            retry → breaker → degrade
+
+Degradation ladder (cheapest honest answer under duress):
+
+1. **full service** -- the normal guard ladder (synopsis → per-group
+   repair → exact fallback);
+2. **degraded** -- triggered by a deep queue (*load shedding*) or an open
+   per-table circuit breaker: the query is answered from the cheapest
+   available synopsis (a configured lower-budget ``degraded_system`` if
+   one is attached, else the primary synopsis served unguarded, skipping
+   base-table repair and exact fallback entirely); every answer group is
+   tagged with ``degraded`` provenance so the caller knows exactly what it
+   got;
+3. **rejection** -- admission control refuses new work outright rather
+   than letting queue delay masquerade as query latency.
+
+Every decision is recorded in ``serve_*`` metrics and (when the tracer is
+enabled) a ``serve_request`` span wrapping the answer pipeline's spans.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..aqua.guard import PROVENANCE_DEGRADED, GuardPolicy
+from ..aqua.system import ApproximateAnswer, AquaSystem
+from ..engine.query import Query, QueryError
+from ..engine.schema import Column, ColumnType
+from ..engine.sql import SqlError, parse_query
+from ..engine.table import Table
+from ..errors import (
+    AquaError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    OverloadError,
+    RateLimitExceeded,
+    ServeError,
+    SynopsisMissingError,
+    TableNotRegisteredError,
+)
+from .breaker import BreakerConfig, CircuitBreaker, CLOSED, HALF_OPEN, OPEN
+from .deadline import Deadline, deadline_scope
+from .limiter import TenantRateLimiter
+from .retry import RetryPolicy
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "QueryService",
+    "ServeResult",
+    "ServiceConfig",
+    "ServiceStats",
+]
+
+DEFAULT_TENANT = "default"
+
+#: Breaker states to gauge values for ``serve_breaker_state``.
+_BREAKER_GAUGE = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
+
+#: Outcomes a request can end in (the ``outcome`` label of
+#: ``serve_requests_total``).
+OUTCOME_OK = "ok"
+OUTCOME_ESCALATED = "escalated"  # served, but guard repaired / fell back
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_DEADLINE = "deadline"
+OUTCOME_ERROR = "error"
+OUTCOME_INVALID = "invalid"  # client error: bad SQL / unknown table
+OUTCOME_REJECTED_OVERLOAD = "rejected_overload"
+OUTCOME_REJECTED_RATE_LIMIT = "rejected_rate_limit"
+OUTCOME_BREAKER_OPEN = "breaker_open"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and policy knobs for one :class:`QueryService`.
+
+    Attributes:
+        workers: worker threads executing answers concurrently.
+        queue_depth: admitted-but-waiting requests beyond the in-flight
+            ones; total admission capacity is ``workers + queue_depth``.
+        admission_timeout_seconds: how long ``submit`` may block waiting
+            for a free slot before rejecting with
+            :class:`~repro.errors.OverloadError` (0 = reject immediately).
+        default_deadline_seconds: deadline applied to requests that do not
+            bring their own (None = unbounded).
+        tenant_rate: default token-bucket refill rate per tenant in
+            queries/second (None disables rate limiting).
+        tenant_burst: default token-bucket capacity per tenant.
+        degrade_queue_fraction: when the admission queue is at least this
+            full at admission time, the request is served degraded (load
+            shedding); None never sheds.
+        degrade_on_breaker: serve degraded answers while a table's breaker
+            is open; when False, raise
+            :class:`~repro.errors.CircuitOpenError` instead.
+    """
+
+    workers: int = 4
+    queue_depth: int = 16
+    admission_timeout_seconds: float = 0.0
+    default_deadline_seconds: Optional[float] = None
+    tenant_rate: Optional[float] = None
+    tenant_burst: float = 10.0
+    degrade_queue_fraction: Optional[float] = 0.75
+    degrade_on_breaker: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.admission_timeout_seconds < 0:
+            raise ValueError(
+                "admission_timeout_seconds must be >= 0, "
+                f"got {self.admission_timeout_seconds}"
+            )
+        if (
+            self.default_deadline_seconds is not None
+            and self.default_deadline_seconds <= 0
+        ):
+            raise ValueError(
+                "default_deadline_seconds must be > 0 or None, "
+                f"got {self.default_deadline_seconds}"
+            )
+        if self.tenant_rate is not None and self.tenant_rate < 0:
+            raise ValueError(
+                f"tenant_rate must be >= 0 or None, got {self.tenant_rate}"
+            )
+        if self.degrade_queue_fraction is not None and not (
+            0.0 < self.degrade_queue_fraction <= 1.0
+        ):
+            raise ValueError(
+                "degrade_queue_fraction must be in (0, 1] or None, "
+                f"got {self.degrade_queue_fraction}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Total admission capacity (in-flight plus queued)."""
+        return self.workers + self.queue_depth
+
+
+@dataclass
+class ServeResult:
+    """One served answer plus the service's view of how it was produced.
+
+    Attributes:
+        answer: the underlying :class:`ApproximateAnswer`.
+        tenant: who asked.
+        degraded: True when the degradation ladder served this answer; the
+            result table's provenance column is then ``degraded`` for
+            every group.
+        degradation: why (``"load_shed"`` / ``"breaker_open"``), or None.
+        attempts: answer attempts including retries.
+        queued_seconds: time spent waiting for a worker.
+        served_seconds: worker time (retries included).
+    """
+
+    answer: ApproximateAnswer
+    tenant: str = DEFAULT_TENANT
+    degraded: bool = False
+    degradation: Optional[str] = None
+    attempts: int = 1
+    queued_seconds: float = 0.0
+    served_seconds: float = 0.0
+
+    @property
+    def result(self) -> Table:
+        return self.answer.result
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's counters."""
+
+    workers: int
+    capacity: int
+    pending: int
+    admitted: int
+    rejected_overload: int
+    rejected_rate_limit: int
+    retries: int
+    outcomes: Dict[str, int]
+    breakers: Dict[str, str]
+    tenants: Dict[str, float]
+
+    @property
+    def completed(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def degraded(self) -> int:
+        return self.outcomes.get(OUTCOME_DEGRADED, 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_overload + self.rejected_rate_limit
+
+    def describe(self) -> str:
+        lines = [
+            f"serving: {self.pending} in flight / capacity {self.capacity} "
+            f"({self.workers} workers)",
+            f"admitted {self.admitted}, rejected {self.rejected} "
+            f"(overload {self.rejected_overload}, "
+            f"rate-limit {self.rejected_rate_limit}), retries {self.retries}",
+        ]
+        if self.outcomes:
+            rendered = ", ".join(
+                f"{outcome} {count}"
+                for outcome, count in sorted(self.outcomes.items())
+            )
+            lines.append(f"outcomes: {rendered}")
+        for table, state in sorted(self.breakers.items()):
+            lines.append(f"breaker[{table}]: {state}")
+        for tenant, tokens in sorted(self.tenants.items()):
+            lines.append(f"tenant[{tenant}]: {tokens:.1f} tokens")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Request:
+    sql: Union[str, Query]
+    tenant: str
+    deadline: Optional[Deadline]
+    enqueued: float
+    load_shed: bool = False
+
+
+class QueryService:
+    """Admission-controlled, deadline-aware concurrent serving layer."""
+
+    def __init__(
+        self,
+        system: AquaSystem,
+        config: Optional[ServiceConfig] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        degraded_policy: Union[GuardPolicy, bool, None] = False,
+        degraded_system: Optional[AquaSystem] = None,
+        tenant_overrides: Optional[Dict[str, Tuple[float, float]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
+        """Args:
+        system: the primary :class:`AquaSystem` answers come from.
+        config: sizing/policy knobs (defaults: 4 workers, queue of 16).
+        retry: backoff policy for transient faults (default: 3 attempts).
+        breaker: per-table circuit-breaker thresholds.
+        degraded_policy: the guard setting used for degraded answers on
+            the primary system -- ``False`` (default) serves the raw
+            synopsis answer unguarded, i.e. no base-table repair or
+            exact fallback; a :class:`GuardPolicy` customizes.
+        degraded_system: optional cheaper system (e.g. a lower-budget /
+            lower-SP synopsis over the same tables) that degraded
+            requests are routed to instead.
+        tenant_overrides: per-tenant ``(rate, burst)`` rate-limit
+            overrides.
+        clock: injectable monotonic clock shared by deadlines, buckets,
+            and breakers (tests pass a
+            :class:`~repro.serve.deadline.ManualClock`).
+        sleep: injectable sleep for retry backoff.
+        rng: injectable jitter source for retry backoff.
+        """
+        self.system = system
+        self.config = config if config is not None else ServiceConfig()
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker_config = breaker if breaker is not None else BreakerConfig()
+        self._degraded_policy = degraded_policy
+        self._degraded_system = degraded_system
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._limiter = TenantRateLimiter(
+            self.config.tenant_rate,
+            self.config.tenant_burst,
+            overrides=tenant_overrides,
+            clock=self._clock,
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        # Admission slots: _pending counts admitted-but-unfinished requests
+        # under _slots; waiters block on it up to the admission timeout.
+        self._slots = threading.Condition()
+        self._pending = 0
+        self._stats_lock = threading.Lock()
+        self._admitted = 0
+        self._rejected_overload = 0
+        self._rejected_rate_limit = 0
+        self._retries = 0
+        self._outcomes: Dict[str, int] = {}
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="aqua-serve"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting and (by default) wait for in-flight work."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the client API ------------------------------------------------------
+
+    def submit(
+        self,
+        sql: Union[str, Query],
+        *,
+        tenant: str = DEFAULT_TENANT,
+        deadline: Union[Deadline, float, None] = None,
+    ) -> "Future[ServeResult]":
+        """Admit a query and return a future for its :class:`ServeResult`.
+
+        Raises *at submission time* -- the 429 path -- when the tenant's
+        token bucket is empty (:class:`RateLimitExceeded`) or no admission
+        slot frees up within the admission timeout
+        (:class:`OverloadError`).  Execution-time failures (deadline,
+        pipeline errors) surface through the returned future.
+        """
+        if self._closed:
+            raise ServeError("query service is shut down")
+        try:
+            self._limiter.admit(tenant)
+        except RateLimitExceeded:
+            self._note_rejected(OUTCOME_REJECTED_RATE_LIMIT, tenant)
+            raise
+        admitted_depth = self._acquire_slot()
+        if admitted_depth is None:
+            self._note_rejected(OUTCOME_REJECTED_OVERLOAD, tenant)
+            raise OverloadError(
+                f"admission queue is full ({self.config.capacity} slots: "
+                f"{self.config.workers} workers + "
+                f"{self.config.queue_depth} queued); query rejected after "
+                f"{self.config.admission_timeout_seconds:.3f}s",
+                retry_after_seconds=max(
+                    self.config.admission_timeout_seconds, 0.05
+                ),
+            )
+        shed_at = self.config.degrade_queue_fraction
+        request = _Request(
+            sql=sql,
+            tenant=tenant,
+            deadline=self._resolve_deadline(deadline),
+            enqueued=self._clock(),
+            load_shed=(
+                shed_at is not None
+                and admitted_depth >= shed_at * self.config.capacity
+            ),
+        )
+        self._note_admitted(admitted_depth)
+        try:
+            future = self._pool.submit(self._run, request)
+        except RuntimeError:
+            self._release_slot()
+            raise ServeError("query service is shut down") from None
+        future.add_done_callback(lambda _f: self._release_slot())
+        return future
+
+    def query(
+        self,
+        sql: Union[str, Query],
+        *,
+        tenant: str = DEFAULT_TENANT,
+        deadline: Union[Deadline, float, None] = None,
+    ) -> ServeResult:
+        """Blocking convenience wrapper: submit and wait for the answer."""
+        return self.submit(sql, tenant=tenant, deadline=deadline).result()
+
+    # -- admission -----------------------------------------------------------
+
+    def _resolve_deadline(
+        self, deadline: Union[Deadline, float, None]
+    ) -> Optional[Deadline]:
+        if deadline is None:
+            deadline = self.config.default_deadline_seconds
+        return Deadline.resolve(deadline, clock=self._clock)
+
+    def _acquire_slot(self) -> Optional[int]:
+        """Take an admission slot; None when full past the timeout.
+
+        Returns the queue depth *including* this request, which the load-
+        shedding decision keys on.
+        """
+        timeout = self.config.admission_timeout_seconds
+        capacity = self.config.capacity
+        with self._slots:
+            if self._pending < capacity:
+                self._pending += 1
+                return self._pending
+            if timeout <= 0:
+                return None
+            end = time.monotonic() + timeout
+            while self._pending >= capacity:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._slots.wait(remaining)
+            self._pending += 1
+            return self._pending
+
+    def _release_slot(self) -> None:
+        with self._slots:
+            self._pending = max(0, self._pending - 1)
+            depth = self._pending
+            self._slots.notify()
+        metrics = self.system.metrics
+        if metrics.enabled:
+            self._queue_gauge().set(depth)
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet finished (in flight + queued)."""
+        with self._slots:
+            return self._pending
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self, request: _Request) -> ServeResult:
+        tracer = self.system.tracer
+        with tracer.span("serve_request", tenant=request.tenant) as span:
+            queued = self._clock() - request.enqueued
+            self._observe_queue_wait(queued)
+            try:
+                result = self._serve(request, queued, span)
+            except DeadlineExceeded as exc:
+                self._note_outcome(
+                    OUTCOME_DEADLINE, request.tenant, stage=exc.stage
+                )
+                span.set(outcome=OUTCOME_DEADLINE, stage=exc.stage)
+                raise
+            except (SqlError, QueryError, TableNotRegisteredError,
+                    SynopsisMissingError):
+                self._note_outcome(OUTCOME_INVALID, request.tenant)
+                span.set(outcome=OUTCOME_INVALID)
+                raise
+            except CircuitOpenError:
+                self._note_outcome(OUTCOME_BREAKER_OPEN, request.tenant)
+                span.set(outcome=OUTCOME_BREAKER_OPEN)
+                raise
+            except AquaError:
+                self._note_outcome(OUTCOME_ERROR, request.tenant)
+                span.set(outcome=OUTCOME_ERROR)
+                raise
+            outcome = (
+                OUTCOME_DEGRADED
+                if result.degraded
+                else (
+                    OUTCOME_ESCALATED
+                    if result.answer.guard is not None
+                    and result.answer.guard.degraded
+                    else OUTCOME_OK
+                )
+            )
+            self._note_outcome(
+                outcome, request.tenant, seconds=result.served_seconds
+            )
+            span.set(outcome=outcome, attempts=result.attempts)
+            return result
+
+    def _serve(self, request: _Request, queued: float, span) -> ServeResult:
+        if request.deadline is not None:
+            request.deadline.check("queue")
+        query = (
+            parse_query(request.sql)
+            if isinstance(request.sql, str)
+            else request.sql
+        )
+        table = query.base_table_name()
+        breaker = self.breaker(table)
+        degradation: Optional[str] = None
+        if request.load_shed:
+            degradation = "load_shed"
+        elif not breaker.allow_full_service():
+            if not self.config.degrade_on_breaker:
+                raise CircuitOpenError(
+                    f"circuit breaker for table {table!r} is open "
+                    f"({breaker.open_reason}) and degradation is disabled"
+                )
+            degradation = "breaker_open"
+        if degradation is not None:
+            span.set(degradation=degradation)
+            self._note_degraded(degradation, table)
+
+        start = self._clock()
+        attempts = [0]
+
+        def on_retry(_index: int, _error: BaseException) -> None:
+            attempts[0] += 1
+            self._note_retry(table)
+
+        if degradation is None:
+            target, guard = self.system, None
+        elif self._degraded_system is not None:
+            target, guard = self._degraded_system, None
+        else:
+            target, guard = self.system, self._degraded_policy
+
+        try:
+            with deadline_scope(request.deadline):
+                answer = self._retry.call(
+                    lambda: target.answer(query, guard=guard),
+                    deadline=request.deadline,
+                    sleep=self._sleep,
+                    rng=self._rng,
+                    on_retry=on_retry,
+                )
+        except Exception:
+            if degradation is None:
+                breaker.record_failure()
+                self._observe_breaker(table, breaker)
+            raise
+        if degradation is None:
+            if answer.guard is not None and answer.guard.degraded:
+                breaker.record_escalation()
+            else:
+                breaker.record_success()
+        else:
+            answer = self._mark_degraded(answer)
+        self._observe_breaker(table, breaker)
+        return ServeResult(
+            answer=answer,
+            tenant=request.tenant,
+            degraded=degradation is not None,
+            degradation=degradation,
+            attempts=attempts[0] + 1,
+            queued_seconds=queued,
+            served_seconds=self._clock() - start,
+        )
+
+    def _mark_degraded(self, answer: ApproximateAnswer) -> ApproximateAnswer:
+        """Tag every answer group with ``degraded`` provenance.
+
+        A degraded answer skipped the guard ladder, so whatever quality
+        story the provenance column usually tells does not apply; honest
+        provenance is the contract that makes degradation graceful.
+        """
+        result = answer.result
+        tags = [PROVENANCE_DEGRADED] * result.num_rows
+        name = "provenance"
+        if isinstance(self._degraded_policy, GuardPolicy):
+            name = self._degraded_policy.provenance_column
+        if name in result.schema:
+            columns = result.columns()
+            columns[name] = result.schema.column(name).ctype.coerce(tags)
+            result = Table(result.schema, columns)
+        else:
+            result = result.with_column(Column(name, ColumnType.STR), tags)
+        return dataclass_replace(answer, result=result)
+
+    # -- breakers ------------------------------------------------------------
+
+    def breaker(self, table: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker for one table."""
+        with self._breakers_lock:
+            breaker = self._breakers.get(table)
+            if breaker is None:
+                breaker = CircuitBreaker(self._breaker_config, clock=self._clock)
+                self._breakers[table] = breaker
+            return breaker
+
+    # -- stats & metrics -----------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        with self._stats_lock:
+            outcomes = dict(self._outcomes)
+            admitted = self._admitted
+            rejected_overload = self._rejected_overload
+            rejected_rate_limit = self._rejected_rate_limit
+            retries = self._retries
+        with self._breakers_lock:
+            breakers = {
+                table: breaker.state
+                for table, breaker in self._breakers.items()
+            }
+        return ServiceStats(
+            workers=self.config.workers,
+            capacity=self.config.capacity,
+            pending=self.pending,
+            admitted=admitted,
+            rejected_overload=rejected_overload,
+            rejected_rate_limit=rejected_rate_limit,
+            retries=retries,
+            outcomes=outcomes,
+            breakers=breakers,
+            tenants=self._limiter.tenants(),
+        )
+
+    def _queue_gauge(self):
+        return self.system.metrics.gauge(
+            "serve_queue_depth",
+            "Admitted requests in flight or waiting for a worker.",
+        )
+
+    def _note_admitted(self, depth: int) -> None:
+        with self._stats_lock:
+            self._admitted += 1
+        metrics = self.system.metrics
+        if metrics.enabled:
+            self._queue_gauge().set(depth)
+
+    def _note_rejected(self, reason: str, tenant: str) -> None:
+        with self._stats_lock:
+            if reason == OUTCOME_REJECTED_OVERLOAD:
+                self._rejected_overload += 1
+            else:
+                self._rejected_rate_limit += 1
+        metrics = self.system.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "serve_rejected_total",
+                "Queries refused at admission, by reason.",
+                ("reason", "tenant"),
+            ).inc(reason=reason, tenant=tenant)
+
+    def _note_outcome(
+        self,
+        outcome: str,
+        tenant: str,
+        seconds: Optional[float] = None,
+        stage: Optional[str] = None,
+    ) -> None:
+        with self._stats_lock:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+        metrics = self.system.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "serve_requests_total",
+            "Requests that reached a worker, by tenant and outcome.",
+            ("tenant", "outcome"),
+        ).inc(tenant=tenant, outcome=outcome)
+        if seconds is not None:
+            metrics.histogram(
+                "serve_latency_seconds",
+                "Worker-side serve latency (retries included).",
+                ("outcome",),
+            ).observe(seconds, outcome=outcome)
+        if stage is not None:
+            metrics.counter(
+                "serve_deadline_total",
+                "Deadline expiries, by the stage the query died in.",
+                ("stage",),
+            ).inc(stage=str(stage))
+
+    def _note_retry(self, table: str) -> None:
+        with self._stats_lock:
+            self._retries += 1
+        metrics = self.system.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "serve_retries_total",
+                "Transient-fault retries, per table.",
+                ("table",),
+            ).inc(table=table)
+
+    def _note_degraded(self, reason: str, table: str) -> None:
+        metrics = self.system.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "serve_degraded_total",
+                "Requests served through the degradation ladder, by reason.",
+                ("reason", "table"),
+            ).inc(reason=reason, table=table)
+
+    def _observe_queue_wait(self, seconds: float) -> None:
+        metrics = self.system.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "serve_queue_wait_seconds",
+                "Time between admission and a worker picking the query up.",
+            ).observe(seconds)
+
+    def _observe_breaker(self, table: str, breaker: CircuitBreaker) -> None:
+        metrics = self.system.metrics
+        if metrics.enabled:
+            metrics.gauge(
+                "serve_breaker_state",
+                "Circuit-breaker state per table "
+                "(0 closed, 0.5 half-open, 1 open).",
+                ("table",),
+            ).set(_BREAKER_GAUGE[breaker.state], table=table)

@@ -26,21 +26,49 @@ Faults are injected through :meth:`AquaSystem._install` where the mutated
 sample can still be materialized, so the synopsis relations in the catalog
 really reflect the damage; unmaterializable faults (out-of-bounds indices)
 are patched directly onto the installed :class:`~repro.aqua.synopsis.Synopsis`.
+
+The second injector, :class:`ServiceFaultInjector`, targets the *serving*
+path (:mod:`repro.serve`) rather than synopsis contents.  Its faults are
+deterministic by construction -- no wall-clock sleeps, no randomness:
+
+* **gate_queries** -- every ``answer()`` call blocks on a
+  :class:`threading.Event` until the test releases it, polling the active
+  serve deadline while parked.  This saturates a worker pool on demand,
+  making admission-control rejections reproducible.
+* **error_burst** -- the next *N* ``answer()`` calls raise a
+  :class:`~repro.errors.TransientError` (or a caller-supplied exception),
+  exercising the retry policy and circuit breaker with an exact failure
+  count.
+* **slow_scan** -- the synopsis sample relation is replaced with a
+  :class:`SlowScanTable` that charges a :class:`ManualClock` per column
+  read and honors the active deadline, so "this scan takes 50 ms" is a
+  statement about the manual clock, not the machine.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..aqua.system import AquaSystem
-from ..errors import AquaError
+from ..engine.table import Table
+from ..errors import AquaError, TransientError
 from ..sampling.groups import GroupKey
 from ..sampling.stratified import StratifiedSample, Stratum
+from ..serve.deadline import ManualClock, check_deadline
 
-__all__ = ["FAULT_KINDS", "FaultInjector", "InjectedFault", "inject"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "InjectedFault",
+    "ManualClock",
+    "ServiceFaultInjector",
+    "SlowScanTable",
+    "inject",
+]
 
 #: Every fault kind :func:`inject` understands, for parametrized tests.
 FAULT_KINDS = (
@@ -210,6 +238,189 @@ class FaultInjector:
             self.system._install(name, mutated)
         except Exception:
             self.system.synopsis(name).sample = mutated
+
+
+class _SlowScanState:
+    """Shared toll meter for a :class:`SlowScanTable` and its derivatives."""
+
+    __slots__ = ("clock", "cost", "stage", "reads")
+
+    def __init__(self, clock: ManualClock, cost: float, stage: str):
+        self.clock = clock
+        self.cost = cost
+        self.stage = stage
+        self.reads = 0
+
+    def toll(self) -> None:
+        self.reads += 1
+        self.clock.advance(self.cost)
+        check_deadline(self.stage)
+
+
+class SlowScanTable(Table):
+    """A table whose reads cost manual-clock time and honor deadlines.
+
+    Each read -- a :meth:`column` access, or the :meth:`project` /
+    :meth:`filter` a :class:`~repro.plan.logical.Scan` applies -- advances
+    ``clock`` by ``cost_seconds`` and then checks the active serve
+    deadline, so a scan's duration (and whether it dies mid-way) is fully
+    determined by the test, not by machine speed.  ``project``/``filter``
+    results stay slow and share one toll meter, so downstream GROUP BY
+    column reads keep charging the same clock.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        clock: Optional[ManualClock] = None,
+        cost_seconds: float = 0.0,
+        stage: str = "scan",
+        _state: Optional[_SlowScanState] = None,
+    ):
+        super().__init__(table.schema, table.columns())
+        if _state is None:
+            if clock is None:
+                raise ValueError("SlowScanTable needs a clock or shared state")
+            _state = _SlowScanState(clock, float(cost_seconds), stage)
+        self._slow = _state
+
+    @property
+    def reads(self) -> int:
+        return self._slow.reads
+
+    def column(self, name: str) -> np.ndarray:
+        self._slow.toll()
+        return super().column(name)
+
+    def project(self, names) -> "SlowScanTable":
+        self._slow.toll()
+        return SlowScanTable(super().project(names), _state=self._slow)
+
+    def filter(self, mask) -> "SlowScanTable":
+        self._slow.toll()
+        return SlowScanTable(super().filter(mask), _state=self._slow)
+
+
+class ServiceFaultInjector:
+    """Deterministic serving-path faults: gates, error bursts, slow scans.
+
+    Usable as a context manager; :meth:`restore` (or ``__exit__``) releases
+    any gate, clears pending error bursts, and puts original sample
+    relations back in the catalog.
+    """
+
+    def __init__(self, system: AquaSystem):
+        self.system = system
+        self._lock = threading.Lock()
+        self._original_answer: Optional[Callable] = None
+        self._gate: Optional[threading.Event] = None
+        self._burst_remaining = 0
+        self._burst_factory: Callable[[], Exception] = lambda: TransientError(
+            "injected transient fault"
+        )
+        self._slow_tables: Dict[str, Table] = {}
+
+    # -- fault constructors --------------------------------------------------
+
+    def gate_queries(self) -> threading.Event:
+        """Block every ``answer()`` call until the returned event is set.
+
+        Parked calls poll the event in short waits and check the active
+        serve deadline between polls, so a gated query under a deadline
+        dies with a typed :class:`~repro.errors.DeadlineExceeded` (stage
+        ``"gated"``) instead of hanging the worker forever.
+        """
+        gate = threading.Event()
+        self._gate = gate
+        self._wrap_answer()
+        return gate
+
+    def release(self) -> None:
+        """Open the gate (if any), letting parked queries proceed."""
+        if self._gate is not None:
+            self._gate.set()
+
+    def error_burst(
+        self, count: int = 1, factory: Optional[Callable[[], Exception]] = None
+    ) -> None:
+        """Make the next ``count`` ``answer()`` calls raise.
+
+        The default exception is a retryable
+        :class:`~repro.errors.TransientError`; pass ``factory`` to raise
+        something else (e.g. a non-retryable error to trip the breaker).
+        """
+        with self._lock:
+            self._burst_remaining += count
+            if factory is not None:
+                self._burst_factory = factory
+        self._wrap_answer()
+
+    def slow_scan(
+        self,
+        name: str,
+        cost_seconds: float,
+        clock: ManualClock,
+        stage: str = "scan",
+    ) -> SlowScanTable:
+        """Replace ``name``'s sample relation with a :class:`SlowScanTable`.
+
+        Every column read during a synopsis scan then advances ``clock`` by
+        ``cost_seconds`` and checks the active deadline.  Returns the
+        instrumented table (its ``reads`` counter is useful in assertions).
+        """
+        synopsis = self.system.synopsis(name)
+        sample_name = synopsis.installed.sample_name
+        original = self.system.catalog.get(sample_name)
+        slow = SlowScanTable(original, clock, cost_seconds, stage)
+        self.system.catalog.register(sample_name, slow, replace=True)
+        self._slow_tables.setdefault(sample_name, original)
+        return slow
+
+    # -- teardown ------------------------------------------------------------
+
+    def restore(self) -> None:
+        """Undo every injected fault and release any parked queries."""
+        if self._original_answer is not None:
+            self.system.__dict__.pop("answer", None)
+            self._original_answer = None
+        if self._gate is not None:
+            self._gate.set()
+            self._gate = None
+        with self._lock:
+            self._burst_remaining = 0
+        for sample_name, original in self._slow_tables.items():
+            self.system.catalog.register(sample_name, original, replace=True)
+        self._slow_tables.clear()
+
+    def __enter__(self) -> "ServiceFaultInjector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.restore()
+        return False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _wrap_answer(self) -> None:
+        """Shadow ``system.answer`` with the gate/burst front door (once)."""
+        if self._original_answer is not None:
+            return
+        original = self.system.answer
+        self._original_answer = original
+        injector = self
+
+        def answer(*args, **kwargs):
+            gate = injector._gate
+            if gate is not None:
+                while not gate.wait(0.005):
+                    check_deadline("gated")
+            with injector._lock:
+                if injector._burst_remaining > 0:
+                    injector._burst_remaining -= 1
+                    raise injector._burst_factory()
+            return original(*args, **kwargs)
+
+        self.system.answer = answer
 
 
 def inject(system: AquaSystem, kind: str, table: str) -> InjectedFault:

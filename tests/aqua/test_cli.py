@@ -307,3 +307,37 @@ class TestParallelAndCacheCommands:
             csv=None, table=None, grouping=None, budget=100, workers=2,
         ))
         assert aqua.parallel_config.workers == 2
+
+
+class TestServeCommand:
+    def test_serve_off_by_default(self, shell):
+        sh, out = shell
+        sh.execute_line(".serve")
+        assert "serving: off" in out.getvalue()
+
+    def test_serve_sql_requires_service(self, shell):
+        sh, out = shell
+        sh.execute_line(".serve select a, sum(q) s from rel group by a")
+        assert "serving is off" in out.getvalue()
+
+    def test_serve_on_query_stats_off(self, shell):
+        sh, out = shell
+        sh.execute_line(".serve on 2")
+        assert "serving: on (2 workers" in out.getvalue()
+        sh.execute_line(".serve select a, sum(q) s from rel group by a")
+        assert "[served: full" in out.getvalue()
+        sh.execute_line(".serve")
+        assert "admitted 1" in out.getvalue()
+        sh.execute_line(".serve off")
+        assert sh._service is None
+
+    def test_serve_usage_on_bad_workers(self, shell):
+        sh, out = shell
+        sh.execute_line(".serve on many")
+        assert "usage: .serve" in out.getvalue()
+
+    def test_close_shuts_service_down(self, shell):
+        sh, out = shell
+        sh.execute_line(".serve on 1")
+        sh.close()
+        assert sh._service is None

@@ -1,0 +1,139 @@
+"""Circuit-breaker state machine: failures, escalations, cooldown probes."""
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.serve.deadline import ManualClock
+
+
+def _breaker(clock=None, **kwargs):
+    defaults = dict(
+        failure_threshold=3,
+        escalation_threshold=2,
+        cooldown_seconds=10.0,
+        half_open_probes=1,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(
+        BreakerConfig(**defaults), clock=clock or ManualClock()
+    )
+
+
+class TestOpening:
+    def test_starts_closed_and_allows(self):
+        breaker = _breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow_full_service()
+        assert breaker.open_reason == ""
+
+    def test_consecutive_failures_open(self):
+        breaker = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow_full_service()
+        assert "3 consecutive failures" in breaker.open_reason
+
+    def test_success_resets_failure_streak(self):
+        breaker = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_consecutive_escalations_open(self):
+        breaker = _breaker()
+        breaker.record_escalation()
+        assert breaker.state == CLOSED
+        breaker.record_escalation()
+        assert breaker.state == OPEN
+        assert "escalation" in breaker.open_reason
+
+    def test_failures_and_escalations_are_separate_streaks(self):
+        breaker = _breaker()
+        breaker.record_failure()
+        breaker.record_escalation()  # resets the failure streak
+        breaker.record_failure()  # resets the escalation streak
+        breaker.record_escalation()
+        assert breaker.state == CLOSED
+
+    def test_zero_threshold_disables_signal(self):
+        breaker = _breaker(failure_threshold=0)
+        for _ in range(20):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def test_cooldown_half_opens(self):
+        clock = ManualClock()
+        breaker = _breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = ManualClock()
+        breaker = _breaker(clock=clock, half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow_full_service()
+        assert breaker.allow_full_service()
+        assert not breaker.allow_full_service()  # probe budget spent
+
+    def test_probe_success_closes(self):
+        clock = ManualClock()
+        breaker = _breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow_full_service()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.open_reason == ""
+
+    def test_probe_failure_reopens(self):
+        clock = ManualClock()
+        breaker = _breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow_full_service()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.open_reason == "probe failed"
+
+    def test_probe_escalation_reopens(self):
+        clock = ManualClock()
+        breaker = _breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow_full_service()
+        breaker.record_escalation()
+        assert breaker.state == OPEN
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=-1)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_seconds=-1.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(half_open_probes=0)

@@ -1,0 +1,110 @@
+"""Deadline primitives: manual clock, expiry, context propagation."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.serve.deadline import (
+    Deadline,
+    ManualClock,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock() == 1.5
+
+    def test_never_moves_backward(self):
+        clock = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock() == 10.0
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = ManualClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.remaining == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining == pytest.approx(0.0)
+
+    def test_check_raises_typed_error_with_stage(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("scan")  # not expired: no-op
+        clock.advance(3.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("scan")
+        assert excinfo.value.stage == "scan"
+        assert excinfo.value.elapsed_seconds == pytest.approx(3.0)
+
+    def test_zero_deadline_is_born_expired(self):
+        deadline = Deadline(0.0, clock=ManualClock())
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("queue")
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_resolve(self):
+        clock = ManualClock()
+        assert Deadline.resolve(None) is None
+        existing = Deadline(1.0, clock=clock)
+        assert Deadline.resolve(existing) is existing
+        resolved = Deadline.resolve(2.5, clock=clock)
+        assert resolved.seconds == 2.5
+        with pytest.raises(TypeError):
+            Deadline.resolve(True)
+        with pytest.raises(TypeError):
+            Deadline.resolve("3")
+
+
+class TestDeadlineScope:
+    def test_scope_installs_and_restores(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert current_deadline() is None
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_no_op(self):
+        with deadline_scope(None):
+            assert current_deadline() is None
+            check_deadline("anywhere")  # must not raise
+
+    def test_inner_scope_wins(self):
+        clock = ManualClock()
+        outer = Deadline(10.0, clock=clock)
+        inner = Deadline(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_check_deadline_raises_through_scope(self):
+        clock = ManualClock()
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                check_deadline("partition_scan")
+        assert excinfo.value.stage == "partition_scan"
+
+    def test_scope_restored_after_exception(self):
+        clock = ManualClock()
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(1.0, clock=clock)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None

@@ -1,0 +1,102 @@
+"""Token-bucket rate limiting: refill math, tenant isolation, typed errors."""
+
+import pytest
+
+from repro.errors import RateLimitExceeded
+from repro.serve.deadline import ManualClock
+from repro.serve.limiter import TenantRateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=ManualClock())
+        assert [bucket.try_acquire() for _ in range(3)] == [True] * 3
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_retry_after(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=ManualClock())
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestTenantRateLimiter:
+    def test_disabled_by_default(self):
+        limiter = TenantRateLimiter(clock=ManualClock())
+        assert not limiter.enabled
+        for _ in range(100):
+            limiter.admit("anyone")  # never raises
+
+    def test_enforces_default_limits(self):
+        limiter = TenantRateLimiter(rate=1.0, burst=2.0, clock=ManualClock())
+        limiter.admit("alice")
+        limiter.admit("alice")
+        with pytest.raises(RateLimitExceeded) as excinfo:
+            limiter.admit("alice")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.retry_after_seconds == pytest.approx(1.0)
+
+    def test_tenants_do_not_share_buckets(self):
+        limiter = TenantRateLimiter(rate=1.0, burst=1.0, clock=ManualClock())
+        limiter.admit("alice")
+        limiter.admit("bob")  # bob's own bucket is still full
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit("alice")
+
+    def test_overrides_beat_default(self):
+        clock = ManualClock()
+        limiter = TenantRateLimiter(
+            rate=1.0,
+            burst=1.0,
+            overrides={"vip": (100.0, 5.0)},
+            clock=clock,
+        )
+        for _ in range(5):
+            limiter.admit("vip")
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit("vip")
+        limiter.admit("alice")  # default burst of 1
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit("alice")
+
+    def test_refill_readmits(self):
+        clock = ManualClock()
+        limiter = TenantRateLimiter(rate=1.0, burst=1.0, clock=clock)
+        limiter.admit("alice")
+        with pytest.raises(RateLimitExceeded):
+            limiter.admit("alice")
+        clock.advance(1.0)
+        limiter.admit("alice")
+
+    def test_tenant_balances_reported(self):
+        limiter = TenantRateLimiter(rate=1.0, burst=3.0, clock=ManualClock())
+        limiter.admit("alice")
+        balances = limiter.tenants()
+        assert balances["alice"] == pytest.approx(2.0)

@@ -1,0 +1,142 @@
+"""Retry policy: backoff math, retryability, deadline-aware sleeps."""
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceeded, TransientError
+from repro.serve.deadline import Deadline, ManualClock
+from repro.serve.retry import RetryPolicy
+
+
+def _flaky(failures, error=TransientError):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise error(f"fault {calls['n']}")
+        return "ok"
+
+    fn.calls = calls
+    return fn
+
+
+class TestCall:
+    def test_success_first_try(self):
+        sleeps = []
+        assert (
+            RetryPolicy().call(lambda: "ok", sleep=sleeps.append) == "ok"
+        )
+        assert sleeps == []
+
+    def test_retries_transient_then_succeeds(self):
+        fn = _flaky(2)
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        assert policy.call(fn, sleep=sleeps.append) == "ok"
+        assert fn.calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = _flaky(1, error=ValueError)
+        with pytest.raises(ValueError):
+            RetryPolicy().call(fn, sleep=lambda _s: None)
+        assert fn.calls["n"] == 1
+
+    def test_exhausted_attempts_raise_last_error(self):
+        fn = _flaky(10)
+        with pytest.raises(TransientError, match="fault 3"):
+            RetryPolicy(max_attempts=3).call(fn, sleep=lambda _s: None)
+        assert fn.calls["n"] == 3
+
+    def test_on_retry_sees_each_backoff(self):
+        fn = _flaky(2)
+        seen = []
+        RetryPolicy(max_attempts=3).call(
+            fn,
+            sleep=lambda _s: None,
+            on_retry=lambda index, error: seen.append((index, str(error))),
+        )
+        assert [index for index, _ in seen] == [0, 1]
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.0
+        )
+        assert [policy.delay(i) for i in range(5)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8, 1.0]  # capped at max_delay
+        )
+
+    def test_full_jitter_stays_in_range(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0)
+        rng = random.Random(7)
+        for i in range(6):
+            raw = min(1.0, 0.1 * 2.0**i)
+            for _ in range(50):
+                assert 0.0 <= policy.delay(i, rng=rng) <= raw
+
+    def test_partial_jitter_has_a_floor(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=1.0, max_delay=1.0, jitter=0.5
+        )
+        rng = random.Random(7)
+        for _ in range(50):
+            assert 0.05 <= policy.delay(0, rng=rng) <= 0.1
+
+    def test_seeded_rng_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1)
+        a = [policy.delay(i, rng=random.Random(3)) for i in range(3)]
+        b = [policy.delay(i, rng=random.Random(3)) for i in range(3)]
+        assert a == b
+
+
+class TestDeadlineInteraction:
+    def test_sleep_clamped_to_remaining_budget(self):
+        clock = ManualClock()
+        deadline = Deadline(0.05, clock=clock)
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=10.0, max_delay=10.0, jitter=0.0
+        )
+        policy.call(
+            _flaky(1), deadline=deadline, sleep=sleeps.append
+        )
+        assert sleeps == [pytest.approx(0.05)]
+
+    def test_expired_budget_reraises_without_sleeping(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        sleeps = []
+        fn = _flaky(10)
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        clock.advance(2.0)  # budget already gone
+        with pytest.raises(TransientError, match="fault 1"):
+            RetryPolicy(max_attempts=5).call(
+                fn, deadline=deadline, sleep=sleep
+            )
+        assert fn.calls["n"] == 1
+        assert sleeps == []
+
+    def test_deadline_error_is_not_retried(self):
+        fn = _flaky(1, error=DeadlineExceeded)
+        with pytest.raises(DeadlineExceeded):
+            RetryPolicy().call(fn, sleep=lambda _s: None)
+        assert fn.calls["n"] == 1
+
+
+class TestValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
