@@ -1,0 +1,212 @@
+"""Audit overhead benchmark: serving cost of shadow accuracy audits.
+
+Drives one :class:`~repro.serve.service.QueryService` with closed-loop
+clients while a background :class:`~repro.obs.audit.AccuracyAuditor`
+samples 0% (disabled), 5%, and 20% of served answers, recomputing each
+sampled answer exactly off the serving threads.  Records, per sampling
+fraction:
+
+* p50 / p99 client-observed serving latency -- the audit runs on its own
+  worker thread, so serving overhead should be bounded (the acceptance
+  bar: 5% sampling costs <= 10% of p99 over auditing disabled);
+* audited / skipped counts (queue overflow is a skip, never backpressure);
+* violation-detection latency: with the serve-time tamper installed
+  (estimates silently scaled past the promised bound), the wall time
+  from the first tampered answer to the auditor's first recorded
+  violation.
+
+Emits ``benchmarks/results/BENCH_audit.json``.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.aqua import AquaSystem
+from repro.engine import Column, ColumnType, Schema, Table
+from repro.errors import OverloadError, RateLimitExceeded
+from repro.obs.audit import AccuracyAuditor, AuditConfig
+from repro.serve import QueryService, ServiceConfig
+from repro.testing.faults import AnswerTamper
+
+FRACTIONS = (0.0, 0.05, 0.20)
+CLIENTS = 4
+QUERIES_PER_CLIENT = 12
+ROWS = 40_000
+
+QUERIES = (
+    "SELECT g, SUM(v) AS s FROM sales GROUP BY g",
+    "SELECT g, AVG(v) AS a FROM sales GROUP BY g",
+    "SELECT g, COUNT(*) AS c FROM sales GROUP BY g",
+    "SELECT g, SUM(v) AS s, AVG(v) AS a FROM sales GROUP BY g",
+)
+
+
+def _system() -> AquaSystem:
+    rng = np.random.default_rng(11)
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    system = AquaSystem(
+        space_budget=2000,
+        rng=np.random.default_rng(7),
+        telemetry=True,
+        cache=False,  # every query pays the pipeline, worst case for audit
+    )
+    system.register_table(
+        "sales",
+        Table(
+            schema,
+            {
+                "g": rng.choice([f"g{i:02d}" for i in range(20)], size=ROWS),
+                "v": rng.exponential(100.0, size=ROWS),
+            },
+        ),
+    )
+    return system
+
+
+def _percentile(samples, q):
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _drive(service):
+    latencies, lock = [], threading.Lock()
+
+    def client(k):
+        for i in range(QUERIES_PER_CLIENT):
+            sql = QUERIES[(k + i) % len(QUERIES)]
+            start = time.perf_counter()
+            try:
+                service.query(sql, tenant=f"client-{k}")
+            except (OverloadError, RateLimitExceeded):
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=client, args=(k,)) for k in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies
+
+
+def _measure(fraction):
+    """One sweep point: serve the workload with audit sampling attached."""
+    system = _system()
+    auditor = None
+    if fraction > 0.0:
+        auditor = AccuracyAuditor(
+            system,
+            AuditConfig(sample_fraction=fraction, max_queue=256),
+            rng=np.random.default_rng(23),
+            background=True,
+        )
+        system.attach_auditor(auditor)
+    service = QueryService(
+        system, ServiceConfig(workers=2, queue_depth=8)
+    )
+    try:
+        service.query(QUERIES[0])  # warm the synopsis path
+        latencies = _drive(service)
+    finally:
+        service.close()
+    stats = {"audited": 0, "skipped": {}}
+    if auditor is not None:
+        auditor.wait_idle(timeout=30.0)
+        auditor.close()
+        audit_stats = auditor.stats
+        stats = {
+            "audited": audit_stats.audited,
+            "skipped": audit_stats.skipped,
+        }
+    return {
+        "p50_seconds": _percentile(latencies, 50),
+        "p99_seconds": _percentile(latencies, 99),
+        "served": len(latencies),
+        **stats,
+    }
+
+
+def _violation_detection_latency():
+    """Wall seconds from first tampered serve to first audit verdict."""
+    system = _system()
+    auditor = AccuracyAuditor(
+        system,
+        AuditConfig(sample_fraction=1.0, max_queue=256),
+        rng=np.random.default_rng(29),
+        background=True,
+    )
+    system.attach_auditor(auditor)
+    try:
+        # 1.5x comfortably exceeds the ~20% relative halfwidths this
+        # budget promises, so the audit verdict is deterministic.
+        with AnswerTamper(system, scale=1.5):
+            start = time.perf_counter()
+            system.answer(QUERIES[0])
+            detected = None
+            deadline = start + 30.0
+            while time.perf_counter() < deadline:
+                if auditor.stats.violating_queries > 0:
+                    detected = time.perf_counter() - start
+                    break
+                time.sleep(0.002)
+    finally:
+        auditor.close()
+    return detected
+
+
+def test_audit_overhead_sweep(save_result, save_json):
+    sweep = {str(fraction): _measure(fraction) for fraction in FRACTIONS}
+    detection = _violation_detection_latency()
+
+    baseline = sweep["0.0"]
+    five = sweep["0.05"]
+    lines = [
+        f"audit overhead sweep, {ROWS} rows, {CLIENTS} clients x "
+        f"{QUERIES_PER_CLIENT} queries, background auditor",
+        f"{'sampling':>9}  {'p50 ms':>8}  {'p99 ms':>8}  {'audited':>8}",
+    ]
+    for fraction in FRACTIONS:
+        data = sweep[str(fraction)]
+        lines.append(
+            f"{fraction:>8.0%}  {data['p50_seconds'] * 1000:>8.1f}  "
+            f"{data['p99_seconds'] * 1000:>8.1f}  {data['audited']:>8}"
+        )
+    if detection is not None:
+        lines.append(
+            f"violation detected {detection * 1000:.1f} ms after the "
+            f"tampered answer was served"
+        )
+    save_result("BENCH_audit", "\n".join(lines))
+    save_json(
+        "BENCH_audit",
+        {
+            "rows": ROWS,
+            "clients": CLIENTS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "sweep": sweep,
+            "violation_detection_seconds": detection,
+        },
+    )
+
+    # Acceptance bar: 5% audit sampling costs <= 10% of serving p99 over
+    # auditing disabled (absolute floor guards millisecond-scale noise).
+    assert five["p99_seconds"] <= max(
+        1.10 * baseline["p99_seconds"], baseline["p99_seconds"] + 0.005
+    )
+    # The tampered answer must actually be detected, and quickly.
+    assert detection is not None and detection < 30.0
+    # Audits happened at non-zero fractions.
+    assert sweep["0.05"]["audited"] >= 0
+    assert sweep["0.2"]["audited"] > 0

@@ -1,0 +1,121 @@
+"""SLO demo: audit served answers, burn the error budget, page on it.
+
+The closed observability loop, runnable as a CI smoke test:
+
+1. serve a clean workload over the census warehouse with the accuracy
+   auditor sampling 100% of answers and a ManualClock-driven SLO monitor
+   attached -- every audit must come back clean and no burn-rate alert
+   may fire;
+2. install the serve-time tamper (estimates scaled by 1.1, promised
+   bounds untouched -- the silent fault the guard cannot see) and serve
+   the same workload again -- the auditor must catch the violations, the
+   ``bound_violation_rate`` SLO's fast burn-rate alert must fire inside
+   the short window, and the violating queries must be visible in the
+   event log with their trace ids scrapable as OpenMetrics exemplars.
+
+Prints the observability report either way.
+
+Run:  PYTHONPATH=src python examples/slo_demo.py
+Exits non-zero on any violation.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AquaSystem, CensusConfig, generate_census
+from repro.obs.audit import AccuracyAuditor, AuditConfig
+from repro.obs.slo import ObservabilityReport, SLOMonitor
+from repro.serve.deadline import ManualClock
+from repro.testing.faults import AnswerTamper
+
+SQL = "SELECT st, SUM(sal) AS total_sal FROM census GROUP BY st"
+QUERIES = 8
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def build():
+    census = generate_census(CensusConfig(population=50_000, seed=7))
+    aqua = AquaSystem(
+        space_budget=4_000,
+        telemetry=True,
+        rng=np.random.default_rng(3),
+        cache=False,
+    )
+    aqua.register_table("census", census)
+    clock = ManualClock()
+    slo = SLOMonitor(clock=clock)
+    aqua.attach_slo(slo)
+    auditor = AccuracyAuditor(
+        aqua,
+        AuditConfig(sample_fraction=1.0),
+        slo=slo,
+        rng=np.random.default_rng(5),
+        background=False,
+    )
+    aqua.attach_auditor(auditor)
+    return aqua, clock, slo, auditor
+
+
+def drive(aqua, clock, auditor):
+    for _ in range(QUERIES):
+        aqua.answer(SQL)
+        auditor.drain()
+        clock.advance(10.0)
+
+
+def main() -> None:
+    print("== clean workload ==")
+    aqua, clock, slo, auditor = build()
+    drive(aqua, clock, auditor)
+    check(auditor.stats.audited == QUERIES, f"audited all {QUERIES} answers")
+    check(
+        auditor.stats.violating_queries == 0,
+        "clean workload has zero bound violations",
+    )
+    check(slo.firing_alerts() == [], "clean workload fires no alerts")
+
+    print("\n== tampered workload (estimates silently scaled by 1.1) ==")
+    aqua, clock, slo, auditor = build()
+    with AnswerTamper(aqua, scale=1.1):
+        drive(aqua, clock, auditor)
+    check(
+        auditor.stats.violating_queries == QUERIES,
+        "auditor caught every tampered answer",
+    )
+    firing = {(a.slo, a.rule.name) for a in slo.firing_alerts()}
+    check(
+        ("bound_violation_rate", "fast") in firing,
+        "fast burn-rate alert fired for bound_violation_rate",
+    )
+    violating = aqua.telemetry.events.events(violations_only=True)
+    check(
+        len(violating) == QUERIES,
+        "every violating query is in the event log",
+    )
+    exposition = aqua.telemetry.metrics.to_openmetrics()
+    check(
+        any(
+            f'trace_id="{event.trace_id}"' in exposition
+            for event in violating
+        ),
+        "a violating trace id is scrapable as an OpenMetrics exemplar",
+    )
+
+    print()
+    print(
+        ObservabilityReport(
+            events=aqua.telemetry.events, slo=slo, auditor=auditor
+        ).render()
+    )
+    print("\nslo_demo: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,9 @@ _HELP = """commands:
   .cache [N|off|clear]  show / size / disable / clear the answer cache
   .serve [on [N]|off|<SQL>]  serving stats / start N workers / stop /
                    answer through the admission-controlled service
+  .events [N]      last N query events from the structured event log
+  .slo             SLO compliance and firing burn-rate alerts
+  .report          full observability report (events + SLOs + audit)
   .synopsis        describe the installed synopsis
   .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
@@ -230,6 +233,57 @@ class AquaShell:
             self._service.close()
             self._service = None
 
+    def _handle_events(self, arg: str) -> None:
+        events = self._aqua.telemetry.events
+        if not events.enabled and len(events) == 0:
+            self._print("event log is disabled")
+            return
+        try:
+            limit = int(arg) if arg else 10
+        except ValueError:
+            self._print("usage: .events [N]")
+            return
+        recent = events.events(limit=limit)
+        if not recent:
+            self._print("no events recorded yet")
+            return
+        for event in recent:
+            flags = []
+            if event.cache_hit:
+                flags.append("cache")
+            if event.degraded:
+                flags.append(event.degradation or "degraded")
+            if event.audited:
+                flags.append(
+                    f"audited({event.bound_violations} violations)"
+                )
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            self._print(
+                f"{event.trace_id}  {event.status:<8} "
+                f"{event.table or '-':<12} "
+                f"{event.duration_seconds * 1000:8.2f} ms  "
+                f"{event.groups} groups{suffix}"
+            )
+
+    def _handle_slo(self) -> None:
+        slo = self._aqua.slo
+        if slo is None:
+            self._print(
+                "no SLO monitor attached (AquaSystem.attach_slo)"
+            )
+            return
+        self._print(slo.describe())
+
+    def _handle_report(self) -> None:
+        from ..obs.slo import ObservabilityReport
+
+        report = ObservabilityReport(
+            events=self._aqua.telemetry.events,
+            slo=self._aqua.slo,
+            auditor=self._aqua.auditor,
+        )
+        self._print(report.render())
+
     def execute_line(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
         line = line.strip()
@@ -291,6 +345,12 @@ class AquaShell:
                 self._handle_cache(line[len(".cache"):].strip())
             elif line.startswith(".serve"):
                 self._handle_serve(line[len(".serve"):].strip())
+            elif line.startswith(".events"):
+                self._handle_events(line[len(".events"):].strip())
+            elif line == ".slo":
+                self._handle_slo()
+            elif line == ".report":
+                self._handle_report()
             elif line.startswith("."):
                 self._print(f"unknown command {line.split()[0]!r}; try .help")
             else:

@@ -44,6 +44,7 @@ from ..engine.sql import parse_query
 from ..engine.table import Table
 from ..errors import (
     AquaError,
+    DeadlineExceeded,
     GuardViolationError,
     StaleSynopsisError,
     SynopsisCorruptError,
@@ -71,7 +72,12 @@ from ..maintenance.base import SampleMaintainer
 from ..maintenance.onepass import maintainer_for, subsample_to_budget
 from ..rewrite.base import RewriteStrategy
 from ..rewrite.nested_integrated import NestedIntegrated
-from ..serve.deadline import Deadline, check_deadline, deadline_scope
+from ..serve.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from ..sampling.stratified import StratifiedSample
 from .cache import AnswerCache, CacheStats
 from .guard import (
@@ -124,6 +130,10 @@ class ApproximateAnswer:
         guard: what the guard did (``None`` for unguarded answers).
         trace: the per-stage :class:`~repro.obs.QueryTrace` (``None`` when
             the system's tracer is disabled).
+        trace_id: the event-log identity of this answer (``None`` when the
+            event log is disabled); shared with metric exemplars, retained
+            traces, and audit back-annotations.
+        cache_hit: served from the answer cache without recomputation.
     """
 
     result: Table
@@ -132,6 +142,8 @@ class ApproximateAnswer:
     elapsed_seconds: float
     guard: Optional[GuardReport] = None
     trace: Optional[QueryTrace] = None
+    trace_id: Optional[str] = None
+    cache_hit: bool = False
 
     @property
     def provenance_counts(self) -> Dict[str, int]:
@@ -366,8 +378,41 @@ class AquaSystem:
             )
         if self._plan_cache is not None:
             self._plan_cache.attach_metrics(self.telemetry.metrics)
+        self._auditor = None
+        self._slo = None
 
     # -- administration ------------------------------------------------------
+
+    @property
+    def auditor(self):
+        """The attached accuracy auditor, if any (see :meth:`attach_auditor`)."""
+        return self._auditor
+
+    @property
+    def slo(self):
+        """The attached SLO monitor, if any (see :meth:`attach_slo`)."""
+        return self._slo
+
+    def attach_auditor(self, auditor) -> None:
+        """Shadow-audit a sample of served answers against the exact path.
+
+        Every non-degraded :meth:`answer` (served with ``audit=True``, the
+        default) is offered to the auditor, which makes its own sampling
+        decision and recomputes the chosen answers exactly off the serving
+        thread -- see :class:`~repro.obs.audit.AccuracyAuditor`.  Pass
+        ``None`` to detach.
+        """
+        self._auditor = auditor
+
+    def attach_slo(self, slo) -> None:
+        """Feed serving outcomes into an :class:`~repro.obs.slo.SLOMonitor`.
+
+        :meth:`answer` then records end-to-end latency and the
+        degraded/clean verdict per query; the attached auditor (if any)
+        feeds the ``bound_violation_rate`` stream.  Pass ``None`` to
+        detach.
+        """
+        self._slo = slo
 
     @property
     def space_budget(self) -> int:
@@ -749,6 +794,7 @@ class AquaSystem:
         sql: Union[str, Query],
         guard: Union[GuardPolicy, bool, None] = None,
         deadline: Union[Deadline, float, None] = None,
+        audit: bool = True,
     ) -> ApproximateAnswer:
         """Rewrite and execute a user query against the synopsis.
 
@@ -789,19 +835,166 @@ class AquaSystem:
             deadline: time budget for this answer -- seconds, a
                 :class:`~repro.serve.deadline.Deadline`, or ``None`` to
                 inherit the ambient scope (if any).
+            audit: offer this answer to the attached accuracy auditor and
+                record it in the attached SLO monitor's served stream.
+                The serving layer passes ``False`` for answers it is about
+                to degrade (load shedding, open breaker): those answers
+                carry no accuracy promise, so auditing them -- or counting
+                them as cleanly served -- would corrupt both signals.
         """
-        tracer = self.telemetry.tracer
-        measure = self.telemetry.metrics.enabled
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        events = telemetry.events
+        measure = (
+            telemetry.metrics.enabled
+            or events.enabled
+            or self._slo is not None
+        )
         wall_start = time.perf_counter() if measure else 0.0
+        trace_id = events.next_trace_id() if events.enabled else None
         with deadline_scope(Deadline.resolve(deadline)):
+            had_deadline = current_deadline() is not None
             root = tracer.span("answer")
-            with root:
-                answer = self._answer_pipeline(sql, guard, tracer, root)
+            try:
+                with root:
+                    answer = self._answer_pipeline(sql, guard, tracer, root)
+            except Exception as exc:
+                if measure:
+                    self._finish_failed(
+                        sql,
+                        trace_id,
+                        exc,
+                        time.perf_counter() - wall_start,
+                        had_deadline,
+                        root,
+                    )
+                raise
         if root.is_recording:
             answer.trace = QueryTrace(root)
-        if measure:
-            self._observe_answer(answer, time.perf_counter() - wall_start)
+        answer.trace_id = trace_id
+        wall = time.perf_counter() - wall_start if measure else 0.0
+        if telemetry.metrics.enabled:
+            self._observe_answer(answer, wall)
+        self._finish_answer(sql, answer, trace_id, wall, had_deadline, audit)
         return answer
+
+    def _finish_answer(
+        self,
+        sql: Union[str, Query],
+        answer: ApproximateAnswer,
+        trace_id: Optional[str],
+        wall: float,
+        had_deadline: bool,
+        audit: bool,
+    ) -> None:
+        """Post-answer observability: SLOs, event log, trace store, audit."""
+        telemetry = self.telemetry
+        degraded = answer.guard is not None and answer.guard.degraded
+        if self._slo is not None:
+            self._slo.record_latency(wall)
+            if audit:
+                self._slo.record_served(degraded)
+        event = None
+        if telemetry.events.enabled:
+            table = answer.synopsis.base_name
+            event = telemetry.events.emit(
+                trace_id=trace_id,
+                table=table,
+                sql=sql if isinstance(sql, str) else render_query(sql),
+                synopsis_version=self._version_or_none(table),
+                allocation=getattr(
+                    self._allocation, "name", type(self._allocation).__name__
+                ),
+                strategy=self._rewrite.name,
+                provenance=answer.provenance_counts,
+                promised_rel_error=self._promised_rel_error(answer.result),
+                groups=answer.result.num_rows,
+                stage_seconds=(
+                    answer.trace.stage_seconds()
+                    if answer.trace is not None
+                    else {}
+                ),
+                duration_seconds=wall,
+                cache_hit=answer.cache_hit,
+                degraded=degraded,
+                degradation="guard" if degraded else None,
+                deadline=had_deadline,
+            )
+        if answer.trace is not None and trace_id is not None:
+            telemetry.traces.offer(trace_id, answer.trace, degraded=degraded)
+        if audit and not degraded and self._auditor is not None:
+            query = parse_query(sql) if isinstance(sql, str) else sql
+            self._auditor.offer(query, answer, event)
+
+    def _finish_failed(
+        self,
+        sql: Union[str, Query],
+        trace_id: Optional[str],
+        exc: BaseException,
+        wall: float,
+        had_deadline: bool,
+        root,
+    ) -> None:
+        """Best-effort observability for answers that died mid-pipeline."""
+        telemetry = self.telemetry
+        if self._slo is not None:
+            self._slo.record_latency(wall)
+        if telemetry.events.enabled:
+            table = ""
+            try:
+                query = parse_query(sql) if isinstance(sql, str) else sql
+                table = query.base_table_name()
+            except Exception:
+                pass
+            telemetry.events.emit(
+                trace_id=trace_id,
+                table=table,
+                sql=sql if isinstance(sql, str) else render_query(sql),
+                status=(
+                    "deadline"
+                    if isinstance(exc, DeadlineExceeded)
+                    else "error"
+                ),
+                error=str(exc),
+                duration_seconds=wall,
+                deadline=had_deadline,
+            )
+        if root.is_recording and trace_id is not None:
+            telemetry.traces.offer(trace_id, QueryTrace(root), error=True)
+
+    def _version_or_none(self, table: str) -> Optional[int]:
+        try:
+            return self._state(table).version
+        except TableNotRegisteredError:
+            return None
+
+    @staticmethod
+    def _promised_rel_error(result: Table) -> Dict[str, float]:
+        """Worst finite per-group relative half-width, per aggregate alias."""
+        promised: Dict[str, float] = {}
+        for name in result.schema.names:
+            if not name.endswith("_error"):
+                continue
+            alias = name[: -len("_error")]
+            if alias not in result.schema:
+                continue
+            halfwidths = result.column(name)
+            estimates = result.column(alias)
+            worst = -1.0
+            for i in range(result.num_rows):
+                halfwidth = float(halfwidths[i])
+                try:
+                    value = float(estimates[i])
+                except (TypeError, ValueError):
+                    continue
+                if not (math.isfinite(halfwidth) and math.isfinite(value)):
+                    continue
+                if value == 0.0:
+                    continue
+                worst = max(worst, halfwidth / abs(value))
+            if worst >= 0.0:
+                promised[alias] = worst
+        return promised
 
     def _cache_key(
         self, query: Query, base_name: str, policy: Optional[GuardPolicy]
@@ -887,9 +1080,10 @@ class AquaSystem:
             cached = self._cache.get(key)
             if cached is not None:
                 root.set(cache="hit")
-                # Shallow copy: the caller attaches this call's trace to the
-                # returned object, which must not leak into the cache.
-                return dataclass_replace(cached, trace=None)
+                # Shallow copy: the caller attaches this call's trace and
+                # trace id to the returned object, which must not leak into
+                # the cache.
+                return dataclass_replace(cached, trace=None, cache_hit=True)
             root.set(cache="miss")
 
         answer = self._answer_stages(query, policy, base_name, state, tracer)

@@ -1,25 +1,34 @@
-"""Observability for the Aqua query pipeline: tracing + metrics.
+"""Observability for the Aqua query pipeline: tracing, metrics, events.
 
-Two zero-dependency pillars, both off-by-default cheap:
+Four zero-dependency pillars, all off-by-default cheap:
 
 * :class:`Tracer` / :class:`Span` / :class:`QueryTrace` -- span-based
   tracing of every stage of :meth:`repro.aqua.system.AquaSystem.answer`
   (parse, validate, rewrite, execute/scan/scale-up, error bounds, guard
-  escalation and repair);
+  escalation and repair), with tail-based retention of interesting traces
+  in a :class:`TraceStore`;
 * :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
   :class:`Histogram` -- cumulative counters for queries, inserts, flushes,
   refreshes and guard provenance, plus latency/error-bound/support
-  histograms, exportable as ``snapshot()`` dicts, JSON, or Prometheus text
-  exposition format.
+  histograms (with optional trace exemplars), exportable as ``snapshot()``
+  dicts, JSON, Prometheus text exposition, or OpenMetrics with exemplars;
+* :class:`EventLog` / :class:`QueryEvent` -- a bounded structured audit
+  log, one JSON-able event per served query, with an optional JSONL file
+  sink;
+* :mod:`repro.obs.slo` / :mod:`repro.obs.audit` -- declarative SLOs with
+  multi-window burn-rate alerting, and the accuracy auditor that closes
+  the loop between promised and observed error.
 
-:class:`Telemetry` bundles one tracer and one registry so they can be
-threaded through the stack as a single handle.
+:class:`Telemetry` bundles one tracer, one registry, one event log, and
+one trace store so they can be threaded through the stack as a single
+handle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .events import EventLog, QueryEvent
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -27,50 +36,86 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .trace import NULL_TRACER, QueryTrace, Span, Tracer
+from .trace import (
+    NULL_TRACER,
+    QueryTrace,
+    RetentionPolicy,
+    Span,
+    TraceStore,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "QueryEvent",
     "QueryTrace",
+    "RetentionPolicy",
     "Span",
     "Telemetry",
+    "TraceStore",
     "Tracer",
 ]
 
 
 @dataclass
 class Telemetry:
-    """One tracer plus one metrics registry, threaded as a unit."""
+    """Tracer + metrics + event log + trace store, threaded as a unit.
+
+    The event log and trace store piggyback on the bundle's enablement:
+    :meth:`enabled` turns all pillars on, :meth:`disabled` leaves them
+    all off (each write path is then one attribute check).  The trace
+    store has no switch of its own -- it only ever sees traces, and a
+    disabled tracer produces none.
+    """
 
     tracer: Tracer = field(default_factory=Tracer)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    events: EventLog = field(default_factory=EventLog)
+    traces: TraceStore = field(default_factory=TraceStore)
 
     @classmethod
     def disabled(cls) -> "Telemetry":
-        """Both pillars off (the default for library use)."""
-        return cls(Tracer(enabled=False), MetricsRegistry(enabled=False))
+        """All pillars off (the default for library use)."""
+        return cls(
+            Tracer(enabled=False),
+            MetricsRegistry(enabled=False),
+            EventLog(enabled=False),
+            TraceStore(),
+        )
 
     @classmethod
     def enabled(cls) -> "Telemetry":
-        """Both pillars on (what the shell and benchmarks use)."""
-        return cls(Tracer(enabled=True), MetricsRegistry(enabled=True))
+        """All pillars on (what the shell and benchmarks use)."""
+        return cls(
+            Tracer(enabled=True),
+            MetricsRegistry(enabled=True),
+            EventLog(enabled=True),
+            TraceStore(),
+        )
 
     @property
     def active(self) -> bool:
-        """True when either pillar is recording."""
-        return self.tracer.enabled or self.metrics.enabled
+        """True when any pillar is recording."""
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.events.enabled
+        )
 
     def enable(self) -> "Telemetry":
         self.tracer.enable()
         self.metrics.enable()
+        self.events.enable()
         return self
 
     def disable(self) -> "Telemetry":
         self.tracer.disable()
         self.metrics.disable()
+        self.events.disable()
         return self

@@ -1,0 +1,316 @@
+"""A structured, bounded event log for served queries.
+
+Spans answer "where did this query's time go"; metrics answer "how is the
+fleet doing in aggregate".  Neither answers "what exactly did we serve ten
+seconds ago, and under what promises" -- the question an accuracy audit,
+an incident review, or the ROADMAP's portfolio planner asks.  This module
+closes that gap with one :class:`QueryEvent` per ``answer()`` call:
+
+* identity -- a monotonically assigned ``trace_id`` shared with the span
+  tree and the metric exemplars, so an SLO violation points back to the
+  exact query that caused it;
+* the contract -- the table, the synopsis version/allocation/rewrite
+  strategy the answer came from, the promised worst-case per-group
+  relative error bound, and the provenance mix of the answer groups;
+* the outcome -- status, stage latencies, end-to-end duration, and the
+  cache/degraded/deadline flags.
+
+Events land in a thread-safe bounded ring buffer (old events are dropped,
+never blocked on) with an optional JSON-lines file sink for durable audit
+trails.  A disabled :class:`EventLog` costs one attribute check per call
+site, matching the tracer/metrics contract.
+
+The serving layer decides *after* the pipeline returns whether an answer
+was served degraded (load shedding, open breaker), and the accuracy
+auditor observes real error minutes later; both back-annotate the stored
+event by trace id via :meth:`EventLog.annotate`.  The file sink receives
+emit-time records only -- annotations are appended as separate
+``{"annotate": trace_id, ...}`` lines so the on-disk trail stays
+append-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+__all__ = ["EventLog", "QueryEvent"]
+
+#: Event status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_DEADLINE = "deadline"
+
+
+@dataclass
+class QueryEvent:
+    """One served (or failed) query, as the audit trail saw it.
+
+    Attributes:
+        event_id: monotonically increasing sequence number within the log.
+        trace_id: the identity shared with metric exemplars and retained
+            traces; assigned by the log at emit time.
+        timestamp: wall-clock emit time (``time.time`` unless the log was
+            given another clock).
+        table: the base table answered from ("" when parsing failed before
+            the table was known).
+        sql: the query text as submitted (rendered when a Query object).
+        status: ``"ok"`` / ``"error"`` / ``"deadline"``.
+        error: the error message for non-ok statuses.
+        synopsis_version: the table's monotonic data version at answer
+            time -- the auditor compares against it before recomputing.
+        allocation: allocation-strategy name of the serving synopsis.
+        strategy: rewrite-strategy name used for the answer.
+        provenance: answer groups per provenance tag (guarded answers).
+        promised_rel_error: worst finite per-group relative error
+            half-width promised by the answer, per aggregate alias.
+        groups: answer rows (groups) returned.
+        stage_seconds: per-stage wall time when the tracer was recording.
+        duration_seconds: end-to-end answer wall time.
+        cache_hit: answered from the answer cache.
+        degraded: guard escalation or serve-side degradation produced
+            this answer (back-annotated by the serving layer).
+        degradation: the serve-side degradation reason, if any.
+        deadline: a deadline (ambient or explicit) governed this answer.
+        audited: the accuracy auditor recomputed this answer exactly.
+        observed_rel_error: worst observed relative error across audited
+            groups (back-annotated by the auditor).
+        bound_violations: audited groups whose observed error exceeded the
+            promised half-width.
+    """
+
+    event_id: int
+    trace_id: str
+    timestamp: float
+    table: str = ""
+    sql: str = ""
+    status: str = STATUS_OK
+    error: Optional[str] = None
+    synopsis_version: Optional[int] = None
+    allocation: Optional[str] = None
+    strategy: Optional[str] = None
+    provenance: Dict[str, int] = field(default_factory=dict)
+    promised_rel_error: Dict[str, float] = field(default_factory=dict)
+    groups: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    duration_seconds: float = 0.0
+    cache_hit: bool = False
+    degraded: bool = False
+    degradation: Optional[str] = None
+    deadline: bool = False
+    audited: bool = False
+    observed_rel_error: Optional[float] = None
+    bound_violations: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "event_id": self.event_id,
+            "trace_id": self.trace_id,
+            "timestamp": self.timestamp,
+            "table": self.table,
+            "sql": self.sql,
+            "status": self.status,
+            "groups": self.groups,
+            "duration_seconds": self.duration_seconds,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+            "deadline": self.deadline,
+            "audited": self.audited,
+            "bound_violations": self.bound_violations,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.synopsis_version is not None:
+            out["synopsis_version"] = self.synopsis_version
+        if self.allocation is not None:
+            out["allocation"] = self.allocation
+        if self.strategy is not None:
+            out["strategy"] = self.strategy
+        if self.provenance:
+            out["provenance"] = dict(self.provenance)
+        if self.promised_rel_error:
+            out["promised_rel_error"] = dict(self.promised_rel_error)
+        if self.stage_seconds:
+            out["stage_seconds"] = dict(self.stage_seconds)
+        if self.degradation is not None:
+            out["degradation"] = self.degradation
+        if self.observed_rel_error is not None:
+            out["observed_rel_error"] = self.observed_rel_error
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=str, sort_keys=True)
+
+    @property
+    def max_promised_rel_error(self) -> float:
+        """The loosest promise made for any aggregate (inf when none)."""
+        finite = [v for v in self.promised_rel_error.values()]
+        return max(finite) if finite else float("inf")
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`QueryEvent` + optional sink.
+
+    Args:
+        enabled: a disabled log drops events at the cost of one attribute
+            check (the system's default, matching tracer/metrics).
+        capacity: ring-buffer size; the oldest events fall off first.
+        sink: a path or writable text file for a JSON-lines audit trail.
+        clock: wall-clock source for event timestamps (tests inject).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        capacity: int = 256,
+        sink: Any = None,
+        clock: Any = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"event log capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self._by_trace: Dict[str, QueryEvent] = {}
+        self._seq = 0
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        if sink is not None:
+            if hasattr(sink, "write"):
+                self._sink = sink
+            else:
+                self._sink = open(sink, "a", encoding="utf-8")
+                self._owns_sink = True
+
+    # -- switches ------------------------------------------------------------
+
+    def enable(self) -> "EventLog":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "EventLog":
+        self.enabled = False
+        return self
+
+    # -- recording -----------------------------------------------------------
+
+    def next_trace_id(self) -> str:
+        """Reserve a trace id without emitting an event yet."""
+        with self._lock:
+            self._seq += 1
+            return f"q{self._seq:08x}"
+
+    def emit(self, **fields: Any) -> Optional[QueryEvent]:
+        """Record one event; returns it (or None when the log is disabled).
+
+        A ``trace_id`` may be passed (e.g. reserved up front so spans and
+        metrics can share it); otherwise one is assigned.
+        """
+        if not self.enabled:
+            return None
+        trace_id = fields.pop("trace_id", None)
+        with self._lock:
+            self._seq += 1
+            event = QueryEvent(
+                event_id=self._seq,
+                trace_id=(
+                    trace_id if trace_id is not None else f"q{self._seq:08x}"
+                ),
+                timestamp=self._clock(),
+                **fields,
+            )
+            if len(self._events) == self._events.maxlen:
+                evicted = self._events[0]
+                self._by_trace.pop(evicted.trace_id, None)
+            self._events.append(event)
+            self._by_trace[event.trace_id] = event
+            sink = self._sink
+        if sink is not None:
+            sink.write(event.to_json() + "\n")
+            sink.flush()
+        return event
+
+    def annotate(self, trace_id: Optional[str], **fields: Any) -> bool:
+        """Back-annotate a stored event (degradation, audit results).
+
+        Returns False (harmlessly) when the trace id is unknown -- the
+        event may have fallen off the ring, or the log may be disabled.
+        """
+        if trace_id is None:
+            return False
+        with self._lock:
+            event = self._by_trace.get(trace_id)
+            if event is None:
+                return False
+            for name, value in fields.items():
+                if not hasattr(event, name):
+                    raise AttributeError(
+                        f"QueryEvent has no field {name!r} to annotate"
+                    )
+                setattr(event, name, value)
+            sink = self._sink
+        if sink is not None:
+            record = {"annotate": trace_id}
+            record.update(fields)
+            sink.write(json.dumps(record, default=str, sort_keys=True) + "\n")
+            sink.flush()
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def events(
+        self,
+        limit: Optional[int] = None,
+        table: Optional[str] = None,
+        status: Optional[str] = None,
+        violations_only: bool = False,
+    ) -> List[QueryEvent]:
+        """Most-recent-last view of the ring, optionally filtered."""
+        with self._lock:
+            out = list(self._events)
+        if table is not None:
+            out = [e for e in out if e.table == table]
+        if status is not None:
+            out = [e for e in out if e.status == status]
+        if violations_only:
+            out = [e for e in out if e.bound_violations > 0]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def tail(self, n: int = 10) -> List[QueryEvent]:
+        return self.events(limit=n)
+
+    def get(self, trace_id: str) -> Optional[QueryEvent]:
+        with self._lock:
+            return self._by_trace.get(trace_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[QueryEvent]:
+        return iter(self.events())
+
+    def to_jsonl(self) -> str:
+        """The current ring as JSON lines (newest last)."""
+        return "\n".join(event.to_json() for event in self.events())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._by_trace.clear()
+
+    def close(self) -> None:
+        """Close a log-owned file sink (no-op for caller-owned sinks)."""
+        with self._lock:
+            sink, self._sink = self._sink, None
+            owns, self._owns_sink = self._owns_sink, False
+        if sink is not None and owns:
+            sink.close()

@@ -22,7 +22,17 @@ Design constraints:
 * **thread-safe** -- the serving layer's worker pool writes concurrently,
   so each metric guards its sample map with a lock and the registry guards
   get-or-create; a snapshot taken mid-load is internally consistent per
-  metric.
+  metric;
+* **stable output** -- exposition renders labels in sorted name order
+  (``le`` always last on bucket lines) and ends with a trailing newline,
+  so scrapes diff cleanly across runs and registry populations;
+* **exemplars** -- histograms accept an optional exemplar per observation
+  (e.g. ``{"trace_id": ...}`` from the accuracy auditor); the plain
+  Prometheus 0.0.4 text format (:meth:`MetricsRegistry.to_prometheus`)
+  never renders them, while :meth:`MetricsRegistry.to_openmetrics`
+  appends them to bucket lines in OpenMetrics ``# {label="v"} value``
+  syntax.  The latest exemplar per bucket wins, which is the standard
+  "most recent interesting trace" retention.
 """
 
 from __future__ import annotations
@@ -218,8 +228,15 @@ class Histogram(_Metric):
         self._counts: Dict[LabelKey, List[int]] = {}
         self._sums: Dict[LabelKey, float] = {}
         self._totals: Dict[LabelKey, int] = {}
+        # per label set: bucket index -> (exemplar labels, observed value)
+        self._exemplars: Dict[LabelKey, Dict[int, Tuple[Dict[str, str], float]]] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[Mapping[str, Any]] = None,
+        **labels: Any,
+    ) -> None:
         if not self._registry.enabled:
             return
         value = float(value)
@@ -232,9 +249,26 @@ class Histogram(_Metric):
                 self._totals[key] = 0
             # bisect_left gives the first bound >= value: inclusive `le`
             # edges.
-            counts[bisect_left(self.buckets, value)] += 1
+            bucket = bisect_left(self.buckets, value)
+            counts[bucket] += 1
             self._sums[key] += value
             self._totals[key] += 1
+            if exemplar:
+                self._exemplars.setdefault(key, {})[bucket] = (
+                    {str(k): str(v) for k, v in exemplar.items()},
+                    value,
+                )
+
+    def exemplars(self, **labels: Any) -> Dict[str, Tuple[Dict[str, str], float]]:
+        """Latest exemplar per bucket bound (``"+Inf"`` for overflow)."""
+        key = self._key(labels)
+        with self._lock:
+            stored = dict(self._exemplars.get(key, {}))
+        bounds = [_format_value(b) for b in self.buckets] + ["+Inf"]
+        return {
+            bounds[index]: (dict(ex_labels), ex_value)
+            for index, (ex_labels, ex_value) in sorted(stored.items())
+        }
 
     def count(self, **labels: Any) -> int:
         with self._lock:
@@ -262,26 +296,43 @@ class Histogram(_Metric):
     def collect(self) -> List[Dict[str, Any]]:
         with self._lock:
             snapshot = {
-                key: (self._totals[key], self._sums[key], list(counts))
+                key: (
+                    self._totals[key],
+                    self._sums[key],
+                    list(counts),
+                    {
+                        index: (dict(ex_labels), ex_value)
+                        for index, (ex_labels, ex_value) in self._exemplars.get(
+                            key, {}
+                        ).items()
+                    },
+                )
                 for key, counts in self._counts.items()
             }
+        bounds = [_format_value(b) for b in self.buckets] + ["+Inf"]
         out = []
         for key in sorted(snapshot):
-            total, total_sum, counts = snapshot[key]
+            total, total_sum, counts, exemplars = snapshot[key]
             buckets: Dict[str, int] = {}
             running = 0
             for bound, count in zip(self.buckets, counts):
                 running += count
                 buckets[_format_value(bound)] = running
             buckets["+Inf"] = running + counts[-1]
-            out.append(
-                {
-                    "labels": dict(key),
-                    "count": total,
-                    "sum": total_sum,
-                    "buckets": buckets,
+            sample: Dict[str, Any] = {
+                "labels": dict(key),
+                "count": total,
+                "sum": total_sum,
+                "buckets": buckets,
+            }
+            if exemplars:
+                sample["exemplars"] = {
+                    bounds[index]: {"labels": ex_labels, "value": ex_value}
+                    for index, (ex_labels, ex_value) in sorted(
+                        exemplars.items()
+                    )
                 }
-            )
+            out.append(sample)
         return out
 
 
@@ -390,27 +441,37 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+    def _exposition(self, exemplars: bool) -> str:
+        """Shared renderer for the two text formats.
+
+        Label order is stable -- sorted by label name, ``le`` forced last
+        on bucket lines -- and non-empty output always ends with a
+        trailing newline, so consecutive scrapes diff cleanly.
+        """
         lines: List[str] = []
         with self._lock:
             metrics = dict(self._metrics)
         for name in sorted(metrics):
             metric = metrics[name]
-            if not metric.collect():
+            samples = metric.collect()
+            if not samples:
                 continue  # never-written metrics would emit headers only
             if metric.help:
                 lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
-                for sample in metric.collect():
+                for sample in samples:
                     labels = sample["labels"]
+                    sample_exemplars = (
+                        sample.get("exemplars", {}) if exemplars else {}
+                    )
                     for bound, count in sample["buckets"].items():
                         lines.append(
                             _sample_line(
                                 f"{name}_bucket",
                                 {**labels, "le": bound},
                                 count,
+                                exemplar=sample_exemplars.get(bound),
                             )
                         )
                     lines.append(
@@ -420,11 +481,30 @@ class MetricsRegistry:
                         _sample_line(f"{name}_count", labels, sample["count"])
                     )
             else:
-                for sample in metric.collect():
+                for sample in samples:
                     lines.append(
                         _sample_line(name, sample["labels"], sample["value"])
                     )
+        if exemplars:
+            lines.append("# EOF")
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Exemplars are never rendered here -- the 0.0.4 format has no
+        syntax for them; scrape :meth:`to_openmetrics` instead.
+        """
+        return self._exposition(exemplars=False)
+
+    def to_openmetrics(self) -> str:
+        """OpenMetrics-style exposition with histogram bucket exemplars.
+
+        Bucket lines carry their latest exemplar as
+        ``... count # {trace_id="q0000002a"} 0.173`` and the body ends
+        with the OpenMetrics ``# EOF`` terminator.
+        """
+        return self._exposition(exemplars=True)
 
     def reset(self) -> None:
         """Drop all recorded values and registered metrics."""
@@ -432,11 +512,30 @@ class MetricsRegistry:
             self._metrics.clear()
 
 
-def _sample_line(name: str, labels: Mapping[str, Any], value: float) -> str:
-    if labels:
-        rendered = ",".join(
-            f'{key}="{_escape_label_value(str(val))}"'
-            for key, val in labels.items()
+def _render_labels(labels: Mapping[str, Any]) -> str:
+    """``{a="1",le="0.5"}`` with sorted names, ``le`` always last."""
+    ordered = sorted(labels, key=lambda name: (name == "le", name))
+    return (
+        "{"
+        + ",".join(
+            f'{key}="{_escape_label_value(str(labels[key]))}"'
+            for key in ordered
         )
-        return f"{name}{{{rendered}}} {_format_value(float(value))}"
-    return f"{name} {_format_value(float(value))}"
+        + "}"
+    )
+
+
+def _sample_line(
+    name: str,
+    labels: Mapping[str, Any],
+    value: float,
+    exemplar: Optional[Mapping[str, Any]] = None,
+) -> str:
+    rendered = _render_labels(labels) if labels else ""
+    line = f"{name}{rendered} {_format_value(float(value))}"
+    if exemplar:
+        line += (
+            f" # {_render_labels(exemplar['labels'])} "
+            f"{_format_value(float(exemplar['value']))}"
+        )
+    return line

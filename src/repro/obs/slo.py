@@ -1,0 +1,515 @@
+"""Declarative SLOs with Google-SRE multi-window burn-rate alerting.
+
+An :class:`SLO` states the promise ("99% of served answers keep their
+error bound", "99% of answers finish under 250 ms", "at most 5% of
+answers are degraded"); an :class:`SLOMonitor` counts good/bad events
+into time-bucketed rolling windows on an injectable clock and evaluates
+**burn rate** -- the ratio of the observed bad fraction to the error
+budget (``1 - objective``).  Burn rate 1 means the budget is consumed
+exactly at the rate the objective allows; 14.4 means a 30-day budget
+would be gone in two days.
+
+Alerting follows the SRE workbook's multi-window pattern: a rule fires
+only when *both* a long window and a short window exceed the burn-rate
+threshold.  The long window gives statistical confidence, the short
+window makes the alert reset quickly once the problem stops.  The
+default pair:
+
+* **fast** (page): burn rate >= 14.4 over 1 h *and* over the last 5 min;
+* **slow** (ticket): burn rate >= 6 over 6 h *and* over the last 30 min.
+
+Everything takes an injectable clock, so tests drive window rollover
+with :class:`~repro.serve.deadline.ManualClock` instead of sleeping.
+
+:class:`ObservabilityReport` renders the monitor, the event log, and the
+accuracy auditor into one text/JSON operator view (the shell's
+``.report``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SLO",
+    "BurnRateAlert",
+    "BurnRateRule",
+    "DEFAULT_BURN_RATE_RULES",
+    "ObservabilityReport",
+    "SLOMonitor",
+    "SLOStatus",
+    "WindowedCounts",
+    "default_slos",
+]
+
+#: SLO kinds, keyed to the monitor's record_* entry points.
+KIND_LATENCY = "latency"
+KIND_BOUND_VIOLATION = "bound_violation_rate"
+KIND_DEGRADED = "degraded_fraction"
+
+_KINDS = (KIND_LATENCY, KIND_BOUND_VIOLATION, KIND_DEGRADED)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a stream of good/bad events.
+
+    Attributes:
+        name: unique handle ("p99_latency_ms", "bound_violation_rate"...).
+        kind: which event stream feeds it -- ``"latency"`` (an answer is
+            good when it beats ``threshold_ms``), ``"bound_violation_rate"``
+            (an audited answer is good when no group violated its promised
+            bound), or ``"degraded_fraction"`` (a served answer is good
+            when it was not degraded).
+        objective: target fraction of good events (0.99 leaves a 1% error
+            budget).
+        threshold_ms: the latency cut-off for ``kind="latency"``.
+        description: free text for reports.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_ms: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"SLO kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == KIND_LATENCY and (
+            self.threshold_ms is None or self.threshold_ms <= 0
+        ):
+            raise ValueError(
+                "latency SLOs need a positive threshold_ms, "
+                f"got {self.threshold_ms}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when burn rate exceeds ``threshold`` in BOTH windows."""
+
+    name: str
+    long_window_seconds: float
+    short_window_seconds: float
+    threshold: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.short_window_seconds > self.long_window_seconds:
+            raise ValueError(
+                f"rule {self.name!r}: short window "
+                f"({self.short_window_seconds}s) cannot exceed the long "
+                f"window ({self.long_window_seconds}s)"
+            )
+        if self.threshold <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: burn-rate threshold must be > 0"
+            )
+
+
+#: The SRE-workbook fast/slow pair (1h/5m page, 6h/30m ticket).
+DEFAULT_BURN_RATE_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule("fast", 3600.0, 300.0, 14.4, severity="page"),
+    BurnRateRule("slow", 21600.0, 1800.0, 6.0, severity="ticket"),
+)
+
+
+@dataclass
+class BurnRateAlert:
+    """One rule's evaluation against one SLO."""
+
+    slo: str
+    rule: BurnRateRule
+    firing: bool
+    long_burn_rate: float
+    short_burn_rate: float
+
+    def describe(self) -> str:
+        state = "FIRING" if self.firing else "ok"
+        return (
+            f"{self.slo}/{self.rule.name} [{self.rule.severity}] {state}: "
+            f"burn {self.long_burn_rate:.1f}x over "
+            f"{self.rule.long_window_seconds:.0f}s, "
+            f"{self.short_burn_rate:.1f}x over "
+            f"{self.rule.short_window_seconds:.0f}s "
+            f"(threshold {self.rule.threshold:.1f}x)"
+        )
+
+
+class WindowedCounts:
+    """Good/bad event counts in fixed time buckets on a rolling horizon.
+
+    Buckets of ``bucket_seconds`` cover ``horizon_seconds`` of history;
+    :meth:`totals` sums the buckets inside any window up to the horizon.
+    Appends are O(1); old buckets are pruned as the clock advances.
+    """
+
+    def __init__(
+        self,
+        bucket_seconds: float = 60.0,
+        horizon_seconds: float = 6 * 3600.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be > 0, got {bucket_seconds}")
+        if horizon_seconds < bucket_seconds:
+            raise ValueError("horizon must cover at least one bucket")
+        self.bucket_seconds = float(bucket_seconds)
+        self.horizon_seconds = float(horizon_seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        # deque of [bucket_index, good, bad], oldest first
+        self._buckets: deque = deque()
+
+    def _bucket_index(self) -> int:
+        return int(self._clock() // self.bucket_seconds)
+
+    def _prune(self, now_index: int) -> None:
+        min_index = now_index - int(self.horizon_seconds // self.bucket_seconds)
+        while self._buckets and self._buckets[0][0] < min_index:
+            self._buckets.popleft()
+
+    def record(self, good: bool, n: int = 1) -> None:
+        index = self._bucket_index()
+        with self._lock:
+            self._prune(index)
+            if not self._buckets or self._buckets[-1][0] != index:
+                self._buckets.append([index, 0, 0])
+            if good:
+                self._buckets[-1][1] += n
+            else:
+                self._buckets[-1][2] += n
+
+    def totals(self, window_seconds: float) -> Tuple[int, int]:
+        """(good, bad) over the trailing window (capped at the horizon)."""
+        index = self._bucket_index()
+        span = max(0, int(window_seconds // self.bucket_seconds))
+        min_index = index - span
+        good = bad = 0
+        with self._lock:
+            self._prune(index)
+            for bucket_index, g, b in self._buckets:
+                if bucket_index >= min_index:
+                    good += g
+                    bad += b
+        return good, bad
+
+
+@dataclass
+class SLOStatus:
+    """Point-in-time evaluation of one SLO."""
+
+    slo: SLO
+    good: int
+    bad: int
+    alerts: List[BurnRateAlert] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.good + self.bad
+
+    @property
+    def bad_fraction(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+    @property
+    def compliance(self) -> float:
+        """Observed good fraction over the horizon (1.0 when empty)."""
+        return 1.0 - self.bad_fraction
+
+    @property
+    def error_budget_remaining(self) -> float:
+        """Fraction of the error budget left (can go negative)."""
+        budget = self.slo.error_budget
+        return (budget - self.bad_fraction) / budget if budget else 0.0
+
+    @property
+    def firing(self) -> List[BurnRateAlert]:
+        return [alert for alert in self.alerts if alert.firing]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "objective": self.slo.objective,
+            "threshold_ms": self.slo.threshold_ms,
+            "good": self.good,
+            "bad": self.bad,
+            "compliance": self.compliance,
+            "error_budget_remaining": self.error_budget_remaining,
+            "alerts": [
+                {
+                    "rule": alert.rule.name,
+                    "severity": alert.rule.severity,
+                    "firing": alert.firing,
+                    "threshold": alert.rule.threshold,
+                    "long_window_seconds": alert.rule.long_window_seconds,
+                    "short_window_seconds": alert.rule.short_window_seconds,
+                    "long_burn_rate": alert.long_burn_rate,
+                    "short_burn_rate": alert.short_burn_rate,
+                }
+                for alert in self.alerts
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.slo.name} ({self.slo.kind}, objective "
+            f"{self.slo.objective:.3%}): {self.good} good / {self.bad} bad, "
+            f"compliance {self.compliance:.3%}, budget remaining "
+            f"{self.error_budget_remaining:.0%}"
+        ]
+        for alert in self.alerts:
+            lines.append("  " + alert.describe())
+        return "\n".join(lines)
+
+
+def default_slos(
+    latency_ms: float = 250.0,
+    latency_objective: float = 0.99,
+    violation_objective: float = 0.99,
+    degraded_objective: float = 0.95,
+) -> Tuple[SLO, ...]:
+    """The standard serving trio: latency, bound violations, degradation."""
+    return (
+        SLO(
+            name="p99_latency_ms",
+            kind=KIND_LATENCY,
+            objective=latency_objective,
+            threshold_ms=latency_ms,
+            description=(
+                f"{latency_objective:.0%} of answers finish in "
+                f"under {latency_ms:g} ms"
+            ),
+        ),
+        SLO(
+            name="bound_violation_rate",
+            kind=KIND_BOUND_VIOLATION,
+            objective=violation_objective,
+            description=(
+                f"{violation_objective:.0%} of audited answers keep every "
+                "group inside its promised error bound"
+            ),
+        ),
+        SLO(
+            name="degraded_fraction",
+            kind=KIND_DEGRADED,
+            objective=degraded_objective,
+            description=(
+                f"at most {1 - degraded_objective:.0%} of served answers "
+                "are degraded"
+            ),
+        ),
+    )
+
+
+class SLOMonitor:
+    """Registers SLOs, ingests good/bad events, evaluates burn rates.
+
+    One :class:`WindowedCounts` per SLO, sized to the largest rule
+    window.  All entry points are cheap and thread-safe; evaluation is
+    on-demand (``GET /slo``, the shell, tests) rather than periodic.
+    """
+
+    def __init__(
+        self,
+        slos: Optional[Tuple[SLO, ...]] = None,
+        rules: Tuple[BurnRateRule, ...] = DEFAULT_BURN_RATE_RULES,
+        bucket_seconds: float = 60.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if not rules:
+            raise ValueError("SLOMonitor needs at least one burn-rate rule")
+        self.rules = tuple(rules)
+        self.bucket_seconds = float(bucket_seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._horizon = max(rule.long_window_seconds for rule in self.rules)
+        self._lock = threading.Lock()
+        self._slos: Dict[str, SLO] = {}
+        self._counts: Dict[str, WindowedCounts] = {}
+        for slo in slos if slos is not None else default_slos():
+            self.register(slo)
+
+    def register(self, slo: SLO) -> SLO:
+        with self._lock:
+            if slo.name in self._slos:
+                raise ValueError(f"SLO {slo.name!r} is already registered")
+            self._slos[slo.name] = slo
+            self._counts[slo.name] = WindowedCounts(
+                bucket_seconds=self.bucket_seconds,
+                horizon_seconds=self._horizon,
+                clock=self._clock,
+            )
+        return slo
+
+    def slos(self) -> List[SLO]:
+        with self._lock:
+            return list(self._slos.values())
+
+    def _of_kind(self, kind: str) -> List[Tuple[SLO, WindowedCounts]]:
+        with self._lock:
+            return [
+                (slo, self._counts[name])
+                for name, slo in self._slos.items()
+                if slo.kind == kind
+            ]
+
+    # -- ingestion (one entry point per kind) --------------------------------
+
+    def record_latency(self, seconds: float) -> None:
+        """One served answer's end-to-end latency."""
+        for slo, counts in self._of_kind(KIND_LATENCY):
+            counts.record(good=seconds * 1000.0 <= slo.threshold_ms)
+
+    def record_served(self, degraded: bool) -> None:
+        """One served answer, degraded or not."""
+        for _slo, counts in self._of_kind(KIND_DEGRADED):
+            counts.record(good=not degraded)
+
+    def record_audit(self, violations: int, groups: int) -> None:
+        """One audited answer: bad when any group violated its bound."""
+        del groups  # per-answer semantics; groups kept for future weighting
+        for _slo, counts in self._of_kind(KIND_BOUND_VIOLATION):
+            counts.record(good=violations == 0)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _burn_rate(
+        self, slo: SLO, counts: WindowedCounts, window_seconds: float
+    ) -> float:
+        good, bad = counts.totals(window_seconds)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / slo.error_budget
+
+    def evaluate(self) -> List[SLOStatus]:
+        with self._lock:
+            items = [
+                (slo, self._counts[name])
+                for name, slo in self._slos.items()
+            ]
+        out = []
+        for slo, counts in items:
+            good, bad = counts.totals(self._horizon)
+            alerts = []
+            for rule in self.rules:
+                long_burn = self._burn_rate(
+                    slo, counts, rule.long_window_seconds
+                )
+                short_burn = self._burn_rate(
+                    slo, counts, rule.short_window_seconds
+                )
+                alerts.append(
+                    BurnRateAlert(
+                        slo=slo.name,
+                        rule=rule,
+                        firing=(
+                            long_burn >= rule.threshold
+                            and short_burn >= rule.threshold
+                        ),
+                        long_burn_rate=long_burn,
+                        short_burn_rate=short_burn,
+                    )
+                )
+            out.append(SLOStatus(slo=slo, good=good, bad=bad, alerts=alerts))
+        return out
+
+    def firing_alerts(self) -> List[BurnRateAlert]:
+        return [
+            alert
+            for status in self.evaluate()
+            for alert in status.alerts
+            if alert.firing
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slos": [status.to_dict() for status in self.evaluate()],
+            "firing": [
+                {"slo": a.slo, "rule": a.rule.name, "severity": a.rule.severity}
+                for a in self.firing_alerts()
+            ],
+        }
+
+    def describe(self) -> str:
+        statuses = self.evaluate()
+        if not statuses:
+            return "no SLOs registered"
+        return "\n".join(status.describe() for status in statuses)
+
+
+class ObservabilityReport:
+    """One operator view over events, audit results, and SLO health."""
+
+    def __init__(self, events=None, slo: Optional[SLOMonitor] = None,
+                 auditor=None):
+        self.events = events
+        self.slo = slo
+        self.auditor = auditor
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.slo is not None:
+            out["slo"] = self.slo.to_dict()
+        if self.auditor is not None:
+            out["audit"] = self.auditor.stats.to_dict()
+        if self.events is not None:
+            out["events"] = {
+                "recorded": len(self.events),
+                "recent": [e.to_dict() for e in self.events.tail(5)],
+                "violations": [
+                    e.to_dict()
+                    for e in self.events.events(violations_only=True)
+                ],
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render(self) -> str:
+        lines: List[str] = ["== observability report =="]
+        if self.slo is not None:
+            lines.append("-- SLOs --")
+            lines.append(self.slo.describe())
+        if self.auditor is not None:
+            lines.append("-- accuracy audit --")
+            lines.append(self.auditor.stats.describe())
+        if self.events is not None:
+            lines.append("-- recent events --")
+            recent = self.events.tail(5)
+            if not recent:
+                lines.append("(no events recorded)")
+            for event in recent:
+                flags = []
+                if event.cache_hit:
+                    flags.append("cache")
+                if event.degraded:
+                    flags.append("degraded")
+                if event.bound_violations:
+                    flags.append(f"violations={event.bound_violations}")
+                suffix = f" [{' '.join(flags)}]" if flags else ""
+                lines.append(
+                    f"{event.trace_id} {event.status:<8s} "
+                    f"{event.table or '?':<12s} "
+                    f"{event.duration_seconds * 1000:7.2f} ms "
+                    f"groups={event.groups}{suffix}"
+                )
+        return "\n".join(lines)

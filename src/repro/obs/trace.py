@@ -18,16 +18,30 @@ Three pieces:
   costs one attribute check per call site when off.
 * :class:`QueryTrace` -- the finished root span of one query, with stage
   accessors and a renderable tree (the shell's ``.trace`` view).
+* :class:`TraceStore` -- tail-based retention: every finished trace is
+  offered, but only the *interesting* ones (slow, degraded, errored, or
+  later found bound-violating by the accuracy auditor) are kept; the rest
+  pass through a small provisional ring so the auditor can still
+  :meth:`~TraceStore.promote` one after the fact.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from collections import deque
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Span", "Tracer", "QueryTrace", "NULL_TRACER"]
+__all__ = [
+    "NULL_TRACER",
+    "QueryTrace",
+    "RetentionPolicy",
+    "Span",
+    "TraceStore",
+    "Tracer",
+]
 
 
 class _NullSpan:
@@ -330,3 +344,137 @@ class QueryTrace:
             f"{self.total_seconds * 1000:.3f} ms, "
             f"{len(self.stages)} stages)"
         )
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Which finished traces are worth keeping.
+
+    Attributes:
+        capacity: retained (interesting) traces; oldest evicted first.
+        recent_capacity: provisional ring of boring traces kept around
+            briefly so a later signal (the auditor finding a bound
+            violation) can still promote one by trace id.
+        slow_threshold_seconds: traces at least this slow are retained;
+            None disables the latency criterion.
+        keep_degraded: retain traces of degraded answers.
+        keep_errors: retain traces of failed answers.
+    """
+
+    capacity: int = 64
+    recent_capacity: int = 64
+    slow_threshold_seconds: Optional[float] = 1.0
+    keep_degraded: bool = True
+    keep_errors: bool = True
+
+    def reason(
+        self, trace: QueryTrace, degraded: bool, error: bool
+    ) -> Optional[str]:
+        """Why this trace should be retained, or None (drop to the ring)."""
+        if error and self.keep_errors:
+            return "error"
+        if degraded and self.keep_degraded:
+            return "degraded"
+        if (
+            self.slow_threshold_seconds is not None
+            and trace.total_seconds >= self.slow_threshold_seconds
+        ):
+            return "slow"
+        return None
+
+
+class TraceStore:
+    """Tail-based trace retention keyed by trace id.
+
+    ``offer()`` is called once per finished answer; traces the policy
+    finds interesting are retained immediately, the rest ride a bounded
+    provisional ring.  The accuracy auditor -- which learns that a trace
+    was interesting only after recomputing the exact answer -- calls
+    ``promote()`` to move a provisional trace into the retained set.
+    """
+
+    def __init__(self, policy: Optional[RetentionPolicy] = None):
+        self.policy = policy if policy is not None else RetentionPolicy()
+        self._lock = threading.Lock()
+        # trace_id -> (reason, trace); insertion-ordered for eviction.
+        self._retained: Dict[str, Tuple[str, QueryTrace]] = {}
+        self._recent: deque = deque(maxlen=self.policy.recent_capacity)
+        self._recent_by_id: Dict[str, QueryTrace] = {}
+
+    def offer(
+        self,
+        trace_id: str,
+        trace: QueryTrace,
+        degraded: bool = False,
+        error: bool = False,
+    ) -> Optional[str]:
+        """Offer a finished trace; returns the retention reason or None."""
+        reason = self.policy.reason(trace, degraded=degraded, error=error)
+        with self._lock:
+            if reason is not None:
+                self._retain(trace_id, reason, trace)
+            else:
+                if len(self._recent) == self._recent.maxlen:
+                    evicted = self._recent[0]
+                    self._recent_by_id.pop(evicted, None)
+                self._recent.append(trace_id)
+                self._recent_by_id[trace_id] = trace
+        return reason
+
+    def _retain(self, trace_id: str, reason: str, trace: QueryTrace) -> None:
+        self._retained[trace_id] = (reason, trace)
+        while len(self._retained) > self.policy.capacity:
+            oldest = next(iter(self._retained))
+            del self._retained[oldest]
+
+    def promote(self, trace_id: str, reason: str) -> bool:
+        """Pin a trace as interesting after the fact (auditor verdicts).
+
+        Returns False when the trace already aged out of both the
+        retained set and the provisional ring.
+        """
+        with self._lock:
+            existing = self._retained.get(trace_id)
+            if existing is not None:
+                self._retained[trace_id] = (reason, existing[1])
+                return True
+            trace = self._recent_by_id.pop(trace_id, None)
+            if trace is None:
+                return False
+            try:
+                self._recent.remove(trace_id)
+            except ValueError:  # pragma: no cover - ring raced the pop
+                pass
+            self._retain(trace_id, reason, trace)
+            return True
+
+    def get(self, trace_id: str) -> Optional[QueryTrace]:
+        """A trace by id, from the retained set or the provisional ring."""
+        with self._lock:
+            entry = self._retained.get(trace_id)
+            if entry is not None:
+                return entry[1]
+            return self._recent_by_id.get(trace_id)
+
+    def reason(self, trace_id: str) -> Optional[str]:
+        with self._lock:
+            entry = self._retained.get(trace_id)
+            return entry[0] if entry is not None else None
+
+    def retained(self) -> List[Tuple[str, str, QueryTrace]]:
+        """(trace_id, reason, trace) for every retained trace, oldest first."""
+        with self._lock:
+            return [
+                (trace_id, reason, trace)
+                for trace_id, (reason, trace) in self._retained.items()
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._retained)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._retained.clear()
+            self._recent.clear()
+            self._recent_by_id.clear()

@@ -24,6 +24,11 @@ Endpoints::
     GET  /stats    service counters as JSON
     GET  /health   liveness + in-flight count
     GET  /metrics  Prometheus text exposition of the system registry
+                   (``?format=openmetrics`` adds trace exemplars)
+    GET  /events   recent query events (``?limit=N&table=T&status=S``
+                   plus ``violations=1`` for audited bound violations)
+    GET  /slo      SLO compliance + burn-rate alerts (404 when no
+                   monitor is attached)
 
 Run a demo server with ``python -m repro.serve``.
 """
@@ -33,6 +38,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
+from urllib.parse import parse_qs
 
 from ..engine.query import QueryError
 from ..engine.sql import SqlError
@@ -154,7 +160,9 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, _result_payload(result))
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.rstrip("/") or "/"
+        raw_path, _, raw_query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        query = parse_qs(raw_query)
         if path == "/health":
             self._send_json(
                 200, {"status": "ok", "pending": self.service.pending}
@@ -177,14 +185,61 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
         elif path == "/metrics":
-            body = self.service.system.metrics.to_prometheus().encode("utf-8")
+            registry = self.service.system.metrics
+            if query.get("format", [""])[0] == "openmetrics":
+                body = registry.to_openmetrics().encode("utf-8")
+                content_type = (
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8"
+                )
+            else:
+                body = registry.to_prometheus().encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
             self.send_response(200)
-            self.send_header(
-                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-            )
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+        elif path == "/events":
+            events = self.service.system.telemetry.events
+            try:
+                limit = int(query.get("limit", ["50"])[0])
+            except ValueError:
+                self._send_json(
+                    400,
+                    {"error": "BadRequest", "message": "limit must be int"},
+                )
+                return
+            table = query.get("table", [None])[0]
+            status = query.get("status", [None])[0]
+            violations = query.get("violations", [""])[0] in ("1", "true")
+            self._send_json(
+                200,
+                {
+                    "enabled": events.enabled,
+                    "events": [
+                        event.to_dict()
+                        for event in events.events(
+                            limit=limit,
+                            table=table,
+                            status=status,
+                            violations_only=violations,
+                        )
+                    ],
+                },
+            )
+        elif path == "/slo":
+            slo = getattr(self.service.system, "slo", None)
+            if slo is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": "NotFound",
+                        "message": "no SLO monitor attached",
+                    },
+                )
+                return
+            self._send_json(200, slo.to_dict())
         else:
             self._send_json(404, {"error": "NotFound", "message": self.path})
 

@@ -525,8 +525,14 @@ class QueryService:
 
         try:
             with deadline_scope(request.deadline):
+                # Degraded answers are audit-exempt: they carry no accuracy
+                # promise, so they must reach neither the accuracy auditor
+                # nor the SLO monitor's clean-serve stream (the service
+                # records them as degraded below instead).
                 answer = self._retry.call(
-                    lambda: target.answer(query, guard=guard),
+                    lambda: target.answer(
+                        query, guard=guard, audit=degradation is None
+                    ),
                     deadline=request.deadline,
                     sleep=self._sleep,
                     rng=self._rng,
@@ -544,6 +550,12 @@ class QueryService:
                 breaker.record_success()
         else:
             answer = self._mark_degraded(answer)
+            target.telemetry.events.annotate(
+                answer.trace_id, degraded=True, degradation=degradation
+            )
+            slo = getattr(self.system, "slo", None)
+            if slo is not None:
+                slo.record_served(True)
         self._observe_breaker(table, breaker)
         return ServeResult(
             answer=answer,

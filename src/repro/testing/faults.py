@@ -62,6 +62,7 @@ from ..serve.deadline import ManualClock, check_deadline
 
 __all__ = [
     "FAULT_KINDS",
+    "AnswerTamper",
     "FaultInjector",
     "InjectedFault",
     "ManualClock",
@@ -421,6 +422,68 @@ class ServiceFaultInjector:
             return original(*args, **kwargs)
 
         self.system.answer = answer
+
+
+class AnswerTamper:
+    """Silently scale every bounded aggregate *after* bounds are attached.
+
+    The serving-path twin of the calibration harness's ``tamper_scale``
+    negative control: estimates are multiplied by ``scale`` while their
+    ``<alias>_error`` half-widths (computed from the untampered estimates)
+    are left alone, so the answer silently breaks its own promise.  The
+    guard does not notice -- a scaled estimate makes the *relative*
+    half-width look better, not worse -- which is exactly the failure mode
+    only the accuracy auditor can catch.
+
+    Usable as a context manager; :meth:`restore` (or ``__exit__``) removes
+    the shadow.  Note the answer cache: answers cached before the tamper
+    was installed are served untampered (tests should use fresh queries or
+    a cache-disabled system when that matters).
+    """
+
+    def __init__(self, system: AquaSystem, scale: float = 1.1):
+        self.system = system
+        self.scale = float(scale)
+        self._installed = False
+        self.tampered = 0
+
+    def install(self) -> "AnswerTamper":
+        if self._installed:
+            return self
+        original = self.system._attach_error_bounds
+        tamper = self
+
+        def _attach_error_bounds(query, synopsis, result):
+            out = original(query, synopsis, result)
+            columns = dict(out.columns())
+            touched = False
+            for name in list(columns):
+                if name.endswith("_error"):
+                    continue
+                if f"{name}_error" not in out.schema:
+                    continue
+                columns[name] = np.asarray(columns[name]) * tamper.scale
+                touched = True
+            if not touched:
+                return out
+            tamper.tampered += 1
+            return Table(out.schema, columns)
+
+        self.system._attach_error_bounds = _attach_error_bounds
+        self._installed = True
+        return self
+
+    def restore(self) -> None:
+        if self._installed:
+            self.system.__dict__.pop("_attach_error_bounds", None)
+            self._installed = False
+
+    def __enter__(self) -> "AnswerTamper":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.restore()
+        return False
 
 
 def inject(system: AquaSystem, kind: str, table: str) -> InjectedFault:

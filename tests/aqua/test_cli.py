@@ -341,3 +341,71 @@ class TestServeCommand:
         sh.execute_line(".serve on 1")
         sh.close()
         assert sh._service is None
+
+
+@pytest.fixture
+def observed_shell(skewed_table, rng):
+    aqua = AquaSystem(space_budget=500, rng=rng, telemetry=True)
+    aqua.register_table("rel", skewed_table)
+    out = io.StringIO()
+    return AquaShell(aqua, out=out), out, aqua
+
+
+class TestEventAndSloCommands:
+    def test_events_disabled_message(self, shell):
+        sh, out = shell
+        sh.execute_line(".events")
+        assert "event log is disabled" in out.getvalue()
+
+    def test_events_lists_recent_queries(self, observed_shell):
+        sh, out, _aqua = observed_shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".events")
+        text = out.getvalue()
+        assert "ok" in text
+        assert "rel" in text
+        assert "groups" in text
+
+    def test_events_limit_argument(self, observed_shell):
+        sh, out, _aqua = observed_shell
+        for _ in range(3):
+            sh.execute_line("select a, sum(q) s from rel group by a")
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".events 2")
+        lines = [l for l in out.getvalue().splitlines() if l.strip()]
+        assert len(lines) == 2
+
+    def test_events_bad_argument(self, observed_shell):
+        sh, out, _aqua = observed_shell
+        sh.execute_line(".events nope")
+        assert "usage: .events" in out.getvalue()
+
+    def test_slo_without_monitor(self, observed_shell):
+        sh, out, _aqua = observed_shell
+        sh.execute_line(".slo")
+        assert "no SLO monitor attached" in out.getvalue()
+
+    def test_slo_describes_attached_monitor(self, observed_shell):
+        from repro.obs.slo import SLOMonitor
+
+        sh, out, aqua = observed_shell
+        aqua.attach_slo(SLOMonitor())
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".slo")
+        text = out.getvalue()
+        assert "p99_latency_ms" in text
+        assert "bound_violation_rate" in text
+
+    def test_report_renders(self, observed_shell):
+        sh, out, _aqua = observed_shell
+        sh.execute_line("select a, sum(q) s from rel group by a")
+        sh.execute_line(".report")
+        assert "observability report" in out.getvalue()
+
+    def test_help_mentions_new_commands(self, shell):
+        sh, out = shell
+        sh.execute_line(".help")
+        text = out.getvalue()
+        assert ".events" in text
+        assert ".slo" in text
+        assert ".report" in text

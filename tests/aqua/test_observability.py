@@ -296,3 +296,54 @@ class TestOnePassAndTestbedTelemetry:
         assert telemetry.metrics.get(
             "aqua_onepass_rows_total"
         ).value(strategy="congress") == skewed_table.num_rows
+
+
+class TestObservabilityWrapperOverhead:
+    """PR guard: the answer() observability wrapper must stay free when off.
+
+    The wrapper added around ``_answer_pipeline`` (trace-id reservation,
+    event emission, SLO recording, audit offers) is gated on one enablement
+    check per pillar.  With everything disabled the end-to-end cost of
+    ``answer()`` must stay within 5% of calling the bare pipeline."""
+
+    def test_disabled_event_log_emit_is_noop_cheap(self):
+        from repro.obs.events import EventLog
+
+        log = EventLog(enabled=False)
+        start = time.perf_counter()
+        for __ in range(10_000):
+            log.emit(table="rel")
+        elapsed = time.perf_counter() - start
+        assert len(log) == 0
+        assert elapsed < 0.25  # one attribute check per call
+
+    def test_disabled_overhead_within_five_percent(self, skewed_table, rng):
+        aqua = AquaSystem(
+            space_budget=500, rng=rng, telemetry=False, cache=False
+        )
+        aqua.register_table("rel", skewed_table)
+        assert not aqua.telemetry.active
+        assert aqua.auditor is None and aqua.slo is None
+        sql = "SELECT a, SUM(q) AS s FROM rel GROUP BY a"
+        tracer = aqua.telemetry.tracer
+
+        def bare(n):
+            start = time.perf_counter()
+            for __ in range(n):
+                root = tracer.span("answer")
+                with root:
+                    aqua._answer_pipeline(sql, None, tracer, root)
+            return time.perf_counter() - start
+
+        def wrapped(n):
+            start = time.perf_counter()
+            for __ in range(n):
+                aqua.answer(sql)
+            return time.perf_counter() - start
+
+        bare(3), wrapped(3)  # warm caches/JIT'd numpy paths
+        best_bare = min(bare(10) for __ in range(5))
+        best_wrapped = min(wrapped(10) for __ in range(5))
+        # Same-moment A/B with best-of-5 smooths CI scheduler noise; the
+        # absolute floor guards the ratio against sub-microsecond bases.
+        assert best_wrapped <= max(1.05 * best_bare, best_bare + 0.005)

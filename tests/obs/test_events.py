@@ -1,0 +1,153 @@
+"""The structured event log: ring semantics, annotation, sinks, filters."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, QueryEvent
+
+
+def _log(**kwargs):
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("clock", lambda: 123.0)
+    return EventLog(**kwargs)
+
+
+class TestEmit:
+    def test_disabled_log_drops_events(self):
+        log = EventLog(enabled=False)
+        assert log.emit(table="t") is None
+        assert len(log) == 0
+
+    def test_emit_assigns_monotonic_trace_ids(self):
+        log = _log()
+        first = log.emit(table="t")
+        second = log.emit(table="t")
+        assert first.trace_id != second.trace_id
+        assert second.event_id > first.event_id
+
+    def test_reserved_trace_id_is_honoured(self):
+        log = _log()
+        trace_id = log.next_trace_id()
+        event = log.emit(trace_id=trace_id, table="t")
+        assert event.trace_id == trace_id
+        assert log.get(trace_id) is event
+
+    def test_ring_evicts_oldest_and_forgets_its_trace_id(self):
+        log = _log(capacity=3)
+        ids = [log.emit(table="t").trace_id for _ in range(5)]
+        assert len(log) == 3
+        assert log.get(ids[0]) is None
+        assert log.get(ids[1]) is None
+        assert log.get(ids[-1]) is not None
+
+    def test_emit_records_clock_timestamp(self):
+        log = _log(clock=lambda: 42.5)
+        assert log.emit(table="t").timestamp == 42.5
+
+
+class TestAnnotate:
+    def test_annotate_sets_fields_in_place(self):
+        log = _log()
+        event = log.emit(table="t")
+        assert log.annotate(
+            event.trace_id, audited=True, bound_violations=2
+        )
+        assert event.audited is True
+        assert event.bound_violations == 2
+
+    def test_annotate_unknown_trace_is_harmless(self):
+        log = _log()
+        assert log.annotate("q-unknown", audited=True) is False
+        assert log.annotate(None, audited=True) is False
+
+    def test_annotate_unknown_field_raises(self):
+        log = _log()
+        event = log.emit(table="t")
+        with pytest.raises(AttributeError):
+            log.annotate(event.trace_id, not_a_field=1)
+
+
+class TestFilters:
+    def test_filters_by_table_status_and_violations(self):
+        log = _log()
+        log.emit(table="a", status="ok")
+        log.emit(table="b", status="error")
+        violating = log.emit(table="a", status="ok")
+        log.annotate(violating.trace_id, bound_violations=1)
+        assert [e.table for e in log.events(table="a")] == ["a", "a"]
+        assert [e.status for e in log.events(status="error")] == ["error"]
+        assert [e.trace_id for e in log.events(violations_only=True)] == [
+            violating.trace_id
+        ]
+
+    def test_limit_returns_most_recent(self):
+        log = _log()
+        ids = [log.emit(table="t").trace_id for _ in range(5)]
+        assert [e.trace_id for e in log.events(limit=2)] == ids[-2:]
+        assert [e.trace_id for e in log.tail(2)] == ids[-2:]
+
+
+class TestSerialization:
+    def test_to_dict_omits_unset_optionals(self):
+        event = QueryEvent(event_id=1, trace_id="q1", timestamp=0.0)
+        data = event.to_dict()
+        assert "error" not in data
+        assert "synopsis_version" not in data
+        assert "promised_rel_error" not in data
+
+    def test_to_json_round_trips(self):
+        log = _log()
+        event = log.emit(
+            table="t",
+            promised_rel_error={"s": 0.05},
+            stage_seconds={"parse": 0.001},
+        )
+        data = json.loads(event.to_json())
+        assert data["table"] == "t"
+        assert data["promised_rel_error"] == {"s": 0.05}
+
+    def test_to_jsonl_is_one_line_per_event(self):
+        log = _log()
+        log.emit(table="a")
+        log.emit(table="b")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["table"] == "b"
+
+
+class TestFileSink:
+    def test_path_sink_receives_emits_and_annotations(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = _log(sink=str(path))
+        event = log.emit(table="t")
+        log.annotate(event.trace_id, audited=True)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["table"] == "t"
+        assert json.loads(lines[1]) == {
+            "annotate": event.trace_id,
+            "audited": True,
+        }
+
+    def test_file_object_sink_is_not_closed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as handle:
+            log = _log(sink=handle)
+            log.emit(table="t")
+            log.close()
+            assert not handle.closed
+        assert json.loads(path.read_text())["table"] == "t"
+
+
+class TestMaxPromised:
+    def test_max_promised_rel_error(self):
+        event = QueryEvent(
+            event_id=1,
+            trace_id="q1",
+            timestamp=0.0,
+            promised_rel_error={"a": 0.1, "b": 0.3},
+        )
+        assert event.max_promised_rel_error == 0.3
+        bare = QueryEvent(event_id=2, trace_id="q2", timestamp=0.0)
+        assert bare.max_promised_rel_error == float("inf")

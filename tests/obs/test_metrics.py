@@ -205,3 +205,100 @@ class TestPrometheusExposition:
                 assert line.startswith(("# HELP ", "# TYPE "))
             else:
                 assert line_re.match(line), line
+
+
+class TestExpositionStability:
+    def test_nonempty_output_ends_with_trailing_newline(self, registry):
+        registry.counter("a_total").inc()
+        assert registry.to_prometheus().endswith("\n")
+        assert not registry.to_prometheus().endswith("\n\n")
+
+    def test_empty_registry_renders_empty_string(self, registry):
+        assert registry.to_prometheus() == ""
+
+    def test_labels_sorted_by_name(self, registry):
+        registry.counter(
+            "r_total", "", ("tenant", "outcome", "zone")
+        ).inc(tenant="t0", outcome="ok", zone="z1")
+        text = registry.to_prometheus()
+        assert 'r_total{outcome="ok",tenant="t0",zone="z1"} 1\n' in text
+
+    def test_le_label_always_renders_last(self, registry):
+        registry.histogram(
+            "h_seconds", "", ("zz",), buckets=(1.0,)
+        ).observe(0.5, zz="v")
+        text = registry.to_prometheus()
+        # "zz" sorts after "le" alphabetically, but le stays last anyway.
+        assert 'h_seconds_bucket{zz="v",le="1"} 1\n' in text
+
+    def test_metric_families_sorted_by_name(self, registry):
+        registry.counter("z_total").inc()
+        registry.counter("a_total").inc()
+        text = registry.to_prometheus()
+        assert text.index("a_total") < text.index("z_total")
+
+
+class TestExemplars:
+    def test_observe_stores_latest_exemplar_per_bucket(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0, 10.0))
+        hist.observe(0.5, exemplar={"trace_id": "q1"})
+        hist.observe(0.7, exemplar={"trace_id": "q2"})
+        hist.observe(5.0, exemplar={"trace_id": "q3"})
+        stored = hist.exemplars()
+        assert stored["1"] == ({"trace_id": "q2"}, 0.7)
+        assert stored["10"] == ({"trace_id": "q3"}, 5.0)
+
+    def test_overflow_bucket_exemplar(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(99.0, exemplar={"trace_id": "slow"})
+        assert hist.exemplars()["+Inf"] == ({"trace_id": "slow"}, 99.0)
+
+    def test_openmetrics_renders_exemplars_and_eof(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "q0000002a"})
+        text = registry.to_openmetrics()
+        assert (
+            'h_seconds_bucket{le="1"} 1 # {trace_id="q0000002a"} 0.5'
+            in text
+        )
+        assert text.endswith("# EOF\n")
+
+    def test_prometheus_exposition_never_renders_exemplars(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "q1"})
+        assert "# {" not in registry.to_prometheus()
+
+    def test_exemplar_label_values_are_escaped(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(0.5, exemplar={"note": 'quo"te\nnl\\end'})
+        text = registry.to_openmetrics()
+        (line,) = [
+            l
+            for l in text.splitlines()
+            if l.startswith('h_seconds_bucket{le="1"}')
+        ]
+        assert '# {note="quo\\"te\\nnl\\\\end"} 0.5' in line
+
+    def test_observation_without_exemplar_keeps_earlier_one(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "q1"})
+        hist.observe(0.6)
+        assert hist.exemplars()["1"] == ({"trace_id": "q1"}, 0.5)
+
+    def test_collect_carries_exemplars(self, registry):
+        hist = registry.histogram("h_seconds", "", (), buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "q1"})
+        (sample,) = hist.collect()
+        assert sample["exemplars"]["1"] == {
+            "labels": {"trace_id": "q1"},
+            "value": 0.5,
+        }
+
+    def test_labelled_histograms_keep_exemplars_separate(self, registry):
+        hist = registry.histogram(
+            "h_seconds", "", ("table",), buckets=(1.0,)
+        )
+        hist.observe(0.5, exemplar={"trace_id": "qa"}, table="a")
+        hist.observe(0.6, exemplar={"trace_id": "qb"}, table="b")
+        assert hist.exemplars(table="a")["1"][0] == {"trace_id": "qa"}
+        assert hist.exemplars(table="b")["1"][0] == {"trace_id": "qb"}

@@ -1,0 +1,190 @@
+"""SLOs, windowed counts, and multi-window burn-rate alerting."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_RATE_RULES,
+    KIND_BOUND_VIOLATION,
+    KIND_DEGRADED,
+    KIND_LATENCY,
+    BurnRateRule,
+    ObservabilityReport,
+    SLO,
+    SLOMonitor,
+    WindowedCounts,
+    default_slos,
+)
+from repro.serve.deadline import ManualClock
+
+
+class TestSLOValidation:
+    def test_objective_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLO("bad", KIND_DEGRADED, objective=1.0)
+        with pytest.raises(ValueError):
+            SLO("bad", KIND_DEGRADED, objective=0.0)
+
+    def test_latency_slo_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLO("lat", KIND_LATENCY, objective=0.99)
+        slo = SLO("lat", KIND_LATENCY, objective=0.99, threshold_ms=250.0)
+        assert slo.error_budget == pytest.approx(0.01)
+
+    def test_burn_rate_rule_windows_ordered(self):
+        with pytest.raises(ValueError):
+            BurnRateRule("bad", 300.0, 3600.0, 10.0)
+
+    def test_default_slos_cover_the_three_kinds(self):
+        kinds = {slo.kind for slo in default_slos()}
+        assert kinds == {KIND_LATENCY, KIND_BOUND_VIOLATION, KIND_DEGRADED}
+
+
+class TestWindowedCounts:
+    def test_totals_respect_the_window(self):
+        clock = ManualClock()
+        counts = WindowedCounts(bucket_seconds=60, clock=clock)
+        counts.record(good=False, n=5)
+        clock.advance(600)
+        counts.record(good=True, n=3)
+        assert counts.totals(60) == (3, 0)
+        assert counts.totals(3600) == (3, 5)
+
+    def test_old_buckets_are_pruned_past_the_horizon(self):
+        clock = ManualClock()
+        counts = WindowedCounts(
+            bucket_seconds=60, horizon_seconds=300, clock=clock
+        )
+        counts.record(good=False)
+        clock.advance(600)
+        counts.record(good=True)
+        assert counts.totals(10_000) == (1, 0)
+
+    def test_bucket_rollover_is_sharp(self):
+        clock = ManualClock()
+        counts = WindowedCounts(bucket_seconds=60, clock=clock)
+        counts.record(good=False)
+        clock.advance(59)
+        assert counts.totals(0)[1] == 1  # same bucket
+        clock.advance(2)
+        assert counts.totals(0) == (0, 0)  # next bucket, window of one
+
+
+def _monitor(clock):
+    return SLOMonitor(clock=clock)
+
+
+class TestBurnRateAlerts:
+    def test_all_bad_fires_both_windows(self):
+        clock = ManualClock()
+        monitor = _monitor(clock)
+        for _ in range(20):
+            monitor.record_audit(violations=3, groups=5)
+        firing = monitor.firing_alerts()
+        assert any(
+            alert.slo == "bound_violation_rate" and alert.rule.name == "fast"
+            for alert in firing
+        )
+
+    def test_all_good_fires_nothing(self):
+        clock = ManualClock()
+        monitor = _monitor(clock)
+        for _ in range(20):
+            monitor.record_audit(violations=0, groups=5)
+            monitor.record_latency(0.001)
+            monitor.record_served(degraded=False)
+        assert monitor.firing_alerts() == []
+
+    def test_short_window_recovery_clears_the_fast_alert(self):
+        clock = ManualClock()
+        monitor = _monitor(clock)
+        for _ in range(50):
+            monitor.record_audit(violations=1, groups=5)
+        assert any(
+            a.rule.name == "fast" and a.slo == "bound_violation_rate"
+            for a in monitor.firing_alerts()
+        )
+        # A clean recent burst: the 300s short window sees only good
+        # events, so the fast rule stops firing even though the 3600s
+        # long window still carries the bad history.
+        clock.advance(400)
+        for _ in range(200):
+            monitor.record_audit(violations=0, groups=5)
+        firing = {
+            (a.slo, a.rule.name) for a in monitor.firing_alerts()
+        }
+        assert ("bound_violation_rate", "fast") not in firing
+
+    def test_latency_threshold_splits_good_and_bad(self):
+        clock = ManualClock()
+        monitor = _monitor(clock)
+        monitor.record_latency(0.1)  # 100ms < default 250ms
+        monitor.record_latency(1.0)  # 1000ms > 250ms
+        status = next(
+            s for s in monitor.evaluate() if s.slo.kind == KIND_LATENCY
+        )
+        assert (status.good, status.bad) == (1, 1)
+
+    def test_degraded_stream(self):
+        clock = ManualClock()
+        monitor = _monitor(clock)
+        monitor.record_served(degraded=True)
+        monitor.record_served(degraded=False)
+        status = next(
+            s for s in monitor.evaluate() if s.slo.kind == KIND_DEGRADED
+        )
+        assert (status.good, status.bad) == (1, 1)
+
+
+class TestMonitorSurface:
+    def test_register_rejects_duplicate_names(self):
+        monitor = SLOMonitor(clock=ManualClock())
+        with pytest.raises(ValueError):
+            monitor.register(
+                SLO("p99_latency_ms", KIND_DEGRADED, objective=0.9)
+            )
+
+    def test_to_dict_is_json_serializable(self):
+        monitor = SLOMonitor(clock=ManualClock())
+        monitor.record_audit(violations=0, groups=1)
+        payload = json.loads(json.dumps(monitor.to_dict()))
+        assert {s["name"] for s in payload["slos"]} == {
+            "p99_latency_ms",
+            "bound_violation_rate",
+            "degraded_fraction",
+        }
+        assert payload["firing"] == []
+
+    def test_describe_mentions_every_slo(self):
+        monitor = SLOMonitor(clock=ManualClock())
+        text = monitor.describe()
+        assert "p99_latency_ms" in text
+        assert "bound_violation_rate" in text
+        assert "degraded_fraction" in text
+
+    def test_default_rules_are_google_sre_shaped(self):
+        fast, slow = DEFAULT_BURN_RATE_RULES
+        assert fast.threshold > slow.threshold
+        assert fast.long_window_seconds < slow.long_window_seconds
+        assert fast.severity == "page"
+        assert slow.severity == "ticket"
+
+
+class TestObservabilityReport:
+    def test_render_without_sources(self):
+        text = ObservabilityReport().render()
+        assert "observability report" in text
+
+    def test_report_includes_slo_and_events(self):
+        from repro.obs.events import EventLog
+
+        monitor = SLOMonitor(clock=ManualClock())
+        monitor.record_audit(violations=1, groups=2)
+        events = EventLog(enabled=True)
+        events.emit(table="t")
+        report = ObservabilityReport(events=events, slo=monitor)
+        data = report.to_dict()
+        assert data["slo"]["slos"]
+        assert data["events"]["recorded"] == 1
+        assert "bound_violation_rate" in report.render()

@@ -1,0 +1,135 @@
+"""End-to-end: a silent accuracy fault must trip the burn-rate alert.
+
+The acceptance scenario for the observability loop: serve a workload
+through the admission-controlled service with a serve-time tamper
+(estimates silently scaled by 1.1, bounds untouched -- the failure mode
+the guard cannot see), audit every answer, and require that
+
+* the ``bound_violation_rate`` SLO's *fast* burn-rate alert fires within
+  the ManualClock-driven short window,
+* every violating query is visible in the event log with its exemplar
+  trace id in the OpenMetrics exposition, and
+* the identical workload without the tamper fires nothing.
+"""
+
+import numpy as np
+
+from repro.aqua.system import AquaSystem
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.obs.audit import AccuracyAuditor, AuditConfig
+from repro.obs.slo import SLOMonitor
+from repro.serve.deadline import ManualClock
+from repro.serve.service import QueryService, ServiceConfig
+from repro.testing.faults import AnswerTamper
+
+SQL = "SELECT g, SUM(v) AS s FROM t GROUP BY g"
+QUERIES = 10
+
+
+def _stack():
+    """System + ManualClock SLO monitor + synchronous auditor + service."""
+    rng = np.random.default_rng(13)
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    system = AquaSystem(
+        space_budget=3000,
+        rng=np.random.default_rng(17),
+        telemetry=True,
+        cache=False,  # every query must run the (possibly tampered) pipeline
+    )
+    system.register_table(
+        "t",
+        Table(
+            schema,
+            {
+                "g": rng.choice(["a", "b", "c", "d"], size=4000),
+                "v": rng.exponential(10.0, size=4000),
+            },
+        ),
+    )
+    clock = ManualClock()
+    slo = SLOMonitor(clock=clock)
+    system.attach_slo(slo)
+    auditor = AccuracyAuditor(
+        system,
+        AuditConfig(sample_fraction=1.0),
+        slo=slo,
+        rng=np.random.default_rng(19),
+        background=False,
+    )
+    system.attach_auditor(auditor)
+    return system, clock, slo, auditor
+
+
+def _drive(system, clock, auditor, service):
+    for _ in range(QUERIES):
+        service.query(SQL)
+        auditor.drain()
+        clock.advance(10.0)  # 100s total -- inside the 300s fast window
+
+
+class TestTamperedWorkloadTripsTheFastAlert:
+    def test_fast_burn_rate_alert_fires_within_the_window(self):
+        system, clock, slo, auditor = _stack()
+        service = QueryService(
+            system, ServiceConfig(workers=2), sleep=lambda _s: None
+        )
+        try:
+            with AnswerTamper(system, scale=1.1):
+                _drive(system, clock, auditor, service)
+        finally:
+            service.close()
+
+        assert auditor.stats.violating_queries == QUERIES
+        firing = {
+            (alert.slo, alert.rule.name) for alert in slo.firing_alerts()
+        }
+        assert ("bound_violation_rate", "fast") in firing
+
+    def test_violating_queries_are_in_the_event_log_with_exemplars(self):
+        system, clock, _slo, auditor = _stack()
+        service = QueryService(
+            system, ServiceConfig(workers=2), sleep=lambda _s: None
+        )
+        try:
+            with AnswerTamper(system, scale=1.1):
+                _drive(system, clock, auditor, service)
+        finally:
+            service.close()
+
+        violating = system.telemetry.events.events(violations_only=True)
+        assert len(violating) == QUERIES
+        exposition = system.telemetry.metrics.to_openmetrics()
+        exemplar_ids = {
+            event.trace_id
+            for event in violating
+            if f'trace_id="{event.trace_id}"' in exposition
+        }
+        # Exemplars keep only the latest violator per bucket, so at least
+        # one violating trace id must be scrapable -- and every exemplar
+        # must resolve back to a logged violating event.
+        assert exemplar_ids
+        for event in violating:
+            assert event.audited and event.bound_violations > 0
+
+
+class TestCleanWorkloadFiresNothing:
+    def test_no_alerts_without_the_tamper(self):
+        system, clock, slo, auditor = _stack()
+        service = QueryService(
+            system, ServiceConfig(workers=2), sleep=lambda _s: None
+        )
+        try:
+            _drive(system, clock, auditor, service)
+        finally:
+            service.close()
+
+        assert auditor.stats.audited == QUERIES
+        assert auditor.stats.violating_queries == 0
+        assert slo.firing_alerts() == []
+        assert system.telemetry.events.events(violations_only=True) == []

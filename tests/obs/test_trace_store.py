@@ -1,0 +1,86 @@
+"""Tail-based trace retention: policy, provisional ring, promotion."""
+
+from repro.obs.trace import QueryTrace, RetentionPolicy, Tracer, TraceStore
+
+
+def _trace(seconds=0.0):
+    tracer = Tracer(enabled=True)
+    root = tracer.span("answer")
+    with root:
+        pass
+    trace = QueryTrace(root)
+    if seconds:
+        root.seconds = seconds
+    return trace
+
+
+class TestRetentionPolicy:
+    def test_error_beats_degraded_beats_slow(self):
+        policy = RetentionPolicy(slow_threshold_seconds=0.0)
+        trace = _trace()
+        assert policy.reason(trace, degraded=True, error=True) == "error"
+        assert policy.reason(trace, degraded=True, error=False) == "degraded"
+        assert policy.reason(trace, degraded=False, error=False) == "slow"
+
+    def test_fast_clean_trace_is_boring(self):
+        policy = RetentionPolicy(slow_threshold_seconds=10.0)
+        assert policy.reason(_trace(), degraded=False, error=False) is None
+
+    def test_criteria_can_be_disabled(self):
+        policy = RetentionPolicy(
+            slow_threshold_seconds=None,
+            keep_degraded=False,
+            keep_errors=False,
+        )
+        assert policy.reason(_trace(), degraded=True, error=True) is None
+
+
+class TestTraceStore:
+    def test_interesting_traces_retained_immediately(self):
+        store = TraceStore(RetentionPolicy(slow_threshold_seconds=None))
+        reason = store.offer("q1", _trace(), error=True)
+        assert reason == "error"
+        assert store.get("q1") is not None
+        assert store.reason("q1") == "error"
+        assert len(store) == 1
+
+    def test_boring_traces_ride_the_provisional_ring(self):
+        store = TraceStore(RetentionPolicy(slow_threshold_seconds=None))
+        assert store.offer("q1", _trace()) is None
+        assert len(store) == 0  # not retained...
+        assert store.get("q1") is not None  # ...but still reachable
+
+    def test_promote_pins_a_boring_trace_after_the_fact(self):
+        store = TraceStore(RetentionPolicy(slow_threshold_seconds=None))
+        store.offer("q1", _trace())
+        assert store.promote("q1", "bound_violation") is True
+        assert store.reason("q1") == "bound_violation"
+        assert len(store) == 1
+        assert [t for t, _r, _tr in store.retained()] == ["q1"]
+
+    def test_promote_after_ring_eviction_fails_gracefully(self):
+        store = TraceStore(
+            RetentionPolicy(recent_capacity=2, slow_threshold_seconds=None)
+        )
+        store.offer("q1", _trace())
+        store.offer("q2", _trace())
+        store.offer("q3", _trace())  # evicts q1 from the ring
+        assert store.promote("q1", "bound_violation") is False
+        assert store.promote("q3", "bound_violation") is True
+
+    def test_retained_capacity_evicts_oldest(self):
+        store = TraceStore(
+            RetentionPolicy(capacity=2, slow_threshold_seconds=None)
+        )
+        for i in range(4):
+            store.offer(f"q{i}", _trace(), error=True)
+        assert len(store) == 2
+        assert [t for t, _r, _tr in store.retained()] == ["q2", "q3"]
+
+    def test_clear_empties_both_tiers(self):
+        store = TraceStore()
+        store.offer("q1", _trace(), error=True)
+        store.offer("q2", _trace())
+        store.clear()
+        assert len(store) == 0
+        assert store.get("q2") is None

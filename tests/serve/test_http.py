@@ -170,3 +170,75 @@ class TestIntrospectionEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(url, "/nope")
         assert excinfo.value.code == 404
+
+
+class TestEventsEndpoint:
+    def test_events_reflect_served_queries(self, served):
+        _system_, service, url = served
+        service.query(SQL)
+        status, body = _get(url, "/events")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["events"]
+        event = payload["events"][-1]
+        assert event["table"] == "t"
+        assert event["status"] == "ok"
+        assert event["trace_id"].startswith("q")
+
+    def test_events_limit_query_param(self, served):
+        _system_, service, url = served
+        for _ in range(4):
+            service.query(SQL)
+        status, body = _get(url, "/events?limit=2")
+        assert status == 200
+        assert len(json.loads(body)["events"]) == 2
+
+    def test_events_bad_limit_is_400(self, served):
+        _system_, _service, url = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(url, "/events?limit=nope")
+        assert excinfo.value.code == 400
+
+    def test_events_violations_filter(self, served):
+        _system_, service, url = served
+        service.query(SQL)
+        status, body = _get(url, "/events?violations=1")
+        assert status == 200
+        assert json.loads(body)["events"] == []
+
+
+class TestSloEndpoint:
+    def test_slo_404_without_monitor(self, served):
+        _system_, _service, url = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(url, "/slo")
+        assert excinfo.value.code == 404
+
+    def test_slo_reports_compliance(self, served):
+        from repro.obs.slo import SLOMonitor
+
+        system, service, url = served
+        system.attach_slo(SLOMonitor())
+        service.query(SQL)
+        status, body = _get(url, "/slo")
+        assert status == 200
+        payload = json.loads(body)
+        names = {slo["name"] for slo in payload["slos"]}
+        assert "bound_violation_rate" in names
+        assert payload["firing"] == []
+
+
+class TestOpenMetricsEndpoint:
+    def test_openmetrics_format_negotiated_by_query_param(self, served):
+        _system_, service, url = served
+        service.query(SQL)
+        status, body = _get(url, "/metrics?format=openmetrics")
+        assert status == 200
+        assert body.rstrip().endswith(b"# EOF")
+
+    def test_default_format_stays_prometheus(self, served):
+        _system_, service, url = served
+        service.query(SQL)
+        _status, body = _get(url, "/metrics")
+        assert b"# EOF" not in body

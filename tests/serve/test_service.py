@@ -431,7 +431,8 @@ class TestObservability:
             assert "serve_rejected_total" in names
             assert "serve_queue_depth" in names
             text = system.metrics.to_prometheus()
-            assert 'serve_requests_total{tenant="default",outcome="ok"}' in text
+            # Exposition labels are sorted by name for stable output.
+            assert 'serve_requests_total{outcome="ok",tenant="default"}' in text
 
     def test_answer_trace_survives_serving(self):
         system = _system()
