@@ -1,0 +1,138 @@
+"""Streaming benchmark: convergence speed and time-to-first-answer.
+
+For each paper query class (Qg0, Qg2, Qg3) over the skewed ``lineitem``
+table, measures:
+
+* **chunks to 5% relative error** -- how much of the table the stream
+  has to see before every group's half-width is within 5% of its
+  estimate (the online-aggregation payoff: usually well under 100%);
+* **time to first answer** vs **batch latency** -- the latency a client
+  waits before it can show *something*, against the cost of the full
+  ``exact()`` scan.
+
+Emits ``benchmarks/results/BENCH_stream.json``.  Scale with
+``REPRO_SCALE`` as for the other benches.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.experiments import default_table_size
+from repro.synthetic import LineitemConfig, qg0, qg2, qg3
+from repro.synthetic.tpcd import GROUPING_COLUMNS, generate_lineitem
+
+SEED = 4242
+TARGET_REL_ERROR = 0.05
+
+
+@pytest.fixture(scope="module")
+def system():
+    table_size = default_table_size()
+    table = generate_lineitem(
+        LineitemConfig(table_size=table_size, num_groups=27, seed=SEED)
+    )
+    system = AquaSystem(
+        space_budget=max(1000, table_size // 100),
+        rng=np.random.default_rng(SEED + 1),
+        telemetry=False,
+    )
+    system.register_table(
+        "lineitem", table, grouping_columns=GROUPING_COLUMNS
+    )
+    return system
+
+
+def _queries(table_size):
+    # One representative Qg0 (7% selectivity window in the middle of the
+    # key range), plus the two grouped classes.
+    count = max(1, int(0.07 * table_size))
+    start = (table_size - count) // 2
+    return {
+        "Qg0": qg0(start, count).sql,
+        "Qg2": qg2().sql,
+        "Qg3": qg3().sql,
+    }
+
+
+def _stream_profile(system, sql, chunk_rows):
+    """One full stream pass; returns the convergence/latency profile."""
+    system.answer_cache.invalidate()
+    started = time.perf_counter()
+    first_seconds = None
+    chunks_to_target = None
+    fraction_at_target = None
+    emissions = 0
+    for answer in system.sql_stream(
+        sql, chunk_rows=chunk_rows, rng=np.random.default_rng(SEED + 3)
+    ):
+        emissions += 1
+        if first_seconds is None:
+            first_seconds = time.perf_counter() - started
+        rel = answer.max_rel_halfwidth
+        if (
+            chunks_to_target is None
+            and rel == rel
+            and rel <= TARGET_REL_ERROR
+        ):
+            chunks_to_target = answer.chunk_index + 1
+            fraction_at_target = answer.fraction
+    total_seconds = time.perf_counter() - started
+    return {
+        "emissions": emissions,
+        "time_to_first_answer_seconds": first_seconds,
+        "stream_total_seconds": total_seconds,
+        "chunks_to_5pct": chunks_to_target,
+        "fraction_at_5pct": fraction_at_target,
+    }
+
+
+def test_stream_convergence_and_ttfa(system, save_json, save_result):
+    table_size = default_table_size()
+    chunk_rows = max(512, table_size // 32)
+    rows = {}
+    lines = [
+        f"Streaming convergence (T={table_size}, chunk_rows={chunk_rows}, "
+        f"target {TARGET_REL_ERROR:.0%} rel error)",
+        f"{'query':6} {'chunks@5%':>10} {'data@5%':>9} "
+        f"{'TTFA(s)':>9} {'batch(s)':>9} {'speedup':>8}",
+    ]
+    for name, sql in _queries(table_size).items():
+        profile = _stream_profile(system, sql, chunk_rows)
+        batch_started = time.perf_counter()
+        system.exact(sql)
+        batch_seconds = time.perf_counter() - batch_started
+        profile["batch_exact_seconds"] = batch_seconds
+        profile["ttfa_speedup_vs_batch"] = (
+            batch_seconds / profile["time_to_first_answer_seconds"]
+            if profile["time_to_first_answer_seconds"]
+            else None
+        )
+        rows[name] = profile
+
+        # The stream must answer early: the first emission beats (or is
+        # comparable to) the batch scan, and the 5% target -- when the
+        # bound family can certify it -- arrives before the full pass.
+        assert profile["emissions"] >= 3
+        fraction = profile["fraction_at_5pct"]
+        chunks = profile["chunks_to_5pct"]
+        lines.append(
+            f"{name:6} "
+            f"{chunks if chunks is not None else '-':>10} "
+            f"{f'{fraction:.1%}' if fraction is not None else '-':>9} "
+            f"{profile['time_to_first_answer_seconds']:>9.4f} "
+            f"{batch_seconds:>9.4f} "
+            f"{profile['ttfa_speedup_vs_batch']:>8.1f}"
+        )
+    save_json(
+        "BENCH_stream",
+        {
+            "table_size": table_size,
+            "chunk_rows": chunk_rows,
+            "target_rel_error": TARGET_REL_ERROR,
+            "queries": rows,
+        },
+    )
+    save_result("stream_convergence", "\n".join(lines))

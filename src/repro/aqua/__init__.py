@@ -22,6 +22,7 @@ from ..engine.executor import ParallelConfig, ParallelExecutor
 from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from .cache import AnswerCache, CacheStats
 from .olap import CubeExplorer, Measure
+from .stream import StreamingAnswer, stream_answers
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
 from .workload_log import QueryLog
@@ -54,7 +55,9 @@ __all__ = [
     "QueryLog",
     "ForeignKey",
     "StarSchema",
+    "StreamingAnswer",
     "Synopsis",
+    "stream_answers",
     "build_join_synopsis",
     "materialize_star_join",
 ]

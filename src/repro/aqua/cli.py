@@ -10,6 +10,7 @@ Commands inside the shell::
 
     <any SQL>          answer approximately from the synopsis
     .exact <SQL>       answer exactly from the base table
+    .stream <SQL>      answer progressively (online aggregation)
     .serve ...         route queries through the concurrent query service
     .synopsis          describe the installed synopsis
     .health            report synopsis health per table
@@ -44,6 +45,9 @@ _HELP = """commands:
   .explain <SQL>   rewrite strategy, synopsis tables, and operator tree
   .compare <SQL>   run approximately AND exactly; report error + speedup
   .trace <SQL>     answer AND show the per-stage span tree (timings)
+  .stream <SQL>    answer progressively from the base table: one line per
+                   chunk (fraction seen, worst relative halfwidth), then
+                   the final exact table
   .stats [json|prom]  metrics so far (human, JSON, or Prometheus text)
   .parallel [N|off]   show / set parallel scan workers (off = serial)
   .cache [N|off|clear]  show / size / disable / clear the answer cache
@@ -126,6 +130,30 @@ class AquaShell:
                     )
                 else:
                     self._print(f"{rendered}  {sample['value']:.6g}")
+
+    def _handle_stream(self, sql: str) -> None:
+        if not sql:
+            self._print("usage: .stream <SQL>")
+            return
+        last = None
+        for answer in self._aqua.sql_stream(sql):
+            last = answer
+            if answer.final:
+                tag = "exact" if not answer.cache_hit else "exact (cached)"
+                self._print(
+                    f"chunk {answer.chunk_index + 1}/{answer.chunks_total}  "
+                    f"100% seen  {tag}"
+                )
+            else:
+                rel = answer.max_rel_halfwidth
+                rendered = f"{rel:.3%}" if math.isfinite(rel) else "n/a"
+                self._print(
+                    f"chunk {answer.chunk_index + 1}/{answer.chunks_total}  "
+                    f"{answer.fraction:.0%} seen  "
+                    f"worst rel halfwidth {rendered}  [{answer.provenance}]"
+                )
+        if last is not None:
+            self._print_table(last.result)
 
     def _handle_parallel(self, arg: str) -> None:
         if not arg:
@@ -337,6 +365,8 @@ class AquaShell:
                     answer = self._aqua.trace_answer(sql)
                     self._print_table(answer.result)
                     self._print(answer.trace.render())
+            elif line.startswith(".stream"):
+                self._handle_stream(line[len(".stream"):].strip())
             elif line.startswith(".stats"):
                 self._print_stats(line[len(".stats"):].strip())
             elif line.startswith(".parallel"):

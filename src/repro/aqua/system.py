@@ -1681,6 +1681,54 @@ class AquaSystem:
         except CatalogError as exc:
             raise TableNotRegisteredError(str(exc)) from exc
 
+    def sql_stream(
+        self,
+        sql: Union[str, Query],
+        *,
+        chunk_rows: int = 1024,
+        until_rel_error: Optional[float] = None,
+        deadline: Union["Deadline", float, None] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Answer progressively: a stream of converging per-group estimates.
+
+        Online aggregation over the *base* relation (no synopsis): the rows
+        are scanned in one uniform random permutation, cut into
+        ``chunk_rows``-row chunks, and folded through the mergeable
+        group-by partials, so the prefix seen after ``k`` chunks is a
+        simple random sample and every emitted
+        :class:`~repro.aqua.stream.StreamingAnswer` carries unbiased
+        estimates with shrinking CI half-widths (``<alias>_error`` columns,
+        same shape as :meth:`answer` results).
+
+        The terminal emission of a run-to-completion stream is computed by
+        the batch plan executor over the whole relation, making it
+        bit-identical to :meth:`exact` (``final=True``, zero half-widths);
+        it is then stored in the answer cache.  ``until_rel_error`` stops
+        the stream early once every group's relative half-width is at or
+        below the target (``converged=True``, not cached).  A ``deadline``
+        (explicit, or ambient via
+        :func:`~repro.serve.deadline.deadline_scope`) is checked
+        cooperatively between chunks; expiry re-emits the last complete
+        answer with ``provenance="partial"`` instead of raising mid-merge,
+        unless no answer was completed at all (then
+        :class:`~repro.errors.DeadlineExceeded` propagates).
+
+        Raises :class:`~repro.errors.StreamError` before the first chunk
+        for non-streamable queries (nested FROM, no aggregates) or invalid
+        knobs.  See ``docs/STREAMING.md`` for the full emission contract.
+        """
+        from .stream import stream_answers
+
+        return stream_answers(
+            self,
+            sql,
+            chunk_rows=chunk_rows,
+            until_rel_error=until_rel_error,
+            deadline=deadline,
+            rng=rng,
+        )
+
     def _attach_error_bounds(
         self, query: Query, synopsis: Synopsis, result: Table
     ) -> Table:

@@ -20,6 +20,7 @@ __all__ = [
     "StaleSynopsisError",
     "SynopsisCorruptError",
     "GuardViolationError",
+    "StreamError",
     "TransientError",
     "ServeError",
     "OverloadError",
@@ -51,6 +52,16 @@ class SynopsisCorruptError(AquaError):
 
 class GuardViolationError(AquaError):
     """An answer failed the guard policy and every fallback is disabled."""
+
+
+class StreamError(AquaError):
+    """A query cannot be answered progressively by ``sql_stream``.
+
+    Raised for non-streamable shapes (nested FROM subqueries, no
+    aggregates, joins) and invalid streaming knobs (``chunk_rows < 1``,
+    non-positive ``until_rel_error``) -- always before the first chunk,
+    so a caller never sees a half-emitted stream die on a bad argument.
+    """
 
 
 class TransientError(AquaError):

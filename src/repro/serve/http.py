@@ -21,6 +21,9 @@ any other ``AquaError``        500
 Endpoints::
 
     POST /query    {"sql": ..., "tenant": ..., "deadline_seconds": ...}
+    POST /query?stream=1
+                   progressive answers as chunked NDJSON, one event per
+                   emission (body may add "chunk_rows", "until_rel_error")
     GET  /stats    service counters as JSON
     GET  /health   liveness + in-flight count
     GET  /metrics  Prometheus text exposition of the system registry
@@ -35,6 +38,7 @@ Run a demo server with ``python -m repro.serve``.
 
 from __future__ import annotations
 
+import itertools
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
@@ -48,6 +52,7 @@ from ..errors import (
     DeadlineExceeded,
     OverloadError,
     RateLimitExceeded,
+    StreamError,
     SynopsisMissingError,
     TableNotRegisteredError,
 )
@@ -81,6 +86,31 @@ def _result_payload(result: ServeResult) -> dict:
     }
 
 
+def _stream_event(answer) -> dict:
+    """One NDJSON event for a ``StreamingAnswer`` emission."""
+    table = answer.result
+    max_rel = answer.max_rel_halfwidth
+    return {
+        "columns": list(table.schema.names),
+        "rows": [
+            [_json_value(value) for value in row] for row in table.iter_rows()
+        ],
+        "chunk_index": answer.chunk_index,
+        "chunks_total": answer.chunks_total,
+        "rows_seen": answer.rows_seen,
+        "rows_total": answer.rows_total,
+        "fraction": answer.fraction,
+        "provenance": answer.provenance,
+        "final": answer.final,
+        "converged": answer.converged,
+        "max_rel_halfwidth": None if max_rel != max_rel else max_rel,
+        "confidence": answer.confidence,
+        "bound_method": answer.bound_method,
+        "elapsed_seconds": answer.elapsed_seconds,
+        "cache_hit": answer.cache_hit,
+    }
+
+
 def _status_for(error: BaseException) -> Tuple[int, str]:
     """(HTTP status, machine-readable error kind) for a taxonomy error."""
     if isinstance(error, (OverloadError, RateLimitExceeded)):
@@ -91,7 +121,7 @@ def _status_for(error: BaseException) -> Tuple[int, str]:
         return 503, "CircuitOpenError"
     if isinstance(error, (TableNotRegisteredError, SynopsisMissingError)):
         return 404, type(error).__name__
-    if isinstance(error, (SqlError, QueryError)):
+    if isinstance(error, (SqlError, QueryError, StreamError)):
         return 400, type(error).__name__
     return 500, type(error).__name__
 
@@ -134,9 +164,12 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path.rstrip("/") != "/query":
+        raw_path, _, raw_query = self.path.partition("?")
+        if raw_path.rstrip("/") != "/query":
             self._send_json(404, {"error": "NotFound", "message": self.path})
             return
+        options = parse_qs(raw_query)
+        streaming = options.get("stream", [""])[0] in ("1", "true")
         try:
             length = int(self.headers.get("Content-Length", "0"))
             if length > _MAX_BODY_BYTES:
@@ -147,9 +180,20 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("'sql' must be a string")
             tenant = request.get("tenant", "default")
             deadline = request.get("deadline_seconds")
+            chunk_rows = int(request.get("chunk_rows", 1024))
+            until_rel_error = request.get("until_rel_error")
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
             self._send_json(
                 400, {"error": "BadRequest", "message": str(exc)}
+            )
+            return
+        if streaming:
+            self._stream_query(
+                sql,
+                tenant=tenant,
+                deadline=deadline,
+                chunk_rows=chunk_rows,
+                until_rel_error=until_rel_error,
             )
             return
         try:
@@ -158,6 +202,56 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
             return
         self._send_json(200, _result_payload(result))
+
+    def _stream_query(
+        self, sql, *, tenant, deadline, chunk_rows, until_rel_error
+    ) -> None:
+        """``POST /query?stream=1``: chunked NDJSON, one event per answer.
+
+        Admission failures (429s), bad SQL, and un-streamable queries
+        surface as ordinary JSON error responses: the first emission is
+        pulled eagerly, before the 200 is committed, so any error that
+        precedes it still maps through ``_status_for``.  Once the chunked
+        framing is committed, a mid-stream failure can only truncate the
+        stream -- clients detect completeness by the terminal event's
+        ``final``/``converged``/``provenance`` fields.
+        """
+        try:
+            answers = iter(
+                self.service.stream(
+                    sql,
+                    tenant=tenant,
+                    deadline=deadline,
+                    chunk_rows=chunk_rows,
+                    until_rel_error=until_rel_error,
+                )
+            )
+            first = next(answers, None)
+        except (AquaError, SqlError, QueryError, TypeError) as exc:
+            self._send_error_json(exc)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            replay = () if first is None else (first,)
+            for answer in itertools.chain(replay, answers):
+                self._write_chunk(
+                    json.dumps(_stream_event(answer)).encode("utf-8") + b"\n"
+                )
+        except AquaError:
+            # Mid-stream failure after headers: close the chunked framing
+            # so the client sees a complete (if short) stream; the last
+            # event's flags tell it whether the answer was final.
+            pass
+        self._write_chunk(b"")
+
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunked-transfer frame (empty data = terminator)."""
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         raw_path, _, raw_query = self.path.partition("?")

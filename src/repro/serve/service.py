@@ -55,6 +55,7 @@ from ..errors import (
     OverloadError,
     RateLimitExceeded,
     ServeError,
+    StreamError,
     SynopsisMissingError,
     TableNotRegisteredError,
 )
@@ -393,6 +394,137 @@ class QueryService:
     ) -> ServeResult:
         """Blocking convenience wrapper: submit and wait for the answer."""
         return self.submit(sql, tenant=tenant, deadline=deadline).result()
+
+    def stream(
+        self,
+        sql: Union[str, Query],
+        *,
+        tenant: str = DEFAULT_TENANT,
+        deadline: Union[Deadline, float, None] = None,
+        chunk_rows: int = 1024,
+        until_rel_error: Optional[float] = None,
+    ):
+        """Serve a query progressively: a generator of ``StreamingAnswer``s.
+
+        Admission mirrors :meth:`submit` -- rate limiting, one admission
+        slot (held for the whole stream, released when the generator
+        closes), and the same 429 rejections -- but streams never degrade:
+        they are *already* the progressive answer, so a deep queue or an
+        open circuit breaker refuses new streams outright with
+        :class:`~repro.errors.OverloadError` instead of shedding quality.
+        The stream runs on the consumer's thread (each ``next()`` computes
+        one chunk), so a slow consumer costs itself, not a pool worker.
+
+        A deadline expiring mid-stream ends the stream with the last
+        complete answer re-emitted under ``partial`` provenance (see
+        :meth:`AquaSystem.sql_stream`); the breaker records that as a
+        success -- the contract was honored, only the budget ran out.
+        """
+        if self._closed:
+            raise ServeError("query service is shut down")
+        try:
+            self._limiter.admit(tenant)
+        except RateLimitExceeded:
+            self._note_rejected(OUTCOME_REJECTED_RATE_LIMIT, tenant)
+            raise
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        table = query.base_table_name()
+        breaker = self.breaker(table)
+        if not breaker.allow_full_service():
+            self._note_rejected(OUTCOME_REJECTED_OVERLOAD, tenant)
+            raise OverloadError(
+                f"circuit breaker for table {table!r} is open "
+                f"({breaker.open_reason}); streams have no degraded mode, "
+                "retry shortly",
+                retry_after_seconds=0.05,
+            )
+        admitted_depth = self._acquire_slot()
+        if admitted_depth is None:
+            self._note_rejected(OUTCOME_REJECTED_OVERLOAD, tenant)
+            raise OverloadError(
+                f"admission queue is full ({self.config.capacity} slots); "
+                "stream rejected",
+                retry_after_seconds=max(
+                    self.config.admission_timeout_seconds, 0.05
+                ),
+            )
+        shed_at = self.config.degrade_queue_fraction
+        if (
+            shed_at is not None
+            and admitted_depth >= shed_at * self.config.capacity
+        ):
+            self._release_slot()
+            self._note_rejected(OUTCOME_REJECTED_OVERLOAD, tenant)
+            raise OverloadError(
+                f"admission queue is {admitted_depth}/{self.config.capacity} "
+                "deep; new streams are shed under load",
+                retry_after_seconds=max(
+                    self.config.admission_timeout_seconds, 0.05
+                ),
+            )
+        self._note_admitted(admitted_depth)
+        return self._stream(
+            query,
+            tenant=tenant,
+            table=table,
+            breaker=breaker,
+            deadline=self._resolve_deadline(deadline),
+            chunk_rows=chunk_rows,
+            until_rel_error=until_rel_error,
+        )
+
+    def _stream(
+        self,
+        query: Query,
+        *,
+        tenant: str,
+        table: str,
+        breaker: CircuitBreaker,
+        deadline: Optional[Deadline],
+        chunk_rows: int,
+        until_rel_error: Optional[float],
+    ):
+        """The post-admission generator half of :meth:`stream`.
+
+        Split out so admission errors raise at call time (before the first
+        ``next()``), the way :meth:`submit` raises its 429s eagerly.
+        """
+        start = self._clock()
+        outcome = OUTCOME_OK
+        stage: Optional[str] = None
+        try:
+            answers = self.system.sql_stream(
+                query,
+                chunk_rows=chunk_rows,
+                until_rel_error=until_rel_error,
+                deadline=deadline,
+            )
+            last = None
+            for answer in answers:
+                last = answer
+                yield answer
+            if last is not None and last.provenance == "partial":
+                outcome = OUTCOME_DEADLINE
+                stage = "stream_chunk"
+            breaker.record_success()
+        except DeadlineExceeded as exc:
+            # Expired before the first complete answer: nothing to re-emit.
+            outcome, stage = OUTCOME_DEADLINE, exc.stage
+            breaker.record_success()
+            raise
+        except (SqlError, QueryError, StreamError, TableNotRegisteredError):
+            outcome = OUTCOME_INVALID
+            raise
+        except AquaError:
+            outcome = OUTCOME_ERROR
+            breaker.record_failure()
+            raise
+        finally:
+            self._observe_breaker(table, breaker)
+            self._note_outcome(
+                outcome, tenant, seconds=self._clock() - start, stage=stage
+            )
+            self._release_slot()
 
     # -- admission -----------------------------------------------------------
 

@@ -293,6 +293,12 @@ class SlowScanTable(Table):
         self._slow.toll()
         return super().column(name)
 
+    def take(self, indices) -> "SlowScanTable":
+        # Chunked streaming cuts its per-chunk row subsets with take(), so
+        # a streamed scan of a slow table must charge the clock per chunk.
+        self._slow.toll()
+        return SlowScanTable(super().take(indices), _state=self._slow)
+
     def project(self, names) -> "SlowScanTable":
         self._slow.toll()
         return SlowScanTable(super().project(names), _state=self._slow)
@@ -320,6 +326,7 @@ class ServiceFaultInjector:
             "injected transient fault"
         )
         self._slow_tables: Dict[str, Table] = {}
+        self._slow_bases: Dict[str, Table] = {}
 
     # -- fault constructors --------------------------------------------------
 
@@ -377,6 +384,28 @@ class ServiceFaultInjector:
         self._slow_tables.setdefault(sample_name, original)
         return slow
 
+    def slow_base_scan(
+        self,
+        name: str,
+        cost_seconds: float,
+        clock: ManualClock,
+        stage: str = "scan",
+    ) -> SlowScanTable:
+        """Replace ``name``'s *base* relation with a :class:`SlowScanTable`.
+
+        The streaming path (:meth:`AquaSystem.sql_stream`) scans the base
+        relation, not the synopsis sample, so mid-stream deadline tests
+        slow the base: each chunk cut then advances ``clock`` by
+        ``cost_seconds`` and checks the active deadline.
+        """
+        state = self.system._state(name)
+        original = state.table
+        slow = SlowScanTable(original, clock, cost_seconds, stage)
+        state.table = slow
+        self.system.catalog.register(name, slow, replace=True)
+        self._slow_bases.setdefault(name, original)
+        return slow
+
     # -- teardown ------------------------------------------------------------
 
     def restore(self) -> None:
@@ -392,6 +421,10 @@ class ServiceFaultInjector:
         for sample_name, original in self._slow_tables.items():
             self.system.catalog.register(sample_name, original, replace=True)
         self._slow_tables.clear()
+        for name, original in self._slow_bases.items():
+            self.system._state(name).table = original
+            self.system.catalog.register(name, original, replace=True)
+        self._slow_bases.clear()
 
     def __enter__(self) -> "ServiceFaultInjector":
         return self

@@ -21,6 +21,7 @@ CASES = [
     ("star_schema_rollup.py", "join"),
     ("olap_drilldown.py", "workload-tuned allocation ready"),
     ("budget_calibration.py", "recommended rewrite strategy"),
+    ("stream_demo.py", "bit-identical to exact()"),
 ]
 
 

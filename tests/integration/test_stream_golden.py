@@ -1,0 +1,143 @@
+"""Golden regression for the streaming convergence trajectory (ISSUE 8).
+
+A seeded Zipf-skewed ``lineitem`` table (the paper's Table 1 shape) is
+streamed through ``sql_stream`` on ``Q_g2``; every per-chunk estimate and
+error half-width along the trajectory is compared against a checked-in
+golden file at 1e-9 relative.  This pins the whole streaming pipeline --
+permutation, chunking, partial merge, expansion estimates, bound
+half-widths, and the exact landing -- against silent numerical drift.
+
+Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_stream_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.synthetic.queries import qg2
+from repro.synthetic.tpcd import GROUPING_COLUMNS, LineitemConfig, generate_lineitem
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "stream_zipf.json"
+TOLERANCE = 1e-9
+
+SEED = 20260806
+TABLE_SIZE = 8_000
+CHUNK_ROWS = 1_500
+
+
+def _lineitem():
+    return generate_lineitem(
+        LineitemConfig(
+            table_size=TABLE_SIZE, num_groups=27, group_skew=1.0, seed=SEED
+        )
+    )
+
+
+def _table_payload(table) -> dict:
+    out = {}
+    for name in table.schema.names:
+        values = np.asarray(table.column(name))
+        if values.dtype.kind == "f":
+            out[name] = [float(x) for x in values]
+        else:
+            out[name] = [str(x) for x in values]
+    return out
+
+
+def compute_golden() -> dict:
+    system = AquaSystem(
+        space_budget=500, rng=np.random.default_rng(SEED + 1), telemetry=False
+    )
+    system.register_table(
+        "lineitem", _lineitem(), grouping_columns=GROUPING_COLUMNS
+    )
+    trajectory = []
+    for answer in system.sql_stream(
+        qg2().sql, chunk_rows=CHUNK_ROWS, rng=np.random.default_rng(SEED + 2)
+    ):
+        max_rel = answer.max_rel_halfwidth
+        trajectory.append(
+            {
+                "chunk_index": answer.chunk_index,
+                "rows_seen": answer.rows_seen,
+                "rows_total": answer.rows_total,
+                "provenance": answer.provenance,
+                "final": answer.final,
+                "bound_method": answer.bound_method,
+                "max_rel_halfwidth": (
+                    None if max_rel != max_rel else float(max_rel)
+                ),
+                "result": _table_payload(answer.result),
+            }
+        )
+    return {
+        "seed": SEED,
+        "table_size": TABLE_SIZE,
+        "chunk_rows": CHUNK_ROWS,
+        "sql": qg2().sql,
+        "trajectory": trajectory,
+    }
+
+
+def _assert_close(expected, actual, path):
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{path}: keys drifted"
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: length drifted"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        if expected != expected:  # NaN golden
+            assert actual != actual, f"{path}: {actual} != NaN"
+        else:
+            assert actual == pytest.approx(
+                expected, rel=TOLERANCE, abs=TOLERANCE
+            ), f"{path}: {actual} drifted from golden {expected}"
+    else:
+        assert expected == actual, f"{path}: {actual} != {expected}"
+
+
+class TestStreamGolden:
+    def test_matches_golden_file(self):
+        actual = compute_golden()
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(actual, indent=1, sort_keys=True))
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing; regenerate with REPRO_REGEN_GOLDENS=1 "
+            f"({GOLDEN_PATH})"
+        )
+        expected = json.loads(GOLDEN_PATH.read_text())
+        _assert_close(expected, actual, "golden")
+
+    def test_trajectory_shape(self):
+        """The trajectory itself satisfies the emission contract."""
+        actual = compute_golden()
+        trajectory = actual["trajectory"]
+        assert len(trajectory) >= 3
+        rows = [step["rows_seen"] for step in trajectory]
+        assert rows == sorted(rows)
+        rels = [
+            step["max_rel_halfwidth"]
+            for step in trajectory
+            if step["max_rel_halfwidth"] is not None
+        ]
+        assert all(b <= a for a, b in zip(rels, rels[1:]))
+        assert trajectory[-1]["final"]
+        assert trajectory[-1]["provenance"] == "exact"
+        assert trajectory[-1]["max_rel_halfwidth"] == 0.0
+
+    def test_golden_is_deterministic(self):
+        first = compute_golden()
+        second = compute_golden()
+        _assert_close(first, second, "repeat")
