@@ -22,7 +22,13 @@ import pytest
 from repro import AquaSystem, Telemetry
 from repro.engine import Catalog, parse_query
 from repro.experiments import default_table_size
-from repro.plan import execute_plan, lower_query, optimize, render_plan
+from repro.plan import (
+    CostModel,
+    execute_plan,
+    lower_query,
+    optimize,
+    render_plan,
+)
 from repro.synthetic import LineitemConfig, generate_lineitem
 from repro.synthetic.tpcd import GROUPING_COLUMNS
 
@@ -100,6 +106,41 @@ def test_planner_bench_json(testbed, save_json, save_result):
     best = max(data["speedup"] for data in per_query.values())
     assert best >= 1.3, f"optimized plans only {best:.2f}x faster than naive"
 
+    # -- cost-gated optimization: the Qg0 non-regression ----------------------
+    # With a cost model wired in, a rule the model predicts to slow the
+    # plan is never applied, so the gated plan must never lose to the
+    # naive one.  Identical plans are scored exactly 1.0x (measuring the
+    # same plan twice would only report timer noise); differing plans are
+    # measured, with one re-measurement as the noise guard.
+    model = CostModel.from_catalog(catalog)
+    cost_gated = {}
+    for name, sql in queries.items():
+        query = parse_query(sql)
+        naive = lower_query(query, catalog)
+        gated = optimize(naive, cost_model=model)
+        assert model.cost(gated) <= model.cost(naive)
+        if gated == naive:
+            speedup, gated_ms = 1.0, per_query[name]["naive_ms"]
+        else:
+            assert execute_plan(gated, catalog) == execute_plan(naive, catalog)
+            gated_s = _median_seconds(lambda: execute_plan(gated, catalog))
+            naive_s = per_query[name]["naive_ms"] / 1000
+            if gated_s > naive_s:  # re-measure once before concluding
+                gated_s = min(
+                    gated_s,
+                    _median_seconds(lambda: execute_plan(gated, catalog)),
+                )
+            speedup, gated_ms = naive_s / gated_s, gated_s * 1000
+        cost_gated[name] = {
+            "gated_ms": gated_ms,
+            "speedup": speedup,
+            "plan_changed": gated != naive,
+        }
+    assert cost_gated["Qg0_paper"]["speedup"] >= 1.0, (
+        f"cost-gated optimizer slowed Qg0: "
+        f"{cost_gated['Qg0_paper']['speedup']:.2f}x"
+    )
+
     # -- plan-cache hit latency, measured on the answer path ------------------
     aqua = AquaSystem(
         space_budget=int(round(SELECTIVITY * table_size)),
@@ -130,6 +171,7 @@ def test_planner_bench_json(testbed, save_json, save_result):
             "repeats": REPEATS,
         },
         "queries": per_query,
+        "cost_gated": cost_gated,
         "plan_cache": {
             "miss_ms": miss_s * 1000,
             "hit_ms": hit_s * 1000,
@@ -149,6 +191,10 @@ def test_planner_bench_json(testbed, save_json, save_result):
             f"{name:<10s} {data['naive_ms']:>9.2f} "
             f"{data['optimized_ms']:>13.2f} {data['speedup']:>7.2f}x"
         )
+    lines.append(
+        f"cost-gated Qg0: {cost_gated['Qg0_paper']['speedup']:.2f}x "
+        f"vs naive (>= 1.0x required)"
+    )
     lines.append(
         f"plan cache: miss {miss_s * 1000:.3f} ms, "
         f"hit {hit_s * 1000:.3f} ms"

@@ -22,6 +22,14 @@ from ..engine.executor import ParallelConfig, ParallelExecutor
 from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from .cache import AnswerCache, CacheStats
 from .olap import CubeExplorer, Measure
+from .portfolio import (
+    CostErrorModel,
+    PortfolioChoice,
+    PortfolioMember,
+    SynopsisPortfolio,
+    SynopsisSpec,
+    default_portfolio_specs,
+)
 from .stream import StreamingAnswer, stream_answers
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
@@ -50,9 +58,15 @@ __all__ = [
     "PROVENANCE_REPAIRED",
     "PROVENANCE_EXACT",
     "validate_sample",
+    "CostErrorModel",
     "CubeExplorer",
     "Measure",
+    "PortfolioChoice",
+    "PortfolioMember",
     "QueryLog",
+    "SynopsisPortfolio",
+    "SynopsisSpec",
+    "default_portfolio_specs",
     "ForeignKey",
     "StarSchema",
     "StreamingAnswer",

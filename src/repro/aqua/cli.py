@@ -13,6 +13,8 @@ Commands inside the shell::
     .stream <SQL>      answer progressively (online aggregation)
     .serve ...         route queries through the concurrent query service
     .synopsis          describe the installed synopsis
+    .portfolio         describe / build synopsis portfolios; answer
+                       under an error budget (.portfolio 0.1 SELECT ...)
     .health            report synopsis health per table
     .tables            list catalog tables
     .budget            show the space budget
@@ -57,6 +59,11 @@ _HELP = """commands:
   .slo             SLO compliance and firing burn-rate alerts
   .report          full observability report (events + SLOs + audit)
   .synopsis        describe the installed synopsis
+  .portfolio [build [table]]  describe synopsis portfolios / build the
+                   stock fine/mid/coarse ladder for a table
+  .portfolio <e> <SQL>  answer under an error budget: the cheapest
+                   portfolio member predicted to keep the worst group
+                   relative error <= e (e.g. .portfolio 0.1 SELECT ...)
   .health          synopsis health per table (coverage, drift, issues)
   .tables          list registered tables
   .budget          show the space budget
@@ -302,6 +309,58 @@ class AquaShell:
             return
         self._print(slo.describe())
 
+    def _handle_portfolio(self, args: str) -> None:
+        """``.portfolio`` / ``.portfolio build [table]`` / ``.portfolio <e> <SQL>``."""
+        if not args:
+            names = self._aqua.table_names()
+            described = 0
+            for name in names:
+                if self._aqua.has_portfolio(name):
+                    self._print(self._aqua.portfolio(name).describe())
+                    described += 1
+            if not described:
+                self._print(
+                    "no portfolios built; use .portfolio build [table]"
+                )
+            return
+        parts = args.split(None, 1)
+        if parts[0] == "build":
+            names = (
+                [parts[1].strip()]
+                if len(parts) > 1
+                else self._aqua.table_names()
+            )
+            for name in names:
+                portfolio = self._aqua.build_portfolio(name)
+                self._print(portfolio.describe())
+            return
+        try:
+            budget = float(parts[0])
+        except ValueError:
+            self._print("usage: .portfolio [build [table]] | .portfolio <e> <SQL>")
+            return
+        if len(parts) < 2:
+            self._print("usage: .portfolio <e> <SQL>")
+            return
+        answer = self._aqua.answer(parts[1], max_rel_error=budget)
+        self._print_table(answer.result)
+        predicted = (
+            f"{answer.predicted_rel_error:.3g}"
+            if answer.predicted_rel_error is not None
+            and math.isfinite(answer.predicted_rel_error)
+            else "n/a"
+        )
+        promised = answer.promised_rel_error
+        promised_text = f"{promised:.3g}" if promised is not None else "n/a"
+        self._print(
+            f"[member {answer.chosen_synopsis!r}; predicted rel error "
+            f"{predicted}, promised {promised_text}]"
+        )
+        self._print(
+            f"[budget {budget:g}; {answer.confidence:.0%} confidence, "
+            f"{answer.elapsed_seconds * 1000:.1f} ms]"
+        )
+
     def _handle_report(self) -> None:
         from ..obs.slo import ObservabilityReport
 
@@ -373,6 +432,8 @@ class AquaShell:
                 self._handle_parallel(line[len(".parallel"):].strip())
             elif line.startswith(".cache"):
                 self._handle_cache(line[len(".cache"):].strip())
+            elif line.startswith(".portfolio"):
+                self._handle_portfolio(line[len(".portfolio"):].strip())
             elif line.startswith(".serve"):
                 self._handle_serve(line[len(".serve"):].strip())
             elif line.startswith(".events"):

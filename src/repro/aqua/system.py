@@ -60,6 +60,7 @@ from ..estimators.errors import (
 from ..estimators.point import estimate, group_support
 from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from ..plan import (
+    CostModel,
     PlanCache,
     execute_plan,
     lower_query,
@@ -91,6 +92,13 @@ from .guard import (
     observe_guard,
     validate_sample,
 )
+from .portfolio import (
+    CostErrorModel,
+    PortfolioChoice,
+    SynopsisPortfolio,
+    SynopsisSpec,
+    default_portfolio_specs,
+)
 from .synopsis import Synopsis
 from .workload_log import QueryLog
 
@@ -101,16 +109,53 @@ __all__ = [
     "AquaError",
     "CacheStats",
     "ComparisonReport",
+    "CostErrorModel",
     "GuardPolicy",
     "GuardReport",
     "ParallelConfig",
     "PlanCache",
+    "PortfolioChoice",
     "RefreshPolicy",
     "SynopsisHealth",
+    "SynopsisPortfolio",
+    "SynopsisSpec",
     "Telemetry",
 ]
 
 _SCALED_AGGREGATES = ("sum", "count", "avg")
+
+
+def promised_rel_error_by_alias(result: Table) -> Dict[str, float]:
+    """Worst finite per-group relative half-width, per aggregate alias.
+
+    Zero-valued and non-finite groups are skipped (their relative error is
+    undefined); an alias absent from the returned dict made no finite
+    promise at all.
+    """
+    promised: Dict[str, float] = {}
+    for name in result.schema.names:
+        if not name.endswith("_error"):
+            continue
+        alias = name[: -len("_error")]
+        if alias not in result.schema:
+            continue
+        halfwidths = result.column(name)
+        estimates = result.column(alias)
+        worst = -1.0
+        for i in range(result.num_rows):
+            halfwidth = float(halfwidths[i])
+            try:
+                value = float(estimates[i])
+            except (TypeError, ValueError):
+                continue
+            if not (math.isfinite(halfwidth) and math.isfinite(value)):
+                continue
+            if value == 0.0:
+                continue
+            worst = max(worst, halfwidth / abs(value))
+        if worst >= 0.0:
+            promised[alias] = worst
+    return promised
 
 
 @dataclass
@@ -134,6 +179,11 @@ class ApproximateAnswer:
             event log is disabled); shared with metric exemplars, retained
             traces, and audit back-annotations.
         cache_hit: served from the answer cache without recomputation.
+        chosen_synopsis: the portfolio member that served this answer
+            (``None`` when answered without a budget, i.e. off the primary
+            synopsis).
+        predicted_rel_error: the cost/error model's worst-group prediction
+            for the chosen member (``None`` without a portfolio choice).
     """
 
     result: Table
@@ -144,11 +194,25 @@ class ApproximateAnswer:
     trace: Optional[QueryTrace] = None
     trace_id: Optional[str] = None
     cache_hit: bool = False
+    chosen_synopsis: Optional[str] = None
+    predicted_rel_error: Optional[float] = None
 
     @property
     def provenance_counts(self) -> Dict[str, int]:
         """Answer groups per provenance tag (empty when unguarded)."""
         return self.guard.counts if self.guard is not None else {}
+
+    @property
+    def promised_rel_error(self) -> Optional[float]:
+        """Worst promised relative error across aggregates and groups.
+
+        The answer's actual promise (from the attached ``<alias>_error``
+        columns), as opposed to the model's *prediction*; ``None`` when no
+        aggregate made a finite promise.  Repaired/exact groups carry zero
+        half-widths, so guard escalation tightens this value.
+        """
+        promised = promised_rel_error_by_alias(self.result)
+        return max(promised.values()) if promised else None
 
     @property
     def total_seconds(self) -> float:
@@ -312,6 +376,7 @@ class AquaSystem:
         self._tables: Dict[str, _TableState] = {}
         self._synopses: Dict[str, Synopsis] = {}
         self._query_logs: Dict[str, QueryLog] = {}
+        self._portfolios: Dict[str, SynopsisPortfolio] = {}
         if telemetry is None or telemetry is False:
             self.telemetry = Telemetry.disabled()
         elif telemetry is True:
@@ -634,6 +699,205 @@ class AquaSystem:
                 f"table {name!r} is not registered"
             ) from None
 
+    # -- synopsis portfolio --------------------------------------------------
+
+    def portfolio(self, name: str) -> SynopsisPortfolio:
+        """The table's synopsis portfolio (see :meth:`build_portfolio`)."""
+        portfolio = self._portfolios.get(name)
+        if portfolio is None:
+            self._state(name)  # typed error for unregistered tables
+            raise SynopsisMissingError(
+                f"no portfolio built for table {name!r}; call "
+                "build_portfolio() before answering with "
+                "max_rel_error/max_ms budgets"
+            )
+        return portfolio
+
+    def has_portfolio(self, name: str) -> bool:
+        return name in self._portfolios
+
+    def build_portfolio(
+        self,
+        name: str,
+        specs: Optional[Sequence[SynopsisSpec]] = None,
+    ) -> SynopsisPortfolio:
+        """(Re)build a multi-member synopsis portfolio for a table.
+
+        Each :class:`~repro.aqua.portfolio.SynopsisSpec` becomes one
+        congressional sample -- its own allocation strategy, tuple budget,
+        and (optionally) grouping-column subset -- installed as regular
+        catalog relations under ``{table}__pf_{member}`` names.  With
+        ``specs=None`` the stock ladder from
+        :func:`~repro.aqua.portfolio.default_portfolio_specs` is used
+        (``fine``/``mid``/``coarse``, plus a workload-hot member when the
+        table's query log shows a dominant grouping).
+
+        Pending inserts are flushed first so every member covers the same
+        base rows; the table's data version is bumped afterwards, so
+        cached answers and cached budget resolutions from before the build
+        can never be served again.
+        """
+        state = self._state(name)
+        self._flush_pending(name)
+        workload = self.query_log(name)
+        if specs is None:
+            specs = default_portfolio_specs(
+                self._budget, state.grouping_columns, workload
+            )
+        if len(specs) < 1:
+            raise AquaError("build_portfolio needs at least one spec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise AquaError(f"duplicate portfolio member names: {names}")
+        existing = self._portfolios.get(name)
+        model = (
+            existing.model
+            if existing is not None
+            else CostErrorModel(confidence=self._confidence)
+        )
+        portfolio = SynopsisPortfolio(
+            base_name=name, model=model, workload=workload
+        )
+        start = time.perf_counter()
+        with self.telemetry.tracer.span(
+            "build_portfolio", table=name, members=len(specs)
+        ):
+            for spec in specs:
+                synopsis = self._build_member(name, state, spec)
+                portfolio.add_member(
+                    spec,
+                    synopsis,
+                    built_version=state.version,
+                    rows_at_build=state.table.num_rows
+                    + len(state.pending_rows),
+                )
+        self._portfolios[name] = portfolio
+        with state.lock:
+            state.version += 1  # new members -> new answers and resolutions
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            metrics.gauge(
+                "portfolio_members",
+                "Synopsis portfolio members per table.",
+                ("table",),
+            ).set(len(portfolio.members), table=name)
+            metrics.histogram(
+                "portfolio_build_seconds",
+                "Wall time to (re)build a whole synopsis portfolio.",
+                ("table",),
+            ).observe(time.perf_counter() - start, table=name)
+        return portfolio
+
+    def refresh_portfolio(
+        self, name: str, trigger: str = "manual"
+    ) -> SynopsisPortfolio:
+        """Rebuild every portfolio member from the current base relation.
+
+        Keeps the existing specs and the calibrated cost/error model;
+        bumps the data version so stale budget resolutions invalidate.
+        """
+        portfolio = self.portfolio(name)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "portfolio_refreshes_total",
+                "Portfolio refreshes, by table and trigger.",
+                ("table", "trigger"),
+            ).inc(table=name, trigger=trigger)
+        return self.build_portfolio(name, specs=portfolio.specs())
+
+    def _build_member(
+        self, name: str, state: _TableState, spec: SynopsisSpec
+    ) -> Synopsis:
+        """Build and install one portfolio member's congressional sample.
+
+        The sample relations are installed under a decorated name
+        (``{table}__pf_{member}``) so members coexist in the catalog, but
+        the installed handle's ``base_name`` stays the real table: the
+        rewriter validates queries against it.
+        """
+        grouping = tuple(spec.grouping_columns or state.grouping_columns)
+        for column in grouping:
+            state.table.schema.column(column)  # typed error on bad columns
+        counts = self._group_count_scan(name, grouping)
+        allocation = spec.allocation.allocate(counts, grouping, spec.budget)
+        sample = StratifiedSample.build(
+            state.table,
+            grouping,
+            allocation.rounded(),
+            rng=self._rng,
+            scan=self._executor,
+        )
+        installed = self._rewrite.install(
+            sample, f"{name}__pf_{spec.name}", self.catalog, replace=True
+        )
+        installed = dataclass_replace(installed, base_name=name)
+        return Synopsis(
+            base_name=name,
+            grouping_columns=grouping,
+            allocation_strategy=getattr(spec.allocation, "name", "custom"),
+            rewrite_strategy=self._rewrite.name,
+            budget=spec.budget,
+            sample=sample,
+            installed=installed,
+        )
+
+    def _observe_portfolio_answer(
+        self,
+        table: str,
+        choice: PortfolioChoice,
+        answer: ApproximateAnswer,
+        max_rel_error: Optional[float],
+    ) -> None:
+        """Selection metrics, prediction-miss accounting, model feedback."""
+        portfolio = self._portfolios.get(table)
+        if portfolio is not None and answer.elapsed_seconds > 0:
+            portfolio.model.observe_latency(
+                choice.synopsis.sample_size, answer.elapsed_seconds
+            )
+        miss = False
+        if max_rel_error is not None and choice.within_error_budget:
+            counts = answer.provenance_counts
+            if counts.get(PROVENANCE_REPAIRED, 0) or counts.get(
+                PROVENANCE_EXACT, 0
+            ):
+                # The model said the member would hold the bound, but the
+                # guard had to escalate groups -- a prediction miss (the
+                # promise itself still holds, via the ladder).
+                miss = True
+            promised = answer.promised_rel_error
+            if promised is not None and promised > max_rel_error * (
+                1.0 + 1e-9
+            ):
+                miss = True
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "portfolio_selections_total",
+            "Budget resolutions, by table, chosen member, and reason.",
+            ("table", "synopsis", "reason"),
+        ).inc(table=table, synopsis=choice.member, reason=choice.reason)
+        if math.isfinite(choice.predicted_rel_error):
+            metrics.histogram(
+                "portfolio_predicted_rel_error",
+                "The model's predicted worst-group relative error at "
+                "selection time.",
+                ("table",),
+                buckets=(
+                    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                    0.25, 0.5, 1.0, 2.5,
+                ),
+            ).observe(choice.predicted_rel_error, table=table)
+        if miss:
+            metrics.counter(
+                "portfolio_prediction_miss_total",
+                "Answers whose member was predicted within the error "
+                "budget but needed guard escalation (or broke the "
+                "promise).",
+                ("table", "synopsis"),
+            ).inc(table=table, synopsis=choice.member)
+
     # -- health & staleness --------------------------------------------------
 
     def set_refresh_policy(
@@ -694,15 +958,26 @@ class AquaSystem:
         )
 
     def _synopsis_issues(
-        self, state: _TableState, synopsis: Synopsis
+        self,
+        state: _TableState,
+        synopsis: Synopsis,
+        expected_rows: Optional[int] = None,
     ) -> List[str]:
-        """Structural validation plus base-coverage bookkeeping."""
+        """Structural validation plus base-coverage bookkeeping.
+
+        ``expected_rows`` is the base row count this synopsis is supposed
+        to cover: the table's ``rows_at_refresh`` for the primary synopsis
+        (the default), a member's ``rows_at_build`` for portfolio members
+        (which may legitimately differ from the primary's bookkeeping).
+        """
         issues = validate_sample(synopsis.sample)
         covered = synopsis.sample.total_population
-        if state.rows_at_refresh and covered != state.rows_at_refresh:
+        if expected_rows is None:
+            expected_rows = state.rows_at_refresh
+        if expected_rows and covered != expected_rows:
             issues.append(
                 f"synopsis strata cover {covered} rows but "
-                f"{state.rows_at_refresh} were present at the last refresh"
+                f"{expected_rows} were present at the last refresh"
             )
         return issues
 
@@ -795,6 +1070,9 @@ class AquaSystem:
         guard: Union[GuardPolicy, bool, None] = None,
         deadline: Union[Deadline, float, None] = None,
         audit: bool = True,
+        max_rel_error: Optional[float] = None,
+        max_ms: Optional[float] = None,
+        use_synopsis: Optional[str] = None,
     ) -> ApproximateAnswer:
         """Rewrite and execute a user query against the synopsis.
 
@@ -835,6 +1113,21 @@ class AquaSystem:
             deadline: time budget for this answer -- seconds, a
                 :class:`~repro.serve.deadline.Deadline`, or ``None`` to
                 inherit the ambient scope (if any).
+            max_rel_error: error budget -- resolve the answer against the
+                table's synopsis portfolio (see :meth:`build_portfolio`),
+                choosing the cheapest member predicted to keep the worst
+                per-group relative error at or below this bound.  The guard
+                policy is tightened to ``max_relative_halfwidth <=
+                max_rel_error`` so a prediction miss falls through the
+                ladder (repair, exact) instead of breaking the promise.
+            max_ms: latency budget in milliseconds -- prefer the most
+                accurate portfolio member predicted to answer within it.
+                Advisory (a model prediction), not a hard deadline; pass
+                ``deadline`` for hard cutoffs.
+            use_synopsis: serve from this specific portfolio member,
+                bypassing budget resolution (the serving layer's
+                degradation ladder uses this to reach for the coarsest
+                member before giving up on sampling entirely).
             audit: offer this answer to the attached accuracy auditor and
                 record it in the attached SLO monitor's served stream.
                 The serving layer passes ``False`` for answers it is about
@@ -857,7 +1150,15 @@ class AquaSystem:
             root = tracer.span("answer")
             try:
                 with root:
-                    answer = self._answer_pipeline(sql, guard, tracer, root)
+                    answer = self._answer_pipeline(
+                        sql,
+                        guard,
+                        tracer,
+                        root,
+                        max_rel_error=max_rel_error,
+                        max_ms=max_ms,
+                        use_synopsis=use_synopsis,
+                    )
             except Exception as exc:
                 if measure:
                     self._finish_failed(
@@ -908,6 +1209,8 @@ class AquaSystem:
                 strategy=self._rewrite.name,
                 provenance=answer.provenance_counts,
                 promised_rel_error=self._promised_rel_error(answer.result),
+                chosen_synopsis=answer.chosen_synopsis,
+                predicted_rel_error=answer.predicted_rel_error,
                 groups=answer.result.num_rows,
                 stage_seconds=(
                     answer.trace.stage_seconds()
@@ -971,43 +1274,26 @@ class AquaSystem:
     @staticmethod
     def _promised_rel_error(result: Table) -> Dict[str, float]:
         """Worst finite per-group relative half-width, per aggregate alias."""
-        promised: Dict[str, float] = {}
-        for name in result.schema.names:
-            if not name.endswith("_error"):
-                continue
-            alias = name[: -len("_error")]
-            if alias not in result.schema:
-                continue
-            halfwidths = result.column(name)
-            estimates = result.column(alias)
-            worst = -1.0
-            for i in range(result.num_rows):
-                halfwidth = float(halfwidths[i])
-                try:
-                    value = float(estimates[i])
-                except (TypeError, ValueError):
-                    continue
-                if not (math.isfinite(halfwidth) and math.isfinite(value)):
-                    continue
-                if value == 0.0:
-                    continue
-                worst = max(worst, halfwidth / abs(value))
-            if worst >= 0.0:
-                promised[alias] = worst
-        return promised
+        return promised_rel_error_by_alias(result)
 
     def _cache_key(
-        self, query: Query, base_name: str, policy: Optional[GuardPolicy]
+        self,
+        query: Query,
+        base_name: str,
+        policy: Optional[GuardPolicy],
+        budget: Tuple = (),
     ):
         """The answer-cache key for this (query, serving configuration).
 
         ``None`` when caching is disabled.  The key embeds the table's
         *current* data version, the renderer-normalized plan text, and every
         serve-time knob that changes the answer (guard policy -- hashable
-        because it is frozen -- confidence, bound method).  Reads the
-        version at call time: lookups use the pre-pipeline version, stores
-        the post-pipeline one, so a mid-pipeline refresh stores under the
-        version whose synopsis actually produced the answer.
+        because it is frozen -- confidence, bound method, and the budget
+        tuple ``(max_rel_error, max_ms, chosen member)`` for
+        portfolio-resolved answers).  Reads the version at call time:
+        lookups use the pre-pipeline version, stores the post-pipeline one,
+        so a mid-pipeline refresh stores under the version whose synopsis
+        actually produced the answer.
         """
         if self._cache is None:
             return None
@@ -1018,15 +1304,21 @@ class AquaSystem:
             policy,
             self._confidence,
             self._bound_method,
+            budget,
         )
 
-    def _plan_key(self, query: Query, base_name: str, strategy: str):
-        """The plan-cache key: table data version + strategy + plan text.
+    def _plan_key(
+        self, query: Query, base_name: str, strategy: str, relation: str = ""
+    ):
+        """The plan-cache key: data version + strategy + relation + text.
 
         ``None`` when plan caching is disabled.  The version covers every
         mutation that can change synopsis relations (insert, flush,
         refresh, re-register), so a stale optimized plan can never be
-        replayed against rebuilt samples.
+        replayed against rebuilt samples.  ``relation`` is the sample
+        relation the rewrite reads: portfolio members of the same table
+        produce *different* plans for the same query text, and the member
+        relation name keeps their cache entries apart.
         """
         if self._plan_cache is None:
             return None
@@ -1034,20 +1326,36 @@ class AquaSystem:
             base_name,
             self._state(base_name).version,
             strategy,
+            relation,
             render_query(query),
         )
 
-    def _optimized_plan(self, query, rewritten, base_name):
+    def _cost_model(self) -> CostModel:
+        """A plan cost model seeded from the live catalog's cardinalities.
+
+        Synopsis relations are registered in the catalog, so the model
+        sees the *actual* sample sizes -- the portfolio's finest member
+        costs more than its coarsest -- and the optimizer's rule gate
+        (:func:`repro.plan.optimize` with ``cost_model``) never keeps a
+        rewrite predicted to slow the plan.
+        """
+        return CostModel.from_catalog(self.catalog)
+
+    def _optimized_plan(self, query, rewritten, base_name, relation=""):
         """Lower + optimize the rewritten query, memoized in the plan cache.
 
-        Returns ``(logical_plan, was_cached)``.
+        Optimization is cost-gated against catalog cardinalities (see
+        :meth:`_cost_model`).  Returns ``(logical_plan, was_cached)``.
         """
-        key = self._plan_key(query, base_name, rewritten.strategy)
+        key = self._plan_key(query, base_name, rewritten.strategy, relation)
         if key is not None:
             cached = self._plan_cache.get(key)
             if cached is not None:
                 return cached, True
-        logical = optimize_plan(lower_rewritten(rewritten, self.catalog))
+        logical = optimize_plan(
+            lower_rewritten(rewritten, self.catalog),
+            cost_model=self._cost_model(),
+        )
         if key is not None:
             self._plan_cache.put(key, logical)
         return logical, False
@@ -1058,6 +1366,9 @@ class AquaSystem:
         guard: Union[GuardPolicy, bool, None],
         tracer: Tracer,
         root,
+        max_rel_error: Optional[float] = None,
+        max_ms: Optional[float] = None,
+        use_synopsis: Optional[str] = None,
     ) -> ApproximateAnswer:
         """Cache front-end around the staged pipeline.
 
@@ -1065,6 +1376,9 @@ class AquaSystem:
         the data version (so any insert/flush/refresh/re-register since the
         entry was stored forces a miss) and guard-degraded answers are never
         stored, so a cached answer is always a clean one for current data.
+        Budgeted answers additionally key on ``(max_rel_error, max_ms,
+        chosen member)``, so the same query under different budgets -- or
+        after a portfolio re-resolution -- never collides.
         """
         check_deadline("parse")
         with tracer.span("parse"):
@@ -1075,7 +1389,49 @@ class AquaSystem:
             self.query_log(base_name).record(query)
         root.set(table=base_name, guarded=policy is not None)
 
-        key = self._cache_key(query, base_name, policy)
+        choice: Optional[PortfolioChoice] = None
+        if (
+            max_rel_error is not None
+            or max_ms is not None
+            or use_synopsis is not None
+        ):
+            check_deadline("resolve")
+            with tracer.span("resolve") as resolve_span:
+                portfolio = self.portfolio(base_name)
+                if use_synopsis is not None:
+                    choice = portfolio.forced_choice(use_synopsis, query)
+                else:
+                    choice = portfolio.resolve(
+                        query,
+                        max_rel_error=max_rel_error,
+                        max_ms=max_ms,
+                        version=state.version,
+                    )
+                resolve_span.set(
+                    synopsis=choice.member, reason=choice.reason
+                )
+            if max_rel_error is not None and use_synopsis is None:
+                # Tighten the guard so a prediction miss falls through the
+                # ladder (repair/exact) rather than breaking the promise.
+                if policy is None:
+                    policy = GuardPolicy(
+                        max_relative_halfwidth=max_rel_error
+                    )
+                elif (
+                    policy.max_relative_halfwidth is None
+                    or policy.max_relative_halfwidth > max_rel_error
+                ):
+                    policy = dataclass_replace(
+                        policy, max_relative_halfwidth=max_rel_error
+                    )
+            root.set(synopsis=choice.member)
+
+        budget = (
+            (max_rel_error, max_ms, choice.member)
+            if choice is not None
+            else ()
+        )
+        key = self._cache_key(query, base_name, policy, budget)
         if key is not None:
             cached = self._cache.get(key)
             if cached is not None:
@@ -1086,12 +1442,26 @@ class AquaSystem:
                 return dataclass_replace(cached, trace=None, cache_hit=True)
             root.set(cache="miss")
 
-        answer = self._answer_stages(query, policy, base_name, state, tracer)
+        answer = self._answer_stages(
+            query,
+            policy,
+            base_name,
+            state,
+            tracer,
+            choice=choice,
+            budgets=(max_rel_error, max_ms),
+        )
+        if choice is not None:
+            answer.chosen_synopsis = choice.member
+            answer.predicted_rel_error = choice.predicted_rel_error
+            self._observe_portfolio_answer(
+                base_name, choice, answer, max_rel_error
+            )
         if key is not None and (
             answer.guard is None or not answer.guard.degraded
         ):
             self._cache.put(
-                self._cache_key(query, base_name, policy),
+                self._cache_key(query, base_name, policy, budget),
                 dataclass_replace(answer, trace=None),
             )
         return answer
@@ -1103,6 +1473,8 @@ class AquaSystem:
         base_name: str,
         state: _TableState,
         tracer: Tracer,
+        choice: Optional[PortfolioChoice] = None,
+        budgets: Tuple[Optional[float], Optional[float]] = (None, None),
     ) -> ApproximateAnswer:
         """The staged answer pipeline, one span per stage.
 
@@ -1110,12 +1482,23 @@ class AquaSystem:
         query dies at the next stage boundary with the stage name on the
         typed error; the plan/parallel executors check at finer grain
         (per operator, per partition) inside the execute stage.
+
+        With a portfolio ``choice`` the chosen member replaces the primary
+        synopsis throughout: its sample answers the query, its build-time
+        row count anchors staleness and coverage validation, and a
+        stale-triggered refresh rebuilds the *portfolio* (re-resolving the
+        budgets against the fresh members) rather than the primary.
         """
         check_deadline("validate")
         with tracer.span("validate") as validate_span:
             self._maybe_auto_refresh(base_name)
-            synopsis = self.synopsis(base_name)
-            stale = state.inserts_since_refresh
+            if choice is not None:
+                synopsis = choice.synopsis
+                current_rows = state.table.num_rows + len(state.pending_rows)
+                stale = max(current_rows - choice.rows_at_build, 0)
+            else:
+                synopsis = self.synopsis(base_name)
+                stale = state.inserts_since_refresh
             validate_span.set(stale_inserts=stale)
             if (
                 policy is not None
@@ -1123,9 +1506,27 @@ class AquaSystem:
                 and stale > policy.staleness_limit
             ):
                 if policy.on_stale == "refresh":
-                    synopsis = self.refresh_synopsis(
-                        base_name, trigger="guard"
-                    )
+                    if choice is not None:
+                        portfolio = self.refresh_portfolio(
+                            base_name, trigger="guard"
+                        )
+                        max_rel_error, max_ms = budgets
+                        if max_rel_error is not None or max_ms is not None:
+                            choice = portfolio.resolve(
+                                query,
+                                max_rel_error=max_rel_error,
+                                max_ms=max_ms,
+                                version=state.version,
+                            )
+                        else:
+                            choice = portfolio.forced_choice(
+                                choice.member, query
+                            )
+                        synopsis = choice.synopsis
+                    else:
+                        synopsis = self.refresh_synopsis(
+                            base_name, trigger="guard"
+                        )
                     stale = 0
                 elif policy.on_stale == "raise":
                     raise StaleSynopsisError(
@@ -1146,7 +1547,13 @@ class AquaSystem:
                 # "serve": accept the staleness and continue.
 
             if policy is not None:
-                issues = self._synopsis_issues(state, synopsis)
+                issues = self._synopsis_issues(
+                    state,
+                    synopsis,
+                    expected_rows=(
+                        choice.rows_at_build if choice is not None else None
+                    ),
+                )
                 if issues:
                     detail = "; ".join(issues)
                     if (
@@ -1172,7 +1579,9 @@ class AquaSystem:
 
         check_deadline("plan_optimize")
         with tracer.span("plan_optimize") as plan_span:
-            logical, cached_plan = self._optimized_plan(query, plan, base_name)
+            logical, cached_plan = self._optimized_plan(
+                query, plan, base_name, synopsis.installed.sample_name
+            )
             plan_span.set(cache="hit" if cached_plan else "miss")
 
         check_deadline("execute")
@@ -1593,13 +2002,24 @@ class AquaSystem:
             stale_inserts=stale_inserts,
         )
 
-    def explain(self, sql: Union[str, Query], analyze: bool = False) -> str:
+    def explain(
+        self,
+        sql: Union[str, Query],
+        analyze: bool = False,
+        max_rel_error: Optional[float] = None,
+        max_ms: Optional[float] = None,
+    ) -> str:
         """Show the rewritten plan (the paper's Figure 2/8-11 view).
 
         Always includes -- telemetry on or off -- the rewrite strategy,
         the synopsis relations the rewrite reads (sample-table
         provenance), and the *optimized* operator tree with estimated
         per-operator cardinalities.
+
+        With an error/latency budget (``max_rel_error`` / ``max_ms``) the
+        plan is resolved against the table's synopsis portfolio exactly as
+        :meth:`answer` would, and the output leads with the chosen member,
+        its predictions, and the resolution reason.
 
         With ``analyze=True`` the plan is also *executed*: the operator
         tree is re-rendered with actual rows and inclusive per-operator
@@ -1608,16 +2028,42 @@ class AquaSystem:
         """
         query = parse_query(sql) if isinstance(sql, str) else sql
         base_name = query.base_table_name()
-        synopsis = self.synopsis(base_name)
+        choice = None
+        if max_rel_error is not None or max_ms is not None:
+            portfolio = self.portfolio(base_name)
+            choice = portfolio.resolve(
+                query,
+                max_rel_error=max_rel_error,
+                max_ms=max_ms,
+                version=self._state(base_name).version,
+            )
+            synopsis = choice.synopsis
+        else:
+            synopsis = self.synopsis(base_name)
         plan = self._rewrite.plan(query, synopsis.installed)
-        logical, __ = self._optimized_plan(query, plan, base_name)
+        logical, __ = self._optimized_plan(
+            query, plan, base_name, synopsis.installed.sample_name
+        )
 
         installed = synopsis.installed
         tables = installed.sample_name
         if installed.aux_name is not None:
             tables += f", {installed.aux_name}"
-        lines = [
-            plan.describe(),
+        lines = [plan.describe()]
+        if choice is not None:
+            predicted_error = (
+                f"{choice.predicted_rel_error:.3g}"
+                if math.isfinite(choice.predicted_rel_error)
+                else "inf"
+            )
+            lines.append(
+                f"-- portfolio: chose {choice.member!r} "
+                f"({choice.reason}; predicted rel error "
+                f"{predicted_error}, predicted "
+                f"{choice.predicted_seconds * 1000:.2f} ms, "
+                f"{choice.considered} members considered)"
+            )
+        lines += [
             f"-- synopsis tables: {tables}",
             f"-- sample: {synopsis.sample_size} of "
             f"{synopsis.sample.total_population} rows "
@@ -1671,7 +2117,10 @@ class AquaSystem:
         query = parse_query(sql) if isinstance(sql, str) else sql
         self._flush_pending(query.base_table_name())
         try:
-            logical = optimize_plan(lower_query(query, self.catalog))
+            logical = optimize_plan(
+                lower_query(query, self.catalog),
+                cost_model=self._cost_model(),
+            )
             return execute_plan(
                 logical,
                 self.catalog,

@@ -68,6 +68,10 @@ class QueryEvent:
         provenance: answer groups per provenance tag (guarded answers).
         promised_rel_error: worst finite per-group relative error
             half-width promised by the answer, per aggregate alias.
+        chosen_synopsis: the portfolio member that served a budgeted
+            answer (``None`` for budget-free answers).
+        predicted_rel_error: the cost/error model's worst-group prediction
+            at selection time (``None`` without a portfolio choice).
         groups: answer rows (groups) returned.
         stage_seconds: per-stage wall time when the tracer was recording.
         duration_seconds: end-to-end answer wall time.
@@ -95,6 +99,8 @@ class QueryEvent:
     strategy: Optional[str] = None
     provenance: Dict[str, int] = field(default_factory=dict)
     promised_rel_error: Dict[str, float] = field(default_factory=dict)
+    chosen_synopsis: Optional[str] = None
+    predicted_rel_error: Optional[float] = None
     groups: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     duration_seconds: float = 0.0
@@ -134,6 +140,10 @@ class QueryEvent:
             out["provenance"] = dict(self.provenance)
         if self.promised_rel_error:
             out["promised_rel_error"] = dict(self.promised_rel_error)
+        if self.chosen_synopsis is not None:
+            out["chosen_synopsis"] = self.chosen_synopsis
+        if self.predicted_rel_error is not None:
+            out["predicted_rel_error"] = self.predicted_rel_error
         if self.stage_seconds:
             out["stage_seconds"] = dict(self.stage_seconds)
         if self.degradation is not None:

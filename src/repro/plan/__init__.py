@@ -19,6 +19,7 @@ The package splits query execution into four stages (see
 """
 
 from .cache import PlanCache, PlanCacheStats
+from .cost import CostModel, TableStats, plan_cost, plan_rows
 from .logical import (
     Filter,
     GroupBy,
@@ -48,6 +49,7 @@ from .physical import execute_plan
 from .planner import lower_query, lower_rewritten
 
 __all__ = [
+    "CostModel",
     "DEFAULT_RULES",
     "Filter",
     "GroupBy",
@@ -62,6 +64,7 @@ __all__ = [
     "ScaleUp",
     "Scan",
     "Sort",
+    "TableStats",
     "execute_plan",
     "fold_constants",
     "fuse_filters",
@@ -69,6 +72,8 @@ __all__ = [
     "lower_rewritten",
     "optimize",
     "output_columns",
+    "plan_cost",
+    "plan_rows",
     "prune_projections",
     "push_down_predicates",
     "render_plan",

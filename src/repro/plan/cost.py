@@ -1,0 +1,267 @@
+"""A cardinality-seeded cost model for logical plans.
+
+PR 5's optimizer applied its rules unconditionally: every rewrite the rule
+set could express was assumed to be an improvement.  ``BENCH_planner.json``
+showed the assumption failing on the paper's own Qg0 shape (speedup
+0.93x): a rewrite that is usually a win can lose on a particular
+cardinality profile.  This module makes rule application *cost-gated*:
+
+* :class:`TableStats` carries per-relation row/width estimates.  They can
+  be seeded from a live catalog (:meth:`CostModel.from_catalog`) or -- the
+  portfolio planner's path -- from a synopsis' own stratum cardinalities
+  plus the :class:`~repro.aqua.workload_log.QueryLog` history (via the
+  constructor's ``selectivity`` hook).
+* :meth:`CostModel.rows` estimates per-operator output cardinality.
+* :meth:`CostModel.cost` folds cardinalities into a scalar "cells touched"
+  work estimate: rows scanned times columns materialized, plus predicate
+  evaluations, hash-aggregation, join probes, and sort work.
+* :func:`repro.plan.optimizer.optimize` accepts a ``cost_model`` and then
+  keeps a rule's output **only when the model predicts it is no slower**
+  than the plan it replaces -- a rule predicted to slow the plan is never
+  applied (asserted by ``tests/plan/test_cost_model.py``).
+
+The absolute numbers are arbitrary units; only the ordering matters, and
+only between a plan and its rewrites (the gate never compares across
+queries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from ..engine.predicates import And, Predicate
+from .logical import (
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    ScaleUp,
+    Scan,
+    Sort,
+    output_columns,
+)
+
+__all__ = ["CostModel", "TableStats", "plan_cost", "plan_rows"]
+
+#: Fallbacks when a relation is unknown to the model: assume a mid-sized
+#: relation so unknown scans dominate known-small synopsis scans.
+_DEFAULT_ROWS = 100_000
+_DEFAULT_WIDTH = 8
+
+#: A predicate conjunct keeps about this fraction of its input (matches the
+#: renderer's display heuristic; replaced per-table by measured
+#: selectivities when the portfolio planner seeds the model).
+_CONJUNCT_SELECTIVITY = 1 / 3
+
+#: A GROUP BY collapses to about the square root of its input.
+_GROUP_COLLAPSE = 0.5  # exponent
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """What the model knows about one relation.
+
+    Attributes:
+        rows: estimated row count.
+        width: estimated column count (cells per row).
+        selectivity: optional measured predicate-keep fraction for this
+            relation (the portfolio planner estimates it by evaluating the
+            query's WHERE clause against the synopsis sample); ``None``
+            falls back to the per-conjunct heuristic.
+    """
+
+    rows: int
+    width: int = _DEFAULT_WIDTH
+    selectivity: Optional[float] = None
+
+
+def _conjuncts(predicate: Predicate) -> int:
+    if isinstance(predicate, And):
+        return _conjuncts(predicate.left) + _conjuncts(predicate.right)
+    return 1
+
+
+class CostModel:
+    """Estimate operator cardinalities and total plan work.
+
+    Args:
+        tables: per-relation :class:`TableStats`.  Missing relations use
+            conservative defaults.
+        selectivity: optional override hook ``(table, predicate) ->
+            fraction-kept`` consulted before the per-table/heuristic
+            estimates (the portfolio planner passes sample-measured
+            selectivities through this).
+    """
+
+    def __init__(
+        self,
+        tables: Optional[Mapping[str, TableStats]] = None,
+        selectivity: Optional[
+            Callable[[str, Predicate], Optional[float]]
+        ] = None,
+    ):
+        self._tables: Dict[str, TableStats] = dict(tables or {})
+        self._selectivity = selectivity
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "CostModel":
+        """Seed row/width stats from every relation in a live catalog."""
+        tables = {}
+        for name in catalog.names():
+            table = catalog.get(name)
+            tables[name] = TableStats(
+                rows=table.num_rows, width=len(table.schema.names)
+            )
+        return cls(tables)
+
+    def stats(self, table: str) -> TableStats:
+        return self._tables.get(
+            table, TableStats(rows=_DEFAULT_ROWS, width=_DEFAULT_WIDTH)
+        )
+
+    def set_stats(self, table: str, stats: TableStats) -> None:
+        self._tables[table] = stats
+
+    # -- cardinality ---------------------------------------------------------
+
+    def _keep_fraction(self, table: str, predicate: Predicate) -> float:
+        if self._selectivity is not None:
+            measured = self._selectivity(table, predicate)
+            if measured is not None:
+                return min(max(measured, 0.0), 1.0)
+        stats = self._tables.get(table)
+        if stats is not None and stats.selectivity is not None:
+            return min(max(stats.selectivity, 0.0), 1.0)
+        return _CONJUNCT_SELECTIVITY ** _conjuncts(predicate)
+
+    def rows(self, plan: Plan) -> float:
+        """Estimated output rows of ``plan`` (>= 1)."""
+        if isinstance(plan, Scan):
+            rows = float(self.stats(plan.table).rows)
+            if plan.predicate is not None:
+                rows *= self._keep_fraction(plan.table, plan.predicate)
+            return max(rows, 1.0)
+        if isinstance(plan, Filter):
+            table = _scan_table(plan.child)
+            fraction = (
+                self._keep_fraction(table, plan.predicate)
+                if table is not None
+                else _CONJUNCT_SELECTIVITY ** _conjuncts(plan.predicate)
+            )
+            return max(self.rows(plan.child) * fraction, 1.0)
+        if isinstance(plan, GroupBy):
+            collapsed = self.rows(plan.child) ** _GROUP_COLLAPSE
+            return max(collapsed, 1.0)
+        if isinstance(plan, Join):
+            return max(self.rows(plan.left), self.rows(plan.right))
+        if isinstance(plan, Limit):
+            return max(min(self.rows(plan.child), float(plan.count)), 1.0)
+        if plan.children:
+            return self.rows(plan.children[0])
+        return 1.0
+
+    # -- width ---------------------------------------------------------------
+
+    def _width(self, plan: Plan) -> float:
+        columns = output_columns(plan)
+        if columns is not None:
+            return float(max(len(columns), 1))
+        if isinstance(plan, Scan):
+            return float(max(self.stats(plan.table).width, 1))
+        if plan.children:
+            return self._width(plan.children[0])
+        return float(_DEFAULT_WIDTH)
+
+    # -- work ----------------------------------------------------------------
+
+    def cost(self, plan: Plan) -> float:
+        """Total predicted work of executing ``plan``, in cells touched.
+
+        Per operator (children included recursively):
+
+        * ``Scan`` -- materialize ``rows_out x width`` cells, plus one
+          predicate pass over the *unfiltered* rows per conjunct (the
+          pushed-down predicate still reads every stored row).
+        * ``Filter`` -- one predicate pass over the input, plus a
+          ``rows_out x width`` copy of the survivors.
+        * ``Project`` -- free in ``view`` mode (column reorder), one pass
+          per computed item otherwise.
+        * ``GroupBy`` -- hash every input row into ``keys + aggregates``
+          cells.
+        * ``Join`` -- build + probe linear passes plus output copy.
+        * ``Sort`` -- ``n log n`` key comparisons.
+        """
+        total = 0.0
+        for node, inputs in _walk_with_inputs(plan, self):
+            total += self._node_cost(node, inputs)
+        return total
+
+    def _node_cost(self, node: Plan, input_rows: float) -> float:
+        out_rows = self.rows(node)
+        width = self._width(node)
+        if isinstance(node, Scan):
+            base = float(self.stats(node.table).rows)
+            cost = out_rows * width  # materialized cells
+            if node.predicate is not None:
+                cost += base * _conjuncts(node.predicate)
+            return cost
+        if isinstance(node, Filter):
+            return (
+                input_rows * _conjuncts(node.predicate)
+                + out_rows * self._width(node.child)
+            )
+        if isinstance(node, Project):
+            if node.mode == "view":
+                return 0.0
+            return input_rows * len(node.items)
+        if isinstance(node, GroupBy):
+            return input_rows * (len(node.keys) + len(node.aggregates) + 1)
+        if isinstance(node, Join):
+            return (
+                self.rows(node.left)
+                + self.rows(node.right)
+                + out_rows * width
+            )
+        if isinstance(node, Sort):
+            return input_rows * max(math.log2(max(input_rows, 2.0)), 1.0)
+        if isinstance(node, ScaleUp):
+            return input_rows * max(len(node.ratios), 1)
+        if isinstance(node, Limit):
+            return 0.0
+        return input_rows
+
+
+def _scan_table(plan: Plan) -> Optional[str]:
+    """The single base relation under a linear operator chain, if any."""
+    while True:
+        if isinstance(plan, Scan):
+            return plan.table
+        if len(plan.children) != 1:
+            return None
+        plan = plan.children[0]
+
+
+def _walk_with_inputs(plan: Plan, model: CostModel):
+    """Yield ``(node, input_rows)`` pairs depth-first."""
+    inputs = (
+        sum(model.rows(child) for child in plan.children)
+        if plan.children
+        else 0.0
+    )
+    yield plan, inputs
+    for child in plan.children:
+        yield from _walk_with_inputs(child, model)
+
+
+def plan_rows(plan: Plan, catalog) -> float:
+    """Convenience: estimated output rows against a live catalog."""
+    return CostModel.from_catalog(catalog).rows(plan)
+
+
+def plan_cost(plan: Plan, catalog) -> float:
+    """Convenience: estimated work against a live catalog."""
+    return CostModel.from_catalog(catalog).cost(plan)

@@ -426,18 +426,37 @@ def optimize(
     plan: Plan,
     rules: Tuple[Rule, ...] = DEFAULT_RULES,
     max_passes: int = 10,
+    cost_model=None,
 ) -> Plan:
     """Apply ``rules`` round-robin until the plan stops changing.
 
     Frozen-dataclass equality is the fixpoint test; ``max_passes`` bounds
     pathological rule interactions (none exist in the default set, which
     converges in two passes on every query class the system serves).
+
+    With a ``cost_model`` (a :class:`repro.plan.cost.CostModel`), rule
+    application is *cost-gated*: each rule's rewrite is kept only when the
+    model predicts it is no more expensive than the plan it replaces, so a
+    rule the model predicts to slow the plan is never applied.  Every rule
+    in :data:`DEFAULT_RULES` is semantics-preserving, so rejecting its
+    output is always safe -- the gate trades a possible speedup for a
+    guaranteed non-regression (the Qg0 fix: ``BENCH_planner.json`` once
+    recorded an unconditional rewrite losing 7% on the paper's own
+    single-group query shape).
     """
+    cost = cost_model.cost(plan) if cost_model is not None else None
     for _ in range(max_passes):
-        candidate = plan
+        before = plan
         for rule in rules:
-            candidate = rule(candidate)
-        if candidate == plan:
+            candidate = rule(plan)
+            if candidate == plan:
+                continue
+            if cost_model is None:
+                plan = candidate
+                continue
+            candidate_cost = cost_model.cost(candidate)
+            if candidate_cost <= cost:
+                plan, cost = candidate, candidate_cost
+        if plan == before:
             return plan
-        plan = candidate
     return plan

@@ -20,7 +20,11 @@ any other ``AquaError``        500
 
 Endpoints::
 
-    POST /query    {"sql": ..., "tenant": ..., "deadline_seconds": ...}
+    POST /query    {"sql": ..., "tenant": ..., "deadline_seconds": ...,
+                    "max_rel_error": ..., "max_ms": ...}
+                   budgets resolve against the table's synopsis portfolio;
+                   the response carries "chosen_synopsis",
+                   "predicted_rel_error", and "budget_satisfied"
     POST /query?stream=1
                    progressive answers as chunked NDJSON, one event per
                    emission (body may add "chunk_rows", "until_rel_error")
@@ -83,6 +87,9 @@ def _result_payload(result: ServeResult) -> dict:
         "attempts": result.attempts,
         "queued_seconds": result.queued_seconds,
         "served_seconds": result.served_seconds,
+        "chosen_synopsis": result.answer.chosen_synopsis,
+        "predicted_rel_error": result.answer.predicted_rel_error,
+        "budget_satisfied": result.budget_satisfied,
     }
 
 
@@ -182,6 +189,12 @@ class _Handler(BaseHTTPRequestHandler):
             deadline = request.get("deadline_seconds")
             chunk_rows = int(request.get("chunk_rows", 1024))
             until_rel_error = request.get("until_rel_error")
+            max_rel_error = request.get("max_rel_error")
+            if max_rel_error is not None:
+                max_rel_error = float(max_rel_error)
+            max_ms = request.get("max_ms")
+            if max_ms is not None:
+                max_ms = float(max_ms)
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
             self._send_json(
                 400, {"error": "BadRequest", "message": str(exc)}
@@ -197,7 +210,13 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
-            result = self.service.query(sql, tenant=tenant, deadline=deadline)
+            result = self.service.query(
+                sql,
+                tenant=tenant,
+                deadline=deadline,
+                max_rel_error=max_rel_error,
+                max_ms=max_ms,
+            )
         except (AquaError, SqlError, QueryError, TypeError) as exc:
             self._send_error_json(exc)
             return

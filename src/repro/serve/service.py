@@ -175,6 +175,11 @@ class ServeResult:
         attempts: answer attempts including retries.
         queued_seconds: time spent waiting for a worker.
         served_seconds: worker time (retries included).
+        budget_satisfied: ``None`` when the request carried no budget;
+            otherwise whether the served answer honored it.  A degraded
+            answer under a ``max_rel_error`` budget is *always* ``False``
+            -- degradation strips the accuracy promise, and it must never
+            satisfy an error budget silently.
     """
 
     answer: ApproximateAnswer
@@ -184,6 +189,7 @@ class ServeResult:
     attempts: int = 1
     queued_seconds: float = 0.0
     served_seconds: float = 0.0
+    budget_satisfied: Optional[bool] = None
 
     @property
     def result(self) -> Table:
@@ -245,6 +251,8 @@ class _Request:
     deadline: Optional[Deadline]
     enqueued: float
     load_shed: bool = False
+    max_rel_error: Optional[float] = None
+    max_ms: Optional[float] = None
 
 
 class QueryService:
@@ -337,6 +345,8 @@ class QueryService:
         *,
         tenant: str = DEFAULT_TENANT,
         deadline: Union[Deadline, float, None] = None,
+        max_rel_error: Optional[float] = None,
+        max_ms: Optional[float] = None,
     ) -> "Future[ServeResult]":
         """Admit a query and return a future for its :class:`ServeResult`.
 
@@ -345,6 +355,12 @@ class QueryService:
         slot frees up within the admission timeout
         (:class:`OverloadError`).  Execution-time failures (deadline,
         pipeline errors) surface through the returned future.
+
+        ``max_rel_error`` / ``max_ms`` are per-query budgets resolved
+        against the table's synopsis portfolio (see
+        :meth:`AquaSystem.build_portfolio`); the result's
+        ``budget_satisfied`` reports whether the served answer honored
+        them.  Degraded answers never satisfy a ``max_rel_error`` budget.
         """
         if self._closed:
             raise ServeError("query service is shut down")
@@ -375,6 +391,8 @@ class QueryService:
                 shed_at is not None
                 and admitted_depth >= shed_at * self.config.capacity
             ),
+            max_rel_error=max_rel_error,
+            max_ms=max_ms,
         )
         self._note_admitted(admitted_depth)
         try:
@@ -391,9 +409,17 @@ class QueryService:
         *,
         tenant: str = DEFAULT_TENANT,
         deadline: Union[Deadline, float, None] = None,
+        max_rel_error: Optional[float] = None,
+        max_ms: Optional[float] = None,
     ) -> ServeResult:
         """Blocking convenience wrapper: submit and wait for the answer."""
-        return self.submit(sql, tenant=tenant, deadline=deadline).result()
+        return self.submit(
+            sql,
+            tenant=tenant,
+            deadline=deadline,
+            max_rel_error=max_rel_error,
+            max_ms=max_ms,
+        ).result()
 
     def stream(
         self,
@@ -648,10 +674,18 @@ class QueryService:
             attempts[0] += 1
             self._note_retry(table)
 
+        # Degradation ladder: a dedicated cheaper system first; failing
+        # that, the portfolio's coarsest member (still a principled
+        # congressional sample, still cheap); only then the unguarded
+        # primary synopsis.
+        use_synopsis: Optional[str] = None
         if degradation is None:
             target, guard = self.system, None
         elif self._degraded_system is not None:
             target, guard = self._degraded_system, None
+        elif self.system.has_portfolio(table):
+            target, guard = self.system, self._degraded_policy
+            use_synopsis = self.system.portfolio(table).coarsest().name
         else:
             target, guard = self.system, self._degraded_policy
 
@@ -660,10 +694,24 @@ class QueryService:
                 # Degraded answers are audit-exempt: they carry no accuracy
                 # promise, so they must reach neither the accuracy auditor
                 # nor the SLO monitor's clean-serve stream (the service
-                # records them as degraded below instead).
+                # records them as degraded below instead).  Budgets are
+                # only resolved on the clean path: a degraded answer has no
+                # promise to resolve against (its budget_satisfied is
+                # computed -- and pinned False for error budgets -- below).
                 answer = self._retry.call(
                     lambda: target.answer(
-                        query, guard=guard, audit=degradation is None
+                        query,
+                        guard=guard,
+                        audit=degradation is None,
+                        max_rel_error=(
+                            request.max_rel_error
+                            if degradation is None
+                            else None
+                        ),
+                        max_ms=(
+                            request.max_ms if degradation is None else None
+                        ),
+                        use_synopsis=use_synopsis,
                     ),
                     deadline=request.deadline,
                     sleep=self._sleep,
@@ -689,6 +737,7 @@ class QueryService:
             if slo is not None:
                 slo.record_served(True)
         self._observe_breaker(table, breaker)
+        served_seconds = self._clock() - start
         return ServeResult(
             answer=answer,
             tenant=request.tenant,
@@ -696,8 +745,41 @@ class QueryService:
             degradation=degradation,
             attempts=attempts[0] + 1,
             queued_seconds=queued,
-            served_seconds=self._clock() - start,
+            served_seconds=served_seconds,
+            budget_satisfied=self._budget_satisfied(
+                request, answer, degradation, served_seconds
+            ),
         )
+
+    @staticmethod
+    def _budget_satisfied(
+        request: _Request,
+        answer: ApproximateAnswer,
+        degradation: Optional[str],
+        served_seconds: float,
+    ) -> Optional[bool]:
+        """Did the served answer honor the request's budgets?
+
+        ``None`` without budgets.  A degraded answer under an error budget
+        is pinned ``False``: degradation strips the accuracy promise, so
+        it must never satisfy ``max_rel_error`` silently, no matter what
+        the (unguarded) error columns happen to say.
+        """
+        if request.max_rel_error is None and request.max_ms is None:
+            return None
+        if degradation is not None and request.max_rel_error is not None:
+            return False
+        satisfied = True
+        if request.max_rel_error is not None:
+            promised = answer.promised_rel_error
+            # No finite promise means every surviving group is exact-grade
+            # (zero half-widths are a 0.0 promise, not None).
+            satisfied = promised is None or promised <= (
+                request.max_rel_error * (1.0 + 1e-9)
+            )
+        if satisfied and request.max_ms is not None:
+            satisfied = served_seconds * 1000.0 <= request.max_ms
+        return satisfied
 
     def _mark_degraded(self, answer: ApproximateAnswer) -> ApproximateAnswer:
         """Tag every answer group with ``degraded`` provenance.

@@ -7,6 +7,9 @@ pytest marker:
   unbiasedness calibration over the allocation x rewrite x bound grid;
 * :mod:`~repro.verify.metamorphic` -- exact invariants (scale invariance,
   group permutation, subset-sum consistency, parallel == serial == cached);
+* :mod:`~repro.verify.portfolio` -- replicated end-to-end checks that
+  answers served under ``max_rel_error`` budgets honor the promised
+  bound at the nominal coverage level;
 * :mod:`~repro.verify.stats` -- Wilson tolerance bands and bias
   t-statistics that make the checks themselves statistically sound;
 * :mod:`~repro.verify.testbed` -- the seeded Zipf relation and the
@@ -27,6 +30,12 @@ from .calibration import (
     negative_control,
 )
 from .metamorphic import MetamorphicResult, run_metamorphic
+from .portfolio import (
+    BudgetCell,
+    PortfolioCalibrationResult,
+    PortfolioCellConfig,
+    run_portfolio_calibration,
+)
 from .report import (
     DEFAULT_REPORT_PATH,
     VerificationReport,
@@ -43,6 +52,7 @@ from .testbed import Testbed, TestbedConfig, qmix
 __all__ = [
     "ALLOCATION_REGISTRY",
     "BiasResult",
+    "BudgetCell",
     "CalibrationConfig",
     "CalibrationResult",
     "CalibrationRunner",
@@ -51,6 +61,8 @@ __all__ = [
     "DEFAULT_REPORT_PATH",
     "MetamorphicResult",
     "PairSummary",
+    "PortfolioCalibrationResult",
+    "PortfolioCellConfig",
     "Testbed",
     "TestbedConfig",
     "VerificationReport",
@@ -60,6 +72,7 @@ __all__ = [
     "negative_control",
     "qmix",
     "run_metamorphic",
+    "run_portfolio_calibration",
     "run_verification",
     "wilson_interval",
 ]

@@ -1,10 +1,10 @@
 """Assemble, summarize, and persist one verification run.
 
-A :class:`VerificationReport` bundles the three sub-results -- the
-replication calibration campaign, the metamorphic sweep, and the
-negative-control campaign (which must *fail*, proving the harness has
-power) -- and writes the JSON artifact that CI and the benchmarks
-directory track (``benchmarks/results/CALIBRATION.json``).
+A :class:`VerificationReport` bundles the sub-results -- the replication
+calibration campaign, the metamorphic sweep, the portfolio budget-contract
+campaign, and the negative-control campaign (which must *fail*, proving
+the harness has power) -- and writes the JSON artifact that CI and the
+benchmarks directory track (``benchmarks/results/CALIBRATION.json``).
 """
 
 from __future__ import annotations
@@ -23,6 +23,11 @@ from .calibration import (
     negative_control,
 )
 from .metamorphic import MetamorphicResult, run_metamorphic
+from .portfolio import (
+    PortfolioCalibrationResult,
+    PortfolioCellConfig,
+    run_portfolio_calibration,
+)
 
 __all__ = [
     "DEFAULT_REPORT_PATH",
@@ -43,6 +48,7 @@ class VerificationReport:
     metamorphic: MetamorphicResult
     control: Optional[CalibrationResult]
     generated_at: float
+    portfolio: Optional[PortfolioCalibrationResult] = None
 
     @property
     def control_flagged(self) -> Optional[bool]:
@@ -59,6 +65,8 @@ class VerificationReport:
     def failures(self) -> List[str]:
         out = list(self.calibration.flags)
         out.extend(self.metamorphic.violations)
+        if self.portfolio is not None:
+            out.extend(self.portfolio.flags)
         if self.control_flagged is False:
             out.append(
                 "negative control: the deliberately biased estimator was "
@@ -80,6 +88,9 @@ class VerificationReport:
             "failures": self.failures,
             "calibration": self.calibration.to_dict(),
             "metamorphic": self.metamorphic.to_dict(),
+            "portfolio": (
+                None if self.portfolio is None else self.portfolio.to_dict()
+            ),
             "negative_control": (
                 None
                 if self.control is None
@@ -120,6 +131,20 @@ class VerificationReport:
             f"  metamorphic: {len(self.metamorphic.checks)} checks, "
             f"{len(self.metamorphic.violations)} violations"
         )
+        if self.portfolio is not None:
+            lines.append(
+                f"  portfolio: {len(self.portfolio.cells)} budget cells, "
+                f"{self.portfolio.config.replications} replications, "
+                f"{self.portfolio.elapsed_seconds:.1f}s"
+            )
+            for cell in self.portfolio.cells:
+                lines.append(
+                    f"    {cell.query} @ budget {cell.budget}: coverage "
+                    f"{cell.check.coverage:.4f} (nominal "
+                    f"{cell.check.nominal}) {cell.check.verdict}, "
+                    f"{cell.promise_violations} promise violation(s), "
+                    f"chose {dict(cell.chosen)}"
+                )
         if self.control is not None:
             lines.append(
                 "  negative control: biased estimator "
@@ -140,6 +165,7 @@ def run_verification(
     telemetry: Union[Telemetry, bool, None] = None,
     with_control: bool = True,
     with_metamorphic: bool = True,
+    with_portfolio: bool = True,
 ) -> VerificationReport:
     """Run the full verification suite and bundle the results.
 
@@ -151,11 +177,14 @@ def run_verification(
         with_control: also run the deliberately biased negative control
             (and fail the report if it is *not* flagged).
         with_metamorphic: also run the metamorphic sweep.
+        with_portfolio: also run the portfolio budget-contract campaign.
     """
     if mode == "quick":
         config = CalibrationConfig.quick(seed)
+        portfolio_config = PortfolioCellConfig.quick(seed)
     elif mode == "full":
         config = CalibrationConfig.full(seed)
+        portfolio_config = PortfolioCellConfig.full(seed)
     else:
         raise ValueError(f"mode must be quick or full, got {mode!r}")
     calibration = CalibrationRunner(config, telemetry=telemetry).run()
@@ -163,6 +192,11 @@ def run_verification(
         run_metamorphic(seed)
         if with_metamorphic
         else MetamorphicResult(seed=seed)
+    )
+    portfolio = (
+        run_portfolio_calibration(portfolio_config)
+        if with_portfolio
+        else None
     )
     control = negative_control(seed) if with_control else None
     return VerificationReport(
@@ -172,4 +206,5 @@ def run_verification(
         metamorphic=metamorphic,
         control=control,
         generated_at=time.time(),
+        portfolio=portfolio,
     )

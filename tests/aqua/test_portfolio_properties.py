@@ -1,0 +1,158 @@
+"""Hypothesis properties of the portfolio cost/error model and resolver.
+
+The ISSUE's pinned surface:
+
+* predicted relative error is monotone **non-increasing** in sample size;
+* predicted relative error is monotone **non-decreasing** in predicate
+  selectivity (the fraction of rows the WHERE eliminates);
+* ``answer(q, max_rel_error=e)`` with an achievable ``e`` always returns
+  an answer whose promised bound is ``<= e`` -- exact per-group repair
+  counts as achieving the bound, so *every* positive ``e`` is achievable
+  through the guard ladder.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqua import AquaSystem, CostErrorModel
+from repro.engine import Column, ColumnType, Schema, Table
+
+_SIZES = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+_SELECTIVITIES = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_CVS = st.floats(min_value=1e-3, max_value=100.0, allow_nan=False)
+_CONFIDENCES = st.floats(
+    min_value=0.5, max_value=0.999, allow_nan=False
+)
+
+
+class TestClosedFormMonotonicity:
+    @given(
+        m1=_SIZES, m2=_SIZES, selectivity=_SELECTIVITIES,
+        cv=_CVS, confidence=_CONFIDENCES,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_non_increasing_in_sample_size(
+        self, m1, m2, selectivity, cv, confidence
+    ):
+        lo, hi = sorted((m1, m2))
+        err_lo = CostErrorModel.predicted_rel_error(
+            lo, selectivity, cv=cv, confidence=confidence
+        )
+        err_hi = CostErrorModel.predicted_rel_error(
+            hi, selectivity, cv=cv, confidence=confidence
+        )
+        assert err_hi <= err_lo
+
+    @given(
+        m=_SIZES, s1=_SELECTIVITIES, s2=_SELECTIVITIES,
+        cv=_CVS, confidence=_CONFIDENCES,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_non_decreasing_in_selectivity(self, m, s1, s2, cv, confidence):
+        lo, hi = sorted((s1, s2))
+        err_lo = CostErrorModel.predicted_rel_error(
+            m, lo, cv=cv, confidence=confidence
+        )
+        err_hi = CostErrorModel.predicted_rel_error(
+            m, hi, cv=cv, confidence=confidence
+        )
+        assert err_hi >= err_lo
+
+    @given(m=_SIZES, selectivity=_SELECTIVITIES)
+    @settings(max_examples=100, deadline=None)
+    def test_prediction_is_positive_or_inf(self, m, selectivity):
+        err = CostErrorModel.predicted_rel_error(m, selectivity)
+        assert err > 0.0 or err == float("inf") or math.isinf(err)
+
+    @given(c1=_CONFIDENCES, c2=_CONFIDENCES)
+    @settings(max_examples=100, deadline=None)
+    def test_z_multiplier_monotone_in_confidence(self, c1, c2):
+        lo, hi = sorted((c1, c2))
+        assert CostErrorModel.z_multiplier(hi) >= CostErrorModel.z_multiplier(
+            lo
+        )
+
+    @given(
+        rows1=st.integers(min_value=0, max_value=10_000_000),
+        rows2=st.integers(min_value=0, max_value=10_000_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_monotone_in_rows(self, rows1, rows2):
+        model = CostErrorModel()
+        lo, hi = sorted((rows1, rows2))
+        assert model.predicted_seconds(hi) >= model.predicted_seconds(lo)
+
+
+# -- end-to-end budget promise ------------------------------------------------
+
+_QUERIES = (
+    "SELECT a, SUM(q) AS s FROM rel GROUP BY a",
+    "SELECT a, COUNT(*) AS c FROM rel GROUP BY a",
+    "SELECT a, AVG(q) AS m FROM rel WHERE q > 2.0 GROUP BY a",
+)
+
+_SYSTEM = None
+
+
+def _shared_system():
+    """One built system for the property sweep (module-lazy, not a pytest
+    fixture: Hypothesis re-runs the test body per example, and rebuilding
+    a portfolio hundreds of times would dominate the suite)."""
+    global _SYSTEM
+    if _SYSTEM is None:
+        rng = np.random.default_rng(17)
+        n = 3000
+        schema = Schema(
+            [
+                Column("a", ColumnType.STR, "grouping"),
+                Column("q", ColumnType.FLOAT, "aggregate"),
+            ]
+        )
+        table = Table(
+            schema,
+            {
+                "a": rng.choice(
+                    ["u", "v", "w", "x"], size=n, p=[0.6, 0.25, 0.1, 0.05]
+                ),
+                "q": rng.exponential(5.0, size=n),
+            },
+        )
+        _SYSTEM = AquaSystem(
+            space_budget=300, rng=rng, cache=False
+        )
+        _SYSTEM.register_table("rel", table)
+        _SYSTEM.build_portfolio("rel")
+    return _SYSTEM
+
+
+class TestBudgetPromise:
+    @given(
+        budget=st.floats(
+            min_value=1e-3, max_value=5.0, allow_nan=False
+        ),
+        query_index=st.integers(min_value=0, max_value=len(_QUERIES) - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_promise_never_exceeds_achievable_budget(
+        self, budget, query_index
+    ):
+        system = _shared_system()
+        answer = system.answer(
+            _QUERIES[query_index], max_rel_error=budget
+        )
+        promised = answer.promised_rel_error
+        assert promised is None or promised <= budget * (1.0 + 1e-9), (
+            f"promised {promised} exceeds requested budget {budget} "
+            f"(member {answer.chosen_synopsis})"
+        )
+
+    @given(budget=st.floats(min_value=1e-3, max_value=5.0, allow_nan=False))
+    @settings(max_examples=15, deadline=None)
+    def test_choice_is_always_a_member(self, budget):
+        system = _shared_system()
+        answer = system.answer(_QUERIES[0], max_rel_error=budget)
+        assert answer.chosen_synopsis in system.portfolio("rel").members

@@ -1,0 +1,155 @@
+"""Golden regression for portfolio budget resolution.
+
+Pins which synopsis the planner chooses per (query class x budget) on the
+fixed seeded Zipf ``lineitem`` workload: a refactor of the cost/error
+model or the resolver must not silently change which member serves which
+budget.  Predicted errors are pinned to 1e-9 relative; member names,
+reasons, and member sizes exactly.
+
+Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_portfolio_golden.py
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aqua import AquaSystem
+from repro.verify.testbed import TABLE_NAME, Testbed, TestbedConfig
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "portfolio_zipf.json"
+TOLERANCE = 1e-9
+SEED = 20260807
+
+ERROR_BUDGETS = (0.02, 0.1, 0.3, 1.0, 5.0)
+TIME_BUDGETS_MS = (0.50003, 5.0, 10_000.0)
+SPACE_BUDGET = 600
+
+
+def _build_system():
+    testbed = Testbed(TestbedConfig(query_names=("Qg2", "Qg3", "Qg0")))
+    system = AquaSystem(
+        space_budget=SPACE_BUDGET,
+        rng=np.random.default_rng(SEED),
+        cache=False,
+    )
+    system.register_table(
+        TABLE_NAME, testbed.table, testbed.grouping_columns
+    )
+    system.build_portfolio(TABLE_NAME)
+    return testbed, system
+
+
+def _finite(value):
+    return value if math.isfinite(value) else "inf"
+
+
+def compute_golden() -> dict:
+    """Resolve every (query class, budget) pair; record the choices.
+
+    Only :meth:`SynopsisPortfolio.resolve` runs -- never ``answer()`` --
+    so the cost model keeps its deterministic seed coefficients (observed
+    latencies would fold wall-clock noise into the golden).
+    """
+    testbed, system = _build_system()
+    portfolio = system.portfolio(TABLE_NAME)
+    payload = {
+        "seed": SEED,
+        "space_budget": SPACE_BUDGET,
+        "members": {
+            member.name: {
+                "allocation": member.synopsis.allocation_strategy,
+                "budget": member.spec.budget,
+                "sample_size": member.sample_size,
+            }
+            for member in portfolio.members.values()
+        },
+        "resolutions": {},
+    }
+    for qc in testbed.queries:
+        per_query = {}
+        for budget in ERROR_BUDGETS:
+            choice = portfolio.resolve(qc.query, max_rel_error=budget)
+            per_query[f"max_rel_error={budget}"] = {
+                "member": choice.member,
+                "reason": choice.reason,
+                "predicted_rel_error": _finite(choice.predicted_rel_error),
+            }
+        for budget in TIME_BUDGETS_MS:
+            choice = portfolio.resolve(qc.query, max_ms=budget)
+            per_query[f"max_ms={budget}"] = {
+                "member": choice.member,
+                "reason": choice.reason,
+                "predicted_rel_error": _finite(choice.predicted_rel_error),
+            }
+        payload["resolutions"][qc.name] = per_query
+    return payload
+
+
+def _assert_close(expected, actual, path):
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{path}: keys drifted"
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(
+            expected, rel=TOLERANCE, abs=TOLERANCE
+        ), f"{path}: {actual} drifted from golden {expected}"
+    else:
+        assert expected == actual, f"{path}: {actual} != {expected}"
+
+
+class TestPortfolioGolden:
+    def test_matches_golden_file(self):
+        actual = compute_golden()
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(
+                json.dumps(actual, indent=1, sort_keys=True)
+            )
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing; regenerate with REPRO_REGEN_GOLDENS=1 "
+            f"({GOLDEN_PATH})"
+        )
+        expected = json.loads(GOLDEN_PATH.read_text())
+        _assert_close(expected, actual, "golden")
+
+    def test_golden_is_deterministic(self):
+        first = compute_golden()
+        second = compute_golden()
+        _assert_close(first, second, "repeat")
+
+    def test_budgets_resolve_against_at_least_three_members(self):
+        """The acceptance criterion's portfolio-size floor."""
+        __, system = _build_system()
+        portfolio = system.portfolio(TABLE_NAME)
+        assert len(portfolio.members) >= 3
+        choice = portfolio.resolve(
+            Testbed(TestbedConfig(query_names=("Qg2",))).queries[0].query,
+            max_rel_error=0.3,
+        )
+        assert choice.considered == len(portfolio.members)
+
+    def test_looser_budgets_never_pick_larger_members(self):
+        """Within one query class, walking the error budget from tight to
+        loose must never increase the chosen member's sample size."""
+        testbed, system = _build_system()
+        portfolio = system.portfolio(TABLE_NAME)
+        for qc in testbed.queries:
+            sizes = [
+                portfolio.member(
+                    portfolio.resolve(qc.query, max_rel_error=budget).member
+                ).sample_size
+                for budget in sorted(ERROR_BUDGETS)
+            ]
+            assert all(
+                earlier >= later
+                for earlier, later in zip(sizes, sizes[1:])
+            ), sizes

@@ -1,0 +1,66 @@
+"""The portfolio budget-contract calibration cell (seeded, statistical).
+
+Replicated end-to-end runs: answers served under ``max_rel_error``
+budgets must achieve at least the nominal coverage, and no answer may
+promise more error than the requested budget.  Recorded into
+``CALIBRATION.json`` via :class:`repro.verify.VerificationReport`.
+"""
+
+import pytest
+
+from repro.verify import (
+    PortfolioCellConfig,
+    run_portfolio_calibration,
+)
+
+pytestmark = pytest.mark.statistical
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_portfolio_calibration(PortfolioCellConfig.quick(seed=2026))
+
+
+class TestPortfolioContract:
+    def test_campaign_passes(self, result):
+        assert result.flags == []
+        assert result.passed
+
+    def test_every_cell_present(self, result):
+        config = result.config
+        assert len(result.cells) == len(config.budgets) * len(
+            config.query_names
+        )
+
+    def test_no_promise_violations(self, result):
+        """Structural: the budget tightens the guard policy, so a promise
+        above the budget is a wiring defect, not sampling noise."""
+        for cell in result.cells:
+            assert cell.promise_violations == 0, cell.to_dict()
+
+    def test_coverage_at_or_above_nominal(self, result):
+        for cell in result.cells:
+            assert not cell.check.failed, cell.to_dict()
+            # Conservative Chebyshev-backed promises: empirical coverage
+            # itself should not sit below the nominal level on this seed.
+            assert cell.check.coverage >= cell.check.nominal, cell.to_dict()
+
+    def test_no_missing_groups(self, result):
+        """The guard repairs empty strata, so every truth group must be
+        present in every served answer on the testbed."""
+        for cell in result.cells:
+            assert cell.missing == 0, cell.to_dict()
+
+    def test_every_answer_used_a_portfolio_member(self, result):
+        for cell in result.cells:
+            assert sum(cell.chosen.values()) == result.config.replications
+
+    def test_to_dict_round_trips_through_json(self, result):
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["passed"] is True
+        assert len(payload["cells"]) == len(result.cells)
+        assert payload["config"]["replications"] == (
+            result.config.replications
+        )
