@@ -10,6 +10,7 @@ from .guard import (
     PROVENANCE_COLUMN,
     PROVENANCE_EXACT,
     PROVENANCE_REPAIRED,
+    PROVENANCE_ROLLUP,
     PROVENANCE_SYNOPSIS,
     GuardPolicy,
     GuardReport,
@@ -30,6 +31,7 @@ from .portfolio import (
     SynopsisSpec,
     default_portfolio_specs,
 )
+from .reuse import ReuseSnapshot, RollupIndex, RollupIndexStats
 from .stream import StreamingAnswer, stream_answers
 from .synopsis import Synopsis
 from .system import ApproximateAnswer, AquaError, AquaSystem, ComparisonReport
@@ -56,8 +58,12 @@ __all__ = [
     "PROVENANCE_COLUMN",
     "PROVENANCE_SYNOPSIS",
     "PROVENANCE_REPAIRED",
+    "PROVENANCE_ROLLUP",
     "PROVENANCE_EXACT",
     "validate_sample",
+    "ReuseSnapshot",
+    "RollupIndex",
+    "RollupIndexStats",
     "CostErrorModel",
     "CubeExplorer",
     "Measure",

@@ -11,8 +11,11 @@ Correctness is carried by the key, not by heuristics:
   :class:`~repro.aqua.system.AquaSystem` bumps on every ``insert()``,
   pending-row flush, synopsis build/refresh, and re-registration -- so any
   mutation invalidates all prior entries for that table at lookup time;
-* the query is normalized through the SQL renderer, so two differently
-  constructed but identical plans share an entry;
+* the query is keyed by its alias-insensitive *canonical fingerprint*
+  (:func:`repro.plan.canonicalize_query`), so semantically equivalent
+  spellings -- reordered conjuncts, renamed output aliases, permuted
+  GROUP BY columns -- share one entry, which the system reconciles back
+  to the probe's spelling on a hit;
 * serve-time knobs that change the answer (guard policy thresholds,
   confidence, bound method) are folded into the key as a fingerprint;
 * guard-*degraded* answers (repairs, exact fallbacks, dropped groups) are
@@ -20,7 +23,11 @@ Correctness is carried by the key, not by heuristics:
   must not be replayed as a clean one.
 
 Hit/miss counts are tracked locally and (when a registry is supplied)
-mirrored to ``aqua_answer_cache_{hits,misses,evictions}_total``.
+mirrored to ``aqua_answer_cache_{hits,misses,evictions}_total``; semantic
+tier attribution (``exact`` / ``canonical`` / ``rollup``, recorded by the
+system's tier ladder via :meth:`AnswerCache.record_tier_hit`) is mirrored
+to ``aqua_answer_cache_semantic_hits_total{tier=...}``.  See
+``docs/CACHING.md`` for the tier ladder.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional
 
 from ..obs import MetricsRegistry
 
@@ -37,24 +44,43 @@ __all__ = ["AnswerCache", "CacheStats"]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Cumulative cache effectiveness counters."""
+    """Cumulative cache effectiveness counters.
+
+    ``hits``/``misses`` count lookups against the entry map;
+    ``exact_hits``/``canonical_hits``/``rollup_hits`` attribute served
+    answers to the semantic tier that produced them (roll-up hits are
+    map *misses* served from the subsumption index, so
+    ``hits + rollup_hits`` is the total served without recomputation).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    exact_hits: int = 0
+    canonical_hits: int = 0
+    rollup_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def semantic_hit_rate(self) -> float:
+        """Answers served by any tier over all lookups."""
+        total = self.hits + self.misses
+        return (self.hits + self.rollup_hits) / total if total else 0.0
+
     def describe(self) -> str:
         return (
             f"answer cache: {self.size}/{self.capacity} entries, "
             f"{self.hits} hits / {self.misses} misses "
-            f"({self.hit_rate:.0%} hit rate), {self.evictions} evicted"
+            f"({self.hit_rate:.0%} hit rate), {self.evictions} evicted\n"
+            f"tiers: exact={self.exact_hits} "
+            f"canonical={self.canonical_hits} rollup={self.rollup_hits} "
+            f"({self.semantic_hit_rate:.0%} served without recomputation)"
         )
 
 
@@ -62,9 +88,10 @@ class AnswerCache:
     """A bounded least-recently-used answer store.
 
     Keys are opaque hashables built by the caller (see
-    :meth:`AquaSystem._cache_key`): ``(table, version, normalized SQL,
-    policy fingerprint)``.  ``get`` promotes on hit; ``put`` evicts the
-    least-recently-used entry once ``capacity`` is exceeded.
+    :meth:`AquaSystem._cache_key`): ``(table, version, canonical
+    fingerprint, policy fingerprint, ...)``.  ``get`` promotes on hit;
+    ``put`` evicts the least-recently-used entry once ``capacity`` is
+    exceeded.
 
     Thread-safe: the serving layer's worker pool hits one shared cache
     concurrently, so every entry-map access (including the LRU
@@ -86,6 +113,7 @@ class AnswerCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._tier_hits: Dict[str, int] = {}
 
     def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
         """(Re)bind the registry the cache mirrors its counters into."""
@@ -107,6 +135,32 @@ class AnswerCache:
             self._hits += 1
             self._count("aqua_answer_cache_hits_total")
             return entry
+
+    def peek(self, key: Hashable):
+        """The cached value for ``key`` without counting or promoting.
+
+        Used by ``explain`` to report which tier *would* serve a query
+        without perturbing the hit/miss counters or the LRU order.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def record_tier_hit(self, tier: str) -> None:
+        """Attribute one served answer to a semantic tier.
+
+        ``tier`` is ``"exact"``, ``"canonical"``, or ``"rollup"``;
+        mirrored to ``aqua_answer_cache_semantic_hits_total{tier=...}``
+        when a metrics registry is attached.
+        """
+        with self._lock:
+            self._tier_hits[tier] = self._tier_hits.get(tier, 0) + 1
+        if self._metrics is not None and self._metrics.enabled:
+            self._metrics.counter(
+                "aqua_answer_cache_semantic_hits_total",
+                "Answers served without recomputation, by semantic tier "
+                "(exact/canonical/rollup).",
+                ("tier",),
+            ).inc(tier=tier)
 
     def put(self, key: Hashable, value) -> None:
         """Store ``value``, evicting the LRU entry when over capacity."""
@@ -148,6 +202,9 @@ class AnswerCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                exact_hits=self._tier_hits.get("exact", 0),
+                canonical_hits=self._tier_hits.get("canonical", 0),
+                rollup_hits=self._tier_hits.get("rollup", 0),
             )
 
     def _count(self, name: str) -> None:

@@ -195,6 +195,7 @@ class AquaShell:
                 self._print("answer cache: off")
             else:
                 self._print(cache.stats.describe())
+                self._print_rollup_stats()
             return
         if arg in ("off", "0"):
             self._aqua.set_cache(False)
@@ -205,6 +206,9 @@ class AquaShell:
                 self._print("answer cache: off")
             else:
                 self._print(f"dropped {cache.invalidate()} cached answers")
+                rollup = self._aqua.rollup_index
+                if rollup is not None:
+                    rollup.clear()
             return
         try:
             capacity = int(arg)
@@ -213,6 +217,12 @@ class AquaShell:
             return
         self._aqua.set_cache(capacity)
         self._print(self._aqua.answer_cache.stats.describe())
+        self._print_rollup_stats()
+
+    def _print_rollup_stats(self) -> None:
+        rollup = self._aqua.rollup_index
+        if rollup is not None:
+            self._print(rollup.stats().describe())
 
     def _handle_serve(self, arg: str) -> None:
         # Imported here so the shell stays usable without dragging the
@@ -284,8 +294,12 @@ class AquaShell:
             return
         for event in recent:
             flags = []
-            if event.cache_hit:
+            if event.cache_tier is not None:
+                flags.append(f"cache:{event.cache_tier}")
+            elif event.cache_hit:
                 flags.append("cache")
+            if event.reused_from:
+                flags.append(f"from {event.reused_from}")
             if event.degraded:
                 flags.append(event.degradation or "degraded")
             if event.audited:

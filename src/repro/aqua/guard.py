@@ -44,6 +44,7 @@ __all__ = [
     "PROVENANCE_REPAIRED",
     "PROVENANCE_EXACT",
     "PROVENANCE_DEGRADED",
+    "PROVENANCE_ROLLUP",
     "GuardPolicy",
     "RefreshPolicy",
     "GuardReport",
@@ -56,6 +57,11 @@ PROVENANCE_COLUMN = "provenance"
 PROVENANCE_SYNOPSIS = "synopsis"
 PROVENANCE_REPAIRED = "repaired"
 PROVENANCE_EXACT = "exact"
+#: Tag for groups served by merging a finer cached entry's aggregate
+#: states (roll-up subsumption, see :mod:`repro.aqua.reuse`).  A clean
+#: tier: the values are bit-identical to a fresh synopsis answer, so
+#: :attr:`GuardReport.degraded` treats it like ``synopsis``.
+PROVENANCE_ROLLUP = "rollup"
 #: Tag applied by the serving layer (:mod:`repro.serve`) when an answer was
 #: produced through the degradation ladder -- the guard ladder was skipped,
 #: so none of the other tags' quality stories apply.
@@ -205,7 +211,8 @@ class GuardReport:
             self.fallback_reason
             or self.dropped
             or any(
-                tag != PROVENANCE_SYNOPSIS for tag in self.provenance.values()
+                tag not in (PROVENANCE_SYNOPSIS, PROVENANCE_ROLLUP)
+                for tag in self.provenance.values()
             )
         )
 

@@ -1,0 +1,534 @@
+"""Roll-up subsumption: answer coarse group-bys from cached fine states.
+
+The paper's Section 6 builds the congressional datacube by *merging* the
+strata of a fine grouping into every coarser roll-up.  This module runs
+that construction in reverse at answer time: when a query misses the
+answer cache, a previously-answered query over the same synopsis may
+have left behind a :class:`ReuseSnapshot` -- per-stratum expansion
+moments at the finest (stratification) granularity -- from which any
+coarser ``GROUP BY`` over a subsumed predicate can be finalized without
+touching the synopsis rows again.
+
+Subsumption rules (all must hold, checked by :class:`RollupIndex`):
+
+* same base table, same table **version**, same synopsis (allocation /
+  rewrite strategy / budget / stratification), same confidence;
+* the probe's ``GROUP BY`` is a subset of the stratification columns
+  (each stratum then lies wholly inside one answer group);
+* the probe's canonical WHERE conjuncts are a superset of the entry's:
+  the entry predicate covers at least the probe's rows, and every
+  *extra* probe conjunct references only stratification columns, so it
+  is constant per stratum and selects whole strata (datacube slicing);
+* every probe aggregate is an expansion-estimable SUM/COUNT/AVG whose
+  input expression has moments in the snapshot.
+
+Bit-identity: the snapshot's per-stratum moments are ``np.bincount``
+reductions of exactly the arrays :func:`repro.estimators.point.estimate`
+builds, and :meth:`ReuseSnapshot.finalize` is the *only* arithmetic that
+turns moments into estimates and Chebyshev half-widths -- the direct
+answer path uses it too (see ``AquaSystem._attach_error_bounds``).  Two
+routes to the same coarse answer therefore agree bit-for-bit, which the
+Hypothesis suite in ``tests/aqua/test_reuse_properties.py`` asserts.
+
+Degraded and streaming answers never register snapshots (they do not
+represent a completed synopsis scan at a single version).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.aggregates import (
+    Aggregate,
+    AggregateState,
+    finalize_state,
+    rollup_state,
+)
+from ..engine.predicates import Predicate
+from ..engine.render import render_expression, render_predicate
+from ..engine.table import Table
+from ..plan.canonical import canonicalize_expression, canonicalize_predicate
+from ..plan.optimizer import _conjoin, _split_and
+from ..sampling.groups import GroupKey, make_key, project_key
+from ..sampling.stratified import StratifiedSample
+
+__all__ = [
+    "ONES_KEY",
+    "ReuseSnapshot",
+    "RollupAnswer",
+    "RollupIndex",
+    "RollupIndexStats",
+    "moment_keys",
+]
+
+# Moment-table key for the implicit all-ones column: COUNT is the scaled
+# sum of ones, and AVG's denominator is the same state.  ``Lit(1)``
+# renders to "1", so an explicit SUM(1) shares it, correctly.
+ONES_KEY = "1"
+
+
+def moment_keys(aggregate: Aggregate) -> Tuple[str, ...]:
+    """Canonical moment-table keys ``aggregate`` needs to finalize."""
+    if aggregate.func == "count":
+        return (ONES_KEY,)
+    key = render_expression(canonicalize_expression(aggregate.expr))
+    if aggregate.func == "avg":
+        return (key, ONES_KEY)
+    return (key,)
+
+
+@dataclass(frozen=True)
+class _ExprMoments:
+    """Per-stratum moments for one aggregate input expression.
+
+    ``state`` is a mergeable SUM :class:`AggregateState` over the scaled,
+    predicate-masked values (the expansion estimator's numerator), one
+    entry per stratum; ``var_contrib`` is each stratum's contribution
+    ``N_h^2 (1 - n_h/N_h) s_h^2 / n_h`` to the estimator's variance.
+    Both roll up to any coarser grouping by pure summation.
+    """
+
+    state: AggregateState
+    var_contrib: np.ndarray
+
+
+@dataclass(frozen=True)
+class RollupAnswer:
+    """A finalized roll-up: sorted group keys with estimates and bounds."""
+
+    group_by: Tuple[str, ...]
+    keys: Tuple[GroupKey, ...]
+    support: np.ndarray
+    values: Dict[str, np.ndarray]
+    halfwidths: Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ReuseSnapshot:
+    """Per-stratum expansion moments from one answered synopsis query.
+
+    Everything here is finer-grained than any servable probe: strata are
+    the synopsis' stratification groups, and the moments are masked by
+    the entry query's WHERE predicate only (not by its GROUP BY), so one
+    snapshot serves every coarser grouping and every whole-strata slice.
+    """
+
+    base_name: str
+    version: int
+    synopsis_signature: Tuple
+    grouping_columns: Tuple[str, ...]
+    entry_group_by: Tuple[str, ...]
+    conjuncts: Tuple[str, ...]
+    confidence: float
+    describe_source: str
+    stratum_keys: Tuple[GroupKey, ...]
+    key_table: Table
+    populations: np.ndarray
+    sizes: np.ndarray
+    support: np.ndarray
+    moments: Dict[str, _ExprMoments]
+
+    @classmethod
+    def build(
+        cls,
+        sample: StratifiedSample,
+        predicate: Optional[Predicate],
+        aggregates: Sequence[Aggregate],
+        *,
+        base_name: str,
+        version: int,
+        synopsis_signature: Tuple,
+        confidence: float,
+        entry_group_by: Tuple[str, ...] = (),
+        describe_source: str = "",
+    ) -> Optional["ReuseSnapshot"]:
+        """Scan the sample once and record per-stratum moments.
+
+        Returns ``None`` for empty samples.  Mirrors the row assembly of
+        :func:`repro.estimators.point.estimate` exactly (same strata
+        order, same concatenation, same masking) so per-stratum bincounts
+        match what a direct estimate would accumulate.
+        """
+        strata = [s for s in sample.strata.values() if s.sample_size > 0]
+        if not strata:
+            return None
+        base = sample.base_table
+        indices = np.concatenate([s.row_indices for s in strata])
+        sf = np.concatenate(
+            [np.full(s.sample_size, s.scale_factor) for s in strata]
+        )
+        stratum_ids = np.concatenate(
+            [
+                np.full(s.sample_size, i, dtype=np.int64)
+                for i, s in enumerate(strata)
+            ]
+        )
+        rows = base.take(indices)
+        qualifies = (
+            predicate.evaluate(rows)
+            if predicate is not None
+            else np.ones(rows.num_rows, dtype=bool)
+        )
+        num_strata = len(strata)
+        populations = np.array([s.population for s in strata], dtype=np.float64)
+        sizes = np.array([s.sample_size for s in strata], dtype=np.float64)
+        support = np.bincount(
+            stratum_ids[qualifies], minlength=num_strata
+        ).astype(np.int64)
+
+        needed: Dict[str, Optional[object]] = {ONES_KEY: None}
+        for aggregate in aggregates:
+            if aggregate.func == "count":
+                continue
+            expr = canonicalize_expression(aggregate.expr)
+            needed.setdefault(render_expression(expr), expr)
+
+        moments: Dict[str, _ExprMoments] = {}
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fpc = 1.0 - sizes / populations
+            for key, expr in needed.items():
+                if expr is None:
+                    values = np.ones(rows.num_rows)
+                else:
+                    values = np.asarray(expr.evaluate(rows), dtype=np.float64)
+                masked = np.where(qualifies, values, 0.0)
+                scaled = np.bincount(
+                    stratum_ids, weights=masked * sf, minlength=num_strata
+                )
+                sums = np.bincount(
+                    stratum_ids, weights=masked, minlength=num_strata
+                )
+                sumsq = np.bincount(
+                    stratum_ids,
+                    weights=masked * masked,
+                    minlength=num_strata,
+                )
+                means = sums / sizes
+                sample_var = np.where(
+                    sizes > 1,
+                    np.maximum(sumsq - sizes * means * means, 0.0)
+                    / np.maximum(sizes - 1.0, 1.0),
+                    0.0,
+                )
+                var_contrib = (
+                    populations * populations * fpc * sample_var / sizes
+                )
+                moments[key] = _ExprMoments(
+                    state=AggregateState(
+                        "sum", support.astype(np.float64), scaled
+                    ),
+                    var_contrib=var_contrib,
+                )
+
+        stratum_keys = tuple(make_key(s.key) for s in strata)
+        grouping = tuple(sample.grouping_columns)
+        key_schema = [base.schema.column(name) for name in grouping]
+        from ..engine.schema import Schema
+
+        key_table = Table.from_rows(Schema(key_schema), stratum_keys)
+        return cls(
+            base_name=base_name,
+            version=version,
+            synopsis_signature=synopsis_signature,
+            grouping_columns=grouping,
+            entry_group_by=tuple(entry_group_by),
+            conjuncts=_conjunct_texts(predicate),
+            confidence=confidence,
+            describe_source=describe_source,
+            stratum_keys=stratum_keys,
+            key_table=key_table,
+            populations=populations,
+            sizes=sizes,
+            support=support,
+            moments=moments,
+        )
+
+    def can_finalize(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[Aggregate],
+    ) -> bool:
+        """Whether this snapshot has the grouping and moments to serve."""
+        if not set(group_by) <= set(self.grouping_columns):
+            return False
+        for aggregate in aggregates:
+            if aggregate.func not in ("sum", "count", "avg"):
+                return False
+            if any(k not in self.moments for k in moment_keys(aggregate)):
+                return False
+        return True
+
+    def finalize(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        extra_predicate: Optional[Predicate] = None,
+    ) -> RollupAnswer:
+        """Roll the per-stratum states up to ``group_by`` and finalize.
+
+        ``extra_predicate`` (conjuncts over stratification columns only)
+        selects whole strata before the roll-up -- datacube slicing.
+        Groups with zero qualifying sample tuples are absent, mirroring
+        :func:`repro.estimators.point.estimate`.
+        """
+        if not self.can_finalize(group_by, aggregates):
+            raise ValueError(
+                f"snapshot over {self.grouping_columns} cannot finalize "
+                f"GROUP BY {tuple(group_by)}"
+            )
+        num_strata = len(self.stratum_keys)
+        included = np.ones(num_strata, dtype=bool)
+        if extra_predicate is not None:
+            included = np.asarray(
+                extra_predicate.evaluate(self.key_table), dtype=bool
+            )
+        idx = np.flatnonzero(included)
+
+        projected = [
+            project_key(self.stratum_keys[i], self.grouping_columns, group_by)
+            for i in idx
+        ]
+        ordered_keys = sorted(set(projected))
+        gid = {key: g for g, key in enumerate(ordered_keys)}
+        targets = np.array(
+            [gid[key] for key in projected], dtype=np.int64
+        ).reshape(len(idx))
+        num_groups = len(ordered_keys)
+
+        support = np.zeros(num_groups, dtype=np.int64)
+        np.add.at(support, targets, self.support[idx])
+
+        finalized: Dict[str, np.ndarray] = {}
+        variances: Dict[str, np.ndarray] = {}
+        for key in set(
+            k for aggregate in aggregates for k in moment_keys(aggregate)
+        ):
+            entry = self.moments[key]
+            sliced = AggregateState(
+                "sum", entry.state.count[idx], entry.state.total[idx]
+            )
+            coarse = rollup_state(sliced, targets, num_groups)
+            finalized[key] = finalize_state(coarse)
+            variances[key] = np.bincount(
+                targets,
+                weights=entry.var_contrib[idx],
+                minlength=num_groups,
+            )
+
+        keep = support > 0
+        values: Dict[str, np.ndarray] = {}
+        halfwidths: Dict[str, np.ndarray] = {}
+        scale = float(np.sqrt(1.0 - self.confidence))
+        for aggregate in aggregates:
+            if aggregate.func == "count":
+                value = finalized[ONES_KEY]
+                variance = variances[ONES_KEY]
+            elif aggregate.func == "sum":
+                key = moment_keys(aggregate)[0]
+                value = finalized[key]
+                variance = variances[key]
+            else:  # avg: ratio estimator with delta-method variance
+                key = moment_keys(aggregate)[0]
+                num, num_var = finalized[key], variances[key]
+                den, den_var = finalized[ONES_KEY], variances[ONES_KEY]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    value = np.where(den != 0, num / den, np.nan)
+                    variance = np.where(
+                        den != 0,
+                        (num_var + value * value * den_var) / (den * den),
+                        np.nan,
+                    )
+            with np.errstate(invalid="ignore"):
+                half = np.where(
+                    variance >= 0, np.sqrt(variance) / scale, np.nan
+                )
+            values[aggregate.alias] = value[keep]
+            halfwidths[aggregate.alias] = half[keep]
+
+        kept_keys = tuple(
+            key for key, ok in zip(ordered_keys, keep) if ok
+        )
+        return RollupAnswer(
+            group_by=tuple(group_by),
+            keys=kept_keys,
+            support=support[keep],
+            values=values,
+            halfwidths=halfwidths,
+        )
+
+
+def _conjunct_texts(predicate: Optional[Predicate]) -> Tuple[str, ...]:
+    from ..plan.canonical import predicate_conjuncts
+
+    return predicate_conjuncts(predicate)
+
+
+@dataclass
+class RollupIndexStats:
+    """Counters for the subsumption index (thread-safe snapshot)."""
+
+    entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    registrations: int = 0
+    invalidations: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"rollup index: entries={self.entries} hits={self.hits} "
+            f"misses={self.misses} registered={self.registrations} "
+            f"invalidated={self.invalidations}"
+        )
+
+
+@dataclass(frozen=True)
+class _Match:
+    """A successful subsumption lookup."""
+
+    snapshot: ReuseSnapshot
+    extra_predicate: Optional[Predicate]
+    extra_conjuncts: Tuple[str, ...] = ()
+
+
+class RollupIndex:
+    """Bounded per-table index of :class:`ReuseSnapshot` entries.
+
+    LRU-bounded; thread-safe.  Entries are keyed by
+    ``(table, version, synopsis, predicate fingerprint, confidence)`` so
+    re-registering the same logical scan replaces rather than grows, and
+    invalidation by table name drops every entry atomically with the
+    answer-cache entries it mirrors (callers hold the table lock).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, ReuseSnapshot]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._registrations = 0
+        self._invalidations = 0
+
+    def _key(self, snapshot: ReuseSnapshot) -> Tuple:
+        return (
+            snapshot.base_name,
+            snapshot.version,
+            snapshot.synopsis_signature,
+            snapshot.conjuncts,
+            snapshot.confidence,
+        )
+
+    def register(self, snapshot: ReuseSnapshot) -> None:
+        with self._lock:
+            key = self._key(snapshot)
+            if key in self._entries:
+                self._entries.pop(key)
+            self._entries[key] = snapshot
+            self._registrations += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def lookup(
+        self,
+        *,
+        base_name: str,
+        version: int,
+        synopsis_signature: Tuple,
+        where: Optional[Predicate],
+        group_by: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        confidence: float,
+        count: bool = True,
+    ) -> Optional[_Match]:
+        """Find a snapshot that subsumes the probe, or ``None``.
+
+        Prefers the candidate with the fewest extra conjuncts (an exact
+        predicate match beats one that needs slicing).  ``count=False``
+        probes without touching the hit/miss counters or LRU order (used
+        by ``explain``).
+        """
+        if where is not None:
+            canonical = canonicalize_predicate(where)
+            parts = _split_and(canonical)
+            texts = [render_predicate(part) for part in parts]
+        else:
+            parts, texts = [], []
+        probe_set = set(texts)
+
+        best: Optional[_Match] = None
+        with self._lock:
+            candidates = [
+                snapshot
+                for snapshot in self._entries.values()
+                if snapshot.base_name == base_name
+                and snapshot.version == version
+                and snapshot.synopsis_signature == synopsis_signature
+                and snapshot.confidence == confidence
+            ]
+        for snapshot in candidates:
+            entry_set = set(snapshot.conjuncts)
+            if not entry_set <= probe_set:
+                continue
+            extra = [
+                (part, text)
+                for part, text in zip(parts, texts)
+                if text not in entry_set
+            ]
+            if any(
+                not set(part.referenced_columns())
+                <= set(snapshot.grouping_columns)
+                for part, _ in extra
+            ):
+                continue
+            if not snapshot.can_finalize(group_by, aggregates):
+                continue
+            if best is not None and len(best.extra_conjuncts) <= len(extra):
+                continue
+            best = _Match(
+                snapshot=snapshot,
+                extra_predicate=(
+                    _conjoin([part for part, _ in extra]) if extra else None
+                ),
+                extra_conjuncts=tuple(text for _, text in extra),
+            )
+        if count:
+            with self._lock:
+                if best is not None:
+                    self._hits += 1
+                    self._entries.move_to_end(self._key(best.snapshot))
+                else:
+                    self._misses += 1
+        return best
+
+    def invalidate(self, base_name: str) -> int:
+        """Drop every entry for ``base_name``; returns the count dropped."""
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] == base_name
+            ]
+            for key in stale:
+                self._entries.pop(key)
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    def stats(self) -> RollupIndexStats:
+        with self._lock:
+            return RollupIndexStats(
+                entries=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                registrations=self._registrations,
+                invalidations=self._invalidations,
+            )

@@ -41,7 +41,6 @@ from ..engine.aggregates import Aggregate, finalize_state, grouped_reduce
 from ..engine.expressions import Lit
 from ..engine.groupby import GroupByPartial, group_ids_for
 from ..engine.query import Query
-from ..engine.render import render_query
 from ..engine.schema import Column, ColumnType, Schema
 from ..engine.sql import parse_query
 from ..engine.stream import (
@@ -56,7 +55,13 @@ from ..engine.stream import (
 from ..engine.table import Table
 from ..errors import DeadlineExceeded, StreamError
 from ..estimators.errors import relative_halfwidth
-from ..plan import execute_plan, lower_query, optimize as optimize_plan
+from ..plan import (
+    canonicalize,
+    canonicalize_query,
+    execute_plan,
+    lower_query,
+    optimize as optimize_plan,
+)
 from ..plan.logical import Filter, GroupBy, Scan, walk
 from ..serve.deadline import Deadline, current_deadline, deadline_scope
 
@@ -666,8 +671,13 @@ def _stream_cache_key(system, query: Query, base_name: str):
     """Answer-cache key for a completed stream (None = caching disabled).
 
     ``"stream"`` marks the entry so batch answers and streams never alias;
-    otherwise the key mirrors the batch one: data version, normalized
-    query text, confidence, bound family.
+    otherwise the key mirrors the batch one: data version, the query's
+    *structural* canonical fingerprint (alias-sensitive, group order
+    preserved -- a cached stream's result table bakes in the output
+    schema, so alias-insensitive matching would serve wrongly-named
+    columns), confidence, bound family.  Streaming answers never populate
+    the semantic reuse tiers: a stream's terminal emission is an *exact*
+    answer, not a synopsis scan, so there is no snapshot to roll up.
     """
     if system._cache is None:
         return None
@@ -675,7 +685,7 @@ def _stream_cache_key(system, query: Query, base_name: str):
         base_name,
         system._state(base_name).version,
         "stream",
-        render_query(query),
+        canonicalize_query(query).structural,
         system._confidence,
         system._bound_method,
     )
@@ -688,12 +698,14 @@ def _optimized_stream_plan(system, query: Query, base_name: str):
     :class:`~repro.plan.PlanCache` under a stream-specific strategy tag so
     rewritten synopsis plans never collide with streamed base scans.
     """
-    key = system._plan_key(query, base_name, "stream")
-    if key is not None:
-        cached = system._plan_cache.get(key)
-        if cached is not None:
-            return cached
-    logical = optimize_plan(lower_query(query, system.catalog))
-    if key is not None:
-        system._plan_cache.put(key, logical)
+    lowered = lower_query(query, system.catalog)
+    if system._plan_cache is None:
+        return optimize_plan(lowered)
+    lowered, fingerprint = canonicalize(lowered)
+    key = system._plan_key(base_name, "stream", "", fingerprint)
+    cached = system._plan_cache.get(key)
+    if cached is not None:
+        return cached
+    logical = optimize_plan(lowered)
+    system._plan_cache.put(key, logical)
     return logical

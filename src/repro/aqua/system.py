@@ -62,6 +62,8 @@ from ..obs import MetricsRegistry, QueryTrace, Telemetry, Tracer
 from ..plan import (
     CostModel,
     PlanCache,
+    canonicalize,
+    canonicalize_query,
     execute_plan,
     lower_query,
     lower_rewritten,
@@ -82,8 +84,10 @@ from ..serve.deadline import (
 from ..sampling.stratified import StratifiedSample
 from .cache import AnswerCache, CacheStats
 from .guard import (
+    PROVENANCE_COLUMN,
     PROVENANCE_EXACT,
     PROVENANCE_REPAIRED,
+    PROVENANCE_ROLLUP,
     PROVENANCE_SYNOPSIS,
     GuardPolicy,
     GuardReport,
@@ -99,6 +103,7 @@ from .portfolio import (
     SynopsisSpec,
     default_portfolio_specs,
 )
+from .reuse import ReuseSnapshot, RollupIndex
 from .synopsis import Synopsis
 from .workload_log import QueryLog
 
@@ -179,6 +184,15 @@ class ApproximateAnswer:
             event log is disabled); shared with metric exemplars, retained
             traces, and audit back-annotations.
         cache_hit: served from the answer cache without recomputation.
+        cache_tier: which semantic reuse tier served this answer --
+            ``"exact"`` (same canonical fingerprint and same rendered
+            text), ``"canonical"`` (fingerprint hit reconciled across
+            aliases/group order), ``"rollup"`` (merged from a finer cached
+            entry's aggregate states), or ``None`` (computed fresh).
+        reused_from: for roll-up answers, the source entry's provenance
+            chain (table@version, allocation/rewrite strategy, the fine
+            entry's GROUP BY, and any whole-strata slice applied), so
+            provenance is never lossy.
         chosen_synopsis: the portfolio member that served this answer
             (``None`` when answered without a budget, i.e. off the primary
             synopsis).
@@ -194,6 +208,8 @@ class ApproximateAnswer:
     trace: Optional[QueryTrace] = None
     trace_id: Optional[str] = None
     cache_hit: bool = False
+    cache_tier: Optional[str] = None
+    reused_from: Optional[str] = None
     chosen_synopsis: Optional[str] = None
     predicted_rel_error: Optional[float] = None
 
@@ -226,6 +242,24 @@ class ApproximateAnswer:
 def _fmt_pct(value: float) -> str:
     """Render a percentage, degrading NaN/inf to ``n/a``."""
     return f"{value:.2f}%" if math.isfinite(value) else "n/a"
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """An answer-cache value: the answer plus reconciliation metadata.
+
+    Entries are keyed by the alias-insensitive canonical fingerprint, so
+    a hit may come from a differently-spelled query.  ``sql`` (the rendered
+    text the entry was stored under) distinguishes *exact* hits from
+    *canonical* ones; ``aliases`` and ``group_by`` let a canonical hit be
+    reconciled -- result columns renamed to the probe's aliases, rows
+    re-sorted to the probe's GROUP BY order -- before serving.
+    """
+
+    answer: ApproximateAnswer
+    sql: str
+    aliases: Tuple[str, ...]
+    group_by: Tuple[str, ...]
 
 
 @dataclass
@@ -272,6 +306,14 @@ class ComparisonReport:
                 f"note: synopsis was stale by {self.stale_inserts} inserts "
                 "at answer time"
             )
+        if self.approximate.cache_tier is not None:
+            tier_line = (
+                f"approx served from cache tier "
+                f"{self.approximate.cache_tier}"
+            )
+            if self.approximate.reused_from:
+                tier_line += f" (source: {self.approximate.reused_from})"
+            lines.append(tier_line)
         for alias, error in self.errors.items():
             lines.append(
                 f"{alias}: mean {_fmt_pct(error.eps_l1)}  "
@@ -316,6 +358,7 @@ class AquaSystem:
         parallel: Union[ParallelConfig, bool, None] = None,
         cache: Union[AnswerCache, int, bool, None] = None,
         plan_cache: Union[PlanCache, int, bool, None] = None,
+        semantic_reuse: Union[RollupIndex, int, bool, None] = None,
     ):
         """Args:
         space_budget: sample tuples per synopsis (the paper's ``X``).
@@ -358,6 +401,16 @@ class AquaSystem:
             :class:`~repro.plan.PlanCache` is used as-is, and ``False``
             plans every query from scratch.  Keys embed the table data
             version and rewrite strategy, so mutations invalidate.
+        semantic_reuse: the roll-up subsumption index (see
+            :class:`~repro.aqua.reuse.RollupIndex` and
+            ``docs/CACHING.md``).  ``None`` (default) follows the answer
+            cache -- enabled with a default 64-entry LRU unless
+            ``cache=False``; ``True`` force-enables, an ``int`` sets the
+            capacity, a :class:`~repro.aqua.reuse.RollupIndex` is used
+            as-is, and ``False`` disables the roll-up tier
+            (exact/canonical caching still applies).  Entries are
+            version-keyed and additionally invalidated eagerly on
+            insert/flush/refresh/re-register.
         """
         if space_budget < 1:
             raise AquaError(f"space budget must be >= 1, got {space_budget}")
@@ -443,6 +496,28 @@ class AquaSystem:
             )
         if self._plan_cache is not None:
             self._plan_cache.attach_metrics(self.telemetry.metrics)
+        if semantic_reuse is False:
+            self._reuse: Optional[RollupIndex] = None
+        elif semantic_reuse is None:
+            # Follow the answer cache: ``cache=False`` means "recompute
+            # every answer", which the roll-up tier must honour too.
+            self._reuse = RollupIndex() if self._cache is not None else None
+        elif semantic_reuse is True:
+            self._reuse = RollupIndex()
+        elif isinstance(semantic_reuse, RollupIndex):
+            self._reuse = semantic_reuse
+        elif isinstance(semantic_reuse, int):
+            self._reuse = RollupIndex(capacity=semantic_reuse)
+        else:
+            raise AquaError(
+                "semantic_reuse must be a RollupIndex, int capacity, True, "
+                f"False, or None; got {semantic_reuse!r}"
+            )
+        # Per-thread return channel: _attach_error_bounds deposits the
+        # ReuseSnapshot it built so _answer_stages can register it after
+        # the guard verdict, without changing the method's signature
+        # (testing.faults shadows it).
+        self._reuse_local = threading.local()
         self._auditor = None
         self._slo = None
 
@@ -524,12 +599,23 @@ class AquaSystem:
         """The optimized-plan cache (None = planning is never memoized)."""
         return self._plan_cache
 
+    @property
+    def rollup_index(self) -> Optional[RollupIndex]:
+        """The roll-up subsumption index (None = rollup tier disabled)."""
+        return self._reuse
+
     def set_cache(
         self, cache: Union[AnswerCache, int, bool, None]
     ) -> None:
-        """Replace, resize, enable, or disable the answer cache."""
+        """Replace, resize, enable, or disable the answer cache.
+
+        The roll-up subsumption index follows: disabling the cache also
+        disables semantic reuse ("recompute every answer" must mean all
+        tiers), and re-enabling restores a default index if none is set.
+        """
         if cache is False:
             self._cache = None
+            self._reuse = None
             return
         if cache is True or cache is None:
             self._cache = AnswerCache()
@@ -543,6 +629,8 @@ class AquaSystem:
                 f"or None; got {cache!r}"
             )
         self._cache.attach_metrics(self.telemetry.metrics)
+        if self._reuse is None:
+            self._reuse = RollupIndex()
 
     def table_version(self, name: str) -> int:
         """The table's monotonic data version (cache-invalidation token)."""
@@ -586,6 +674,8 @@ class AquaSystem:
             # answers for the replaced data can never be served again.
             version=previous.version + 1 if previous is not None else 0,
         )
+        if previous is not None and self._reuse is not None:
+            self._reuse.invalidate(name)
         if build:
             return self.build_synopsis(name)
         return None
@@ -677,6 +767,8 @@ class AquaSystem:
                     state.pending_rows
                 )
                 state.version += 1  # new synopsis -> new answers
+                if self._reuse is not None:
+                    self._reuse.invalidate(name)
         return synopsis
 
     def synopsis(self, name: str) -> Synopsis:
@@ -774,6 +866,8 @@ class AquaSystem:
         self._portfolios[name] = portfolio
         with state.lock:
             state.version += 1  # new members -> new answers and resolutions
+            if self._reuse is not None:
+                self._reuse.invalidate(name)
         metrics = self.telemetry.metrics
         if metrics.enabled:
             metrics.gauge(
@@ -1219,6 +1313,8 @@ class AquaSystem:
                 ),
                 duration_seconds=wall,
                 cache_hit=answer.cache_hit,
+                cache_tier=answer.cache_tier,
+                reused_from=answer.reused_from,
                 degraded=degraded,
                 degradation="guard" if degraded else None,
                 deadline=had_deadline,
@@ -1282,25 +1378,33 @@ class AquaSystem:
         base_name: str,
         policy: Optional[GuardPolicy],
         budget: Tuple = (),
+        canonical=None,
     ):
         """The answer-cache key for this (query, serving configuration).
 
         ``None`` when caching is disabled.  The key embeds the table's
-        *current* data version, the renderer-normalized plan text, and every
-        serve-time knob that changes the answer (guard policy -- hashable
-        because it is frozen -- confidence, bound method, and the budget
-        tuple ``(max_rel_error, max_ms, chosen member)`` for
-        portfolio-resolved answers).  Reads the version at call time:
-        lookups use the pre-pipeline version, stores the post-pipeline one,
-        so a mid-pipeline refresh stores under the version whose synopsis
-        actually produced the answer.
+        *current* data version, the query's alias-insensitive canonical
+        fingerprint (see :func:`repro.plan.canonicalize_query` -- predicate
+        spelling, output aliases, and GROUP BY column order no longer
+        fragment the cache), and every serve-time knob that changes the
+        answer (guard policy -- hashable because it is frozen --
+        confidence, bound method, and the budget tuple ``(max_rel_error,
+        max_ms, chosen member)`` for portfolio-resolved answers).  Reads
+        the version at call time: lookups use the pre-pipeline version,
+        stores the post-pipeline one, so a mid-pipeline refresh stores
+        under the version whose synopsis actually produced the answer.
+
+        Pass a precomputed ``canonical`` (:class:`~repro.plan.CanonicalQuery`)
+        to avoid re-canonicalizing between the lookup and the store.
         """
         if self._cache is None:
             return None
+        if canonical is None:
+            canonical = canonicalize_query(query)
         return (
             base_name,
             self._state(base_name).version,
-            render_query(query),
+            canonical.fingerprint,
             policy,
             self._confidence,
             self._bound_method,
@@ -1308,17 +1412,20 @@ class AquaSystem:
         )
 
     def _plan_key(
-        self, query: Query, base_name: str, strategy: str, relation: str = ""
+        self, base_name: str, strategy: str, relation: str, fingerprint: str
     ):
-        """The plan-cache key: data version + strategy + relation + text.
+        """The plan-cache key: version + strategy + relation + fingerprint.
 
-        ``None`` when plan caching is disabled.  The version covers every
-        mutation that can change synopsis relations (insert, flush,
-        refresh, re-register), so a stale optimized plan can never be
-        replayed against rebuilt samples.  ``relation`` is the sample
-        relation the rewrite reads: portfolio members of the same table
-        produce *different* plans for the same query text, and the member
-        relation name keeps their cache entries apart.
+        ``None`` when plan caching is disabled.  ``fingerprint`` is the
+        canonical-plan digest from :func:`repro.plan.canonicalize`, so
+        trivially-equivalent spellings (predicate order, folded constants)
+        share one optimized plan.  The version covers every mutation that
+        can change synopsis relations (insert, flush, refresh,
+        re-register), so a stale optimized plan can never be replayed
+        against rebuilt samples.  ``relation`` is the sample relation the
+        rewrite reads: portfolio members of the same table produce
+        *different* plans for the same query, and the member relation name
+        keeps their cache entries apart.
         """
         if self._plan_cache is None:
             return None
@@ -1327,7 +1434,7 @@ class AquaSystem:
             self._state(base_name).version,
             strategy,
             relation,
-            render_query(query),
+            fingerprint,
         )
 
     def _cost_model(self) -> CostModel:
@@ -1341,23 +1448,27 @@ class AquaSystem:
         """
         return CostModel.from_catalog(self.catalog)
 
-    def _optimized_plan(self, query, rewritten, base_name, relation=""):
+    def _optimized_plan(self, rewritten, base_name, relation=""):
         """Lower + optimize the rewritten query, memoized in the plan cache.
 
-        Optimization is cost-gated against catalog cardinalities (see
-        :meth:`_cost_model`).  Returns ``(logical_plan, was_cached)``.
+        The lowered plan is canonicalized first, and its fingerprint keys
+        the cache -- so equivalent predicate spellings amortize the
+        optimizer pass, which is the expensive part.  Optimization is
+        cost-gated against catalog cardinalities (see :meth:`_cost_model`).
+        Returns ``(logical_plan, was_cached)``.
         """
-        key = self._plan_key(query, base_name, rewritten.strategy, relation)
-        if key is not None:
-            cached = self._plan_cache.get(key)
-            if cached is not None:
-                return cached, True
-        logical = optimize_plan(
-            lower_rewritten(rewritten, self.catalog),
-            cost_model=self._cost_model(),
+        lowered = lower_rewritten(rewritten, self.catalog)
+        if self._plan_cache is None:
+            return optimize_plan(lowered, cost_model=self._cost_model()), False
+        lowered, fingerprint = canonicalize(lowered)
+        key = self._plan_key(
+            base_name, rewritten.strategy, relation, fingerprint
         )
-        if key is not None:
-            self._plan_cache.put(key, logical)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached, True
+        logical = optimize_plan(lowered, cost_model=self._cost_model())
+        self._plan_cache.put(key, logical)
         return logical, False
 
     def _answer_pipeline(
@@ -1431,16 +1542,40 @@ class AquaSystem:
             if choice is not None
             else ()
         )
-        key = self._cache_key(query, base_name, policy, budget)
+        canonical = (
+            canonicalize_query(query) if self._cache is not None else None
+        )
+        key = self._cache_key(query, base_name, policy, budget, canonical)
         if key is not None:
-            cached = self._cache.get(key)
-            if cached is not None:
-                root.set(cache="hit")
+            entry = self._cache.get(key)
+            if entry is not None:
                 # Shallow copy: the caller attaches this call's trace and
-                # trace id to the returned object, which must not leak into
-                # the cache.
-                return dataclass_replace(cached, trace=None, cache_hit=True)
+                # trace id to the returned object, which must not leak
+                # into the cache.  A canonical hit is additionally
+                # reconciled (aliases renamed, rows re-sorted) to the
+                # probe's spelling.
+                answer, tier = self._reconcile_cached(entry, query, canonical)
+                root.set(cache=tier)
+                self._cache.record_tier_hit(tier)
+                return answer
             root.set(cache="miss")
+
+        if choice is None:
+            answer = self._rollup_answer(
+                query, base_name, state, policy, tracer
+            )
+            if answer is not None:
+                root.set(cache="rollup")
+                if key is not None:
+                    self._cache.record_tier_hit("rollup")
+                    if answer.guard is None or not answer.guard.degraded:
+                        self._cache.put(
+                            self._cache_key(
+                                query, base_name, policy, budget, canonical
+                            ),
+                            self._cache_entry(answer, query, canonical),
+                        )
+                return answer
 
         answer = self._answer_stages(
             query,
@@ -1461,9 +1596,240 @@ class AquaSystem:
             answer.guard is None or not answer.guard.degraded
         ):
             self._cache.put(
-                self._cache_key(query, base_name, policy, budget),
-                dataclass_replace(answer, trace=None),
+                self._cache_key(query, base_name, policy, budget, canonical),
+                self._cache_entry(answer, query, canonical),
             )
+        return answer
+
+    def _cache_entry(
+        self, answer: ApproximateAnswer, query: Query, canonical
+    ) -> _CacheEntry:
+        return _CacheEntry(
+            answer=dataclass_replace(answer, trace=None),
+            sql=render_query(query),
+            aliases=tuple(canonical.aliases),
+            group_by=tuple(query.group_by),
+        )
+
+    def _reconcile_cached(
+        self, entry: _CacheEntry, query: Query, canonical
+    ) -> Tuple[ApproximateAnswer, str]:
+        """Serve a fingerprint hit, reconciling spelling differences.
+
+        An *exact* hit (same rendered text) is returned as-is.  A
+        *canonical* hit -- same semantics, different aliases or GROUP BY
+        column order -- renames the result's aggregate/projection columns
+        (and their ``_error`` companions) to the probe's aliases and, for
+        probes without an ORDER BY, re-sorts rows into the probe's group
+        order, so the served table is indistinguishable from direct
+        execution of the probe.
+        """
+        answer = entry.answer
+        if entry.sql == render_query(query):
+            return (
+                dataclass_replace(
+                    answer, trace=None, cache_hit=True, cache_tier="exact"
+                ),
+                "exact",
+            )
+        result = answer.result
+        mapping: Dict[str, str] = {}
+        for old, new in zip(entry.aliases, canonical.aliases):
+            if old == new:
+                continue
+            mapping[old] = new
+            if f"{old}_error" in result.schema:
+                mapping[f"{old}_error"] = f"{new}_error"
+        if mapping:
+            result = result.rename(mapping)
+        if tuple(entry.group_by) != tuple(query.group_by) and not query.order_by:
+            alias_of = {
+                item.expr.name: item.alias
+                for item in query.projections()
+                if isinstance(item.expr, Col)
+            }
+            order = [
+                alias_of[name]
+                for name in query.group_by
+                if name in alias_of
+            ]
+            if order:
+                result = result.sort_by(order)
+        return (
+            dataclass_replace(
+                answer,
+                result=result,
+                trace=None,
+                cache_hit=True,
+                cache_tier="canonical",
+            ),
+            "canonical",
+        )
+
+    @staticmethod
+    def _synopsis_signature(synopsis: Synopsis) -> Tuple:
+        """What must match for a snapshot to serve a probe bit-identically.
+
+        The installed sample relation name is included because portfolio
+        members are distinct *draws*: a member with the primary's exact
+        strategy/budget/grouping still holds different rows, so its
+        moments must never serve a primary-synopsis probe.
+        """
+        return (
+            synopsis.installed.sample_name,
+            synopsis.allocation_strategy,
+            synopsis.rewrite_strategy,
+            synopsis.budget,
+            tuple(synopsis.grouping_columns),
+        )
+
+    def _rollup_answer(
+        self,
+        query: Query,
+        base_name: str,
+        state: _TableState,
+        policy: Optional[GuardPolicy],
+        tracer: Tracer,
+    ) -> Optional[ApproximateAnswer]:
+        """Serve from the roll-up subsumption tier, or ``None`` on a miss.
+
+        A hit merges a finer cached entry's per-stratum aggregate states
+        down to the probe's GROUP BY (the paper's Section 6 datacube
+        construction run in reverse), recomputing estimates *and*
+        Chebyshev half-widths from the merged moments -- bit-identical to
+        what the direct pipeline would produce at this version, because
+        both run :meth:`ReuseSnapshot.finalize`.  The answer then passes
+        through the normal guard ladder; its provenance is re-tagged
+        ``rollup`` and the source entry recorded in ``reused_from``.
+        """
+        if self._reuse is None or self._bound_method != "chebyshev":
+            return None
+        if query.having is not None or not isinstance(query.from_item, str):
+            return None
+        aggregates = query.aggregates()
+        if not aggregates or any(
+            aggregate.func not in _SCALED_AGGREGATES
+            for aggregate in aggregates
+        ):
+            return None
+        projected = {
+            item.expr.name
+            for item in query.projections()
+            if isinstance(item.expr, Col)
+        }
+        if not set(query.group_by) <= projected:
+            return None
+        synopsis = self._synopses.get(base_name)
+        if synopsis is None:
+            return None
+        match = self._reuse.lookup(
+            base_name=base_name,
+            version=state.version,
+            synopsis_signature=self._synopsis_signature(synopsis),
+            where=query.where,
+            group_by=query.group_by,
+            aggregates=aggregates,
+            confidence=self._confidence,
+        )
+        if match is None:
+            return None
+        check_deadline("rollup")
+        start = time.perf_counter()
+        with tracer.span("rollup", source=match.snapshot.describe_source):
+            rollup = match.snapshot.finalize(
+                query.group_by, aggregates, match.extra_predicate
+            )
+            result = self._rollup_result(query, state, rollup)
+        answer = ApproximateAnswer(
+            result=result,
+            confidence=self._confidence,
+            synopsis=synopsis,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        if policy is not None:
+            answer = self._guard_answer(
+                query, synopsis, answer, policy, state.inserts_since_refresh
+            )
+        source = match.snapshot.describe_source
+        if match.extra_conjuncts:
+            source += f" sliced by ({' AND '.join(match.extra_conjuncts)})"
+        answer = self._tag_rollup(answer, policy)
+        answer.cache_tier = "rollup"
+        answer.reused_from = source
+        return answer
+
+    def _rollup_result(
+        self, query: Query, state: _TableState, rollup
+    ) -> Table:
+        """Materialize a :class:`~repro.aqua.reuse.RollupAnswer` as the
+        probe's answer table: select-order columns, base-schema key types,
+        ``<alias>_error`` columns appended in aggregate order (the same
+        layout :meth:`_attach_error_bounds` produces), then ORDER BY and
+        LIMIT applied exactly as the physical plan would."""
+        from ..engine.schema import Schema
+
+        base_schema = state.table.schema
+        position = {name: i for i, name in enumerate(rollup.group_by)}
+        schema_columns: List[Column] = []
+        columns: Dict[str, object] = {}
+        for item in query.select:
+            if isinstance(item, Aggregate):
+                schema_columns.append(Column(item.alias, ColumnType.FLOAT))
+                columns[item.alias] = rollup.values[item.alias]
+            else:
+                name = item.expr.name
+                schema_columns.append(
+                    Column(item.alias, base_schema.column(name).ctype)
+                )
+                i = position[name]
+                columns[item.alias] = [key[i] for key in rollup.keys]
+        for aggregate in query.aggregates():
+            error_name = f"{aggregate.alias}_error"
+            schema_columns.append(Column(error_name, ColumnType.FLOAT))
+            columns[error_name] = rollup.halfwidths[aggregate.alias]
+        result = Table.from_columns(Schema(tuple(schema_columns)), **columns)
+        if query.order_by:
+            result = result.sort_by(list(query.order_by))
+        if query.limit is not None:
+            result = result.head(query.limit)
+        return result
+
+    def _tag_rollup(
+        self, answer: ApproximateAnswer, policy: Optional[GuardPolicy]
+    ) -> ApproximateAnswer:
+        """Re-tag clean synopsis provenance as ``rollup``.
+
+        Repaired/exact groups keep their tags (the guard really did that
+        work), and :attr:`GuardReport.degraded` treats ``rollup`` as
+        clean, so a roll-up-served answer is cacheable exactly when its
+        direct-path twin would be.
+        """
+        report = answer.guard
+        if report is not None:
+            answer.guard = dataclass_replace(
+                report,
+                provenance={
+                    key: (
+                        PROVENANCE_ROLLUP
+                        if tag == PROVENANCE_SYNOPSIS
+                        else tag
+                    )
+                    for key, tag in report.provenance.items()
+                },
+            )
+        column = (
+            policy.provenance_column
+            if policy is not None
+            else PROVENANCE_COLUMN
+        )
+        if column in answer.result.schema:
+            tags = answer.result.column(column)
+            retagged = np.where(
+                tags == PROVENANCE_SYNOPSIS, PROVENANCE_ROLLUP, tags
+            )
+            data = answer.result.columns()
+            data[column] = retagged
+            answer.result = Table(answer.result.schema, data)
         return answer
 
     def _answer_stages(
@@ -1580,7 +1946,7 @@ class AquaSystem:
         check_deadline("plan_optimize")
         with tracer.span("plan_optimize") as plan_span:
             logical, cached_plan = self._optimized_plan(
-                query, plan, base_name, synopsis.installed.sample_name
+                plan, base_name, synopsis.installed.sample_name
             )
             plan_span.set(cache="hit" if cached_plan else "miss")
 
@@ -1604,23 +1970,34 @@ class AquaSystem:
 
         check_deadline("error_bounds")
         with tracer.span("error_bounds"):
+            self._reuse_local.snapshot = None
             result = self._attach_error_bounds(query, synopsis, result)
+            snapshot = getattr(self._reuse_local, "snapshot", None)
+            self._reuse_local.snapshot = None
         answer = ApproximateAnswer(
             result=result,
             confidence=self._confidence,
             synopsis=synopsis,
             elapsed_seconds=elapsed,
         )
-        if policy is None:
-            return answer
-        check_deadline("guard")
-        with tracer.span("guard") as guard_span:
-            guarded = self._guard_answer(
-                query, synopsis, answer, policy, stale
-            )
-            if guarded.guard is not None:
-                guard_span.set(**guarded.guard.counts)
-        return guarded
+        if policy is not None:
+            check_deadline("guard")
+            with tracer.span("guard") as guard_span:
+                answer = self._guard_answer(
+                    query, synopsis, answer, policy, stale
+                )
+                if answer.guard is not None:
+                    guard_span.set(**answer.guard.counts)
+        # Degraded answers never populate the semantic tiers: the snapshot
+        # describes a clean synopsis scan, and a degraded verdict means
+        # that scan was not what the user was served.
+        if (
+            snapshot is not None
+            and self._reuse is not None
+            and (answer.guard is None or not answer.guard.degraded)
+        ):
+            self._reuse.register(snapshot)
+        return answer
 
     # -- the guard ladder ---------------------------------------------------
 
@@ -2042,7 +2419,7 @@ class AquaSystem:
             synopsis = self.synopsis(base_name)
         plan = self._rewrite.plan(query, synopsis.installed)
         logical, __ = self._optimized_plan(
-            query, plan, base_name, synopsis.installed.sample_name
+            plan, base_name, synopsis.installed.sample_name
         )
 
         installed = synopsis.installed
@@ -2063,12 +2440,18 @@ class AquaSystem:
                 f"{choice.predicted_seconds * 1000:.2f} ms, "
                 f"{choice.considered} members considered)"
             )
+        budget = (
+            (max_rel_error, max_ms, choice.member)
+            if choice is not None
+            else ()
+        )
         lines += [
             f"-- synopsis tables: {tables}",
             f"-- sample: {synopsis.sample_size} of "
             f"{synopsis.sample.total_population} rows "
             f"(budget {synopsis.budget}, "
             f"allocation {synopsis.allocation_strategy})",
+            f"-- cache: {self._probe_cache_tier(query, base_name, budget)}",
             "-- plan:",
             render_plan(logical, catalog=self.catalog),
         ]
@@ -2083,6 +2466,55 @@ class AquaSystem:
             lines.append("-- analyze:")
             lines.append(trace.render())
         return "\n".join(lines)
+
+    def _probe_cache_tier(
+        self, query: Query, base_name: str, budget: Tuple = ()
+    ) -> str:
+        """Which tier would serve this query right now (counters untouched).
+
+        Probes with the system's *default* guard policy -- what a plain
+        :meth:`answer` call would use -- and reports ``exact``,
+        ``canonical``, ``rollup (from <source>)``, ``miss``, or
+        ``disabled``.
+        """
+        if self._cache is None and self._reuse is None:
+            return "disabled"
+        policy = self._resolve_guard(None)
+        if self._cache is not None:
+            canonical = canonicalize_query(query)
+            key = self._cache_key(query, base_name, policy, budget, canonical)
+            entry = self._cache.peek(key)
+            if entry is not None:
+                if entry.sql == render_query(query):
+                    return "exact"
+                return "canonical"
+        if self._reuse is not None and not budget:
+            synopsis = self._synopses.get(base_name)
+            aggregates = query.aggregates()
+            if (
+                synopsis is not None
+                and aggregates
+                and self._bound_method == "chebyshev"
+                and query.having is None
+                and isinstance(query.from_item, str)
+                and all(
+                    aggregate.func in _SCALED_AGGREGATES
+                    for aggregate in aggregates
+                )
+            ):
+                match = self._reuse.lookup(
+                    base_name=base_name,
+                    version=self._state(base_name).version,
+                    synopsis_signature=self._synopsis_signature(synopsis),
+                    where=query.where,
+                    group_by=query.group_by,
+                    aggregates=aggregates,
+                    confidence=self._confidence,
+                    count=False,
+                )
+                if match is not None:
+                    return f"rollup (from {match.snapshot.describe_source})"
+        return "miss"
 
     def trace_answer(
         self,
@@ -2181,6 +2613,24 @@ class AquaSystem:
     def _attach_error_bounds(
         self, query: Query, synopsis: Synopsis, result: Table
     ) -> Table:
+        """Attach ``<alias>_error`` half-width columns to a plan result.
+
+        Expansion-servable queries (Chebyshev bounds, SUM/COUNT/AVG only,
+        GROUP BY within the stratification columns) take the snapshot
+        path: one pass over the sample records per-stratum moments
+        (:class:`~repro.aqua.reuse.ReuseSnapshot`), and *both* the served
+        values and the half-widths are finalized from those moments --
+        the exact arithmetic a future roll-up of this snapshot will run,
+        which is what makes roll-up answers bit-identical to direct ones.
+        The built snapshot is deposited in a per-thread slot for
+        :meth:`_answer_stages` to register after the guard verdict.
+        Everything else falls back to the legacy per-aggregate
+        :func:`~repro.estimators.point.estimate` path.
+        """
+        snapshot = self._reuse_snapshot(query, synopsis)
+        if snapshot is not None:
+            self._reuse_local.snapshot = snapshot
+            return self._snapshot_bounds(query, snapshot, result)
         metrics = self.telemetry.metrics
         group_by = list(query.group_by)
         key_arrays = [result.column(name) for name in group_by]
@@ -2245,6 +2695,111 @@ class AquaSystem:
                         halfwidth_histogram.observe(relative)
             result = result.with_column(
                 Column(f"{aggregate.alias}_error", ColumnType.FLOAT), halfwidths
+            )
+        return result
+
+    def _reuse_snapshot(
+        self, query: Query, synopsis: Synopsis
+    ) -> Optional[ReuseSnapshot]:
+        """Build per-stratum moments when the query is expansion-servable.
+
+        ``None`` when the roll-up tier is disabled or the query needs the
+        legacy estimate path (Hoeffding bounds, non-scaled aggregates,
+        HAVING, nested FROM, or a GROUP BY outside the stratification
+        columns).
+        """
+        if self._reuse is None or self._bound_method != "chebyshev":
+            return None
+        if query.having is not None or not isinstance(query.from_item, str):
+            return None
+        aggregates = query.aggregates()
+        if not aggregates or any(
+            aggregate.func not in _SCALED_AGGREGATES
+            for aggregate in aggregates
+        ):
+            return None
+        if not set(query.group_by) <= set(synopsis.grouping_columns):
+            return None
+        version = self._state(synopsis.base_name).version
+        group_text = ", ".join(query.group_by) if query.group_by else "()"
+        source = (
+            f"{synopsis.base_name}@v{version} "
+            f"{synopsis.allocation_strategy}/{synopsis.rewrite_strategy} "
+            f"GROUP BY ({group_text})"
+        )
+        return ReuseSnapshot.build(
+            synopsis.sample,
+            query.where,
+            aggregates,
+            base_name=synopsis.base_name,
+            version=version,
+            synopsis_signature=self._synopsis_signature(synopsis),
+            confidence=self._confidence,
+            entry_group_by=tuple(query.group_by),
+            describe_source=source,
+        )
+
+    def _snapshot_bounds(
+        self, query: Query, snapshot: ReuseSnapshot, result: Table
+    ) -> Table:
+        """Finalize values *and* half-widths from the snapshot's moments.
+
+        Overwrites the plan-computed aggregate columns with the moment
+        finalization (the two agree to floating-point summation order;
+        serving the finalized values is what guarantees roll-up answers
+        reproduce direct ones bit-for-bit) and appends the ``_error``
+        columns, preserving the legacy layout and the relative-half-width
+        histogram.
+        """
+        metrics = self.telemetry.metrics
+        group_by = list(query.group_by)
+        key_arrays = [result.column(name) for name in group_by]
+        rollup = snapshot.finalize(query.group_by, query.aggregates())
+        index = {key: g for g, key in enumerate(rollup.keys)}
+        row_keys = [
+            tuple(
+                arr[i].item() if hasattr(arr[i], "item") else arr[i]
+                for arr in key_arrays
+            )
+            for i in range(result.num_rows)
+        ]
+        replaced = result.columns()
+        errors: List[Tuple[str, np.ndarray]] = []
+        for aggregate in query.aggregates():
+            values = np.array(
+                result.column(aggregate.alias), dtype=np.float64
+            )
+            halfwidths = np.full(result.num_rows, np.nan)
+            for i, key in enumerate(row_keys):
+                g = index.get(key)
+                if g is None:
+                    continue
+                values[i] = rollup.values[aggregate.alias][g]
+                halfwidths[i] = rollup.halfwidths[aggregate.alias][g]
+            if metrics.enabled:
+                halfwidth_histogram = metrics.histogram(
+                    "aqua_relative_halfwidth",
+                    "Error-bound half-width over estimate magnitude, per "
+                    "answer group and aggregate.",
+                    buckets=(
+                        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                        0.25, 0.5, 1.0, 2.5,
+                    ),
+                )
+                for i in range(result.num_rows):
+                    if not math.isfinite(halfwidths[i]):
+                        continue
+                    relative = relative_halfwidth(
+                        halfwidths[i], float(values[i])
+                    )
+                    if math.isfinite(relative):
+                        halfwidth_histogram.observe(relative)
+            replaced[aggregate.alias] = values
+            errors.append((f"{aggregate.alias}_error", halfwidths))
+        result = Table(result.schema, replaced)
+        for name, halfwidths in errors:
+            result = result.with_column(
+                Column(name, ColumnType.FLOAT), halfwidths
             )
         return result
 
@@ -2327,6 +2882,8 @@ class AquaSystem:
             state.pending_rows.append(tuple(row))
             state.inserts_since_refresh += 1
             state.version += 1  # invalidates cached answers for this table
+            if self._reuse is not None:
+                self._reuse.invalidate(name)
             if state.maintainer is not None:
                 state.maintainer.insert(row)
                 state.maintainer.inserts_seen += 1
@@ -2405,6 +2962,8 @@ class AquaSystem:
                 state.table = state.table.concat(appended)
                 state.pending_rows.clear()
                 state.version += 1
+                if self._reuse is not None:
+                    self._reuse.invalidate(name)
                 self.catalog.register(name, state.table, replace=True)
         metrics = self.telemetry.metrics
         if metrics.enabled:

@@ -30,6 +30,7 @@ __all__ = [
     "grouped_reduce",
     "partial_reduce",
     "merge_states",
+    "rollup_state",
     "finalize_state",
 ]
 
@@ -275,6 +276,63 @@ def merge_states(
                 high, seen, state.high, occupied, targets, np.maximum
             )
     return AggregateState(func, counts, total, total_sq, low, high)
+
+
+def rollup_state(
+    state: AggregateState,
+    targets: np.ndarray,
+    num_groups: int,
+) -> AggregateState:
+    """Merge a fine-grained state into coarser groups (many-to-one).
+
+    The congressional datacube (paper Section 6) builds coarse group-by
+    summaries by *merging* finer strata; this is that merge as a state
+    operation, used by the semantic cache's roll-up tier to answer
+    ``GROUP BY nation`` from a cached ``GROUP BY nation, year`` state.
+
+    Unlike :func:`merge_states`, ``targets`` may repeat: several fine
+    groups land in the same coarse group.  Moments are summed with
+    ``np.bincount`` (deterministic index-order accumulation, so two
+    roll-ups of the same state are bit-identical); extrema combine with
+    ``np.minimum.at``/``np.maximum.at``, skipping fine groups that never
+    scanned a row while still propagating genuinely observed NaNs.
+
+    Args:
+        state: fine-grained state, one entry per fine group.
+        targets: ``targets[i]`` is the coarse group of fine group ``i``.
+        num_groups: size of the coarse group space.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if len(targets) != state.num_groups:
+        raise ValueError(
+            f"targets has {len(targets)} entries for a state with "
+            f"{state.num_groups} groups"
+        )
+    counts = np.bincount(targets, weights=state.count, minlength=num_groups)
+    total = (
+        np.bincount(targets, weights=state.total, minlength=num_groups)
+        if state.total is not None
+        else None
+    )
+    total_sq = (
+        np.bincount(targets, weights=state.total_sq, minlength=num_groups)
+        if state.total_sq is not None
+        else None
+    )
+    low = high = None
+    if state.low is not None or state.high is not None:
+        occupied = state.count > 0
+        seen = np.zeros(num_groups, dtype=bool)
+        seen[targets[occupied]] = True
+        if state.low is not None:
+            low = np.full(num_groups, np.inf)
+            np.minimum.at(low, targets[occupied], state.low[occupied])
+            low[~seen] = np.nan
+        if state.high is not None:
+            high = np.full(num_groups, -np.inf)
+            np.maximum.at(high, targets[occupied], state.high[occupied])
+            high[~seen] = np.nan
+    return AggregateState(state.func, counts, total, total_sq, low, high)
 
 
 def finalize_state(state: AggregateState) -> np.ndarray:

@@ -76,6 +76,12 @@ class QueryEvent:
         stage_seconds: per-stage wall time when the tracer was recording.
         duration_seconds: end-to-end answer wall time.
         cache_hit: answered from the answer cache.
+        cache_tier: the semantic tier that served the answer
+            (``"exact"``/``"canonical"``/``"rollup"``; ``None`` when the
+            answer was computed fresh).
+        reused_from: provenance chain of a roll-up served answer -- which
+            cached snapshot (table@version, strategies, finer GROUP BY)
+            was merged down, and any predicate slice applied.
         degraded: guard escalation or serve-side degradation produced
             this answer (back-annotated by the serving layer).
         degradation: the serve-side degradation reason, if any.
@@ -105,6 +111,8 @@ class QueryEvent:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     duration_seconds: float = 0.0
     cache_hit: bool = False
+    cache_tier: Optional[str] = None
+    reused_from: Optional[str] = None
     degraded: bool = False
     degradation: Optional[str] = None
     deadline: bool = False
@@ -144,6 +152,10 @@ class QueryEvent:
             out["chosen_synopsis"] = self.chosen_synopsis
         if self.predicted_rel_error is not None:
             out["predicted_rel_error"] = self.predicted_rel_error
+        if self.cache_tier is not None:
+            out["cache_tier"] = self.cache_tier
+        if self.reused_from is not None:
+            out["reused_from"] = self.reused_from
         if self.stage_seconds:
             out["stage_seconds"] = dict(self.stage_seconds)
         if self.degradation is not None:

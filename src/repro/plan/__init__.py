@@ -19,6 +19,15 @@ The package splits query execution into four stages (see
 """
 
 from .cache import PlanCache, PlanCacheStats
+from .canonical import (
+    CanonicalQuery,
+    canonicalize,
+    canonicalize_expression,
+    canonicalize_predicate,
+    canonicalize_query,
+    predicate_conjuncts,
+    predicate_fingerprint,
+)
 from .cost import CostModel, TableStats, plan_cost, plan_rows
 from .logical import (
     Filter,
@@ -49,6 +58,7 @@ from .physical import execute_plan
 from .planner import lower_query, lower_rewritten
 
 __all__ = [
+    "CanonicalQuery",
     "CostModel",
     "DEFAULT_RULES",
     "Filter",
@@ -65,6 +75,10 @@ __all__ = [
     "Scan",
     "Sort",
     "TableStats",
+    "canonicalize",
+    "canonicalize_expression",
+    "canonicalize_predicate",
+    "canonicalize_query",
     "execute_plan",
     "fold_constants",
     "fuse_filters",
@@ -74,6 +88,8 @@ __all__ = [
     "output_columns",
     "plan_cost",
     "plan_rows",
+    "predicate_conjuncts",
+    "predicate_fingerprint",
     "prune_projections",
     "push_down_predicates",
     "render_plan",

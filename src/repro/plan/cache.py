@@ -9,7 +9,11 @@ the hot path entirely.
 The key mirrors the answer-cache discipline: it embeds the base table's
 data version, so a refresh or re-registration -- which may change synopsis
 schemas and therefore correct plans -- invalidates at lookup time, plus the
-rewrite-strategy name and renderer-normalized query text.  Stats mirror to
+rewrite-strategy name and the *canonical plan fingerprint*
+(:func:`repro.plan.canonicalize`).  Fingerprint keying means trivially
+equivalent spellings -- reordered conjuncts, folded constants -- compile
+once and share the optimized plan; there is no query-text normalization
+anywhere in the path.  Stats mirror to
 ``aqua_plan_cache_{hits,misses,evictions}_total`` when a metrics registry
 is attached.
 """
@@ -55,7 +59,8 @@ class PlanCache:
 
     Keys are opaque hashables built by the caller (see
     :meth:`~repro.aqua.system.AquaSystem._plan_key`): ``(table, version,
-    strategy, normalized SQL)``.  ``get`` promotes on hit; ``put`` evicts
+    strategy, relation, canonical plan fingerprint)``.  ``get`` promotes
+    on hit; ``put`` evicts
     the least-recently-used entry once ``capacity`` is exceeded.  Plans are
     immutable (frozen dataclasses), so entries are shared safely.
 

@@ -90,6 +90,9 @@ def _result_payload(result: ServeResult) -> dict:
         "chosen_synopsis": result.answer.chosen_synopsis,
         "predicted_rel_error": result.answer.predicted_rel_error,
         "budget_satisfied": result.budget_satisfied,
+        "cache_hit": result.answer.cache_hit,
+        "cache_tier": result.answer.cache_tier,
+        "reused_from": result.answer.reused_from,
     }
 
 
@@ -282,21 +285,46 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif path == "/stats":
             stats = self.service.stats
-            self._send_json(
-                200,
-                {
-                    "workers": stats.workers,
-                    "capacity": stats.capacity,
-                    "pending": stats.pending,
-                    "admitted": stats.admitted,
-                    "rejected_overload": stats.rejected_overload,
-                    "rejected_rate_limit": stats.rejected_rate_limit,
-                    "retries": stats.retries,
-                    "outcomes": stats.outcomes,
-                    "breakers": stats.breakers,
-                    "tenants": stats.tenants,
-                },
-            )
+            payload = {
+                "workers": stats.workers,
+                "capacity": stats.capacity,
+                "pending": stats.pending,
+                "admitted": stats.admitted,
+                "rejected_overload": stats.rejected_overload,
+                "rejected_rate_limit": stats.rejected_rate_limit,
+                "retries": stats.retries,
+                "outcomes": stats.outcomes,
+                "breakers": stats.breakers,
+                "tenants": stats.tenants,
+            }
+            cache = self.service.system.answer_cache
+            if cache is not None:
+                cstats = cache.stats
+                payload["answer_cache"] = {
+                    "size": cstats.size,
+                    "capacity": cstats.capacity,
+                    "hits": cstats.hits,
+                    "misses": cstats.misses,
+                    "evictions": cstats.evictions,
+                    "hit_rate": cstats.hit_rate,
+                    "tiers": {
+                        "exact": cstats.exact_hits,
+                        "canonical": cstats.canonical_hits,
+                        "rollup": cstats.rollup_hits,
+                    },
+                    "semantic_hit_rate": cstats.semantic_hit_rate,
+                }
+            rollup = self.service.system.rollup_index
+            if rollup is not None:
+                rstats = rollup.stats()
+                payload["rollup_index"] = {
+                    "entries": rstats.entries,
+                    "hits": rstats.hits,
+                    "misses": rstats.misses,
+                    "registrations": rstats.registrations,
+                    "invalidations": rstats.invalidations,
+                }
+            self._send_json(200, payload)
         elif path == "/metrics":
             registry = self.service.system.metrics
             if query.get("format", [""])[0] == "openmetrics":

@@ -72,7 +72,7 @@ class TestCacheHits:
         system.answer(SQL)
         hit = system.answer(SQL)
         assert hit.trace is not None
-        assert hit.trace.root.attributes.get("cache") == "hit"
+        assert hit.trace.root.attributes.get("cache") == "exact"
 
 
 class TestCacheInvalidation:

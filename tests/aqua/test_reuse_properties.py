@@ -1,0 +1,122 @@
+"""Property: roll-up answers are bit-identical to direct computation.
+
+Two systems built from the same seed hold identical synopses.  System A
+answers a fine GROUP BY (registering a reuse snapshot) and then a coarser
+probe, served from the roll-up tier; system B answers the coarse probe
+directly through the full pipeline.  Every aggregate value *and* every
+Chebyshev half-width must agree bit for bit -- ``np.array_equal``, no
+tolerance -- because both paths share :meth:`ReuseSnapshot.finalize`'s
+arithmetic (see ``repro/aqua/reuse.py``).  Only the provenance column may
+differ (``synopsis`` vs ``rollup``), which is the tier's audit trail.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.aqua import AquaSystem  # noqa: E402
+from repro.engine import Column, ColumnType, Schema, Table  # noqa: E402
+
+_AGG_POOL = [
+    "SUM(v) AS s",
+    "COUNT(*) AS c",
+    "AVG(v) AS m",
+    "SUM(w) AS sw",
+    "AVG(w) AS mw",
+]
+_ALIAS = {"SUM(v) AS s": "s", "COUNT(*) AS c": "c", "AVG(v) AS m": "m",
+          "SUM(w) AS sw": "sw", "AVG(w) AS mw": "mw"}
+_SLICES = [None, "h = 'x'", "h != 'y'", "g IN ('a', 'b')"]
+
+
+def _table(n, seed):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Column("g", ColumnType.STR, "grouping"),
+            Column("h", ColumnType.STR, "grouping"),
+            Column("v", ColumnType.FLOAT, "aggregate"),
+            Column("w", ColumnType.FLOAT, "aggregate"),
+        ]
+    )
+    return Table.from_columns(
+        schema,
+        g=rng.choice(["a", "b", "c"], size=n),
+        h=rng.choice(["x", "y"], size=n),
+        v=rng.gamma(2.0, 40.0, size=n),
+        w=rng.normal(50.0, 12.0, size=n),
+    )
+
+
+def _system(seed, budget):
+    system = AquaSystem(
+        space_budget=budget, rng=np.random.default_rng(seed), cache=True
+    )
+    system.register_table("t", _table(2000, seed), grouping_columns=["g", "h"])
+    return system
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    budget=st.sampled_from([150, 400, 900]),
+    aggs=st.lists(
+        st.sampled_from(_AGG_POOL), min_size=1, max_size=4, unique=True
+    ),
+    coarse_col=st.sampled_from(["g", "h"]),
+    where=st.sampled_from(_SLICES),
+)
+def test_rollup_is_bit_identical_to_direct(
+    seed, budget, aggs, coarse_col, where
+):
+    select = ", ".join(aggs)
+    fine = f"SELECT g, h, {select} FROM t GROUP BY g, h"
+    clause = f" WHERE {where}" if where else ""
+    coarse = (
+        f"SELECT {coarse_col}, {select} FROM t{clause} "
+        f"GROUP BY {coarse_col}"
+    )
+
+    warmed = _system(seed, budget)
+    warmed.answer(fine)
+    rollup = warmed.answer(coarse)
+    assert rollup.cache_tier == "rollup", coarse
+
+    direct = _system(seed, budget).answer(coarse)
+    assert direct.cache_tier is None
+
+    np.testing.assert_array_equal(
+        rollup.result.column(coarse_col), direct.result.column(coarse_col)
+    )
+    for spec in aggs:
+        alias = _ALIAS[spec]
+        values_a = np.asarray(rollup.result.column(alias))
+        values_b = np.asarray(direct.result.column(alias))
+        assert np.array_equal(values_a, values_b), (coarse, alias)
+        errors_a = np.asarray(rollup.result.column(f"{alias}_error"))
+        errors_b = np.asarray(direct.result.column(f"{alias}_error"))
+        assert np.array_equal(
+            errors_a, errors_b, equal_nan=True
+        ), (coarse, alias)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    coarse_col=st.sampled_from(["g", "h"]),
+)
+def test_replayed_rollup_equals_the_first_serving(seed, coarse_col):
+    """The cached roll-up answer replays exactly (exact tier)."""
+    system = _system(seed, 400)
+    system.answer("SELECT g, h, SUM(v) AS s FROM t GROUP BY g, h")
+    coarse = f"SELECT {coarse_col}, SUM(v) AS s FROM t GROUP BY {coarse_col}"
+    first = system.answer(coarse)
+    second = system.answer(coarse)
+    assert first.cache_tier == "rollup"
+    assert second.cache_tier == "exact"
+    for name in first.result.schema.names:
+        np.testing.assert_array_equal(
+            first.result.column(name), second.result.column(name)
+        )
